@@ -1,0 +1,26 @@
+//! # fancy-analysis — closed-form models from the FANcY paper
+//!
+//! Every analytical claim the paper makes, as testable Rust:
+//!
+//! * [`tree_math`] — hash-tree collision probability, expected false
+//!   positives, node counts and memory (Appendix A);
+//! * [`lossradar`] — LossRadar's memory / read-speed infeasibility ratios
+//!   (Table 2), built on the `fancy-hw` switch profile;
+//! * [`netseer`] — NetSeer's buffer requirement versus link latency
+//!   (Figure 2);
+//! * [`overhead`] — FANcY's control and tagging overhead (§5.3);
+//! * [`speed`] — expected detection latencies for dedicated counters,
+//!   trees and uniform failures (the headline numbers of Figures 7/9 and
+//!   §5.1.3);
+//! * [`tpr_model`] — detection-probability closed forms (the TPR cliffs of
+//!   Figures 7/9 as run-length probabilities over lossy sessions).
+//!
+//! The experiment harness (`fancy-bench`) prints these model values next to
+//! the measured ones so paper-vs-reproduction comparisons are one table.
+
+pub mod lossradar;
+pub mod netseer;
+pub mod overhead;
+pub mod speed;
+pub mod tpr_model;
+pub mod tree_math;

@@ -1,0 +1,156 @@
+//! LossRadar feasibility at ISP scale (Table 2 of the paper).
+//!
+//! LossRadar needs its invertible Bloom filters extracted every ~10 ms; an
+//! IBF must be dimensioned for the packets lost within one batch. Table 2
+//! compares (a) the memory those IBFs need against the per-stage SRAM an
+//! in-switch application can claim, and (b) the register readout bandwidth
+//! the extraction needs against what the switch control plane delivers.
+//! Ratios above 1 (the paper's red numbers) mean "infeasible".
+//!
+//! The model uses the same IBF dimensioning as our working implementation
+//! in `fancy-baselines::lossradar` (≈1.3 cells per lost packet for
+//! 3-hash IBFs, 64-bit cells — the register width Table 2's caption fixes)
+//! and double-buffering (one IBF fills while the previous is read).
+
+use fancy_hw::TofinoProfile;
+
+/// IBF cells needed per decodable loss (3-hash peeling threshold).
+pub const CELLS_PER_LOSS: f64 = 1.3;
+/// Bits per IBF cell (64-bit registers, per the Table 2 caption).
+pub const CELL_BITS: f64 = 64.0;
+/// Batch extraction interval LossRadar requires for fast detection.
+pub const BATCH_SECS: f64 = 0.010;
+/// Packet size minimizing memory needs (Table 2 caption: 1500 B).
+pub const PKT_BYTES: f64 = 1500.0;
+
+/// A switch scenario of Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Per-port line rate in bits per second.
+    pub port_bps: f64,
+    /// Number of ports.
+    pub ports: u32,
+    /// The hardware generation to compare against.
+    pub profile: TofinoProfile,
+}
+
+impl Scenario {
+    /// The 100 Gbps × 32-port row.
+    pub fn g100x32() -> Self {
+        Scenario {
+            port_bps: 100e9,
+            ports: 32,
+            profile: TofinoProfile::tofino1(),
+        }
+    }
+
+    /// The 400 Gbps × 64-port row.
+    pub fn g400x64() -> Self {
+        Scenario {
+            port_bps: 400e9,
+            ports: 64,
+            profile: TofinoProfile::tofino3(),
+        }
+    }
+
+    /// Aggregate packets per second across all ports.
+    pub fn total_pps(&self) -> f64 {
+        self.port_bps * f64::from(self.ports) / (PKT_BYTES * 8.0)
+    }
+
+    /// IBF bits required per batch at `loss_rate` (fraction, e.g. 0.001),
+    /// double-buffered.
+    pub fn required_bits(&self, loss_rate: f64) -> f64 {
+        let losses_per_batch = self.total_pps() * loss_rate * BATCH_SECS;
+        losses_per_batch * CELLS_PER_LOSS * CELL_BITS * 2.0
+    }
+
+    /// Table 2 "memory size" ratio: required bits over the per-stage SRAM
+    /// share available to one application.
+    pub fn memory_ratio(&self, loss_rate: f64) -> f64 {
+        self.required_bits(loss_rate) / self.profile.app_stage_sram_bits
+    }
+
+    /// Table 2 "read speedup" ratio: extraction bandwidth needed (one IBF
+    /// per batch interval) over the control plane's register readout rate.
+    pub fn read_ratio(&self, loss_rate: f64) -> f64 {
+        self.required_bits(loss_rate) / BATCH_SECS / self.profile.register_read_bps
+    }
+}
+
+/// The loss rates of Table 2's columns (fractions).
+pub fn paper_loss_rates() -> [f64; 4] {
+    [0.001, 0.002, 0.003, 0.01]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_100g_row_matches_paper() {
+        // Paper: memory ×0.21, ×0.42, ×0.63, ×2.1 (interpolating the 1 %
+        // column) and read ×0.7, ×1.4, ×2.1, ×7 for the 100 Gbps switch.
+        let s = Scenario::g100x32();
+        let expect_mem = [0.21, 0.42, 0.63, 2.1];
+        let expect_read = [0.7, 1.4, 2.1, 7.0];
+        for (i, &lr) in paper_loss_rates().iter().enumerate() {
+            let m = s.memory_ratio(lr);
+            let r = s.read_ratio(lr);
+            assert!(
+                (m - expect_mem[i]).abs() / expect_mem[i] < 0.05,
+                "mem[{i}] = {m} vs {}",
+                expect_mem[i]
+            );
+            assert!(
+                (r - expect_read[i]).abs() / expect_read[i] < 0.05,
+                "read[{i}] = {r} vs {}",
+                expect_read[i]
+            );
+        }
+    }
+
+    #[test]
+    fn table2_400g_row_matches_paper_scale() {
+        // Paper: ×1.7, ×3.4, ×5.1, ×16.9 memory for the 400 Gbps × 64-port
+        // switch (8× the traffic of the 100 G switch).
+        let s = Scenario::g400x64();
+        let expect_mem = [1.7, 3.4, 5.1, 16.9];
+        for (i, &lr) in paper_loss_rates().iter().enumerate() {
+            let m = s.memory_ratio(lr);
+            assert!(
+                (m - expect_mem[i]).abs() / expect_mem[i] < 0.05,
+                "mem[{i}] = {m} vs {}",
+                expect_mem[i]
+            );
+        }
+        // Read ratios also exceed 1 everywhere: infeasible at any loss rate.
+        for &lr in &paper_loss_rates() {
+            assert!(s.read_ratio(lr) > 1.0);
+        }
+    }
+
+    #[test]
+    fn feasibility_threshold_near_015_percent() {
+        // §2.3: "current switches do not read memory fast enough for Loss
+        // Radar to support average loss rates higher than 0.15 % in
+        // 100 Gbps switches with 32 ports."
+        let s = Scenario::g100x32();
+        assert!(s.read_ratio(0.0014) < 1.0);
+        assert!(s.read_ratio(0.0016) > 1.0);
+    }
+
+    #[test]
+    fn larger_batches_do_not_help() {
+        // §2.3: gathering IBFs less frequently requires proportionally
+        // larger IBFs for the same loss rate — the memory ratio is batch-
+        // invariant in this model, while the paper notes larger IBFs make
+        // matters *worse* for decodability. Verify batch cancels out.
+        let s = Scenario::g100x32();
+        let m10 = s.required_bits(0.001) / BATCH_SECS;
+        // Doubling the batch doubles required bits: same bits-per-second.
+        let losses_20ms = s.total_pps() * 0.001 * 0.020;
+        let bits_20ms = losses_20ms * CELLS_PER_LOSS * CELL_BITS * 2.0;
+        assert!((bits_20ms / 0.020 - m10).abs() / m10 < 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! NetSeer memory requirements on ISP links (Figure 2 of the paper).
+//!
+//! NetSeer's upstream buffer must retain a packet's digest until a NACK
+//! can possibly arrive — at least one link round trip. The memory required
+//! is therefore `pps × RTT × bits-per-packet`. The paper computes the
+//! curves analytically and confirms them in ns-3 (our queue-level
+//! confirmation lives in `fancy-baselines::netseer`).
+//!
+//! `EFFECTIVE_DIGEST_BITS` is the per-packet buffer cost *after* NetSeer's
+//! flow-event aggregation, calibrated so the curves match Figure 2's
+//! magnitudes (≈500 MB for 64 × 400 Gbps at 100 ms).
+
+/// Effective buffered bits per packet after flow-event aggregation.
+pub const EFFECTIVE_DIGEST_BITS: f64 = 9.5;
+/// Average packet size on the modelled links.
+pub const PKT_BYTES: f64 = 1500.0;
+
+/// Memory (bytes) NetSeer needs on a switch with `ports × port_bps` of
+/// egress traffic and `latency_s` one-way inter-switch latency.
+pub fn required_memory_bytes(port_bps: f64, ports: u32, latency_s: f64) -> f64 {
+    let pps = port_bps * f64::from(ports) / (PKT_BYTES * 8.0);
+    // Digests must survive one-way latency out + NACK back ≈ 2 × latency;
+    // NetSeer piggybacks NACK generation at line rate, so the binding term
+    // is the round trip. Figure 2's x-axis is the (one-way) link latency.
+    pps * (2.0 * latency_s) * EFFECTIVE_DIGEST_BITS / 8.0
+}
+
+/// The latency sweep of Figure 2's x-axis (seconds, log scale
+/// 100 µs → 100 ms).
+pub fn latency_sweep() -> Vec<f64> {
+    let mut v = Vec::new();
+    let mut l = 100e-6;
+    while l <= 0.1 * 1.001 {
+        v.push(l);
+        l *= 10f64.powf(0.25); // 4 points per decade
+    }
+    v
+}
+
+/// Memory realistically available to one in-switch application, bytes
+/// (§2.3: "memory available to in-switch applications tends to be in the
+/// order of few MBs").
+pub const AVAILABLE_APP_MEMORY_BYTES: f64 = 4.0e6;
+
+/// The smallest latency at which NetSeer stops being operational for a
+/// given switch, i.e. where required memory crosses the available budget.
+pub fn breaking_latency_s(port_bps: f64, ports: u32) -> f64 {
+    let pps = port_bps * f64::from(ports) / (PKT_BYTES * 8.0);
+    AVAILABLE_APP_MEMORY_BYTES * 8.0 / (EFFECTIVE_DIGEST_BITS * 2.0 * pps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_magnitudes() {
+        // 64 × 400 Gbps at 100 ms ≈ 500 MB (the top of Figure 2's y-axis).
+        let m = required_memory_bytes(400e9, 64, 0.1);
+        assert!(
+            (m - 500e6).abs() / 500e6 < 0.05,
+            "400G/100ms = {} MB",
+            m / 1e6
+        );
+        // 64 × 100 Gbps at 10 ms ≈ 12.7 MB — already past what an app gets.
+        let m = required_memory_bytes(100e9, 64, 0.01);
+        assert!((10e6..16e6).contains(&m), "100G/10ms = {} MB", m / 1e6);
+    }
+
+    #[test]
+    fn memory_is_linear_in_rate_and_latency() {
+        let base = required_memory_bytes(100e9, 64, 0.001);
+        assert!((required_memory_bytes(200e9, 64, 0.001) / base - 2.0).abs() < 1e-9);
+        assert!((required_memory_bytes(100e9, 64, 0.002) / base - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn not_operational_in_common_isp_settings() {
+        // §2.3: "NetSeer is not operational in the most common ISP
+        // settings, where traffic per link exceeds 100 Gbps and link
+        // latency is on the order of milliseconds."
+        for &(bps, ports) in &[(100e9, 64u32), (200e9, 64), (400e9, 64)] {
+            let brk = breaking_latency_s(bps, ports);
+            assert!(
+                brk < 5e-3,
+                "{bps}×{ports}: breaks only at {} ms",
+                brk * 1e3
+            );
+        }
+        // But data-center-scale latency (≈10 µs) is fine on 100 G:
+        assert!(required_memory_bytes(100e9, 64, 10e-6) < AVAILABLE_APP_MEMORY_BYTES);
+    }
+
+    #[test]
+    fn latency_sweep_covers_figure_axis() {
+        let s = latency_sweep();
+        assert!(s.len() >= 12);
+        assert!((s[0] - 100e-6).abs() < 1e-9);
+        assert!(*s.last().unwrap() <= 0.1 * 1.001);
+        assert!(s.windows(2).all(|w| w[1] > w[0]));
+    }
+}

@@ -1,0 +1,101 @@
+//! Detection-speed models.
+//!
+//! Closed-form expectations for how fast each FANcY mechanism localizes a
+//! failure, used by the experiment harness to annotate measured results:
+//!
+//! * dedicated counters detect at the first post-failure counter exchange:
+//!   ≈ exchange interval + session open/close (Figure 7's ≈70 ms at 50 ms
+//!   exchanges on 10 ms links);
+//! * the hash tree needs `depth` consecutive mismatching sessions:
+//!   ≈ d × (zooming interval + open/close) (Figure 9's ≈680 ms at 200 ms
+//!   zooming);
+//! * uniform failures are flagged after a single session (§5.1.3);
+//! * on top of that, low-traffic/low-loss entries add the waiting time for
+//!   the first failure-affected packet (the bottom rows of Figures 7/9).
+
+/// Expected time from failure to the end of the first session observing it.
+fn first_session_secs(interval_s: f64, one_way_delay_s: f64) -> f64 {
+    // The failure lands uniformly inside a session: on average half a
+    // counting interval remains, then the Stop/Report close costs one RTT.
+    interval_s + 2.0 * one_way_delay_s
+}
+
+/// Expected detection latency of a dedicated counter.
+pub fn dedicated_secs(interval_s: f64, one_way_delay_s: f64) -> f64 {
+    first_session_secs(interval_s, one_way_delay_s) + 2.0 * one_way_delay_s
+}
+
+/// Expected detection latency of the hash tree for a single-entry failure.
+pub fn tree_secs(depth: u8, zoom_interval_s: f64, one_way_delay_s: f64) -> f64 {
+    f64::from(depth) * (zoom_interval_s + 4.0 * one_way_delay_s)
+}
+
+/// Expected detection latency for a uniform failure: one zooming session.
+pub fn uniform_secs(zoom_interval_s: f64, one_way_delay_s: f64) -> f64 {
+    zoom_interval_s + 4.0 * one_way_delay_s
+}
+
+/// Expected wait until the first failure-affected packet for an entry
+/// sending `pps` packets/second under `loss_rate` (fraction): losses are a
+/// thinned Poisson process.
+pub fn first_affected_packet_secs(pps: f64, loss_rate: f64) -> f64 {
+    if pps <= 0.0 || loss_rate <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / (pps * loss_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_matches_figure7_headline() {
+        // "the average detection time is ≈70 ms, which is approximately the
+        // counters' exchange frequency (50 ms) plus counting sessions'
+        // opening and closing." (10 ms links)
+        let t = dedicated_secs(0.050, 0.010);
+        assert!((0.060..0.110).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn tree_matches_figure9_headline() {
+        // "single-entry failures are typically detected in 680 ms, which
+        // roughly matches the lower bound of three times the selected
+        // zooming speed (200 ms)."
+        let t = tree_secs(3, 0.200, 0.010);
+        assert!((0.60..0.80).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn uniform_matches_one_zoom_interval() {
+        // §5.1.3: "Its average detection time matches one zooming interval
+        // (200 ms)."
+        let t = uniform_secs(0.200, 0.010);
+        assert!((0.20..0.30).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn faster_links_speed_up_detection() {
+        // §5: "for 1 ms links, detection speed doubles for dedicated
+        // counters" (70 ms → ≈55... the dominant term halves its RTT part).
+        let slow = dedicated_secs(0.050, 0.010);
+        let fast = dedicated_secs(0.050, 0.001);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn sparse_traffic_dominates_low_rate_detection() {
+        // "if an entry drives one packet per second, on average the first
+        // packet for that entry is received 500 ms after the failure" —
+        // at 100 % loss every packet is affected: 1/(1×1.0) = 1 s mean wait
+        // for the first *loss*; the paper's 500 ms is the expected wait for
+        // the first packet (uniform phase). Our model returns the mean
+        // inter-loss gap; both dominate the session terms.
+        let w = first_affected_packet_secs(1.0, 1.0);
+        assert_eq!(w, 1.0);
+        assert!(first_affected_packet_secs(1.0, 0.001) > 100.0);
+        assert!(first_affected_packet_secs(0.0, 1.0).is_infinite());
+    }
+}

@@ -1,0 +1,165 @@
+//! Detection-probability models.
+//!
+//! The TPR cliffs of Figures 7 and 9 have a clean combinatorial origin,
+//! which the paper states but does not formalize:
+//!
+//! * a **dedicated counter** detects as soon as *any* counting session
+//!   observes at least one drop;
+//! * the **hash tree** "fully detects a failure after observing packet
+//!   loss in three consecutive counting sessions" (= the tree depth), and
+//!   the failures it misses are exactly those where "at no time are
+//!   packets dropped during three consecutive counting sessions" (§5.1.2,
+//!   97.5 % of misses).
+//!
+//! With drops per session Poisson(λ), λ = pps × interval × loss, a session
+//! observes loss with probability `p = 1 − e^(−λ)`; the tree's TPR is the
+//! probability of a length-`d` success run within the experiment's
+//! sessions. These closed forms reproduce the heatmaps' shape and let
+//! operators size entries/intervals without simulation.
+
+/// Probability a single counting session observes at least one drop.
+pub fn session_loss_probability(pps: f64, interval_s: f64, loss_rate: f64) -> f64 {
+    let lambda = (pps * interval_s * loss_rate).max(0.0);
+    1.0 - (-lambda).exp()
+}
+
+/// Probability of at least one success run of length `run` within `n`
+/// independent Bernoulli(p) trials (dynamic program over streak states).
+pub fn prob_success_run(p: f64, run: usize, n: usize) -> f64 {
+    assert!(run >= 1);
+    if n < run {
+        return 0.0;
+    }
+    // state[k] = P(current streak == k, no run of `run` seen yet)
+    let mut state = vec![0.0f64; run];
+    state[0] = 1.0;
+    let mut done = 0.0f64;
+    for _ in 0..n {
+        let mut next = vec![0.0f64; run];
+        for (k, &prob) in state.iter().enumerate() {
+            if prob == 0.0 {
+                continue;
+            }
+            // Failure resets the streak.
+            next[0] += prob * (1.0 - p);
+            if k + 1 == run {
+                done += prob * p;
+            } else {
+                next[k + 1] += prob * p;
+            }
+        }
+        state = next;
+    }
+    done
+}
+
+/// Expected TPR of a dedicated counter over an experiment of
+/// `horizon_s` seconds: at least one session observes a drop.
+pub fn dedicated_tpr(pps: f64, loss_rate: f64, interval_s: f64, horizon_s: f64) -> f64 {
+    let n = (horizon_s / interval_s).floor() as usize;
+    let p = session_loss_probability(pps, interval_s, loss_rate);
+    prob_success_run(p, 1, n)
+}
+
+/// Expected TPR of the hash tree: a run of `depth` consecutive
+/// loss-observing sessions within the horizon.
+pub fn tree_tpr(pps: f64, loss_rate: f64, interval_s: f64, depth: usize, horizon_s: f64) -> f64 {
+    let n = (horizon_s / interval_s).floor() as usize;
+    let p = session_loss_probability(pps, interval_s, loss_rate);
+    prob_success_run(p, depth, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn run_probability_sanity() {
+        // Certain success: any run length within n.
+        assert!(close(prob_success_run(1.0, 3, 3), 1.0, 1e-12));
+        assert_eq!(prob_success_run(0.0, 1, 100), 0.0);
+        // Too short a horizon.
+        assert_eq!(prob_success_run(0.9, 5, 4), 0.0);
+        // Run of 1 = at least one success: 1 - (1-p)^n.
+        let p = 0.3;
+        let n = 10;
+        assert!(close(
+            prob_success_run(p, 1, n),
+            1.0 - (1.0 - p).powi(n as i32),
+            1e-12
+        ));
+        // Monotone in n and p.
+        assert!(prob_success_run(0.5, 3, 30) > prob_success_run(0.5, 3, 10));
+        assert!(prob_success_run(0.7, 3, 10) > prob_success_run(0.3, 3, 10));
+    }
+
+    #[test]
+    fn run_probability_matches_monte_carlo() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let (p, run, n) = (0.4, 3, 25);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let trials = 20_000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            let mut streak = 0;
+            let mut ok = false;
+            for _ in 0..n {
+                if rng.gen_bool(p) {
+                    streak += 1;
+                    if streak >= run {
+                        ok = true;
+                        break;
+                    }
+                } else {
+                    streak = 0;
+                }
+            }
+            if ok {
+                hits += 1;
+            }
+        }
+        let mc = hits as f64 / trials as f64;
+        let analytic = prob_success_run(p, run, n);
+        assert!(close(mc, analytic, 0.02), "mc {mc} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn dedicated_outdetects_tree_at_low_loss() {
+        // The Figure 7-vs-9 gap: at 1% loss on a 100-pps entry, a dedicated
+        // counter (one lossy session suffices) detects with far higher
+        // probability than a depth-3 tree (needs 3 consecutive).
+        let (pps, loss, horizon) = (100.0, 0.01, 30.0);
+        let d = dedicated_tpr(pps, loss, 0.050, horizon);
+        let t = tree_tpr(pps, loss, 0.200, 3, horizon);
+        assert!(d > 0.99, "dedicated {d}");
+        assert!(t < d, "tree {t} must trail dedicated {d}");
+    }
+
+    #[test]
+    fn figure9_cliff_location() {
+        // §5.1.2: tree TPR is ≈1 for loss ≥ 10% on entries with real
+        // traffic, and collapses at 0.1% loss on small entries.
+        let interval = 0.2;
+        let horizon = 30.0;
+        // 1 Mbps ≈ 190 pps (≈660 B packets in our model): high loss → 1.
+        let high = tree_tpr(190.0, 0.10, interval, 3, horizon);
+        assert!(high > 0.99, "high {high}");
+        // 8 Kbps ≈ 4 pps at 0.1% loss → essentially undetectable.
+        let low = tree_tpr(4.0, 0.001, interval, 3, horizon);
+        assert!(low < 0.01, "low {low}");
+    }
+
+    #[test]
+    fn session_probability_limits() {
+        assert!(close(session_loss_probability(0.0, 0.2, 0.5), 0.0, 1e-12));
+        assert!(session_loss_probability(1e9, 0.2, 1.0) > 0.999999);
+        // λ small: p ≈ λ.
+        let p = session_loss_probability(10.0, 0.05, 0.001);
+        assert!(close(p, 0.0005, 1e-5), "p {p}");
+    }
+}

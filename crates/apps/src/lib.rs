@@ -1,0 +1,27 @@
+//! # fancy-apps — applications and scenarios on top of FANcY
+//!
+//! The paper positions FANcY as an enabler for data-plane applications
+//! (Fig. 1). This crate hosts what sits on top of the core system:
+//!
+//! * [`reporter`] — operator-facing rendering of detections (the Fig. 1
+//!   output format), with hash-path resolution;
+//! * [`scenarios`] — the reusable experiment topologies: the §5 linear
+//!   `host—S1—S2—host` setup and the §6.1 Tofino case study with a
+//!   transparent link switch and a backup path for fast rerouting;
+//! * [`incident`] — network-wide aggregation of per-switch detections
+//!   into operator-facing incidents with open/clear lifecycle and
+//!   severity escalation.
+//!
+//! The fast-reroute *mechanism* itself lives in `fancy_core::switch`
+//! (it must act in the forwarding path); this crate wires it into
+//! topologies and renders its effects.
+
+pub mod incident;
+pub mod reporter;
+pub mod scenarios;
+
+pub use incident::{Incident, IncidentConfig, IncidentTracker, Severity};
+pub use reporter::{format_detection, format_report};
+pub use scenarios::{
+    case_study, linear, CaseStudy, CaseStudyConfig, LinearConfig, LinearScenario, SENDER_ADDR,
+};

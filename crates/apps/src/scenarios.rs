@@ -1,0 +1,347 @@
+//! Reusable experiment scenarios.
+//!
+//! Every §5 simulation uses the same linear topology
+//! (`sender host — S1 — S2 — receiver`), and the §6.1 case study adds a
+//! link switch and a backup path. Building these once here keeps the
+//! experiment harness, the examples and the integration tests consistent.
+
+use fancy_core::{FancyInput, FancyLayout, FancySwitch, Reroute, TimerConfig, TreeParams};
+use fancy_net::Prefix;
+use fancy_sim::{Bridge, Fib, LinkConfig, LinkId, Network, NodeId, PortId, SimDuration};
+use fancy_tcp::{ReceiverHost, ScheduledFlow, SenderHost, ThroughputProbe, UdpSource};
+
+/// Source address used by the sender host in all scenarios.
+pub const SENDER_ADDR: u32 = 0x01_00_00_01;
+
+/// Parameters of the linear §5 scenario.
+#[derive(Debug, Clone)]
+pub struct LinearConfig {
+    /// RNG seed (also seeds the switches' hash functions).
+    pub seed: u64,
+    /// High-priority entries.
+    pub high_priority: Vec<Prefix>,
+    /// Tree parameters.
+    pub tree: TreeParams,
+    /// Protocol timers.
+    pub timers: TimerConfig,
+    /// The monitored inter-switch link.
+    pub core_link: LinkConfig,
+    /// Edge (host ↔ switch) links.
+    pub edge_link: LinkConfig,
+    /// The flow schedule.
+    pub flows: Vec<ScheduledFlow>,
+    /// Optional throughput probes at the receiver.
+    pub probes: Vec<ThroughputProbe>,
+}
+
+impl LinearConfig {
+    /// The paper's §5 defaults: 10 ms inter-switch delay, timers scaled to
+    /// it, paper tree, no high-priority entries.
+    pub fn paper_default(seed: u64, flows: Vec<ScheduledFlow>) -> Self {
+        let core_delay = SimDuration::from_millis(10);
+        LinearConfig {
+            seed,
+            high_priority: Vec::new(),
+            tree: TreeParams::paper_default(),
+            timers: TimerConfig::paper_default().for_link_delay(core_delay),
+            core_link: LinkConfig::new(100_000_000_000, core_delay),
+            edge_link: LinkConfig::new(100_000_000_000, SimDuration::from_micros(10)),
+            flows,
+            probes: Vec::new(),
+        }
+    }
+}
+
+/// The assembled linear scenario.
+pub struct LinearScenario {
+    /// The network, ready to run.
+    pub net: Network,
+    /// Sender host node.
+    pub sender: NodeId,
+    /// Upstream FANcY switch.
+    pub s1: NodeId,
+    /// Downstream FANcY switch.
+    pub s2: NodeId,
+    /// Receiver host node.
+    pub receiver: NodeId,
+    /// The monitored S1 → S2 link (install failures here, `from = s1`).
+    pub monitored_link: LinkId,
+    /// S1's egress port on the monitored link.
+    pub monitored_port: PortId,
+    /// The layout both switches run.
+    pub layout: FancyLayout,
+}
+
+/// Build the linear scenario. Panics if the layout does not fit the
+/// (generous) memory budget used for experiments.
+pub fn linear(cfg: LinearConfig) -> LinearScenario {
+    let input = FancyInput {
+        high_priority: cfg.high_priority.clone(),
+        memory_bytes_per_port: 4 << 20,
+        tree: cfg.tree,
+        timers: cfg.timers,
+    };
+    let layout = input.translate().expect("experiment layout must fit");
+
+    let mut net = Network::new(cfg.seed);
+    let sender = net.add_node(Box::new(SenderHost::new(SENDER_ADDR, cfg.flows)));
+    let mut fib1 = Fib::new();
+    fib1.route(Prefix::from_addr(SENDER_ADDR), 0);
+    fib1.default_route(1);
+    let s1 = net.add_node(Box::new(FancySwitch::new(
+        fib1,
+        layout.clone(),
+        vec![1],
+        cfg.seed,
+    )));
+    let mut fib2 = Fib::new();
+    fib2.route(Prefix::from_addr(SENDER_ADDR), 0);
+    fib2.default_route(1);
+    let s2 = net.add_node(Box::new(FancySwitch::new(
+        fib2,
+        layout.clone(),
+        Vec::new(),
+        cfg.seed + 1,
+    )));
+    let mut rx = ReceiverHost::new();
+    rx.probes = cfg.probes;
+    let receiver = net.add_node(Box::new(rx));
+
+    net.connect(sender, s1, cfg.edge_link); // s1 port 0
+    let monitored_link = net.connect(s1, s2, cfg.core_link); // s1 port 1, s2 port 0
+    net.connect(s2, receiver, cfg.edge_link); // s2 port 1
+
+    LinearScenario {
+        net,
+        sender,
+        s1,
+        s2,
+        receiver,
+        monitored_link,
+        monitored_port: 1,
+        layout,
+    }
+}
+
+/// Parameters of the §6.1 Tofino case study.
+#[derive(Debug, Clone)]
+pub struct CaseStudyConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// High-priority entries (the paper uses 500 per port).
+    pub high_priority: Vec<Prefix>,
+    /// Tree parameters (the prototype runs depth 3, split 1, width 190).
+    pub tree: TreeParams,
+    /// Protocol timers (the case study exchanges dedicated counters every
+    /// 200 ms and zooms every ≈200 ms).
+    pub timers: TimerConfig,
+    /// TCP flows (the paper drives 50 Gbps of TCP).
+    pub flows: Vec<ScheduledFlow>,
+    /// UDP background rate (50 Mbps in the paper).
+    pub udp_bps: u64,
+    /// UDP destination.
+    pub udp_dst: u32,
+    /// Experiment end (UDP source stop time).
+    pub until: SimDuration,
+    /// Link bandwidth (100 Gbps hardware).
+    pub link_bps: u64,
+    /// Probes installed at the receiver.
+    pub probes: Vec<ThroughputProbe>,
+}
+
+/// The assembled case study:
+///
+/// ```text
+/// sender ── S1 ══ link-switch ══ S2 ── receiver
+///            ╚══════ backup ══════╝ (via the same link switch)
+/// ```
+///
+/// S1 monitors the primary path and reroutes flagged entries to the backup
+/// port. Failures are installed on the link-switch's primary-path egress,
+/// exactly like the paper instructs its middle Tofino to drop packets.
+pub struct CaseStudy {
+    /// The network, ready to run.
+    pub net: Network,
+    /// Sender host.
+    pub sender: NodeId,
+    /// UDP background source.
+    pub udp: NodeId,
+    /// The FANcY switch under test.
+    pub s1: NodeId,
+    /// The transparent link switch where failures are injected.
+    pub link_switch: NodeId,
+    /// The downstream FANcY switch.
+    pub s2: NodeId,
+    /// Receiver host.
+    pub receiver: NodeId,
+    /// Link from the link switch toward S2 on the primary path — install
+    /// the drop here with `from = link_switch`.
+    pub failure_link: LinkId,
+    /// S1's primary egress port (monitored + rerouted).
+    pub primary_port: PortId,
+    /// The layout S1 runs.
+    pub layout: FancyLayout,
+}
+
+/// Build the case study.
+pub fn case_study(cfg: CaseStudyConfig) -> CaseStudy {
+    let input = FancyInput {
+        high_priority: cfg.high_priority.clone(),
+        memory_bytes_per_port: 4 << 20,
+        tree: cfg.tree,
+        timers: cfg.timers,
+    };
+    let layout = input.translate().expect("case-study layout must fit");
+
+    let mut net = Network::new(cfg.seed);
+    let sender = net.add_node(Box::new(SenderHost::new(SENDER_ADDR, cfg.flows)));
+    let udp_until = fancy_sim::SimTime::ZERO + cfg.until;
+    let udp = net.add_node(Box::new(UdpSource::new(
+        0x01_00_00_02,
+        cfg.udp_dst,
+        cfg.udp_bps,
+        1500,
+        udp_until,
+    )));
+
+    // S1 ports: 0 = sender, 1 = primary (monitored), 2 = backup, 3 = udp in.
+    let mut fib1 = Fib::new();
+    fib1.route(Prefix::from_addr(SENDER_ADDR), 0);
+    fib1.default_route(1);
+    let mut s1_node = FancySwitch::new(fib1, layout.clone(), vec![1], cfg.seed);
+    s1_node.reroute = Some(Reroute {
+        backup: [(1usize, 2usize)].into_iter().collect(),
+    });
+    let s1 = net.add_node(Box::new(s1_node));
+
+    // The link switch patches: port 0 (from S1 primary) ↔ port 1 (to S2),
+    // port 2 (from S1 backup) ↔ port 3 (to S2 second port).
+    let link_switch = net.add_node(Box::new(Bridge::with_pairs(vec![1, 0, 3, 2])));
+
+    // S2 ports: 0 = from link switch (primary), 1 = from link switch
+    // (backup), 2 = receiver.
+    let mut fib2 = Fib::new();
+    fib2.route(Prefix::from_addr(SENDER_ADDR), 0);
+    fib2.default_route(2);
+    let s2 = net.add_node(Box::new(FancySwitch::new(
+        fib2,
+        layout.clone(),
+        Vec::new(),
+        cfg.seed + 1,
+    )));
+
+    let mut rx = ReceiverHost::new();
+    rx.probes = cfg.probes;
+    let receiver = net.add_node(Box::new(rx));
+
+    let hw = LinkConfig::new(cfg.link_bps, SimDuration::from_micros(5));
+    net.connect(sender, s1, hw); // s1 port 0
+    net.connect(s1, link_switch, hw); // s1 port 1 ↔ ls port 0 (primary)
+    let failure_link = net.connect(link_switch, s2, hw); // ls port 1 ↔ s2 port 0
+    net.connect(s1, link_switch, hw); // s1 port 2 ↔ ls port 2 (backup)
+    net.connect(link_switch, s2, hw); // ls port 3 ↔ s2 port 1
+    net.connect(s2, receiver, hw); // s2 port 2
+    net.connect(udp, s1, hw); // s1 port 3
+
+    CaseStudy {
+        net,
+        sender,
+        udp,
+        s1,
+        link_switch,
+        s2,
+        receiver,
+        failure_link,
+        primary_port: 1,
+        layout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fancy_sim::{DetectorKind, GrayFailure, SimTime};
+    use fancy_tcp::FlowConfig;
+
+    fn flows(dst: u32, n: usize) -> Vec<ScheduledFlow> {
+        (0..n)
+            .map(|i| ScheduledFlow {
+                start: SimTime(i as u64 * 100_000_000),
+                dst,
+                cfg: FlowConfig::for_rate(2_000_000, 1.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn linear_scenario_runs_and_detects() {
+        let entry = Prefix::from_addr(0x0A_00_00_09);
+        let mut cfg = LinearConfig::paper_default(5, flows(0x0A_00_00_09, 30));
+        cfg.high_priority = vec![entry];
+        let mut sc = linear(cfg);
+        sc.net.kernel.add_failure(
+            sc.monitored_link,
+            sc.s1,
+            GrayFailure::single_entry(entry, 1.0, SimTime(1_000_000_000)),
+        );
+        sc.net.run_until(SimTime(4_000_000_000));
+        assert!(sc.net.kernel.records.first_entry_detection(entry).is_some());
+        // The receiver saw traffic (before the failure at least).
+        let rx: &ReceiverHost = sc.net.node(sc.receiver);
+        assert!(rx.data_packets > 0);
+    }
+
+    #[test]
+    fn case_study_reroutes_within_a_second() {
+        let entry = Prefix::from_addr(0x0A_00_00_09);
+        let mut probes = Vec::new();
+        probes.push(ThroughputProbe::for_entries(
+            "test entry",
+            vec![entry],
+            SimDuration::from_millis(100),
+        ));
+        let cfg = CaseStudyConfig {
+            seed: 6,
+            high_priority: vec![entry],
+            tree: TreeParams::tofino_default(),
+            timers: TimerConfig {
+                dedicated_interval: SimDuration::from_millis(200),
+                zooming_interval: SimDuration::from_millis(200),
+                ..TimerConfig::paper_default().for_link_delay(SimDuration::from_micros(20))
+            },
+            flows: flows(0x0A_00_00_09, 50),
+            udp_bps: 5_000_000,
+            udp_dst: 0x0B_00_00_01,
+            until: SimDuration::from_secs(5),
+            link_bps: 1_000_000_000,
+            probes,
+        };
+        let mut cs = case_study(cfg);
+        let fail_at = SimTime(2_000_000_000);
+        cs.net.kernel.add_failure(
+            cs.failure_link,
+            cs.link_switch,
+            GrayFailure::single_entry(entry, 1.0, fail_at),
+        );
+        cs.net.run_until(SimTime(5_000_000_000));
+        let det = cs
+            .net
+            .kernel
+            .records
+            .first_entry_detection(entry)
+            .expect("case study must detect");
+        assert_eq!(det.detector, DetectorKind::DedicatedCounter);
+        assert!(
+            det.time.duration_since(fail_at) < SimDuration::from_secs(1),
+            "sub-second detection, got {}",
+            det.time.duration_since(fail_at)
+        );
+        // Traffic flows again after rerouting: the last probe buckets are
+        // non-empty.
+        let rx: &ReceiverHost = cs.net.node(cs.receiver);
+        let series = &rx.probes[0].series;
+        assert!(series.len() >= 40, "probe covered the run: {}", series.len());
+        let tail: u64 = series[series.len() - 5..].iter().sum();
+        assert!(tail > 0, "traffic must resume after reroute");
+    }
+}

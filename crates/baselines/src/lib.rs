@@ -1,0 +1,33 @@
+//! # fancy-baselines — the detectors FANcY is compared against
+//!
+//! Working implementations of every alternative the paper analyzes:
+//!
+//! * [`lossradar`] — LossRadar's invertible Bloom filters (the sketch
+//!   baseline of §2.3 / Table 2), including batch rotation and peeling;
+//! * [`netseer`] — NetSeer's sequence-stamped buffer + NACK protocol
+//!   (§2.3 / Figure 2), including the "not operational" overwrite regime;
+//! * [`blink`] — Blink's per-prefix retransmission majority detector
+//!   (§2.3), demonstrating why it misses gray failures;
+//! * [`simple`] — the §2.4 strawmen: per-link counter, per-entry dedicated
+//!   counters, and a counting Bloom filter (the §5.2 comparison set).
+//!
+//! Each baseline is driven by the experiment harness (`fancy-bench`); the
+//! closed-form feasibility models (Table 2 ratios, Figure 2 curves) live in
+//! `fancy-analysis`.
+
+pub mod blink;
+pub mod lossradar;
+pub mod netseer;
+pub mod simple;
+pub mod tap;
+
+/// FANcY's per-entry accounting constant, shared so baseline memory numbers
+/// are computed with identical assumptions (§4.3: 80 bits per dedicated
+/// entry including protocol state).
+pub const DEDICATED_BITS_PER_ENTRY: u64 = 80;
+
+pub use blink::{Blink, BLINK_FLOWS_PER_PREFIX, BLINK_WINDOW};
+pub use lossradar::{Ibf, LossRadarMeter};
+pub use netseer::{NetSeerDownstream, NetSeerUpstream, PacketDigest};
+pub use simple::{CountingBloom, LinkCounter, PerEntryCounters};
+pub use tap::{BaselineState, BaselineTap, BlinkTap, TapSide};

@@ -1,0 +1,272 @@
+//! LossRadar (Li et al., CoNEXT'16) — the sketch-based baseline of §2.3.
+//!
+//! LossRadar tracks packets in *Invertible Bloom Filters* (IBFs): the
+//! upstream and downstream switches insert every packet's digest into
+//! per-batch IBFs; subtracting the downstream IBF from the upstream one
+//! leaves exactly the lost packets, which can be *peeled* out one by one if
+//! the IBF is large enough relative to the number of losses.
+//!
+//! The paper argues (Table 2) that LossRadar cannot run at ISP scale:
+//! extracting IBFs every 10 ms at 100–400 Gbps exceeds both switch memory
+//! and memory read speed. This module provides (a) a real, working IBF so
+//! that claim is grounded in an actual implementation, and (b) the batch
+//! bookkeeping LossRadar uses. The Table 2 feasibility *model* lives in
+//! `fancy-analysis::lossradar`.
+
+use fancy_net::mix64;
+
+/// One IBF cell: a count plus XOR accumulators for key and key-hash.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cell {
+    /// Net number of keys in this cell (upstream − downstream after
+    /// subtraction).
+    pub count: i64,
+    /// XOR of keys inserted here.
+    pub key_xor: u64,
+    /// XOR of key checksums inserted here (guards peeling).
+    pub check_xor: u64,
+}
+
+impl Cell {
+    fn is_pure(&self) -> bool {
+        (self.count == 1 || self.count == -1) && mix64(self.key_xor ^ CHECK_SALT) == self.check_xor
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0 && self.key_xor == 0 && self.check_xor == 0
+    }
+}
+
+const CHECK_SALT: u64 = 0x5EED_CAFE_F00D_D00D;
+
+/// An invertible Bloom filter over 64-bit packet digests.
+#[derive(Debug, Clone)]
+pub struct Ibf {
+    cells: Vec<Cell>,
+    hashes: u32,
+    seed: u64,
+}
+
+impl Ibf {
+    /// An IBF with `cells` cells and `hashes` hash functions (LossRadar
+    /// uses 3; peeling needs ≥ 2).
+    pub fn new(cells: usize, hashes: u32, seed: u64) -> Self {
+        assert!(cells >= hashes as usize && hashes >= 2);
+        Ibf {
+            cells: vec![Cell::default(); cells],
+            hashes,
+            seed,
+        }
+    }
+
+    fn positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let n = self.cells.len() as u64;
+        (0..self.hashes).map(move |i| (mix64(key ^ self.seed ^ (u64::from(i) << 48)) % n) as usize)
+    }
+
+    /// Insert a packet digest.
+    pub fn insert(&mut self, key: u64) {
+        let check = mix64(key ^ CHECK_SALT);
+        for p in self.positions(key).collect::<Vec<_>>() {
+            let c = &mut self.cells[p];
+            c.count += 1;
+            c.key_xor ^= key;
+            c.check_xor ^= check;
+        }
+    }
+
+    /// Subtract `other` cell-wise (downstream from upstream): what remains
+    /// encodes exactly the keys present in one side only.
+    pub fn subtract(&mut self, other: &Ibf) {
+        assert_eq!(self.cells.len(), other.cells.len(), "IBF size mismatch");
+        assert_eq!(self.hashes, other.hashes);
+        assert_eq!(self.seed, other.seed, "IBFs must share hash functions");
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.count -= b.count;
+            a.key_xor ^= b.key_xor;
+            a.check_xor ^= b.check_xor;
+        }
+    }
+
+    /// Peel the difference: returns `Ok(lost_keys)` if fully decodable,
+    /// `Err(partial)` with whatever was recovered before peeling stalled
+    /// (the overload regime Table 2 is about).
+    pub fn decode(mut self) -> Result<Vec<u64>, Vec<u64>> {
+        let mut out = Vec::new();
+        loop {
+            let Some(idx) = self.cells.iter().position(Cell::is_pure) else {
+                break;
+            };
+            let key = self.cells[idx].key_xor;
+            let sign = self.cells[idx].count.signum();
+            let check = mix64(key ^ CHECK_SALT);
+            for p in self.positions(key).collect::<Vec<_>>() {
+                let c = &mut self.cells[p];
+                c.count -= sign;
+                c.key_xor ^= key;
+                c.check_xor ^= check;
+            }
+            out.push(key);
+        }
+        if self.cells.iter().all(Cell::is_empty) {
+            Ok(out)
+        } else {
+            Err(out)
+        }
+    }
+
+    /// Memory footprint in bits (LossRadar cells: count + key + checksum).
+    pub fn memory_bits(&self) -> u64 {
+        // 16-bit count, 32-bit key slice, 16-bit checksum in the hardware
+        // layout; our in-memory layout is wider but the accounting follows
+        // the hardware: 64 bits per cell.
+        self.cells.len() as u64 * 64
+    }
+}
+
+/// A per-link LossRadar meter: double-buffered IBF batches, rotated every
+/// `batch` interval by the control plane.
+#[derive(Debug)]
+pub struct LossRadarMeter {
+    /// IBF being filled by the upstream switch.
+    pub upstream: Ibf,
+    /// IBF being filled by the downstream switch.
+    pub downstream: Ibf,
+    cells: usize,
+    hashes: u32,
+    seed: u64,
+    batches: u64,
+}
+
+impl LossRadarMeter {
+    /// A meter with the given IBF dimensioning.
+    pub fn new(cells: usize, hashes: u32, seed: u64) -> Self {
+        LossRadarMeter {
+            upstream: Ibf::new(cells, hashes, seed),
+            downstream: Ibf::new(cells, hashes, seed),
+            cells,
+            hashes,
+            seed,
+            batches: 0,
+        }
+    }
+
+    /// A packet crossed the upstream measurement point.
+    pub fn on_upstream(&mut self, digest: u64) {
+        self.upstream.insert(digest);
+    }
+
+    /// A packet crossed the downstream measurement point.
+    pub fn on_downstream(&mut self, digest: u64) {
+        self.downstream.insert(digest);
+    }
+
+    /// Close the current batch: extract both IBFs, subtract and decode.
+    /// Starts a fresh batch.
+    pub fn rotate(&mut self) -> Result<Vec<u64>, Vec<u64>> {
+        self.batches += 1;
+        let seed = self.seed ^ (self.batches << 32);
+        let mut up = std::mem::replace(&mut self.upstream, Ibf::new(self.cells, self.hashes, seed));
+        let down = std::mem::replace(&mut self.downstream, Ibf::new(self.cells, self.hashes, seed));
+        up.subtract(&down);
+        up.decode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_difference_decodes_to_nothing() {
+        let mut m = LossRadarMeter::new(256, 3, 1);
+        for k in 0..1000u64 {
+            m.on_upstream(k);
+            m.on_downstream(k);
+        }
+        assert_eq!(m.rotate().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn recovers_exact_lost_packets() {
+        let mut m = LossRadarMeter::new(256, 3, 2);
+        let lost: Vec<u64> = (0..50u64).map(|i| i * 7 + 3).collect();
+        for k in 0..5000u64 {
+            m.on_upstream(k);
+            if !lost.contains(&k) {
+                m.on_downstream(k);
+            }
+        }
+        let mut got = m.rotate().unwrap();
+        got.sort_unstable();
+        let mut want: Vec<u64> = lost.iter().filter(|&&k| k < 5000).copied().collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn overload_fails_to_decode() {
+        // 1.5× more losses than cells: peeling must stall. This is the
+        // regime Table 2 shows ISPs would constantly be in.
+        let mut m = LossRadarMeter::new(64, 3, 3);
+        for k in 0..10_000u64 {
+            m.on_upstream(k);
+            if k % 100 != 0 || k >= 9600 {
+                m.on_downstream(k);
+            }
+        }
+        // 96 losses in a 64-cell IBF.
+        assert!(m.rotate().is_err(), "decode should fail under overload");
+    }
+
+    #[test]
+    fn capacity_scales_with_cells() {
+        // Rule of thumb: an IBF decodes ≈ cells / 1.3 losses (k = 3).
+        for &(cells, losses) in &[(128usize, 60u64), (1024, 600)] {
+            let mut m = LossRadarMeter::new(cells, 3, 4);
+            for k in 0..100_000u64 {
+                m.on_upstream(k);
+                if k >= losses {
+                    m.on_downstream(k);
+                }
+            }
+            let got = m.rotate().unwrap_or_else(|p| {
+                panic!("IBF({cells}) failed at {losses} losses, peeled {}", p.len())
+            });
+            assert_eq!(got.len() as u64, losses);
+        }
+    }
+
+    #[test]
+    fn batches_use_fresh_hash_functions() {
+        let mut m = LossRadarMeter::new(128, 3, 5);
+        m.on_upstream(42);
+        let first = m.rotate().unwrap();
+        assert_eq!(first, vec![42]);
+        // Same digest in the next batch still decodes (seed rotated).
+        m.on_upstream(42);
+        assert_eq!(m.rotate().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let ibf = Ibf::new(1000, 3, 0);
+        assert_eq!(ibf.memory_bits(), 64_000);
+    }
+
+    #[test]
+    fn subtraction_is_symmetric_difference() {
+        // Packets only seen downstream (e.g. mis-mirrored) appear with
+        // negative counts but still decode.
+        let mut up = Ibf::new(128, 3, 7);
+        let mut down = Ibf::new(128, 3, 7);
+        up.insert(1);
+        up.insert(2);
+        down.insert(2);
+        down.insert(99);
+        up.subtract(&down);
+        let mut got = up.decode().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 99]);
+    }
+}

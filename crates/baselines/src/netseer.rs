@@ -1,0 +1,233 @@
+//! NetSeer (Zhou et al., SIGCOMM'20) — the in-switch baseline of §2.3.
+//!
+//! NetSeer's inter-switch protocol stamps link-level sequence numbers on
+//! packets, stores a digest of every sent packet in a bounded buffer at the
+//! upstream switch, and lets the downstream switch NACK sequence gaps. The
+//! upstream then looks the lost sequence numbers up in its buffer to learn
+//! *which* packets (and so which entries) were lost.
+//!
+//! The paper's critique (Figure 2): on ISP links, the packets sent during
+//! one link RTT exceed any realistic buffer, so by the time a NACK arrives
+//! the digest has been overwritten — NetSeer is "not operational": it still
+//! sees that losses happened, but can no longer attribute them to entries.
+//! This module implements the protocol so that claim can be measured, with
+//! the analytical memory model in `fancy-analysis::netseer`.
+
+use std::collections::VecDeque;
+
+use fancy_net::Prefix;
+
+/// A packet digest stored in the upstream buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketDigest {
+    /// Link-level sequence number stamped on the packet.
+    pub seq: u64,
+    /// The packet's monitoring entry (destination /24).
+    pub entry: Prefix,
+}
+
+/// The upstream side: sequence stamping plus the bounded digest buffer.
+#[derive(Debug)]
+pub struct NetSeerUpstream {
+    buffer: VecDeque<PacketDigest>,
+    capacity: usize,
+    next_seq: u64,
+    /// NACKed sequences found in the buffer (attributable losses).
+    pub resolved: Vec<PacketDigest>,
+    /// NACKed sequences already overwritten (NetSeer "not operational").
+    pub unresolved: u64,
+}
+
+impl NetSeerUpstream {
+    /// An upstream with room for `capacity` packet digests.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        NetSeerUpstream {
+            buffer: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+            resolved: Vec::new(),
+            unresolved: 0,
+        }
+    }
+
+    /// Stamp an outgoing packet: returns the sequence number to carry and
+    /// records its digest, evicting the oldest when full.
+    pub fn on_send(&mut self, entry: Prefix) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.buffer.len() == self.capacity {
+            self.buffer.pop_front();
+        }
+        self.buffer.push_back(PacketDigest { seq, entry });
+        seq
+    }
+
+    /// Handle a NACK for the sequence range `[from, to)`.
+    pub fn on_nack(&mut self, from: u64, to: u64) {
+        for seq in from..to {
+            match self.buffer.iter().find(|d| d.seq == seq) {
+                Some(&d) => self.resolved.push(d),
+                None => self.unresolved += 1,
+            }
+        }
+    }
+
+    /// Fraction of NACKed packets that could still be attributed.
+    /// 1.0 = fully operational; ≈0 = the Figure 2 failure mode.
+    pub fn operational_fraction(&self) -> f64 {
+        let total = self.resolved.len() as u64 + self.unresolved;
+        if total == 0 {
+            1.0
+        } else {
+            self.resolved.len() as f64 / total as f64
+        }
+    }
+}
+
+/// The downstream side: gap detection over received sequence numbers.
+#[derive(Debug, Default)]
+pub struct NetSeerDownstream {
+    expected: u64,
+    /// Gaps awaiting NACK transmission: `(from, to)` half-open ranges.
+    pub pending_nacks: Vec<(u64, u64)>,
+}
+
+impl NetSeerDownstream {
+    /// A fresh downstream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A packet with link sequence `seq` arrived. Out-of-order delivery is
+    /// treated as loss (links are FIFO in this model, as on real ISP links).
+    pub fn on_receive(&mut self, seq: u64) {
+        if seq > self.expected {
+            self.pending_nacks.push((self.expected, seq));
+        }
+        if seq >= self.expected {
+            self.expected = seq + 1;
+        }
+    }
+
+    /// Drain the NACKs to send upstream.
+    pub fn take_nacks(&mut self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.pending_nacks)
+    }
+}
+
+/// Queue-level simulation of NetSeer on one link (the "confirmed by
+/// experiments" companion to the Figure 2 analytical curves): packets are
+/// sent at `pps` for `duration_s`, each loss is NACKed one link RTT later,
+/// and we measure how often the digest was already overwritten.
+pub fn simulate_operational_fraction(
+    pps: f64,
+    rtt_s: f64,
+    buffer_capacity: usize,
+    loss_every: u64,
+    duration_s: f64,
+) -> f64 {
+    let mut up = NetSeerUpstream::new(buffer_capacity);
+    let mut down = NetSeerDownstream::new();
+    let n = (pps * duration_s) as u64;
+    let rtt_packets = (pps * rtt_s) as u64; // sends between loss and NACK
+    let mut nack_at: Vec<(u64, (u64, u64))> = Vec::new(); // (due_send_index, range)
+    let mut nack_cursor = 0;
+    for i in 0..n {
+        // Serve NACKs that are due (one RTT after the gap was seen).
+        while nack_cursor < nack_at.len() && nack_at[nack_cursor].0 <= i {
+            let (_, (from, to)) = nack_at[nack_cursor];
+            up.on_nack(from, to);
+            nack_cursor += 1;
+        }
+        let seq = up.on_send(Prefix(i as u32 % 1000));
+        let lost = loss_every > 0 && seq % loss_every == 0;
+        if !lost {
+            down.on_receive(seq);
+            for range in down.take_nacks() {
+                nack_at.push((i + rtt_packets, range));
+            }
+        }
+    }
+    while nack_cursor < nack_at.len() {
+        let (_, (from, to)) = nack_at[nack_cursor];
+        up.on_nack(from, to);
+        nack_cursor += 1;
+    }
+    up.operational_fraction()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_detection_nacks_exact_ranges() {
+        let mut d = NetSeerDownstream::new();
+        d.on_receive(0);
+        d.on_receive(1);
+        d.on_receive(4); // 2,3 lost
+        d.on_receive(5);
+        d.on_receive(9); // 6,7,8 lost
+        assert_eq!(d.take_nacks(), vec![(2, 4), (6, 9)]);
+        assert!(d.take_nacks().is_empty());
+    }
+
+    #[test]
+    fn buffered_digests_resolve_nacks() {
+        let mut u = NetSeerUpstream::new(16);
+        for i in 0..10u32 {
+            u.on_send(Prefix(i));
+        }
+        u.on_nack(3, 5);
+        assert_eq!(u.unresolved, 0);
+        assert_eq!(
+            u.resolved,
+            vec![
+                PacketDigest { seq: 3, entry: Prefix(3) },
+                PacketDigest { seq: 4, entry: Prefix(4) },
+            ]
+        );
+        assert_eq!(u.operational_fraction(), 1.0);
+    }
+
+    #[test]
+    fn overwritten_digests_are_unresolvable() {
+        let mut u = NetSeerUpstream::new(4);
+        for i in 0..100u32 {
+            u.on_send(Prefix(i));
+        }
+        // Seq 10 was evicted long ago.
+        u.on_nack(10, 11);
+        assert_eq!(u.unresolved, 1);
+        assert!(u.resolved.is_empty());
+        assert_eq!(u.operational_fraction(), 0.0);
+    }
+
+    #[test]
+    fn low_rate_short_rtt_is_operational() {
+        // Data-center-like: few packets in flight per RTT vs buffer.
+        let f = simulate_operational_fraction(10_000.0, 0.0001, 10_000, 100, 1.0);
+        assert!(f > 0.99, "fraction {f}");
+    }
+
+    #[test]
+    fn isp_rate_and_delay_break_netseer() {
+        // ISP-like: 8.3 Mpps (100 Gbps of 1500 B packets) with 20 ms RTT →
+        // 166 K packets between loss and NACK, far beyond a 10 K buffer.
+        let f = simulate_operational_fraction(8_300_000.0, 0.02, 10_000, 1000, 0.2);
+        assert!(f < 0.01, "fraction {f}");
+    }
+
+    #[test]
+    fn operational_boundary_tracks_rtt_times_rate() {
+        // Buffer just above pps×RTT works; just below fails — the knee the
+        // Figure 2 curves are drawn from.
+        let pps = 100_000.0;
+        let rtt = 0.01; // 1000 packets in flight
+        let ok = simulate_operational_fraction(pps, rtt, 1_500, 50, 1.0);
+        let bad = simulate_operational_fraction(pps, rtt, 500, 50, 1.0);
+        assert!(ok > 0.9, "ok fraction {ok}");
+        assert!(bad < 0.5, "bad fraction {bad}");
+    }
+}

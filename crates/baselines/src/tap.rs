@@ -1,0 +1,385 @@
+//! Simulator integration: baseline measurement taps.
+//!
+//! For the §5.2 comparison the simple designs must see exactly the traffic
+//! FANcY sees. A [`BaselineTap`] pair straddles the monitored link —
+//! `host — upstream tap — (failing link) — downstream tap — receiver` —
+//! counting every data packet into the three §2.4 structures (link counter,
+//! per-entry counters, counting Bloom filter).
+//!
+//! Without FANcY's tagging protocol the two sides cannot sessionize
+//! consistently, so the taps use cumulative counters with a *settle-delay*
+//! comparison: every `interval` the upstream snapshots its sent counters,
+//! and one settle period later (≥ the link RTT, when every snapshotted
+//! packet has either arrived or died) the snapshot is compared against the
+//! downstream's cumulative received counters. A positive difference is a
+//! genuine loss; in-flight packets can never produce false positives. The
+//! exchange itself is modelled lossless, which *favors* the baselines —
+//! the comparison isolates the data structures, as in the paper.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use fancy_net::Prefix;
+use fancy_sim::{Kernel, Node, Packet, PacketKind, PortId, SimDuration, SimTime, TimerToken};
+
+use crate::blink::Blink;
+use crate::simple::{CountingBloom, LinkCounter, PerEntryCounters};
+
+const TOKEN_SNAPSHOT: TimerToken = 0;
+const TOKEN_COMPARE: TimerToken = 1;
+
+#[derive(Debug, Clone)]
+struct Snapshot {
+    link_sent: u64,
+    per_entry: Vec<u32>,
+    cbf: Vec<u32>,
+}
+
+/// Shared measurement state of one monitored link.
+pub struct BaselineState {
+    /// The single per-link counter (cumulative).
+    pub link: LinkCounter,
+    /// One dedicated counter per covered entry (cumulative).
+    pub per_entry: PerEntryCounters,
+    /// The counting Bloom filter (cumulative).
+    pub cbf: CountingBloom,
+    /// First time the link counter mismatched.
+    pub link_detected_at: Option<SimTime>,
+    /// First mismatch time per entry (per-entry counters).
+    pub entry_detected_at: HashMap<Prefix, SimTime>,
+    /// CBF cells that ever mismatched, with first mismatch time.
+    cbf_flagged: HashMap<usize, SimTime>,
+    pending: Option<Snapshot>,
+    /// Completed comparison sessions.
+    pub sessions: u64,
+}
+
+impl BaselineState {
+    /// Fresh state covering `universe` with per-entry counters and a
+    /// budget-sized CBF.
+    pub fn new(universe: &[Prefix], seed: u64) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(BaselineState {
+            link: LinkCounter::default(),
+            per_entry: PerEntryCounters::new(universe),
+            cbf: CountingBloom::budget_default(seed),
+            link_detected_at: None,
+            entry_detected_at: HashMap::new(),
+            cbf_flagged: HashMap::new(),
+            pending: None,
+            sessions: 0,
+        }))
+    }
+
+    fn snapshot(&mut self) {
+        self.pending = Some(Snapshot {
+            link_sent: self.link.sent,
+            per_entry: self.per_entry.snapshot_sent(),
+            cbf: self.cbf.snapshot_sent(),
+        });
+    }
+
+    fn compare(&mut self, now: SimTime) {
+        let Some(snap) = self.pending.take() else {
+            return;
+        };
+        self.sessions += 1;
+        if snap.link_sent > self.link.received && self.link_detected_at.is_none() {
+            self.link_detected_at = Some(now);
+        }
+        for e in self.per_entry.mismatching_vs(&snap.per_entry) {
+            self.entry_detected_at.entry(e).or_insert(now);
+        }
+        for cell in self.cbf.mismatching_cells_vs(&snap.cbf) {
+            self.cbf_flagged.entry(cell).or_insert(now);
+        }
+    }
+
+    /// First time the CBF implicated `entry` (any of its cells mismatched).
+    pub fn cbf_detected_at(&self, entry: Prefix) -> Option<SimTime> {
+        self.cbf
+            .cells_of(entry)
+            .into_iter()
+            .filter_map(|c| self.cbf_flagged.get(&c).copied())
+            .min()
+    }
+
+    /// All entries of `universe` the CBF ever implicated.
+    pub fn cbf_implicated(&self, universe: &[Prefix]) -> Vec<Prefix> {
+        universe
+            .iter()
+            .copied()
+            .filter(|&e| self.cbf_detected_at(e).is_some())
+            .collect()
+    }
+}
+
+/// Which side of the link a tap sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapSide {
+    /// Before the failing link: counts "sent"; owns the session timers.
+    Upstream,
+    /// After the failing link: counts "received".
+    Downstream,
+}
+
+/// A transparent 2-port forwarding node counting data packets into the
+/// baselines (port 0 ↔ port 1).
+pub struct BaselineTap {
+    side: TapSide,
+    state: Rc<RefCell<BaselineState>>,
+    interval: SimDuration,
+    settle: SimDuration,
+}
+
+impl BaselineTap {
+    /// A tap on `side` sharing `state`, snapshotting every `interval` and
+    /// comparing `settle` later (choose `settle` ≥ the link RTT).
+    pub fn new(
+        side: TapSide,
+        state: Rc<RefCell<BaselineState>>,
+        interval: SimDuration,
+        settle: SimDuration,
+    ) -> Self {
+        BaselineTap {
+            side,
+            state,
+            interval,
+            settle,
+        }
+    }
+}
+
+impl Node for BaselineTap {
+    fn on_start(&mut self, ctx: &mut Kernel) {
+        if self.side == TapSide::Upstream {
+            ctx.schedule_timer(self.interval, TOKEN_SNAPSHOT);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: Packet) {
+        let is_data = matches!(
+            pkt.kind,
+            PacketKind::TcpData { .. } | PacketKind::Udp { .. }
+        );
+        // Only the host→receiver direction (entering the upstream tap on
+        // port 0, the downstream tap on port 0) is monitored; ACKs flowing
+        // back are forwarded untouched.
+        if is_data && port == 0 {
+            let entry = pkt.entry();
+            let mut st = self.state.borrow_mut();
+            match self.side {
+                TapSide::Upstream => {
+                    st.link.sent += 1;
+                    st.per_entry.on_upstream(entry);
+                    st.cbf.on_upstream(entry);
+                }
+                TapSide::Downstream => {
+                    st.link.received += 1;
+                    st.per_entry.on_downstream(entry);
+                    st.cbf.on_downstream(entry);
+                }
+            }
+        }
+        ctx.send(1 - port, pkt);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Kernel, token: TimerToken) {
+        match token {
+            TOKEN_SNAPSHOT => {
+                self.state.borrow_mut().snapshot();
+                ctx.schedule_timer(self.settle, TOKEN_COMPARE);
+                ctx.schedule_timer(self.interval, TOKEN_SNAPSHOT);
+            }
+            _ => self.state.borrow_mut().compare(ctx.now()),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A transparent 2-port node running Blink's retransmission detector on
+/// the traffic flowing through it (§2.3). Blink sits on the *downstream*
+/// side of a suspect link in deployments; here it can be placed anywhere
+/// it can observe the flows' data packets.
+pub struct BlinkTap {
+    /// The detector.
+    pub blink: Rc<RefCell<Blink>>,
+}
+
+impl BlinkTap {
+    /// A tap around a shared Blink instance.
+    pub fn new(blink: Rc<RefCell<Blink>>) -> Self {
+        BlinkTap { blink }
+    }
+}
+
+impl Node for BlinkTap {
+    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: Packet) {
+        if let PacketKind::TcpData { flow, retx, .. } = pkt.kind {
+            self.blink
+                .borrow_mut()
+                .observe(pkt.entry(), flow, retx, ctx.now());
+        }
+        ctx.send(1 - port, pkt);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fancy_sim::{GrayFailure, LinkConfig, Network};
+    use fancy_tcp::{FlowConfig, ReceiverHost, ScheduledFlow, SenderHost};
+
+    /// host — upTap — link(failure) — downTap — receiver.
+    fn run(universe: &[Prefix], failed: Prefix, loss: f64) -> Rc<RefCell<BaselineState>> {
+        let state = BaselineState::new(universe, 1);
+        let mut net = Network::new(2);
+        let flows: Vec<ScheduledFlow> = (0..30)
+            .map(|i| ScheduledFlow {
+                start: SimTime(i * 100_000_000),
+                dst: failed.host(1),
+                cfg: FlowConfig::for_rate(1_000_000, 1.0),
+            })
+            .collect();
+        let host = net.add_node(Box::new(SenderHost::new(0x01000001, flows)));
+        let interval = SimDuration::from_millis(50);
+        let settle = SimDuration::from_millis(5);
+        let up = net.add_node(Box::new(BaselineTap::new(
+            TapSide::Upstream,
+            state.clone(),
+            interval,
+            settle,
+        )));
+        let down = net.add_node(Box::new(BaselineTap::new(
+            TapSide::Downstream,
+            state.clone(),
+            interval,
+            settle,
+        )));
+        let rx = net.add_node(Box::new(ReceiverHost::new()));
+        let fast = LinkConfig::new(1_000_000_000, SimDuration::from_millis(1));
+        net.connect(host, up, fast); // up port 0 (host side)
+        let link = net.connect(up, down, fast); // up port 1 ↔ down port 0
+        net.connect(down, rx, fast); // down port 1 (receiver side)
+        net.kernel.add_failure(
+            link,
+            up,
+            GrayFailure::single_entry(failed, loss, SimTime(1_000_000_000)),
+        );
+        net.run_until(SimTime(5_000_000_000));
+        state
+    }
+
+    #[test]
+    fn all_three_baselines_detect_a_covered_blackhole() {
+        let universe: Vec<Prefix> = (0x0A0000..0x0A0100u32).map(Prefix).collect();
+        let failed = Prefix(0x0A0005);
+        let st = run(&universe, failed, 1.0);
+        let st = st.borrow();
+        assert!(st.link_detected_at.is_some(), "link counter");
+        assert!(st.entry_detected_at.contains_key(&failed), "per-entry");
+        assert!(st.cbf_detected_at(failed).is_some(), "CBF");
+        assert!(st.sessions > 50);
+        // Detection happened shortly after the failure at t = 1 s.
+        let t = st.entry_detected_at[&failed];
+        assert!(
+            t >= SimTime(1_000_000_000) && t < SimTime(1_500_000_000),
+            "detected at {t}"
+        );
+    }
+
+    #[test]
+    fn no_failure_no_detection() {
+        let universe: Vec<Prefix> = (0x0A0000..0x0A0010u32).map(Prefix).collect();
+        let st = run(&universe, Prefix(0x0A0005), 0.0);
+        let st = st.borrow();
+        assert!(st.link_detected_at.is_none());
+        assert!(st.entry_detected_at.is_empty());
+        assert!(st.cbf_implicated(&universe).is_empty());
+        assert!(st.sessions > 50, "comparisons kept running");
+    }
+
+    #[test]
+    fn per_entry_misses_uncovered_prefix() {
+        // The budget-constrained variant only covers 1024 entries; a
+        // failure outside the covered set is invisible to it but not to
+        // the link counter.
+        let universe: Vec<Prefix> = (0x0A0000..0x0A0010u32).map(Prefix).collect();
+        let failed = Prefix(0x0B0001); // not in universe
+        let st = run(&universe, failed, 1.0);
+        let st = st.borrow();
+        assert!(st.link_detected_at.is_some());
+        assert!(!st.entry_detected_at.contains_key(&failed));
+    }
+
+    #[test]
+    fn cbf_false_positives_share_cells() {
+        let universe: Vec<Prefix> = (0x0A0000..0x0A2000u32).map(Prefix).collect();
+        let failed = Prefix(0x0A0005);
+        let st = run(&universe, failed, 1.0);
+        let st = st.borrow();
+        let implicated = st.cbf_implicated(&universe);
+        assert!(implicated.contains(&failed));
+        // The per-entry counters implicate exactly one entry; the CBF
+        // implicates everything sharing the failed entry's cell.
+        assert_eq!(st.entry_detected_at.len(), 1);
+        assert!(implicated.len() > 1, "CBF should have collision FPs");
+    }
+
+    /// host — blinkTap — link(failure) — receiver: Blink sees the sender's
+    /// (retransmitting) traffic upstream of the failure.
+    fn run_blink(loss: f64, flows_n: u64) -> Rc<RefCell<Blink>> {
+        let blink = Rc::new(RefCell::new(Blink::new()));
+        let mut net = Network::new(5);
+        let failed = Prefix(0x0A0009);
+        let flows: Vec<ScheduledFlow> = (0..flows_n)
+            .map(|i| ScheduledFlow {
+                start: SimTime(i * 50_000_000),
+                dst: failed.host(1),
+                cfg: FlowConfig::for_rate(1_000_000, 4.0),
+            })
+            .collect();
+        let host = net.add_node(Box::new(SenderHost::new(0x01000001, flows)));
+        let tap = net.add_node(Box::new(BlinkTap::new(blink.clone())));
+        let rx = net.add_node(Box::new(ReceiverHost::new()));
+        let fast = LinkConfig::new(1_000_000_000, SimDuration::from_millis(1));
+        net.connect(host, tap, fast);
+        let link = net.connect(tap, rx, fast);
+        net.kernel.add_failure(
+            link,
+            tap,
+            GrayFailure::single_entry(failed, loss, SimTime(2_000_000_000)),
+        );
+        net.run_until(SimTime(8_000_000_000));
+        blink
+    }
+
+    #[test]
+    fn blink_fires_on_hard_failure_but_not_sparse_gray() {
+        // §2.3: Blink detects hard failures (every flow retransmits inside
+        // one 800 ms window) but misses gray failures whose loss rate is
+        // low enough that "retransmissions are spread over time, beyond
+        // 800 ms windows" — a majority never co-retransmits.
+        let hard = run_blink(1.0, 40);
+        assert!(hard.borrow().fired(Prefix(0x0A0009)), "hard failure missed");
+        let gray = run_blink(0.005, 40);
+        assert!(
+            !gray.borrow().fired(Prefix(0x0A0009)),
+            "Blink should miss a 0.5% gray failure"
+        );
+    }
+}

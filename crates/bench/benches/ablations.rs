@@ -1,0 +1,95 @@
+//! Ablations of FANcY's design choices (beyond the paper's own Figure 11):
+//! zoom selection policy, pipelined vs non-pipelined zooming, and the
+//! stop-and-wait protocol vs the §4.1 strawman.
+
+use fancy_bench::{ablations, env::Scale, fmt};
+use fancy_core::{SelectionPolicy, TreeParams};
+
+fn main() {
+    let scale = Scale::from_env();
+    fmt::banner(
+        "Ablations",
+        "Design-choice ablations (DESIGN.md index)",
+        &scale.describe(),
+    );
+
+    // 1. Zoom selection policy.
+    let params = TreeParams {
+        width: 24,
+        depth: 3,
+        split: 1,
+        pipelined: true,
+    };
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("max-loss (paper)", SelectionPolicy::MaxLoss),
+        ("index-order", SelectionPolicy::FirstIndex),
+    ] {
+        let mut heavy = 0.0;
+        let mut weighted = 0.0;
+        let mut tpr = 0.0;
+        let reps = scale.reps.max(3);
+        for seed in 0..reps {
+            let r = ablations::run_zoom_policy(policy, params, 400, 8, 40, seed);
+            heavy += f64::from(r.sessions_to_heaviest);
+            weighted += r.weighted_sessions;
+            tpr += r.tpr;
+        }
+        let n = reps as f64;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", heavy / n),
+            format!("{:.1}", weighted / n),
+            format!("{:.2}", tpr / n),
+        ]);
+    }
+    fmt::table(
+        "zoom selection policy (8 simultaneous failures, Zipf traffic, split 1)",
+        &["policy", "sessions to heaviest entry", "byte-weighted sessions", "TPR"],
+        &rows,
+    );
+
+    // 2. Pipelined vs non-pipelined zooming.
+    let mut rows = Vec::new();
+    for (name, pipelined) in [("pipelined (paper)", true), ("non-pipelined (Tofino)", false)] {
+        let r = ablations::run_pipeline_ablation(pipelined, 8, 30, 3);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", r.slots),
+            format!("{:.1}", r.mean_sessions),
+            format!("{:.2}", r.tpr),
+        ]);
+    }
+    fmt::table(
+        "pipelining (8 simultaneous blackholes)",
+        &["mode", "node slots (memory)", "mean sessions to detect", "TPR"],
+        &rows,
+    );
+
+    // 3. Protocol: stop-and-wait vs the §4.1 strawman.
+    let mut rows = Vec::new();
+    for loss in [0.0, 0.1, 0.3, 0.6, 1.0] {
+        let sw = ablations::run_stop_and_wait(loss, 3000, 7);
+        let s1 = ablations::run_strawman(loss, 1, 600, 7);
+        let s4 = ablations::run_strawman(loss, 4, 600, 7);
+        rows.push(vec![
+            format!("{:.0}%", loss * 100.0),
+            format!("{:.2} ({} set)", sw.reliability, sw.memory_sets),
+            format!("{:.2} ({} sets)", s1.reliability, s1.memory_sets),
+            format!("{:.2} ({} sets)", s4.reliability, s4.memory_sets),
+        ]);
+    }
+    fmt::table(
+        "measurement reliability under reverse-path loss (memory in counter sets)",
+        &["reverse loss", "stop-and-wait (paper)", "strawman k=1", "strawman k=4"],
+        &rows,
+    );
+    println!(
+        "\nTakeaways: max-loss zooming reaches the traffic-heavy failures first \
+         (the paper's stated rationale); pipelining buys parallel exploration for \
+         k^d−1 extra node slots; the stop-and-wait protocol keeps ~100% of its \
+         measurements under heavy reverse loss at 1× memory, where the strawman \
+         loses measurements in proportion to the loss rate — or needs k× memory \
+         to paper over it (§4.1's exact argument)."
+    );
+}

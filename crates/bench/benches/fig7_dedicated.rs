@@ -1,0 +1,56 @@
+//! Figure 7: accuracy and detection speed of dedicated counters.
+//!
+//! 18 entry sizes × 6 loss rates, each cell a set of packet-level
+//! simulations with a single high-priority entry failing. Prints the two
+//! heatmaps (average TPR, average detection time) like the paper's figure,
+//! plus the analytical expectation for the high-traffic regime.
+
+use fancy_analysis::speed;
+use fancy_bench::{cells, env::Scale, fmt};
+use fancy_traffic::{paper_grid, paper_loss_rates};
+
+fn main() {
+    let scale = Scale::from_env();
+    fmt::banner(
+        "Figure 7",
+        "Dedicated counters: TPR and detection time heatmaps",
+        &scale.describe(),
+    );
+
+    let grid = paper_grid();
+    let losses = paper_loss_rates();
+    let results = cells::sweep_grid(grid.len(), losses.len(), |r, c| {
+        cells::run_dedicated_cell(grid[r], losses[c], &scale, cells::seed_for(0xF1607, r, c))
+    });
+
+    let row_labels: Vec<String> = grid.iter().map(|e| e.label()).collect();
+    let col_labels: Vec<String> = losses.iter().map(|l| format!("{l}%")).collect();
+
+    let tpr: Vec<Vec<f64>> = results
+        .iter()
+        .map(|row| row.iter().map(|c| c.tpr).collect())
+        .collect();
+    let det: Vec<Vec<f64>> = results
+        .iter()
+        .map(|row| row.iter().map(|c| c.avg_detection_s).collect())
+        .collect();
+
+    fmt::heatmap("Avg TPR", &row_labels, &col_labels, &tpr);
+    fmt::heatmap("Avg detection time (s)", &row_labels, &col_labels, &det);
+
+    let expect = speed::dedicated_secs(0.050, 0.010);
+    fmt::compare(
+        "high-traffic/high-loss detection time",
+        0.07,
+        det[0][0],
+        "s",
+    );
+    println!(
+        "  analytical expectation (exchange 50 ms + open/close on 10 ms links): {expect:.3} s"
+    );
+    println!(
+        "\nShape checks vs the paper: TPR ≈ 1 whenever loss ≥ 1% or entries ≥ 500 Kbps; \
+         accuracy decays only in the bottom-right (tiny entries × 0.1% loss), where often \
+         no packet is dropped at all during the experiment."
+    );
+}

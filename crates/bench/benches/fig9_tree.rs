@@ -1,0 +1,101 @@
+//! Figure 9: accuracy and detection speed of the hash-based tree, for
+//! single-entry failures (9a) and simultaneous multi-entry failures (9b).
+//!
+//! Tree: depth 3, split 2, width 190, zooming 200 ms — the evaluation
+//! configuration. Quick mode scales the simultaneous-failure count and
+//! caps the heaviest multi-entry rows (the aggregate would otherwise be
+//! tens of Gbps per run); headers state what ran.
+
+use fancy_analysis::speed;
+use fancy_bench::{cells, env::Scale, fmt};
+use fancy_sim::SimDuration;
+use fancy_traffic::{paper_grid, paper_loss_rates, EntrySize};
+
+fn heatmaps(title: &str, grid: &[EntrySize], losses: &[f64], results: &[Vec<cells::CellResult>]) {
+    let row_labels: Vec<String> = grid.iter().map(|e| e.label()).collect();
+    let col_labels: Vec<String> = losses.iter().map(|l| format!("{l}%")).collect();
+    let tpr: Vec<Vec<f64>> = results
+        .iter()
+        .map(|row| row.iter().map(|c| c.tpr).collect())
+        .collect();
+    let det: Vec<Vec<f64>> = results
+        .iter()
+        .map(|row| row.iter().map(|c| c.avg_detection_s).collect())
+        .collect();
+    fmt::heatmap(&format!("{title} — Avg TPR"), &row_labels, &col_labels, &tpr);
+    fmt::heatmap(
+        &format!("{title} — Avg detection time (s)"),
+        &row_labels,
+        &col_labels,
+        &det,
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    fmt::banner(
+        "Figure 9",
+        "Hash-based tree: single-entry and multi-entry failures",
+        &scale.describe(),
+    );
+    let zoom = SimDuration::from_millis(200);
+    let losses = paper_loss_rates();
+
+    // (a) single-entry failures, full grid.
+    let grid = paper_grid();
+    let single = cells::sweep_grid(grid.len(), losses.len(), |r, c| {
+        cells::run_tree_cell(
+            grid[r],
+            losses[c],
+            1,
+            zoom,
+            &scale,
+            cells::seed_for(0xF190A, r, c),
+        )
+    });
+    heatmaps("(a) single-entry failures", &grid, &losses, &single);
+    let expect = speed::tree_secs(3, 0.2, 0.01);
+    fmt::compare("single-entry high-traffic detection", 0.68, single[0][0].avg_detection_s, "s");
+    println!("  analytical expectation (3 sessions x (200 ms + handshakes)): {expect:.2} s");
+
+    // (b) multi-entry failures. The paper's 9b grid starts at 200 Mbps per
+    // entry; quick mode caps per-entry rate so the aggregate stays
+    // simulable on one machine.
+    let cap = if scale.full { 200_000_000 } else { 10_000_000 };
+    let grid_b: Vec<EntrySize> = paper_grid()
+        .into_iter()
+        .map(|e| EntrySize {
+            total_bps: e.total_bps.min(cap),
+            ..e
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .fold(Vec::new(), |mut acc, e| {
+            if acc.last() != Some(&e) {
+                acc.push(e);
+            }
+            acc
+        });
+    println!(
+        "\n(b) {} simultaneous entry failures, per-entry rate capped at {} Mbps",
+        scale.multi_entries,
+        cap / 1_000_000
+    );
+    let multi = cells::sweep_grid(grid_b.len(), losses.len(), |r, c| {
+        cells::run_tree_cell(
+            grid_b[r],
+            losses[c],
+            scale.multi_entries,
+            zoom,
+            &scale,
+            cells::seed_for(0xF190B, r, c),
+        )
+    });
+    heatmaps("(b) multi-entry failures", &grid_b, &losses, &multi);
+    println!(
+        "\nShape checks vs the paper: (a) detection ≈ 0.68 s at high traffic/loss, TPR \
+         degrades for low-traffic entries at loss ≤ 1%; (b) TPRs match (a) but detection \
+         slows to several seconds — the zooming pipeline explores a bounded number of \
+         counters per session (split 2 → up to 4 paths in flight)."
+    );
+}

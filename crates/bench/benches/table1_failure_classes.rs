@@ -1,0 +1,39 @@
+//! Table 1: FANcY detects every real-world gray-failure class.
+//!
+//! One simulation per class of the paper's bug taxonomy; each injects a
+//! failure modelled on the cited Cisco/Juniper bug and reports which FANcY
+//! mechanism localized it and how fast.
+
+use fancy_bench::{env::Scale, fmt, table1};
+
+fn main() {
+    let scale = Scale::from_env();
+    fmt::banner(
+        "Table 1",
+        "Detection demos across gray-failure classes",
+        &scale.describe(),
+    );
+    let demos = table1::run_all(&scale, 0x7AB1E);
+    let rows: Vec<Vec<String>> = demos
+        .iter()
+        .map(|d| {
+            vec![
+                d.class.to_string(),
+                d.bug.to_string(),
+                if d.detected { "yes".into() } else { "no".into() },
+                d.detection_s.map_or("-".into(), |t| format!("{t:.2}s")),
+                d.mechanism.unwrap_or("-").to_string(),
+            ]
+        })
+        .collect();
+    fmt::table(
+        "per-class outcome",
+        &["failure class", "modelled bug", "detected", "latency", "mechanism"],
+        &rows,
+    );
+    println!(
+        "\nNote: the single-IP-ID bug (1 in 65536 packets) is only detectable once a \
+         matching packet is actually dropped — FANcY is traffic-driven, exactly as \
+         the paper qualifies. Every other class is localized within seconds."
+    );
+}

@@ -1,0 +1,79 @@
+//! Table 2: LossRadar exceeds switch memory and read-speed capabilities.
+//!
+//! Analytical — prints the required-over-available ratios for the two
+//! switch scenarios at the paper's loss rates, next to the published
+//! values. Ratios > 1 (the paper's red numbers) mean infeasible.
+
+use fancy_analysis::lossradar::{paper_loss_rates, Scenario};
+use fancy_bench::fmt;
+
+fn main() {
+    fmt::banner(
+        "Table 2",
+        "LossRadar requirements vs switch capabilities",
+        "analytical model (registers 64 b, packets 1500 B, 10 ms batches)",
+    );
+
+    let paper_100_mem = [0.21, 0.42, 0.63, 2.1];
+    let paper_100_read = [0.7, 1.4, 2.1, 7.0];
+    let paper_400_mem = [1.7, 3.4, 5.1, 16.9];
+
+    for (name, scenario, paper_mem, paper_read) in [
+        (
+            "100 Gbps × 32 ports",
+            Scenario::g100x32(),
+            Some(paper_100_mem),
+            Some(paper_100_read),
+        ),
+        (
+            "400 Gbps × 64 ports",
+            Scenario::g400x64(),
+            Some(paper_400_mem),
+            None,
+        ),
+    ] {
+        println!("\n{name}:");
+        let mut rows = Vec::new();
+        for (i, &lr) in paper_loss_rates().iter().enumerate() {
+            let mem = scenario.memory_ratio(lr);
+            let read = scenario.read_ratio(lr);
+            rows.push(vec![
+                format!("{:.1}%", lr * 100.0),
+                format!("x{mem:.2}{}", if mem > 1.0 { "  INFEASIBLE" } else { "" }),
+                paper_mem.map_or("-".into(), |p| format!("x{:.2}", p[i])),
+                format!("x{read:.2}{}", if read > 1.0 { "  INFEASIBLE" } else { "" }),
+                paper_read.map_or("-".into(), |p| format!("x{:.2}", p[i])),
+            ]);
+        }
+        fmt::table(
+            name,
+            &[
+                "avg loss",
+                "memory (model)",
+                "memory (paper)",
+                "read speedup (model)",
+                "read speedup (paper)",
+            ],
+            &rows,
+        );
+    }
+    println!(
+        "\nFeasibility threshold on the 100 Gbps switch: read ratio crosses 1.0 at \
+         ≈{:.2}% average loss (paper: \"higher than 0.15%\").",
+        {
+            let s = Scenario::g100x32();
+            // Bisect the crossing.
+            let mut lo = 0.0001;
+            let mut hi = 0.01;
+            for _ in 0..40 {
+                let mid = (lo + hi) / 2.0;
+                if s.read_ratio(mid) > 1.0 {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            hi * 100.0
+        }
+    );
+}

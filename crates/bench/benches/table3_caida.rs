@@ -1,0 +1,61 @@
+//! Table 3: system-wide accuracy and speed on CAIDA-like traces.
+//!
+//! Synthesized traces with the published Table 5 characteristics, replayed
+//! through the full FANcY system (dedicated counters for the top prefixes
+//! + hash tree for the rest); sampled top prefixes are blackholed one per
+//! run at each loss rate. Prints measured vs paper rows.
+
+use fancy_bench::{caida_exp, env::Scale, fmt};
+
+fn main() {
+    let scale = Scale::from_env();
+    fmt::banner(
+        "Table 3",
+        "FANcY accuracy and detection speed on CAIDA-like traces",
+        &scale.describe(),
+    );
+
+    // Paper rows: loss, TPR bytes, TPR prefixes total/dedicated/tree, time.
+    let paper: [(f64, f64, f64, f64, f64, f64); 6] = [
+        (100.0, 91.3, 84.5, 100.0, 83.6, 2.03),
+        (75.0, 96.0, 90.9, 100.0, 90.3, 2.59),
+        (50.0, 98.7, 93.1, 100.0, 92.6, 2.65),
+        (10.0, 96.5, 72.8, 100.0, 71.0, 4.96),
+        (1.0, 77.5, 19.5, 98.9, 14.7, 8.91),
+        (0.1, 56.6, 5.0, 86.7, 0.1, 6.29),
+    ];
+
+    let rows3 = caida_exp::run_table3(&scale, 0x7AB13);
+    let mut printable = Vec::new();
+    for (r, p) in rows3.iter().zip(paper) {
+        printable.push(vec![
+            format!("{}%", r.loss_pct),
+            format!("{:.1}% ({:.1}%)", r.tpr_bytes * 100.0, p.1),
+            format!("{:.1}% ({:.1}%)", r.tpr_prefixes * 100.0, p.2),
+            format!("{:.1}% ({:.1}%)", r.tpr_dedicated * 100.0, p.3),
+            format!("{:.1}% ({:.1}%)", r.tpr_tree * 100.0, p.4),
+            format!("{:.2}s ({:.2}s)", r.detection_s, p.5),
+            format!("{:.2}", r.false_positives),
+        ]);
+    }
+    fmt::table(
+        "measured (paper) per loss rate",
+        &[
+            "loss",
+            "TPR bytes",
+            "TPR prefixes",
+            "TPR dedicated",
+            "TPR tree",
+            "detection",
+            "tree FPs/run",
+        ],
+        &printable,
+    );
+    println!(
+        "\nShape checks vs the paper: dedicated counters stay near-perfect at every \
+         loss rate; the tree TPR collapses below ≈1% loss (no drops in three \
+         consecutive sessions); byte-weighted TPR stays far above prefix-count TPR \
+         because traffic is Zipf-skewed; and 100% loss performs *worse* than 50% \
+         because TCP collapses blackholed flows to sparse RTO retransmissions."
+    );
+}

@@ -1,0 +1,53 @@
+//! §5.1.3: failures affecting all entries simultaneously.
+//!
+//! Zipf-assigned traffic over many entries; uniform random loss on the
+//! link. FANcY must classify the failure as uniform (majority of root
+//! counters mismatching) within about one zooming interval, without
+//! spraying per-entry reports first.
+
+use fancy_analysis::speed;
+use fancy_bench::{env::Scale, fmt, uniform};
+
+fn main() {
+    let scale = Scale::from_env();
+    fmt::banner(
+        "§5.1.3",
+        "Uniform failures: classification and detection time",
+        &scale.describe(),
+    );
+    let mut rows = Vec::new();
+    for loss in [100.0, 75.0, 50.0, 10.0, 1.0, 0.1] {
+        let r = uniform::run_uniform(loss, &scale, 0x04F1);
+        rows.push(vec![
+            format!("{loss}%"),
+            format!("{:.0}%", r.classified_uniform * 100.0),
+            format!("{:.0}%", r.link_failure * 100.0),
+            format!("{:.3}", r.detection_s),
+            format!("{}", r.misclassified),
+        ]);
+    }
+    fmt::table(
+        "Uniform-failure classification",
+        &[
+            "loss rate",
+            "classified uniform",
+            "hard link failure",
+            "avg detection (s)",
+            "early per-entry reports",
+        ],
+        &rows,
+    );
+    let expect = speed::uniform_secs(0.2, 0.01);
+    println!(
+        "\nPaper: all uniform failures detected and classified as uniform, average \
+         detection time ≈ one zooming interval (200 ms). Analytical expectation \
+         with handshakes: {expect:.2} s. Very low loss rates (0.1%) mismatch fewer \
+         than half the root counters per session and are instead reported \
+         per-entry over time — the same qualitative boundary the paper's \
+         majority check implies. At 100% loss the control messages die too: \
+         the protocol escalates to a hard link-failure declaration, which is \
+         the correct call for a total blackhole. (At paper scale — 100 Gbps \
+         links — even 0.1% loss mismatches a majority of root counters; the \
+         quick-scale boundary sits higher because sessions see fewer drops.)"
+    );
+}

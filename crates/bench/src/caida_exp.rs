@@ -1,0 +1,573 @@
+//! Trace-driven experiments: Table 3, the §5.2 baseline comparison and the
+//! Figure 11 sensitivity analysis.
+//!
+//! The paper replays 30 s CAIDA slices and fails the top-10 000 prefixes
+//! one by one, three times each — hundreds of thousands of runs on a
+//! cluster. We preserve the methodology at reduced scale: synthesized
+//! traces with the published characteristics (see `fancy-traffic::caida`),
+//! a stratified sample of the top-4 % prefixes failed one per run, and
+//! per-run detection attribution identical to the paper's (dedicated
+//! counter vs hash-tree leaf path). Scale factors are printed with every
+//! result and recorded in EXPERIMENTS.md.
+
+use std::collections::HashSet;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use fancy_apps::{linear, LinearConfig};
+use fancy_baselines::{BaselineState, BaselineTap, TapSide};
+use fancy_core::{FancySwitch, TimerConfig, TreeParams};
+use fancy_net::{mix64, Prefix};
+use fancy_sim::{
+    DetectionScope, DetectorKind, GrayFailure, LinkConfig, Network, SimDuration, SimTime,
+};
+use fancy_tcp::{ReceiverHost, SenderHost};
+use fancy_traffic::{paper_traces, synthesize, SyntheticTrace};
+
+use crate::env::{workers, Scale};
+
+/// Loss rates of Table 3 (percent).
+pub const TABLE3_LOSS_RATES: [f64; 6] = [100.0, 75.0, 50.0, 10.0, 1.0, 0.1];
+
+/// Outcome of failing one prefix in one run.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureOutcome {
+    /// The failed prefix's traffic share (byte weight).
+    pub weight: f64,
+    /// Was it covered by a dedicated counter?
+    pub dedicated: bool,
+    /// Detection latency, if detected.
+    pub detection_s: Option<f64>,
+    /// Hash-tree false positives resolved from reported paths.
+    pub false_positives: usize,
+}
+
+/// One Table 3 row (averaged over traces and sampled prefixes).
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Row {
+    /// Loss rate in percent.
+    pub loss_pct: f64,
+    /// Byte-weighted TPR.
+    pub tpr_bytes: f64,
+    /// Prefix-count TPR (all mechanisms).
+    pub tpr_prefixes: f64,
+    /// TPR over dedicated-covered prefixes.
+    pub tpr_dedicated: f64,
+    /// TPR over tree-covered prefixes.
+    pub tpr_tree: f64,
+    /// Mean detection time over detected prefixes (seconds).
+    pub detection_s: f64,
+    /// Mean tree false positives per run.
+    pub false_positives: f64,
+}
+
+/// Stratified sample of `n` ranks from the top `top_frac` of the trace.
+fn sample_failures(trace: &SyntheticTrace, top_frac: f64, n: usize, seed: u64) -> Vec<usize> {
+    let top = ((trace.prefixes_by_rank.len() as f64 * top_frac) as usize).max(n);
+    let top = top.min(trace.prefixes_by_rank.len());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let lo = i * top / n;
+            let hi = ((i + 1) * top / n).max(lo + 1);
+            rng.gen_range(lo..hi)
+        })
+        .collect()
+}
+
+/// Dedicated-counter allocation scaled with the trace: the paper's 500
+/// dedicated prefixes cover 0.2 % of the 250 K universe.
+fn dedicated_count(trace: &SyntheticTrace) -> usize {
+    ((trace.prefixes_by_rank.len() as f64) * (500.0 / 250_000.0))
+        .round()
+        .max(4.0) as usize
+}
+
+/// Run one Table 3-style failure experiment: replay `trace`, fail the
+/// prefix at `rank` with `loss_pct` drops, and attribute detection.
+pub fn run_trace_failure(
+    trace: &SyntheticTrace,
+    rank: usize,
+    loss_pct: f64,
+    duration: SimDuration,
+    seed: u64,
+) -> FailureOutcome {
+    let failed = trace.prefixes_by_rank[rank];
+    let dedicated: Vec<Prefix> = trace.top_prefixes(dedicated_count(trace));
+    let is_dedicated = dedicated.contains(&failed);
+
+    let mut cfg = LinearConfig::paper_default(seed, trace.flows.clone());
+    cfg.high_priority = dedicated;
+    let mut sc = linear(cfg);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA11);
+    let horizon = duration.as_secs_f64();
+    let fail_at =
+        SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(1.0..(horizon * 0.4).max(1.5)));
+    sc.net.kernel.add_failure(
+        sc.monitored_link,
+        sc.s1,
+        GrayFailure::single_entry(failed, loss_pct / 100.0, fail_at),
+    );
+    sc.net.run_until(SimTime::ZERO + duration);
+
+    let records = &sc.net.kernel.records;
+    let detection_s = if is_dedicated {
+        records
+            .first_entry_detection(failed)
+            .map(|d| d.time.duration_since(fail_at).as_secs_f64())
+    } else {
+        let sw: &FancySwitch = sc.net.node(sc.s1);
+        let path = sw.tree_hasher(sc.monitored_port).hash_path(failed);
+        records
+            .detections
+            .iter()
+            .filter(|d| d.detector == DetectorKind::HashTree)
+            .find(|d| matches!(&d.scope, DetectionScope::HashPath(p) if p == &path))
+            .map(|d| d.time.duration_since(fail_at).as_secs_f64())
+    };
+
+    // Tree false positives: entries (other than the failed one) matching
+    // any reported hash path.
+    let sw: &FancySwitch = sc.net.node(sc.s1);
+    let hasher = sw.tree_hasher(sc.monitored_port);
+    let mut fps: HashSet<Prefix> = HashSet::new();
+    for d in records.detections_by(DetectorKind::HashTree) {
+        if let DetectionScope::HashPath(p) = &d.scope {
+            for e in hasher.entries_matching(p, trace.prefixes_by_rank.iter().copied()) {
+                if e != failed {
+                    fps.insert(e);
+                }
+            }
+        }
+    }
+
+    FailureOutcome {
+        weight: trace.share_of_rank(rank),
+        dedicated: is_dedicated,
+        detection_s,
+        false_positives: fps.len(),
+    }
+}
+
+fn aggregate(loss_pct: f64, outcomes: &[FailureOutcome], duration: SimDuration) -> Table3Row {
+    let total_w: f64 = outcomes.iter().map(|o| o.weight).sum();
+    let det_w: f64 = outcomes
+        .iter()
+        .filter(|o| o.detection_s.is_some())
+        .map(|o| o.weight)
+        .sum();
+    let frac = |pred: &dyn Fn(&&FailureOutcome) -> bool| -> f64 {
+        let subset: Vec<&FailureOutcome> = outcomes.iter().filter(pred).collect();
+        if subset.is_empty() {
+            return f64::NAN;
+        }
+        subset.iter().filter(|o| o.detection_s.is_some()).count() as f64 / subset.len() as f64
+    };
+    let times: Vec<f64> = outcomes.iter().filter_map(|o| o.detection_s).collect();
+    let detection_s = if times.is_empty() {
+        duration.as_secs_f64()
+    } else {
+        times.iter().sum::<f64>() / times.len() as f64
+    };
+    Table3Row {
+        loss_pct,
+        tpr_bytes: if total_w > 0.0 { det_w / total_w } else { 0.0 },
+        tpr_prefixes: frac(&|_| true),
+        tpr_dedicated: frac(&|o| o.dedicated),
+        tpr_tree: frac(&|o| !o.dedicated),
+        detection_s,
+        false_positives: outcomes.iter().map(|o| o.false_positives as f64).sum::<f64>()
+            / outcomes.len().max(1) as f64,
+    }
+}
+
+/// Run the full Table 3 sweep.
+pub fn run_table3(scale: &Scale, seed: u64) -> Vec<Table3Row> {
+    let traces: Vec<SyntheticTrace> = paper_traces()
+        .iter()
+        .take(if scale.full { 4 } else { 2 })
+        .map(|spec| synthesize(*spec, scale.duration, scale.trace_scale, seed ^ u64::from(spec.id)))
+        .collect();
+
+    TABLE3_LOSS_RATES
+        .iter()
+        .map(|&loss| {
+            let jobs: Vec<(usize, usize)> = traces
+                .iter()
+                .enumerate()
+                .flat_map(|(ti, t)| {
+                    sample_failures(t, 0.04, scale.trace_failures / traces.len().max(1), seed ^ ti as u64)
+                        .into_iter()
+                        .map(move |r| (ti, r))
+                })
+                .collect();
+            let outcomes = Mutex::new(Vec::with_capacity(jobs.len()));
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            crossbeam::scope(|s| {
+                for _ in 0..workers() {
+                    s.spawn(|_| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&(ti, rank)) = jobs.get(i) else { break };
+                        let o = run_trace_failure(
+                            &traces[ti],
+                            rank,
+                            loss,
+                            scale.duration,
+                            mix64(seed ^ (loss as u64) << 32 ^ (ti as u64) << 16 ^ rank as u64),
+                        );
+                        outcomes.lock().push(o);
+                    });
+                }
+            })
+            .expect("table3 worker panicked");
+            let outcomes = outcomes.into_inner();
+            aggregate(loss, &outcomes, scale.duration)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// §5.2 baseline comparison.
+// ---------------------------------------------------------------------
+
+/// Per-baseline outcome of the §5.2 comparison.
+#[derive(Debug, Clone)]
+pub struct BaselineRow {
+    /// Baseline name.
+    pub name: &'static str,
+    /// Prefix TPR over the sampled failures.
+    pub tpr: f64,
+    /// Mean false positives per detection.
+    pub false_positives: f64,
+    /// Memory the design needs at the *paper's* full scale, bytes.
+    pub full_scale_memory_bytes: f64,
+}
+
+/// Run the baseline comparison on one synthesized trace at `loss_pct`.
+pub fn run_baseline_comparison(scale: &Scale, loss_pct: f64, seed: u64) -> Vec<BaselineRow> {
+    let spec = paper_traces()[0];
+    let trace = synthesize(spec, scale.duration, scale.trace_scale, seed);
+    let universe = trace.prefixes_by_rank.clone();
+    // The budget-constrained per-entry design covers the top 1024 of 250 K;
+    // scale that fraction.
+    let covered_n = ((universe.len() as f64) * (1024.0 / 250_000.0)).round().max(3.0) as usize;
+    let covered: Vec<Prefix> = trace.top_prefixes(covered_n);
+    let failures = sample_failures(&trace, 0.04, scale.trace_failures.min(24), seed ^ 9);
+
+    #[derive(Default)]
+    struct Acc {
+        link_det: usize,
+        all_det: usize,
+        cov_det: usize,
+        cbf_det: usize,
+        cbf_fps: f64,
+        runs: usize,
+    }
+    let acc = Mutex::new(Acc::default());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..workers() {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&rank) = failures.get(i) else { break };
+                let failed = trace.prefixes_by_rank[rank];
+                let rs = mix64(seed ^ 0xBA5E ^ rank as u64);
+
+                // host — upTap — (failing link) — downTap — receiver.
+                // The budget-constrained per-entry variant is evaluated on
+                // the same run: it detects exactly when the unbounded
+                // variant detects AND the prefix is within its coverage.
+                let st_all = BaselineState::new(&universe, rs);
+                let mut net = Network::new(rs);
+                let host = net.add_node(Box::new(SenderHost::new(0x01000001, trace.flows.clone())));
+                let interval = SimDuration::from_millis(50);
+                let settle = SimDuration::from_millis(25);
+                let up_all = net.add_node(Box::new(BaselineTap::new(
+                    TapSide::Upstream,
+                    st_all.clone(),
+                    interval,
+                    settle,
+                )));
+                let down_all = net.add_node(Box::new(BaselineTap::new(
+                    TapSide::Downstream,
+                    st_all.clone(),
+                    interval,
+                    settle,
+                )));
+                let rx = net.add_node(Box::new(ReceiverHost::new()));
+                let fast = LinkConfig::new(100_000_000_000, SimDuration::from_millis(1));
+                let core = LinkConfig::new(100_000_000_000, SimDuration::from_millis(10));
+                net.connect(host, up_all, fast);
+                let link = net.connect(up_all, down_all, core);
+                net.connect(down_all, rx, fast);
+                let mut rng = SmallRng::seed_from_u64(rs ^ 2);
+                let fail_at = SimTime::ZERO
+                    + SimDuration::from_secs_f64(rng.gen_range(1.0..scale.duration.as_secs_f64() * 0.4));
+                net.kernel.add_failure(
+                    link,
+                    up_all,
+                    GrayFailure::single_entry(failed, loss_pct / 100.0, fail_at),
+                );
+                net.run_until(SimTime::ZERO + scale.duration);
+
+                let st = st_all.borrow();
+                let mut a = acc.lock();
+                a.runs += 1;
+                if st.link_detected_at.is_some() {
+                    a.link_det += 1;
+                }
+                if st.entry_detected_at.contains_key(&failed) {
+                    a.all_det += 1;
+                    // The budget variant detects iff it covers the prefix.
+                    if covered.contains(&failed) {
+                        a.cov_det += 1;
+                    }
+                }
+                if st.cbf_detected_at(failed).is_some() {
+                    a.cbf_det += 1;
+                    a.cbf_fps += (st.cbf_implicated(&universe).len().saturating_sub(1)) as f64;
+                }
+            });
+        }
+    })
+    .expect("baseline worker panicked");
+    let a = acc.into_inner();
+    let runs = a.runs.max(1) as f64;
+
+    vec![
+        BaselineRow {
+            name: "single counter per link",
+            tpr: a.link_det as f64 / runs,
+            // Localization is impossible: every other prefix is a suspect.
+            false_positives: (250_000 - 1) as f64,
+            full_scale_memory_bytes: 8.0,
+        },
+        BaselineRow {
+            name: "dedicated counter per prefix (unbounded memory)",
+            tpr: a.all_det as f64 / runs,
+            false_positives: 0.0,
+            // §5.2: 320 MB including counting-protocol support.
+            full_scale_memory_bytes: 320e6,
+        },
+        BaselineRow {
+            name: "dedicated counters within budget (top-1024)",
+            tpr: a.cov_det as f64 / runs,
+            false_positives: 0.0,
+            full_scale_memory_bytes: 1.25e6,
+        },
+        BaselineRow {
+            name: "counting Bloom filter (budget)",
+            tpr: a.cbf_det as f64 / runs,
+            false_positives: if a.cbf_det > 0 {
+                a.cbf_fps / a.cbf_det as f64
+            } else {
+                0.0
+            },
+            full_scale_memory_bytes: 1.25e6,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Figure 11: sensitivity analysis over tree shapes.
+// ---------------------------------------------------------------------
+
+/// One Figure 11 configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig11Config {
+    /// Tree depth.
+    pub depth: u8,
+    /// Tree split.
+    pub split: u8,
+    /// Tree width.
+    pub width: u16,
+    /// The memory label of the paper's legend.
+    pub memory_label: &'static str,
+}
+
+/// The eight configurations of Figure 11's legend.
+pub fn fig11_configs() -> [Fig11Config; 8] {
+    [
+        Fig11Config { depth: 3, split: 3, width: 205, memory_label: "1MB" },
+        Fig11Config { depth: 3, split: 2, width: 190, memory_label: "500KB" },
+        Fig11Config { depth: 3, split: 3, width: 100, memory_label: "500KB" },
+        Fig11Config { depth: 4, split: 3, width: 32, memory_label: "500KB" },
+        Fig11Config { depth: 3, split: 2, width: 100, memory_label: "250KB" },
+        Fig11Config { depth: 4, split: 2, width: 44, memory_label: "250KB" },
+        Fig11Config { depth: 3, split: 1, width: 110, memory_label: "125KB" },
+        Fig11Config { depth: 4, split: 2, width: 28, memory_label: "125KB" },
+    ]
+}
+
+/// Measured point for one configuration and burst size.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig11Point {
+    /// The configuration.
+    pub config: Fig11Config,
+    /// Simultaneously failed prefixes.
+    pub burst: usize,
+    /// Prefix TPR.
+    pub tpr: f64,
+    /// Median detection time (seconds; undetected = duration).
+    pub median_detection_s: f64,
+    /// Byte-weighted detected fraction.
+    pub detected_bytes: f64,
+    /// Mean false positives per run.
+    pub false_positives: f64,
+}
+
+/// Run one Figure 11 point: `burst` prefixes of the trace blackholed at
+/// once under the given tree shape, averaged over `reps`.
+pub fn run_fig11_point(
+    config: Fig11Config,
+    burst: usize,
+    scale: &Scale,
+    seed: u64,
+) -> Fig11Point {
+    let spec = paper_traces()[3]; // the sensitivity-analysis trace
+    let mut tprs = Vec::new();
+    let mut medians = Vec::new();
+    let mut bytes = Vec::new();
+    let mut fps = Vec::new();
+    for rep in 0..scale.reps {
+        let s = mix64(seed ^ rep);
+        // The 50-burst needs a detectable set several times the burst size
+        // to be meaningful (the paper draws from ≈120 K detectable
+        // prefixes); run this experiment at 3× the base trace scale.
+        let trace = synthesize(spec, scale.duration, (scale.trace_scale * 3.0).min(1.0), s);
+        // Fail prefixes that are detectable at this zooming speed: the
+        // paper restricts to "prefixes that can be detected at the zooming
+        // speed and depth used" (≈120 K of its 560 K universe). A prefix is
+        // detectable when it sees at least a couple of packets per 200 ms
+        // counting session — compute that from the trace's own weights.
+        let mut rng = SmallRng::seed_from_u64(s ^ 1);
+        let stats = trace.stats(scale.duration);
+        let detectable = trace
+            .weights
+            .iter()
+            .take_while(|&&w| w * stats.pkt_rate_pps * 0.2 >= 2.0)
+            .count();
+        let top = detectable.max(burst);
+        let mut ranks: HashSet<usize> = HashSet::new();
+        while ranks.len() < burst {
+            ranks.insert(rng.gen_range(0..top));
+        }
+        let failed: Vec<Prefix> = ranks.iter().map(|&r| trace.prefixes_by_rank[r]).collect();
+
+        let mut cfg = LinearConfig::paper_default(s ^ 2, trace.flows.clone());
+        cfg.tree = TreeParams {
+            width: config.width,
+            depth: config.depth,
+            split: config.split,
+            pipelined: true,
+        };
+        cfg.timers = TimerConfig {
+            zooming_interval: SimDuration::from_millis(200),
+            ..cfg.timers
+        };
+        let mut sc = linear(cfg);
+        let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(1.0..2.0));
+        sc.net.kernel.add_failure(
+            sc.monitored_link,
+            sc.s1,
+            GrayFailure::multi_entry(failed.clone(), 1.0, fail_at),
+        );
+        sc.net.run_until(SimTime::ZERO + scale.duration);
+
+        let sw: &FancySwitch = sc.net.node(sc.s1);
+        let hasher = sw.tree_hasher(sc.monitored_port);
+        let mut det_times = Vec::new();
+        let mut detected_set: HashSet<Prefix> = HashSet::new();
+        let mut fp_set: HashSet<Prefix> = HashSet::new();
+        let failed_set: HashSet<Prefix> = failed.iter().copied().collect();
+        for d in sc.net.kernel.records.detections_by(DetectorKind::HashTree) {
+            if let DetectionScope::HashPath(p) = &d.scope {
+                for e in hasher.entries_matching(p, trace.prefixes_by_rank.iter().copied()) {
+                    if failed_set.contains(&e) {
+                        if detected_set.insert(e) {
+                            det_times.push(d.time.duration_since(fail_at).as_secs_f64());
+                        }
+                    } else {
+                        fp_set.insert(e);
+                    }
+                }
+            }
+        }
+        let mut all_times = det_times.clone();
+        all_times.resize(burst, scale.duration.as_secs_f64());
+        all_times.sort_by(f64::total_cmp);
+        let median = all_times[all_times.len() / 2];
+
+        let w_all: f64 = ranks.iter().map(|&r| trace.share_of_rank(r)).sum();
+        let w_det: f64 = ranks
+            .iter()
+            .filter(|&&r| detected_set.contains(&trace.prefixes_by_rank[r]))
+            .map(|&r| trace.share_of_rank(r))
+            .sum();
+
+        tprs.push(detected_set.len() as f64 / burst as f64);
+        medians.push(median);
+        bytes.push(if w_all > 0.0 { w_det / w_all } else { 0.0 });
+        fps.push(fp_set.len() as f64);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    Fig11Point {
+        config,
+        burst,
+        tpr: avg(&tprs),
+        median_detection_s: avg(&medians),
+        detected_bytes: avg(&bytes),
+        false_positives: avg(&fps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            reps: 1,
+            duration: SimDuration::from_secs(8),
+            multi_entries: 3,
+            trace_scale: 0.004,
+            trace_failures: 4,
+            full: false,
+        }
+    }
+
+    #[test]
+    fn trace_failure_blackhole_is_detected() {
+        let scale = tiny();
+        let trace = synthesize(paper_traces()[0], scale.duration, scale.trace_scale, 3);
+        // Rank 0 carries the most traffic and is dedicated-covered.
+        let o = run_trace_failure(&trace, 0, 100.0, scale.duration, 77);
+        assert!(o.dedicated);
+        assert!(o.detection_s.is_some(), "top prefix blackhole missed");
+        // A mid-rank prefix goes through the tree.
+        let mid = dedicated_count(&trace) + 5;
+        let o = run_trace_failure(&trace, mid, 100.0, scale.duration, 78);
+        assert!(!o.dedicated);
+    }
+
+    #[test]
+    fn sample_failures_is_stratified_and_in_range() {
+        let scale = tiny();
+        let trace = synthesize(paper_traces()[0], scale.duration, scale.trace_scale, 4);
+        let s = sample_failures(&trace, 0.04, 8, 5);
+        assert_eq!(s.len(), 8);
+        let top = (trace.prefixes_by_rank.len() as f64 * 0.04) as usize;
+        assert!(s.iter().all(|&r| r < top.max(8)));
+        // Roughly increasing (stratified).
+        assert!(s.windows(2).filter(|w| w[1] >= w[0]).count() >= 5);
+    }
+
+    #[test]
+    fn fig11_point_runs() {
+        let p = run_fig11_point(fig11_configs()[1], 3, &tiny(), 42);
+        assert!(p.tpr >= 0.0 && p.tpr <= 1.0);
+        assert!(p.median_detection_s > 0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Cell runners for the §5.1 benchmark grids (Figures 7, 8, 9).
+//!
+//! A *cell* is one (entry size × loss rate) combination, run `reps` times
+//! with different seeds and failure times, yielding a TPR and an average
+//! detection time — one heatmap pixel of Figure 7 or 9.
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use fancy_apps::{linear, LinearConfig};
+use fancy_core::{FancySwitch, TimerConfig};
+use fancy_net::{mix64, Prefix};
+use fancy_sim::{DetectionScope, DetectorKind, GrayFailure, SimDuration, SimTime};
+use fancy_traffic::{generate, EntrySize};
+
+use crate::env::{workers, Scale};
+
+/// Aggregated result of one heatmap cell.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CellResult {
+    /// Average true positive rate across repetitions.
+    pub tpr: f64,
+    /// Average detection time in seconds (undetected entries count the
+    /// full experiment duration, as in the paper).
+    pub avg_detection_s: f64,
+    /// Repetitions run.
+    pub reps: u64,
+}
+
+fn cell_seed(base: u64, row: usize, col: usize, rep: u64) -> u64 {
+    mix64(base ^ (row as u64) << 40 ^ (col as u64) << 24 ^ rep)
+}
+
+/// Entries used by cell experiments: scattered /24s far from host prefixes.
+pub fn cell_entries(n: usize, seed: u64) -> Vec<Prefix> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut used = std::collections::HashSet::new();
+    while out.len() < n {
+        let p = Prefix(rng.gen_range(0x0A_00_00..0x0B_00_00));
+        if used.insert(p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Run one Figure 7 cell: a single high-priority entry with a dedicated
+/// counter, failing with `loss_pct` percent drops.
+pub fn run_dedicated_cell(
+    size: EntrySize,
+    loss_pct: f64,
+    scale: &Scale,
+    seed: u64,
+) -> CellResult {
+    let mut tpr_sum = 0.0;
+    let mut det_sum = 0.0;
+    for rep in 0..scale.reps {
+        let s = mix64(seed ^ rep);
+        let entry = cell_entries(1, s)[0];
+        let flows = generate(&[entry], size, scale.duration, s ^ 1).flows;
+        let mut cfg = LinearConfig::paper_default(s ^ 2, flows);
+        cfg.high_priority = vec![entry];
+        let mut sc = linear(cfg);
+        let mut rng = SmallRng::seed_from_u64(s ^ 3);
+        let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(0.5..2.0));
+        sc.net.kernel.add_failure(
+            sc.monitored_link,
+            sc.s1,
+            GrayFailure::single_entry(entry, loss_pct / 100.0, fail_at),
+        );
+        sc.net.run_until(SimTime::ZERO + scale.duration);
+        match sc.net.kernel.records.first_entry_detection(entry) {
+            Some(d) => {
+                tpr_sum += 1.0;
+                det_sum += d.time.duration_since(fail_at).as_secs_f64();
+            }
+            None => det_sum += scale.duration.as_secs_f64(),
+        }
+    }
+    CellResult {
+        tpr: tpr_sum / scale.reps as f64,
+        avg_detection_s: det_sum / scale.reps as f64,
+        reps: scale.reps,
+    }
+}
+
+/// Run one Figure 9 cell: `n_entries` best-effort entries (each driving
+/// `size` traffic) failing simultaneously, tracked by the hash tree with
+/// the given zooming interval.
+pub fn run_tree_cell(
+    size: EntrySize,
+    loss_pct: f64,
+    n_entries: usize,
+    zooming: SimDuration,
+    scale: &Scale,
+    seed: u64,
+) -> CellResult {
+    let mut tpr_sum = 0.0;
+    let mut det_sum = 0.0;
+    for rep in 0..scale.reps {
+        let s = mix64(seed ^ rep ^ 0xF00D);
+        let entries = cell_entries(n_entries, s);
+        let flows = generate(&entries, size, scale.duration, s ^ 1).flows;
+        let mut cfg = LinearConfig::paper_default(s ^ 2, flows);
+        cfg.timers = TimerConfig {
+            zooming_interval: zooming,
+            ..cfg.timers
+        };
+        let mut sc = linear(cfg);
+        let mut rng = SmallRng::seed_from_u64(s ^ 3);
+        let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(0.5..2.0));
+        sc.net.kernel.add_failure(
+            sc.monitored_link,
+            sc.s1,
+            GrayFailure::multi_entry(entries.clone(), loss_pct / 100.0, fail_at),
+        );
+        sc.net.run_until(SimTime::ZERO + scale.duration);
+
+        let sw: &FancySwitch = sc.net.node(sc.s1);
+        let hasher = sw.tree_hasher(sc.monitored_port);
+        let paths: Vec<Vec<u8>> = entries.iter().map(|&e| hasher.hash_path(e)).collect();
+        let mut detected = 0usize;
+        for path in &paths {
+            let hit = sc
+                .net
+                .kernel
+                .records
+                .detections
+                .iter()
+                .filter(|d| d.detector == DetectorKind::HashTree)
+                .find(|d| matches!(&d.scope, DetectionScope::HashPath(p) if p == path));
+            match hit {
+                Some(d) => {
+                    detected += 1;
+                    det_sum += d.time.duration_since(fail_at).as_secs_f64();
+                }
+                None => det_sum += scale.duration.as_secs_f64(),
+            }
+        }
+        tpr_sum += detected as f64 / n_entries as f64;
+    }
+    CellResult {
+        tpr: tpr_sum / scale.reps as f64,
+        avg_detection_s: det_sum / (scale.reps as f64 * n_entries as f64),
+        reps: scale.reps,
+    }
+}
+
+/// Sweep a full heatmap in parallel. `f(row, col)` computes one cell.
+pub fn sweep_grid<F>(rows: usize, cols: usize, f: F) -> Vec<Vec<CellResult>>
+where
+    F: Fn(usize, usize) -> CellResult + Sync,
+{
+    let results = Mutex::new(vec![vec![CellResult::default(); cols]; rows]);
+    let jobs: Vec<(usize, usize)> =
+        (0..rows).flat_map(|r| (0..cols).map(move |c| (r, c))).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers() {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(r, c)) = jobs.get(i) else { break };
+                let cell = f(r, c);
+                results.lock()[r][c] = cell;
+            });
+        }
+    })
+    .expect("worker panicked");
+    results.into_inner()
+}
+
+/// Figure 8: for each (zooming speed, loss rate), the smallest entry-size
+/// rank whose tree TPR reaches 95 %. Rank 1 = the smallest entry of the
+/// grid (4 Kbps/1), rank 18 = the largest. Returns `None` when even the
+/// largest entry misses the target.
+pub fn min_rank_for_tpr(
+    grid: &[EntrySize],
+    loss_pct: f64,
+    zooming: SimDuration,
+    scale: &Scale,
+    seed: u64,
+) -> Option<usize> {
+    // Walk from the smallest entry upward; TPR is monotone in traffic.
+    for (i, &size) in grid.iter().rev().enumerate() {
+        let r = run_tree_cell(size, loss_pct, 1, zooming, scale, cell_seed(seed, i, 0, 0));
+        if r.tpr >= 0.95 {
+            return Some(i + 1);
+        }
+    }
+    None
+}
+
+/// Deterministic per-cell seed, exposed for the bench mains.
+pub fn seed_for(base: u64, row: usize, col: usize) -> u64 {
+    cell_seed(base, row, col, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            reps: 1,
+            duration: SimDuration::from_secs(6),
+            multi_entries: 3,
+            trace_scale: 0.005,
+            trace_failures: 4,
+            full: false,
+        }
+    }
+
+    #[test]
+    fn dedicated_cell_blackhole_is_found_fast() {
+        let size = EntrySize {
+            total_bps: 1_000_000,
+            flows_per_sec: 50.0,
+        };
+        let r = run_dedicated_cell(size, 100.0, &tiny_scale(), 42);
+        assert_eq!(r.tpr, 1.0);
+        assert!(r.avg_detection_s < 0.5, "took {}", r.avg_detection_s);
+    }
+
+    #[test]
+    fn tree_cell_single_entry_detected() {
+        let size = EntrySize {
+            total_bps: 2_000_000,
+            flows_per_sec: 50.0,
+        };
+        let r = run_tree_cell(
+            size,
+            100.0,
+            1,
+            SimDuration::from_millis(200),
+            &tiny_scale(),
+            7,
+        );
+        assert_eq!(r.tpr, 1.0);
+        // ≈ 3 zooming sessions.
+        assert!(r.avg_detection_s < 2.0, "took {}", r.avg_detection_s);
+    }
+
+    #[test]
+    fn sweep_grid_is_deterministic_and_parallel() {
+        let a = sweep_grid(2, 2, |r, c| CellResult {
+            tpr: (r + c) as f64,
+            avg_detection_s: 0.0,
+            reps: 1,
+        });
+        assert_eq!(a[1][1].tpr, 2.0);
+        assert_eq!(a[0][1].tpr, 1.0);
+    }
+
+    #[test]
+    fn cell_entries_are_distinct() {
+        let e = cell_entries(100, 5);
+        let set: std::collections::HashSet<_> = e.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+}

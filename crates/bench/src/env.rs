@@ -1,0 +1,83 @@
+//! Experiment scaling knobs.
+//!
+//! Every harness honors two environment variables:
+//!
+//! * `FANCY_FULL=1` — run at paper scale (10 repetitions, 30 s experiments,
+//!   100-entry failure bursts, larger trace scale). Budget hours.
+//! * `FANCY_REPS=<n>` — override the repetition count only.
+//!
+//! The defaults are scaled down so `cargo bench --workspace` finishes in
+//! tens of minutes while preserving every qualitative shape; the printed
+//! headers state the scale used, and EXPERIMENTS.md records the deviations.
+
+use fancy_sim::SimDuration;
+
+/// Resolved experiment scale.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Repetitions per experiment cell.
+    pub reps: u64,
+    /// Simulated duration of each §5.1 experiment.
+    pub duration: SimDuration,
+    /// Entries failing simultaneously in the Figure 9b experiment.
+    pub multi_entries: usize,
+    /// CAIDA trace scale (fraction of published rates and prefix counts).
+    pub trace_scale: f64,
+    /// Failed prefixes sampled per trace/loss-rate in the Table 3 runs
+    /// (the paper fails the top 10 000 one by one; we stratify-sample).
+    pub trace_failures: usize,
+    /// True when running at paper scale.
+    pub full: bool,
+}
+
+impl Scale {
+    /// Read the scale from the environment.
+    pub fn from_env() -> Self {
+        let full = std::env::var("FANCY_FULL").map_or(false, |v| v == "1");
+        let mut s = if full {
+            Scale {
+                reps: 10,
+                duration: SimDuration::from_secs(30),
+                multi_entries: 100,
+                trace_scale: 0.04,
+                trace_failures: 120,
+                full: true,
+            }
+        } else {
+            Scale {
+                reps: 3,
+                duration: SimDuration::from_secs(12),
+                multi_entries: 20,
+                trace_scale: 0.01,
+                trace_failures: 36,
+                full: false,
+            }
+        };
+        if let Ok(r) = std::env::var("FANCY_REPS") {
+            if let Ok(r) = r.parse::<u64>() {
+                s.reps = r.max(1);
+            }
+        }
+        s
+    }
+
+    /// One-line description for experiment headers.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} scale: {} reps, {:.0}s runs, {} simultaneous entries, trace scale {}",
+            if self.full { "PAPER" } else { "QUICK" },
+            self.reps,
+            self.duration.as_secs_f64(),
+            self.multi_entries,
+            self.trace_scale,
+        )
+    }
+}
+
+/// Worker threads for cell-parallel experiments.
+pub fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}

@@ -1,0 +1,83 @@
+//! Table and heatmap printing for the experiment harnesses.
+//!
+//! Output mirrors the paper's figures: heatmaps print one row per entry
+//! size with one column per loss rate, exactly like Figures 7 and 9.
+
+/// Print a banner for an experiment.
+pub fn banner(id: &str, title: &str, scale_line: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("{scale_line}");
+    println!("================================================================");
+}
+
+/// Format a value like the paper's heatmaps: TPRs as compact decimals,
+/// times in seconds with sensible precision.
+pub fn compact(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".to_string();
+    }
+    if v == 0.0 {
+        "0".to_string()
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Print a heatmap: `rows × cols` values with labels.
+pub fn heatmap(title: &str, row_labels: &[String], col_labels: &[String], values: &[Vec<f64>]) {
+    println!();
+    println!("--- {title} ---");
+    let row_w = row_labels.iter().map(String::len).max().unwrap_or(4).max(4);
+    print!("{:>row_w$} ", "");
+    for c in col_labels {
+        print!("{c:>8} ");
+    }
+    println!();
+    for (label, row) in row_labels.iter().zip(values) {
+        print!("{label:>row_w$} ");
+        for v in row {
+            print!("{:>8} ", compact(*v));
+        }
+        println!();
+    }
+}
+
+/// Print an aligned two-dimensional table with a header row.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!();
+    println!("--- {title} ---");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    for (h, w) in header.iter().zip(&widths) {
+        print!("{h:>w$}  ");
+    }
+    println!();
+    for row in rows {
+        for (cell, w) in row.iter().zip(&widths) {
+            print!("{cell:>w$}  ");
+        }
+        println!();
+    }
+}
+
+/// A paper-vs-measured comparison line.
+pub fn compare(name: &str, paper: f64, measured: f64, unit: &str) {
+    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    println!(
+        "  {name:<44} paper {paper:>10.4} {unit:<4} | measured {measured:>10.4} {unit:<4} | ratio {ratio:>6.2}"
+    );
+}

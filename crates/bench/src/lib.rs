@@ -1,0 +1,24 @@
+//! # fancy-bench — the experiment harness
+//!
+//! One bench target per table and figure of the paper (see
+//! `benches/`), all built on the runners in this library:
+//!
+//! * [`cells`] — the Figure 7/8/9 heatmap cells (entry size × loss rate);
+//! * [`uniform`] — §5.1.3 uniform failures;
+//! * [`caida_exp`] — Table 3, the §5.2 baseline comparison, Figure 11;
+//! * [`fig10`] — the Tofino fast-reroute case study;
+//! * [`table1`] — one detection demo per gray-failure class;
+//! * `env` / `fmt` — scaling knobs and output formatting.
+//!
+//! Set `FANCY_FULL=1` for paper-scale runs, `FANCY_REPS=n` to override
+//! repetitions. Analytical artifacts (Table 2, Figure 2, Table 4, §5.3,
+//! Appendix A) print straight from `fancy-analysis` / `fancy-hw`.
+
+pub mod ablations;
+pub mod caida_exp;
+pub mod cells;
+pub mod env;
+pub mod fig10;
+pub mod fmt;
+pub mod table1;
+pub mod uniform;

@@ -1,0 +1,65 @@
+//! Configuration errors.
+
+use core::fmt;
+
+/// An error raised while translating FANcY's input into a switch layout.
+///
+/// The paper's interface contract (§1, §4.3): "The system returns an error,
+/// if the set of high-priority entries cannot be supported with the memory
+/// budget specified in input" and "FANcY returns an error if the memory
+/// needed for dedicated counters and hash-based tree ... exceeds the input
+/// memory".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The high-priority entries alone exceed the memory budget.
+    HighPriorityExceedsBudget {
+        /// Bits needed by the dedicated counters.
+        needed_bits: u64,
+        /// Bits available.
+        budget_bits: u64,
+    },
+    /// The requested tree does not fit in the memory left after dedicated
+    /// counters.
+    TreeExceedsBudget {
+        /// Bits needed by the requested tree.
+        needed_bits: u64,
+        /// Bits left after dedicated counters.
+        remaining_bits: u64,
+    },
+    /// Tree parameters are out of range.
+    BadTreeParams(&'static str),
+    /// More dedicated entries than the 15-bit tag ID space allows.
+    TooManyDedicatedEntries(usize),
+    /// The same entry was listed as high priority twice.
+    DuplicateHighPriority(fancy_net::Prefix),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::HighPriorityExceedsBudget {
+                needed_bits,
+                budget_bits,
+            } => write!(
+                f,
+                "high-priority entries need {needed_bits} bits but only {budget_bits} are budgeted"
+            ),
+            ConfigError::TreeExceedsBudget {
+                needed_bits,
+                remaining_bits,
+            } => write!(
+                f,
+                "hash-based tree needs {needed_bits} bits but only {remaining_bits} remain"
+            ),
+            ConfigError::BadTreeParams(msg) => write!(f, "invalid tree parameters: {msg}"),
+            ConfigError::TooManyDedicatedEntries(n) => {
+                write!(f, "{n} dedicated entries exceed the 15-bit tag ID space")
+            }
+            ConfigError::DuplicateHighPriority(p) => {
+                write!(f, "entry {p} listed as high priority more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}

@@ -1,0 +1,535 @@
+//! The counting-protocol finite state machines (Fig. 3/4 of the paper).
+//!
+//! FANcY's counting protocol is stop-and-wait: each session is opened by
+//! the upstream switch with a Start message (acknowledged by Start-ACK),
+//! runs a counting phase, and is closed with Stop → Report. Start and Stop
+//! are retransmitted on a `T_rtx` timeout; after `X` fruitless attempts the
+//! sender declares a hard link failure. The receiver keeps counting for
+//! `T_wait` after a Stop to absorb in-flight tagged packets, and caches its
+//! last report so a duplicated Stop (lost Report) can be answered again.
+//!
+//! The FSMs here are *pure*: they hold no counters and perform no I/O.
+//! Every input (message, timer) returns a list of [`SenderAction`]s /
+//! [`ReceiverAction`]s that the switch executes. Timers are guarded by
+//! epochs so stale timer events are ignored — the same pattern the Tofino
+//! implementation achieves with its `state_lock` register (Appendix B.1).
+
+use fancy_net::ControlBody;
+use fancy_sim::SimDuration;
+
+use crate::config::TimerConfig;
+
+/// Sender-side protocol states (Fig. 3, left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderState {
+    /// No session in progress.
+    Idle,
+    /// Start sent, waiting for Start-ACK.
+    WaitAck,
+    /// Counting phase: packets are tagged and counted.
+    Counting,
+    /// Stop sent, waiting for the downstream Report.
+    WaitReport,
+}
+
+/// What the switch must do in response to a sender-FSM transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SenderAction {
+    /// Transmit a control message for the current session.
+    Send(ControlBody),
+    /// Zero the local counters for this session.
+    ResetCounters,
+    /// The counting phase begins: start tagging/counting packets.
+    BeginCounting,
+    /// The counting phase ends: stop tagging/counting packets.
+    EndCounting,
+    /// A Report arrived: compare `local` counters against these and act.
+    Deliver(Vec<u32>),
+    /// `X` retransmissions exhausted: declare the link failed.
+    LinkFailure,
+    /// Arm the FSM timer. Only the most recent `epoch` is valid.
+    ArmTimer {
+        /// Delay from now.
+        delay: SimDuration,
+        /// Epoch to pass back to [`SenderFsm::on_timer`].
+        epoch: u64,
+    },
+}
+
+/// The upstream (sender) FSM for one counting instance.
+#[derive(Debug, Clone)]
+pub struct SenderFsm {
+    /// Current protocol state.
+    pub state: SenderState,
+    /// Current session identifier.
+    pub session_id: u32,
+    /// Counting-phase duration for this instance (50 ms for dedicated
+    /// counters, 200 ms — the zooming speed — for trees, §5).
+    pub interval: SimDuration,
+    timers: TimerConfig,
+    retx: u32,
+    epoch: u64,
+    /// Sessions completed (reports delivered) — exposed for statistics.
+    pub sessions_completed: u64,
+    /// Link-failure declarations made.
+    pub link_failures: u64,
+}
+
+impl SenderFsm {
+    /// A sender FSM with the given counting interval.
+    pub fn new(interval: SimDuration, timers: TimerConfig) -> Self {
+        SenderFsm {
+            state: SenderState::Idle,
+            session_id: 0,
+            interval,
+            timers,
+            retx: 0,
+            epoch: 0,
+            sessions_completed: 0,
+            link_failures: 0,
+        }
+    }
+
+    fn arm(&mut self, delay: SimDuration) -> SenderAction {
+        self.epoch += 1;
+        SenderAction::ArmTimer {
+            delay,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Are data packets currently tagged and counted?
+    #[inline]
+    pub fn is_counting(&self) -> bool {
+        self.state == SenderState::Counting
+    }
+
+    /// Open a new counting session. Valid from `Idle`.
+    pub fn open(&mut self) -> Vec<SenderAction> {
+        debug_assert_eq!(self.state, SenderState::Idle, "open() while busy");
+        self.session_id = self.session_id.wrapping_add(1);
+        self.retx = 0;
+        self.state = SenderState::WaitAck;
+        vec![
+            SenderAction::ResetCounters,
+            SenderAction::Send(ControlBody::Start),
+            self.arm(self.timers.trtx),
+        ]
+    }
+
+    /// A control message arrived from the downstream switch.
+    pub fn on_message(&mut self, session_id: u32, body: &ControlBody) -> Vec<SenderAction> {
+        if session_id != self.session_id {
+            return Vec::new(); // stale session
+        }
+        match (self.state, body) {
+            (SenderState::WaitAck, ControlBody::StartAck) => {
+                self.state = SenderState::Counting;
+                self.retx = 0;
+                vec![SenderAction::BeginCounting, self.arm(self.interval)]
+            }
+            (SenderState::WaitReport, ControlBody::Report(counters)) => {
+                self.state = SenderState::Idle;
+                self.sessions_completed += 1;
+                vec![SenderAction::Deliver(counters.clone())]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// The FSM timer fired. `epoch` must match the most recent
+    /// [`SenderAction::ArmTimer`]; stale epochs are ignored.
+    pub fn on_timer(&mut self, epoch: u64) -> Vec<SenderAction> {
+        if epoch != self.epoch {
+            return Vec::new();
+        }
+        match self.state {
+            SenderState::WaitAck => self.retransmit(ControlBody::Start),
+            SenderState::Counting => {
+                // Counting phase over: close the session.
+                self.state = SenderState::WaitReport;
+                self.retx = 0;
+                vec![
+                    SenderAction::EndCounting,
+                    SenderAction::Send(ControlBody::Stop),
+                    self.arm(self.timers.trtx),
+                ]
+            }
+            SenderState::WaitReport => self.retransmit(ControlBody::Stop),
+            SenderState::Idle => {
+                // Reopen timer after a declared link failure.
+                self.open()
+            }
+        }
+    }
+
+    fn retransmit(&mut self, msg: ControlBody) -> Vec<SenderAction> {
+        self.retx += 1;
+        if self.retx >= self.timers.max_retx {
+            // "If A does not receive responses from B after X attempts
+            // (with X = 5 by default), A reports a link failure." (§4.1)
+            self.state = SenderState::Idle;
+            self.retx = 0;
+            self.link_failures += 1;
+            vec![SenderAction::LinkFailure, self.arm(self.interval)]
+        } else {
+            vec![SenderAction::Send(msg), self.arm(self.timers.trtx)]
+        }
+    }
+}
+
+/// Receiver-side protocol states (Fig. 3, right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiverState {
+    /// No session in progress.
+    Idle,
+    /// Start-ACK sent; waiting for the first tagged packet.
+    Ready,
+    /// Counting tagged packets.
+    Counting,
+    /// Stop received; counting continues for `T_wait` before reporting.
+    WaitToSend,
+}
+
+/// What the switch must do in response to a receiver-FSM transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReceiverAction {
+    /// Transmit a control message for the current session.
+    Send(ControlBody),
+    /// Zero the local counters for the new session.
+    ResetCounters,
+    /// Snapshot the local counters and send them as the session's Report;
+    /// the switch must also cache the report for duplicate Stops.
+    EmitReport,
+    /// Re-send the cached report of the last completed session
+    /// (a duplicated Stop means our Report was lost).
+    ResendReport,
+    /// Arm the FSM timer (epoch-guarded, like the sender's).
+    ArmTimer {
+        /// Delay from now.
+        delay: SimDuration,
+        /// Epoch to pass back to [`ReceiverFsm::on_timer`].
+        epoch: u64,
+    },
+}
+
+/// The downstream (receiver) FSM for one counting instance.
+#[derive(Debug, Clone)]
+pub struct ReceiverFsm {
+    /// Current protocol state.
+    pub state: ReceiverState,
+    /// Session being served.
+    pub session_id: u32,
+    timers: TimerConfig,
+    epoch: u64,
+    last_reported: Option<u32>,
+}
+
+impl ReceiverFsm {
+    /// A fresh receiver FSM.
+    pub fn new(timers: TimerConfig) -> Self {
+        ReceiverFsm {
+            state: ReceiverState::Idle,
+            session_id: 0,
+            timers,
+            epoch: 0,
+            last_reported: None,
+        }
+    }
+
+    fn arm(&mut self, delay: SimDuration) -> ReceiverAction {
+        self.epoch += 1;
+        ReceiverAction::ArmTimer {
+            delay,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Should tagged packets be counted right now? True from the Start-ACK
+    /// until `T_wait` after the Stop.
+    #[inline]
+    pub fn accepts_counts(&self) -> bool {
+        matches!(
+            self.state,
+            ReceiverState::Ready | ReceiverState::Counting | ReceiverState::WaitToSend
+        )
+    }
+
+    /// A control message arrived from the upstream switch.
+    pub fn on_message(&mut self, session_id: u32, body: &ControlBody) -> Vec<ReceiverAction> {
+        match body {
+            ControlBody::Start => {
+                if self.accepts_counts() && session_id == self.session_id {
+                    // Duplicate Start: our ACK was lost. The sender has not
+                    // started tagging (it is still in WaitAck), so resetting
+                    // again is safe and keeps both sides aligned.
+                    let reset = self.state == ReceiverState::Ready;
+                    let mut actions = Vec::new();
+                    if reset {
+                        actions.push(ReceiverAction::ResetCounters);
+                    }
+                    actions.push(ReceiverAction::Send(ControlBody::StartAck));
+                    actions
+                } else {
+                    // New session (or a Start that supersedes anything else).
+                    self.session_id = session_id;
+                    self.state = ReceiverState::Ready;
+                    vec![
+                        ReceiverAction::ResetCounters,
+                        ReceiverAction::Send(ControlBody::StartAck),
+                    ]
+                }
+            }
+            ControlBody::Stop => {
+                if session_id == self.session_id && self.state == ReceiverState::WaitToSend {
+                    // Duplicate Stop while T_wait is already running (the
+                    // sender's T_rtx raced our timer): keep the armed timer,
+                    // don't postpone the report.
+                    Vec::new()
+                } else if session_id == self.session_id && self.accepts_counts() {
+                    // "the receiver FSM transitions to the WaitToSendCounter
+                    // state, where it can keep counting tagged packets for a
+                    // short time interval T_wait" (§4.1)
+                    self.state = ReceiverState::WaitToSend;
+                    vec![self.arm(self.timers.twait)]
+                } else if Some(session_id) == self.last_reported {
+                    // Our Report was lost; serve it again.
+                    vec![ReceiverAction::ResendReport]
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// A tagged packet arrived (the switch already counted it if
+    /// [`Self::accepts_counts`]). Handles the Ready → Counting transition.
+    pub fn on_tagged_packet(&mut self) {
+        if self.state == ReceiverState::Ready {
+            self.state = ReceiverState::Counting;
+        }
+    }
+
+    /// The `T_wait` timer fired.
+    pub fn on_timer(&mut self, epoch: u64) -> Vec<ReceiverAction> {
+        if epoch != self.epoch || self.state != ReceiverState::WaitToSend {
+            return Vec::new();
+        }
+        self.state = ReceiverState::Idle;
+        self.last_reported = Some(self.session_id);
+        vec![ReceiverAction::EmitReport]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timers() -> TimerConfig {
+        TimerConfig::paper_default()
+    }
+
+    fn sender() -> SenderFsm {
+        SenderFsm::new(SimDuration::from_millis(50), timers())
+    }
+
+    fn receiver() -> ReceiverFsm {
+        ReceiverFsm::new(timers())
+    }
+
+    fn epoch_of(actions: &[SenderAction]) -> u64 {
+        actions
+            .iter()
+            .find_map(|a| match a {
+                SenderAction::ArmTimer { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .expect("no timer armed")
+    }
+
+    fn r_epoch_of(actions: &[ReceiverAction]) -> u64 {
+        actions
+            .iter()
+            .find_map(|a| match a {
+                ReceiverAction::ArmTimer { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .expect("no timer armed")
+    }
+
+    #[test]
+    fn happy_path_session() {
+        let mut s = sender();
+        let mut r = receiver();
+
+        // Open: reset + Start + timer.
+        let a = s.open();
+        assert_eq!(s.state, SenderState::WaitAck);
+        assert!(a.contains(&SenderAction::ResetCounters));
+        assert!(a.contains(&SenderAction::Send(ControlBody::Start)));
+        let sid = s.session_id;
+
+        // Receiver gets Start.
+        let ra = r.on_message(sid, &ControlBody::Start);
+        assert_eq!(r.state, ReceiverState::Ready);
+        assert!(ra.contains(&ReceiverAction::ResetCounters));
+        assert!(ra.contains(&ReceiverAction::Send(ControlBody::StartAck)));
+        assert!(r.accepts_counts());
+
+        // Sender gets the ACK → Counting.
+        let a = s.on_message(sid, &ControlBody::StartAck);
+        assert!(s.is_counting());
+        assert!(a.contains(&SenderAction::BeginCounting));
+
+        // First tagged packet moves the receiver to Counting.
+        r.on_tagged_packet();
+        assert_eq!(r.state, ReceiverState::Counting);
+
+        // Counting interval elapses → Stop.
+        let a = s.on_timer(epoch_of(&a));
+        assert_eq!(s.state, SenderState::WaitReport);
+        assert!(a.contains(&SenderAction::EndCounting));
+        assert!(a.contains(&SenderAction::Send(ControlBody::Stop)));
+
+        // Receiver gets Stop → WaitToSend, then T_wait expires → report.
+        let ra = r.on_message(sid, &ControlBody::Stop);
+        assert_eq!(r.state, ReceiverState::WaitToSend);
+        assert!(r.accepts_counts(), "keeps counting during T_wait");
+        let ra = r.on_timer(r_epoch_of(&ra));
+        assert_eq!(ra, vec![ReceiverAction::EmitReport]);
+        assert_eq!(r.state, ReceiverState::Idle);
+
+        // Report reaches the sender → Deliver, back to Idle.
+        let a = s.on_message(sid, &ControlBody::Report(vec![42]));
+        assert_eq!(a, vec![SenderAction::Deliver(vec![42])]);
+        assert_eq!(s.state, SenderState::Idle);
+        assert_eq!(s.sessions_completed, 1);
+    }
+
+    #[test]
+    fn lost_start_is_retransmitted() {
+        let mut s = sender();
+        let a = s.open();
+        // Timer fires with no ACK: Start resent.
+        let a = s.on_timer(epoch_of(&a));
+        assert!(a.contains(&SenderAction::Send(ControlBody::Start)));
+        assert_eq!(s.state, SenderState::WaitAck);
+    }
+
+    #[test]
+    fn five_lost_starts_declare_link_failure() {
+        let mut s = sender();
+        let mut a = s.open();
+        // X = 5 attempts: the original Start plus 4 retransmissions.
+        for _ in 0..4 {
+            a = s.on_timer(epoch_of(&a));
+            assert!(a.contains(&SenderAction::Send(ControlBody::Start)));
+        }
+        // The 5th timeout exhausts the attempts: give up.
+        let a = s.on_timer(epoch_of(&a));
+        assert!(a.contains(&SenderAction::LinkFailure));
+        assert_eq!(s.state, SenderState::Idle);
+        assert_eq!(s.link_failures, 1);
+        // The reopen timer eventually restarts a session.
+        let a = s.on_timer(epoch_of(&a));
+        assert!(a.contains(&SenderAction::Send(ControlBody::Start)));
+        assert_eq!(s.state, SenderState::WaitAck);
+    }
+
+    #[test]
+    fn duplicate_start_reacks_without_breaking_state() {
+        let mut r = receiver();
+        r.on_message(1, &ControlBody::Start);
+        // ACK lost; duplicate Start in Ready: reset + re-ACK.
+        let ra = r.on_message(1, &ControlBody::Start);
+        assert!(ra.contains(&ReceiverAction::ResetCounters));
+        assert!(ra.contains(&ReceiverAction::Send(ControlBody::StartAck)));
+        assert_eq!(r.state, ReceiverState::Ready);
+        // Once counting, a duplicate Start only re-ACKs (no reset).
+        r.on_tagged_packet();
+        let ra = r.on_message(1, &ControlBody::Start);
+        assert_eq!(ra, vec![ReceiverAction::Send(ControlBody::StartAck)]);
+        assert_eq!(r.state, ReceiverState::Counting);
+    }
+
+    #[test]
+    fn lost_report_answered_from_cache() {
+        let mut r = receiver();
+        r.on_message(7, &ControlBody::Start);
+        r.on_tagged_packet();
+        let ra = r.on_message(7, &ControlBody::Stop);
+        let _ = r.on_timer(r_epoch_of(&ra)); // Report emitted (and lost).
+        // Upstream retransmits Stop for session 7.
+        let ra = r.on_message(7, &ControlBody::Stop);
+        assert_eq!(ra, vec![ReceiverAction::ResendReport]);
+    }
+
+    #[test]
+    fn stale_messages_and_timers_ignored() {
+        let mut s = sender();
+        let a = s.open();
+        let sid = s.session_id;
+        // Report for an old session: ignored.
+        assert!(s.on_message(sid.wrapping_sub(1), &ControlBody::Report(vec![])).is_empty());
+        // Report in WaitAck: ignored.
+        assert!(s.on_message(sid, &ControlBody::Report(vec![])).is_empty());
+        // Stale timer epoch: ignored.
+        let e = epoch_of(&a);
+        s.on_message(sid, &ControlBody::StartAck); // arms a new timer
+        assert!(s.on_timer(e).is_empty());
+    }
+
+    #[test]
+    fn new_start_supersedes_unfinished_session() {
+        let mut r = receiver();
+        r.on_message(3, &ControlBody::Start);
+        r.on_tagged_packet();
+        // Upstream gave up on session 3 and opened 4.
+        let ra = r.on_message(4, &ControlBody::Start);
+        assert!(ra.contains(&ReceiverAction::ResetCounters));
+        assert_eq!(r.session_id, 4);
+        assert_eq!(r.state, ReceiverState::Ready);
+        // A late Stop for session 3 does nothing.
+        assert!(r.on_message(3, &ControlBody::Stop).is_empty());
+    }
+
+    #[test]
+    fn receiver_counts_during_twait_only_for_current_session() {
+        let mut r = receiver();
+        assert!(!r.accepts_counts());
+        r.on_message(1, &ControlBody::Start);
+        assert!(r.accepts_counts());
+        let ra = r.on_message(1, &ControlBody::Stop);
+        assert!(r.accepts_counts());
+        r.on_timer(r_epoch_of(&ra));
+        assert!(!r.accepts_counts());
+    }
+
+    #[test]
+    fn counting_interval_respected() {
+        // Counting ends exactly when the armed interval timer fires; the
+        // FSM then refuses to count.
+        let mut s = sender();
+        let a = s.open();
+        let _ = epoch_of(&a);
+        let a = s.on_message(s.session_id, &ControlBody::StartAck);
+        assert!(s.is_counting());
+        let a2 = s.on_timer(epoch_of(&a));
+        assert!(!s.is_counting());
+        assert!(a2.contains(&SenderAction::EndCounting));
+    }
+
+    #[test]
+    fn stop_retransmission_then_report() {
+        let mut s = sender();
+        let a = s.open();
+        let _ = a;
+        let a = s.on_message(s.session_id, &ControlBody::StartAck);
+        let a = s.on_timer(epoch_of(&a)); // Stop sent
+        let a = s.on_timer(epoch_of(&a)); // Stop lost → retransmit
+        assert!(a.contains(&SenderAction::Send(ControlBody::Stop)));
+        let d = s.on_message(s.session_id, &ControlBody::Report(vec![9]));
+        assert_eq!(d, vec![SenderAction::Deliver(vec![9])]);
+    }
+}

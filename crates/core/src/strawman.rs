@@ -1,0 +1,221 @@
+//! The §4.1 strawman: continuous counting with in-packet session IDs.
+//!
+//! "Ideally, we would like to continuously count all the packets ... the
+//! upstream can tag packets with a session ID, and start a new session by
+//! just changing the packets' tag. Upon receiving a packet with a different
+//! tag, the downstream would then send its counters back."
+//!
+//! The paper rejects this design for two reasons, both of which this
+//! implementation makes measurable:
+//!
+//! 1. **Memory**: the upstream must keep *two* counter sets (current +
+//!    previous session awaiting the report), and reliability across `k`
+//!    sessions needs `k` sets on both sides — `k×` the memory of the
+//!    stop-and-wait protocol ([`StrawmanSender::memory_counter_sets`]).
+//! 2. **Reliability**: reports are fire-and-forget. A lost report loses
+//!    the whole session's measurement; persistent reverse-path loss makes
+//!    the link unmonitorable ([`StrawmanSender::lost_sessions`]).
+//!
+//! The `ablations` bench compares this against the real protocol.
+
+/// Upstream state of the strawman protocol for one counter.
+#[derive(Debug, Clone)]
+pub struct StrawmanSender {
+    /// Session ID currently stamped on packets.
+    pub session_id: u32,
+    /// Count of the in-progress session.
+    pub current: u32,
+    /// Counts of past sessions still awaiting a report, oldest first:
+    /// `(session_id, count)`. Bounded by `history`.
+    pub pending: Vec<(u32, u32)>,
+    history: usize,
+    /// Sessions whose measurement was lost (report never arrived before
+    /// the pending buffer overflowed).
+    pub lost_sessions: u64,
+    /// Sessions successfully compared.
+    pub compared_sessions: u64,
+    /// Mismatches detected (local > remote).
+    pub mismatches: u64,
+}
+
+impl StrawmanSender {
+    /// A sender retaining up to `history` unreported sessions (the paper's
+    /// `k − 1` historical values; `history = 1` is the minimal variant).
+    pub fn new(history: usize) -> Self {
+        assert!(history >= 1);
+        StrawmanSender {
+            session_id: 0,
+            current: 0,
+            pending: Vec::new(),
+            history,
+            lost_sessions: 0,
+            compared_sessions: 0,
+            mismatches: 0,
+        }
+    }
+
+    /// Count one sent packet; returns the session ID to stamp on it.
+    pub fn on_send(&mut self) -> u32 {
+        self.current += 1;
+        self.session_id
+    }
+
+    /// Rotate to a new session (the "exchange frequency" tick).
+    pub fn rotate(&mut self) {
+        if self.pending.len() == self.history {
+            // The oldest unreported session is overwritten: measurement lost.
+            self.pending.remove(0);
+            self.lost_sessions += 1;
+        }
+        self.pending.push((self.session_id, self.current));
+        self.session_id = self.session_id.wrapping_add(1);
+        self.current = 0;
+    }
+
+    /// A (unprotected) report for `session_id` arrived with the downstream
+    /// count. Returns `Some(lost_packets)` if the session was still
+    /// buffered.
+    pub fn on_report(&mut self, session_id: u32, remote: u32) -> Option<i64> {
+        let idx = self.pending.iter().position(|&(sid, _)| sid == session_id)?;
+        let (_, local) = self.pending.remove(idx);
+        self.compared_sessions += 1;
+        let lost = i64::from(local) - i64::from(remote);
+        if lost > 0 {
+            self.mismatches += 1;
+        }
+        Some(lost)
+    }
+
+    /// Counter sets this design must provision (current + history), per
+    /// §4.1: "consume k times the memory required for a single session".
+    pub fn memory_counter_sets(&self) -> usize {
+        1 + self.history
+    }
+
+    /// Fraction of finished sessions whose measurement survived.
+    pub fn reliability(&self) -> f64 {
+        let total = self.compared_sessions + self.lost_sessions;
+        if total == 0 {
+            1.0
+        } else {
+            self.compared_sessions as f64 / total as f64
+        }
+    }
+}
+
+/// Downstream state of the strawman protocol for one counter.
+#[derive(Debug, Clone, Default)]
+pub struct StrawmanReceiver {
+    /// Session currently being counted.
+    pub session_id: u32,
+    /// Count of that session.
+    pub count: u32,
+    started: bool,
+}
+
+impl StrawmanReceiver {
+    /// A fresh receiver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tagged packet arrived. If the tag opens a new session, the
+    /// previous session's `(id, count)` is returned and must be sent
+    /// upstream as a (fire-and-forget) report.
+    pub fn on_packet(&mut self, session_id: u32) -> Option<(u32, u32)> {
+        if !self.started {
+            self.started = true;
+            self.session_id = session_id;
+            self.count = 1;
+            return None;
+        }
+        if session_id == self.session_id {
+            self.count += 1;
+            None
+        } else {
+            let report = (self.session_id, self.count);
+            self.session_id = session_id;
+            self.count = 1;
+            Some(report)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive the strawman across `sessions` sessions with `pkts` packets
+    /// each; `report_loss(i)` says whether session i's report is dropped.
+    fn drive(
+        sessions: u32,
+        pkts: u32,
+        history: usize,
+        report_lost: impl Fn(u32) -> bool,
+    ) -> StrawmanSender {
+        let mut tx = StrawmanSender::new(history);
+        let mut rx = StrawmanReceiver::new();
+        for _s in 0..sessions {
+            for _ in 0..pkts {
+                let sid = tx.on_send();
+                if let Some((rsid, rcount)) = rx.on_packet(sid) {
+                    if !report_lost(rsid) {
+                        tx.on_report(rsid, rcount);
+                    }
+                }
+            }
+            tx.rotate();
+        }
+        tx
+    }
+
+    #[test]
+    fn lossless_reports_compare_every_session() {
+        let tx = drive(50, 100, 1, |_| false);
+        assert_eq!(tx.lost_sessions, 0);
+        // The last session is still pending (no newer packet arrived).
+        assert_eq!(tx.compared_sessions, 49);
+        assert_eq!(tx.mismatches, 0);
+        assert_eq!(tx.reliability(), 1.0);
+        assert_eq!(tx.memory_counter_sets(), 2);
+    }
+
+    #[test]
+    fn lost_reports_lose_measurements() {
+        // Every third report dropped: those sessions are unrecoverable.
+        let tx = drive(60, 100, 1, |sid| sid % 3 == 0);
+        assert!(tx.lost_sessions >= 18, "lost {}", tx.lost_sessions);
+        assert!(tx.reliability() < 0.72, "reliability {}", tx.reliability());
+    }
+
+    #[test]
+    fn blackholed_reverse_path_blinds_the_strawman() {
+        // §4.1: "a link cannot be monitored if a failure affects the
+        // reverse direction of the traffic."
+        let tx = drive(60, 100, 1, |_| true);
+        assert_eq!(tx.compared_sessions, 0);
+        assert!(tx.lost_sessions > 50);
+        assert_eq!(tx.reliability(), 0.0);
+    }
+
+    #[test]
+    fn history_buys_reliability_with_memory() {
+        // With a deeper history, late reports can still land — but memory
+        // multiplies. (In this driver reports are either instant or lost,
+        // so the benefit shows as fewer overwrites under bursty loss.)
+        let shallow = StrawmanSender::new(1);
+        let deep = StrawmanSender::new(4);
+        assert_eq!(shallow.memory_counter_sets(), 2);
+        assert_eq!(deep.memory_counter_sets(), 5);
+    }
+
+    #[test]
+    fn receiver_rolls_sessions_on_tag_change() {
+        let mut rx = StrawmanReceiver::new();
+        assert_eq!(rx.on_packet(0), None);
+        assert_eq!(rx.on_packet(0), None);
+        assert_eq!(rx.on_packet(1), Some((0, 2)));
+        assert_eq!(rx.on_packet(1), None);
+        assert_eq!(rx.count, 2);
+    }
+}

@@ -1,0 +1,1076 @@
+//! The FANcY switch: a `fancy_sim::Node` wiring everything together.
+//!
+//! Per monitored egress port the switch runs, as *upstream*: one sender FSM
+//! and counter per dedicated entry, plus one sender FSM and [`ZoomEngine`]
+//! for the hash-based tree, plus the output structures (flag array and
+//! Bloom filter). As *downstream* (created lazily when a Start arrives on a
+//! port) it runs the matching receiver FSMs and counter blocks.
+//!
+//! The data path follows the paper's counter placement exactly:
+//!
+//! 1. ingress: count tagged packets (before this switch's TM), strip tag;
+//! 2. FIB lookup (+ optional fast-reroute consultation, §6.1);
+//! 3. TM admission — congestion drops happen here, *uncounted*;
+//! 4. egress: count + tag admitted packets if the session is counting;
+//! 5. wire — where gray failures live.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use fancy_net::{ControlBody, ControlMessage, FancyTag, Prefix, SessionKind};
+use fancy_sim::{
+    DetectionScope, DetectorKind, Kernel, Node, Packet, PacketKind, PortId, TimerToken,
+};
+
+use crate::config::FancyLayout;
+use crate::fsm::{ReceiverAction, ReceiverFsm, SenderAction, SenderFsm};
+use crate::output::{FlagArray, OutputBloom};
+use crate::tree::TreeHasher;
+use crate::zoom::{ZoomEngine, ZoomOutcome};
+
+/// `kind` value marking the tree session in timer tokens and dispatch.
+const KIND_TREE: u16 = u16::MAX;
+/// `kind` value marking the per-port congestion-guard poll timer.
+const KIND_GUARD: u16 = u16::MAX - 1;
+
+const ROLE_SENDER: u64 = 0;
+const ROLE_RECEIVER: u64 = 1;
+
+fn make_token(role: u64, port: PortId, kind: u16, epoch: u64) -> TimerToken {
+    debug_assert!(port < 1024);
+    role | ((port as u64) << 1) | (u64::from(kind) << 11) | (epoch << 27)
+}
+
+fn split_token(t: TimerToken) -> (u64, PortId, u16, u64) {
+    (
+        t & 1,
+        ((t >> 1) & 0x3ff) as PortId,
+        ((t >> 11) & 0xffff) as u16,
+        t >> 27,
+    )
+}
+
+/// Fast-reroute configuration (§6.1): per primary port, the backup port to
+/// use for traffic whose entry/hash path has been flagged.
+#[derive(Debug, Clone, Default)]
+pub struct Reroute {
+    /// `primary egress port → backup egress port`.
+    pub backup: HashMap<PortId, PortId>,
+}
+
+/// Congestion guard for partial deployments (the paper's footnote 2):
+/// "systematic failures can be distinguished from congestion even in
+/// partial deployments of FANcY by monitoring queue sizes on all devices,
+/// and discarding all measurements collected during periods where queue
+/// sizes were excessively long." The guard periodically polls queue-depth
+/// telemetry of the watched links (what real deployments get from
+/// SNMP/INT) and suppresses comparisons while — and shortly after —
+/// any watched queue ran long.
+#[derive(Debug, Clone)]
+pub struct CongestionGuard {
+    /// A watched queue counts as congested above this backlog (bytes).
+    pub threshold_bytes: u64,
+    /// Telemetry polling period; measurements within 2 windows of a
+    /// congested poll are discarded.
+    pub window: fancy_sim::SimDuration,
+    /// Links to watch: `(link, transmitting node)` pairs along the
+    /// monitored path.
+    pub watched: Vec<(fancy_sim::LinkId, fancy_sim::NodeId)>,
+}
+
+/// Aggregate switch statistics (overhead accounting, §5.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwitchStats {
+    /// Control messages sent.
+    pub control_sent: u64,
+    /// Control bytes sent (with minimum-frame padding).
+    pub control_bytes: u64,
+    /// Data packets tagged on egress.
+    pub tagged_packets: u64,
+    /// Data packets rerouted to a backup port.
+    pub rerouted_packets: u64,
+    /// Data packets dropped for lack of a route.
+    pub no_route_drops: u64,
+    /// Session comparisons discarded by the congestion guard.
+    pub discarded_sessions: u64,
+}
+
+struct DedicatedUp {
+    entry: Prefix,
+    fsm: SenderFsm,
+    count: u32,
+}
+
+struct UpstreamPort {
+    dedicated: Vec<DedicatedUp>,
+    tree_fsm: SenderFsm,
+    zoom: ZoomEngine,
+    flags: FlagArray,
+    bloom: OutputBloom,
+    /// Last time a watched queue was seen congested (congestion guard).
+    last_congested: Option<fancy_sim::SimTime>,
+    /// Latched link-down state: set on the first protocol timeout, cleared
+    /// when any session on the port completes again. Keeps LinkDown
+    /// reports rising-edge like the other output registers.
+    link_down: bool,
+}
+
+struct DedicatedDown {
+    fsm: ReceiverFsm,
+    count: u32,
+    cached: Vec<u32>,
+}
+
+struct TreeDown {
+    fsm: ReceiverFsm,
+    counters: Vec<u32>,
+    cached: Vec<u32>,
+}
+
+#[derive(Default)]
+struct DownstreamPort {
+    dedicated: Vec<DedicatedDown>,
+    tree: Option<TreeDown>,
+    /// Where to address replies (the upstream's control source address).
+    reply_to: u32,
+}
+
+/// A FANcY-capable switch.
+pub struct FancySwitch {
+    /// Forwarding table.
+    pub fib: fancy_sim::Fib,
+    layout: FancyLayout,
+    dedicated_index: HashMap<Prefix, u16>,
+    seed: u64,
+    monitored: Vec<PortId>,
+    upstream: HashMap<PortId, UpstreamPort>,
+    downstream: HashMap<PortId, DownstreamPort>,
+    /// Fast-reroute table; `None` disables rerouting.
+    pub reroute: Option<Reroute>,
+    /// Congestion guards per monitored port (footnote 2; partial
+    /// deployments).
+    pub guards: HashMap<PortId, CongestionGuard>,
+    /// This switch's own address, used as the source of control messages
+    /// so they can be routed back across legacy hops (partial deployment,
+    /// §4.3). 0 works for adjacent deployments.
+    pub addr: u32,
+    /// Destination address for control messages per monitored port. For
+    /// adjacent switches the default 0 is consumed at the next hop; for
+    /// remote (partial) deployment set it to the peer FANcY switch's
+    /// address so legacy switches in between can route it.
+    pub control_dst: HashMap<PortId, u32>,
+    /// Aggregate statistics.
+    pub stats: SwitchStats,
+}
+
+impl FancySwitch {
+    /// Build a switch from a translated layout. `monitored` lists the
+    /// egress ports on which this switch acts as the counting upstream
+    /// (FANcY is "deployed at every switch, so that it can monitor all
+    /// links, one by one" in full deployments, §4.3).
+    pub fn new(fib: fancy_sim::Fib, layout: FancyLayout, monitored: Vec<PortId>, seed: u64) -> Self {
+        let dedicated_index = layout
+            .high_priority
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i as u16))
+            .collect();
+        let mut sw = FancySwitch {
+            fib,
+            layout,
+            dedicated_index,
+            seed,
+            monitored: monitored.clone(),
+            upstream: HashMap::new(),
+            downstream: HashMap::new(),
+            reroute: None,
+            guards: HashMap::new(),
+            addr: 0,
+            control_dst: HashMap::new(),
+            stats: SwitchStats::default(),
+        };
+        for port in monitored {
+            sw.upstream.insert(port, sw.make_upstream(port));
+        }
+        sw
+    }
+
+    fn make_upstream(&self, port: PortId) -> UpstreamPort {
+        let t = self.layout.timers;
+        UpstreamPort {
+            dedicated: self
+                .layout
+                .high_priority
+                .iter()
+                .map(|&entry| DedicatedUp {
+                    entry,
+                    fsm: SenderFsm::new(t.dedicated_interval, t),
+                    count: 0,
+                })
+                .collect(),
+            tree_fsm: SenderFsm::new(t.zooming_interval, t),
+            zoom: ZoomEngine::new(self.layout.tree, self.seed ^ ((port as u64) << 32)),
+            flags: FlagArray::new(self.layout.high_priority.len()),
+            bloom: OutputBloom::tofino_default(self.seed ^ 0xB100),
+            last_congested: None,
+            link_down: false,
+        }
+    }
+
+    /// The hash functions used on `port`'s tree (experiments resolve
+    /// reported hash paths against the entry universe with this).
+    pub fn tree_hasher(&self, port: PortId) -> &TreeHasher {
+        self.upstream[&port].zoom.hasher()
+    }
+
+    /// Dedicated entries currently flagged on `port`.
+    pub fn flagged_entries(&self, port: PortId) -> Vec<Prefix> {
+        let up = &self.upstream[&port];
+        up.flags
+            .flagged()
+            .into_iter()
+            .map(|id| up.dedicated[usize::from(id)].entry)
+            .collect()
+    }
+
+    /// Does `port`'s output Bloom filter flag this entry's hash path?
+    pub fn tree_flags_entry(&self, port: PortId, entry: Prefix) -> bool {
+        let up = &self.upstream[&port];
+        up.bloom.contains(&up.zoom.hasher().hash_path(entry))
+    }
+
+    /// Completed counting sessions on `port` (dedicated, tree).
+    pub fn sessions_completed(&self, port: PortId) -> (u64, u64) {
+        let up = &self.upstream[&port];
+        (
+            up.dedicated.iter().map(|d| d.fsm.sessions_completed).sum(),
+            up.tree_fsm.sessions_completed,
+        )
+    }
+
+    /// Is the port currently latched link-down (protocol timeouts and no
+    /// completed session since)?
+    pub fn is_link_down(&self, port: PortId) -> bool {
+        self.upstream.get(&port).map_or(false, |u| u.link_down)
+    }
+
+    /// Would this packet be steered to a backup port? (Outcome of the
+    /// fast-reroute consultation for `entry` on `primary`.)
+    pub fn is_rerouted(&self, primary: PortId, entry: Prefix) -> bool {
+        let Some(rr) = &self.reroute else {
+            return false;
+        };
+        if !rr.backup.contains_key(&primary) {
+            return false;
+        }
+        let Some(up) = self.upstream.get(&primary) else {
+            return false;
+        };
+        if let Some(&id) = self.dedicated_index.get(&entry) {
+            up.flags.get(id)
+        } else {
+            up.bloom.contains(&up.zoom.hasher().hash_path(entry))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sender-side machinery.
+    // ------------------------------------------------------------------
+
+    fn send_control(
+        &mut self,
+        ctx: &mut Kernel,
+        port: PortId,
+        dst: u32,
+        kind: SessionKind,
+        session_id: u32,
+        body: ControlBody,
+    ) {
+        let msg = ControlMessage {
+            kind,
+            session_id,
+            body,
+        };
+        let size = msg.frame_len() as u32;
+        self.stats.control_sent += 1;
+        self.stats.control_bytes += u64::from(size);
+        let pkt =
+            fancy_sim::PacketBuilder::new(self.addr, dst, size, PacketKind::FancyControl(msg))
+                .build();
+        ctx.send(port, pkt);
+    }
+
+    /// Execute the actions emitted by the sender FSM of (`port`, `kind`).
+    fn drive_sender(&mut self, ctx: &mut Kernel, port: PortId, kind: u16, actions: Vec<SenderAction>) {
+        let mut queue: std::collections::VecDeque<SenderAction> = actions.into();
+        while let Some(action) = queue.pop_front() {
+            match action {
+                SenderAction::Send(body) => {
+                    let (sid, skind) = {
+                        let up = self.upstream.get(&port).expect("unknown upstream port");
+                        if kind == KIND_TREE {
+                            (up.tree_fsm.session_id, SessionKind::Tree)
+                        } else {
+                            (
+                                up.dedicated[usize::from(kind)].fsm.session_id,
+                                SessionKind::Dedicated { counter_id: kind },
+                            )
+                        }
+                    };
+                    let dst = self.control_dst.get(&port).copied().unwrap_or(0);
+                    self.send_control(ctx, port, dst, skind, sid, body);
+                }
+                SenderAction::ResetCounters => {
+                    let up = self.upstream.get_mut(&port).unwrap();
+                    if kind == KIND_TREE {
+                        up.zoom.begin_session();
+                    } else {
+                        up.dedicated[usize::from(kind)].count = 0;
+                    }
+                }
+                SenderAction::BeginCounting | SenderAction::EndCounting => {}
+                SenderAction::Deliver(counters) => {
+                    // A completed session proves the link answers again.
+                    if let Some(up) = self.upstream.get_mut(&port) {
+                        up.link_down = false;
+                    }
+                    self.deliver_report(ctx, port, kind, &counters);
+                    // "immediately after, starts a new session" (§3).
+                    let up = self.upstream.get_mut(&port).unwrap();
+                    let next = if kind == KIND_TREE {
+                        up.tree_fsm.open()
+                    } else {
+                        up.dedicated[usize::from(kind)].fsm.open()
+                    };
+                    queue.extend(next);
+                }
+                SenderAction::LinkFailure => {
+                    let up = self.upstream.get_mut(&port).unwrap();
+                    if !up.link_down {
+                        up.link_down = true;
+                        ctx.report(port, DetectionScope::LinkDown, DetectorKind::ProtocolTimeout);
+                    }
+                }
+                SenderAction::ArmTimer { delay, epoch } => {
+                    ctx.schedule_timer(delay, make_token(ROLE_SENDER, port, kind, epoch));
+                }
+            }
+        }
+    }
+
+    /// Should this port's measurements be discarded right now?
+    fn congestion_tainted(&self, ctx: &Kernel, port: PortId) -> bool {
+        let (Some(guard), Some(up)) = (self.guards.get(&port), self.upstream.get(&port)) else {
+            return false;
+        };
+        up.last_congested.map_or(false, |t| {
+            ctx.now().saturating_since(t).as_nanos() <= 2 * guard.window.as_nanos()
+        })
+    }
+
+    fn deliver_report(&mut self, ctx: &mut Kernel, port: PortId, kind: u16, counters: &[u32]) {
+        if self.congestion_tainted(ctx, port) {
+            // Footnote 2: discard measurements taken while watched queues
+            // were excessively long — a mismatch here could be congestion
+            // on an unmonitored hop, not a gray failure.
+            self.stats.discarded_sessions += 1;
+            if kind == KIND_TREE {
+                // Keep the zooming state consistent: treat as a clean
+                // session so stale paths are abandoned, not advanced.
+                let up = self.upstream.get_mut(&port).unwrap();
+                let local = up.zoom.local_report();
+                let _ = up.zoom.end_session(&local);
+            }
+            return;
+        }
+        if kind == KIND_TREE {
+            let outcomes = {
+                let up = self.upstream.get_mut(&port).unwrap();
+                let expected = up.zoom.slot_count() * usize::from(up.zoom.params().width);
+                if counters.len() != expected {
+                    return; // malformed report; drop it, session just restarts
+                }
+                up.zoom.end_session(counters)
+            };
+            for outcome in outcomes {
+                match outcome {
+                    ZoomOutcome::Uniform => {
+                        ctx.report(port, DetectionScope::Uniform, DetectorKind::UniformCheck);
+                    }
+                    ZoomOutcome::LeafFailure { path, .. } => {
+                        let up = self.upstream.get_mut(&port).unwrap();
+                        // Rising edge only: paths already in the output
+                        // Bloom filter are already being acted upon.
+                        if !up.bloom.contains(&path) {
+                            up.bloom.insert(&path);
+                            ctx.report(
+                                port,
+                                DetectionScope::HashPath(path),
+                                DetectorKind::HashTree,
+                            );
+                        }
+                    }
+                }
+            }
+        } else {
+            let up = self.upstream.get_mut(&port).unwrap();
+            let d = &mut up.dedicated[usize::from(kind)];
+            let remote = counters.first().copied().unwrap_or(0);
+            let lost = i64::from(d.count) - i64::from(remote);
+            // Rising edge only: the 1-bit output register latches the
+            // detection; applications read the register, not a report
+            // stream (§4.3).
+            if lost > 0 && !up.flags.get(kind) {
+                up.flags.set(kind);
+                let entry = d.entry;
+                ctx.report(
+                    port,
+                    DetectionScope::Entry(entry),
+                    DetectorKind::DedicatedCounter,
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Receiver-side machinery.
+    // ------------------------------------------------------------------
+
+    fn drive_receiver(&mut self, ctx: &mut Kernel, port: PortId, kind: u16, actions: Vec<ReceiverAction>) {
+        for action in actions {
+            match action {
+                ReceiverAction::Send(body) => {
+                    let (sid, skind) = {
+                        let down = self.downstream.get(&port).unwrap();
+                        if kind == KIND_TREE {
+                            (
+                                down.tree.as_ref().unwrap().fsm.session_id,
+                                SessionKind::Tree,
+                            )
+                        } else {
+                            (
+                                down.dedicated[usize::from(kind)].fsm.session_id,
+                                SessionKind::Dedicated { counter_id: kind },
+                            )
+                        }
+                    };
+                    let dst = self
+                        .downstream
+                        .get(&port)
+                        .map_or(0, |d| d.reply_to);
+                    self.send_control(ctx, port, dst, skind, sid, body);
+                }
+                ReceiverAction::ResetCounters => {
+                    let down = self.downstream.get_mut(&port).unwrap();
+                    if kind == KIND_TREE {
+                        let t = down.tree.as_mut().unwrap();
+                        t.counters.iter_mut().for_each(|c| *c = 0);
+                    } else {
+                        down.dedicated[usize::from(kind)].count = 0;
+                    }
+                }
+                ReceiverAction::EmitReport | ReceiverAction::ResendReport => {
+                    let resend = matches!(action, ReceiverAction::ResendReport);
+                    let (sid, skind, report) = {
+                        let down = self.downstream.get_mut(&port).unwrap();
+                        if kind == KIND_TREE {
+                            let t = down.tree.as_mut().unwrap();
+                            if !resend {
+                                t.cached = t.counters.clone();
+                            }
+                            (t.fsm.session_id, SessionKind::Tree, t.cached.clone())
+                        } else {
+                            let d = &mut down.dedicated[usize::from(kind)];
+                            if !resend {
+                                d.cached = vec![d.count];
+                            }
+                            (
+                                d.fsm.session_id,
+                                SessionKind::Dedicated { counter_id: kind },
+                                d.cached.clone(),
+                            )
+                        }
+                    };
+                    let dst = self
+                        .downstream
+                        .get(&port)
+                        .map_or(0, |d| d.reply_to);
+                    self.send_control(ctx, port, dst, skind, sid, ControlBody::Report(report));
+                }
+                ReceiverAction::ArmTimer { delay, epoch } => {
+                    ctx.schedule_timer(delay, make_token(ROLE_RECEIVER, port, kind, epoch));
+                }
+            }
+        }
+    }
+
+    fn ensure_downstream(&mut self, port: PortId, kind: u16) {
+        let timers = self.layout.timers;
+        let tree_len = self.layout.tree.slot_count() * usize::from(self.layout.tree.width);
+        let down = self.downstream.entry(port).or_default();
+        if kind == KIND_TREE {
+            if down.tree.is_none() {
+                down.tree = Some(TreeDown {
+                    fsm: ReceiverFsm::new(timers),
+                    counters: vec![0; tree_len],
+                    cached: vec![0; tree_len],
+                });
+            }
+        } else {
+            while down.dedicated.len() <= usize::from(kind) {
+                down.dedicated.push(DedicatedDown {
+                    fsm: ReceiverFsm::new(timers),
+                    count: 0,
+                    cached: vec![0],
+                });
+            }
+        }
+    }
+
+    fn on_control(&mut self, ctx: &mut Kernel, port: PortId, src: u32, msg: ControlMessage) {
+        let kind = match msg.kind {
+            SessionKind::Tree => KIND_TREE,
+            SessionKind::Dedicated { counter_id } => counter_id,
+        };
+        match &msg.body {
+            ControlBody::Start | ControlBody::Stop => {
+                self.ensure_downstream(port, kind);
+                let actions = {
+                    let down = self.downstream.get_mut(&port).unwrap();
+                    down.reply_to = src;
+                    let fsm = if kind == KIND_TREE {
+                        &mut down.tree.as_mut().unwrap().fsm
+                    } else {
+                        &mut down.dedicated[usize::from(kind)].fsm
+                    };
+                    fsm.on_message(msg.session_id, &msg.body)
+                };
+                self.drive_receiver(ctx, port, kind, actions);
+            }
+            ControlBody::StartAck | ControlBody::Report(_) => {
+                let Some(up) = self.upstream.get_mut(&port) else {
+                    return; // reply on a port we do not monitor: ignore
+                };
+                let actions = if kind == KIND_TREE {
+                    up.tree_fsm.on_message(msg.session_id, &msg.body)
+                } else if usize::from(kind) < up.dedicated.len() {
+                    up.dedicated[usize::from(kind)].fsm.on_message(msg.session_id, &msg.body)
+                } else {
+                    Vec::new()
+                };
+                self.drive_sender(ctx, port, kind, actions);
+            }
+        }
+    }
+
+    /// Ingress counting: tagged packets are counted before this switch's TM
+    /// and the (hop-local) tag is stripped.
+    fn ingress_count(&mut self, port: PortId, pkt: &mut Packet) {
+        let Some(tag) = pkt.tag.take() else { return };
+        let Some(down) = self.downstream.get_mut(&port) else {
+            return;
+        };
+        match tag {
+            FancyTag::Dedicated { counter_id } => {
+                if let Some(d) = down.dedicated.get_mut(usize::from(counter_id)) {
+                    if d.fsm.accepts_counts() {
+                        d.count = d.count.wrapping_add(1);
+                        d.fsm.on_tagged_packet();
+                    }
+                }
+            }
+            FancyTag::Tree { slot, index } => {
+                if let Some(t) = down.tree.as_mut() {
+                    if t.fsm.accepts_counts() {
+                        let w = usize::from(self.layout.tree.width);
+                        let i = usize::from(slot) * w + usize::from(index);
+                        if i < t.counters.len() {
+                            t.counters[i] = t.counters[i].wrapping_add(1);
+                        }
+                        t.fsm.on_tagged_packet();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Egress counting/tagging of an admitted packet.
+    fn egress_count(&mut self, out: PortId, pkt: &mut Packet) {
+        let entry = pkt.entry();
+        let dedicated_id = self.dedicated_index.get(&entry).copied();
+        let Some(up) = self.upstream.get_mut(&out) else {
+            return;
+        };
+        if let Some(id) = dedicated_id {
+            let d = &mut up.dedicated[usize::from(id)];
+            if d.fsm.is_counting() {
+                d.count = d.count.wrapping_add(1);
+                pkt.tag = Some(FancyTag::Dedicated { counter_id: id });
+                self.stats.tagged_packets += 1;
+            }
+        } else if up.tree_fsm.is_counting() {
+            pkt.tag = Some(up.zoom.tag_and_count(entry));
+            self.stats.tagged_packets += 1;
+        }
+    }
+}
+
+impl Node for FancySwitch {
+    fn on_start(&mut self, ctx: &mut Kernel) {
+        // Congestion-guard telemetry polls.
+        for (&port, guard) in &self.guards {
+            ctx.schedule_timer(guard.window, make_token(ROLE_SENDER, port, KIND_GUARD, 0));
+        }
+        // Open the first counting session on every monitored port, for every
+        // dedicated entry and the tree.
+        for port in self.monitored.clone() {
+            let n = self.upstream[&port].dedicated.len();
+            for id in 0..n {
+                let actions = self.upstream.get_mut(&port).unwrap().dedicated[id].fsm.open();
+                self.drive_sender(ctx, port, id as u16, actions);
+            }
+            let actions = self.upstream.get_mut(&port).unwrap().tree_fsm.open();
+            self.drive_sender(ctx, port, KIND_TREE, actions);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, mut pkt: Packet) {
+        if let PacketKind::FancyControl(msg) = pkt.kind {
+            // A FANcY switch consumes control messages addressed to it (or
+            // link-local ones, dst 0); anything else is in transit to a
+            // remote peer and is forwarded like data.
+            if pkt.dst == 0 || pkt.dst == self.addr || self.fib.lookup(pkt.dst).is_none() {
+                self.on_control(ctx, port, pkt.src, msg);
+                return;
+            }
+            let out = self.fib.lookup(pkt.dst).expect("checked above");
+            let pkt = fancy_sim::Packet {
+                kind: PacketKind::FancyControl(msg),
+                ..pkt
+            };
+            if let Some(adm) = ctx.tm_admit(out, &pkt) {
+                ctx.wire_send(pkt, adm);
+            }
+            return;
+        }
+        // 1. Ingress (downstream) counting, before our TM.
+        self.ingress_count(port, &mut pkt);
+
+        // 2. FIB lookup.
+        let Some(mut out) = self.fib.lookup(pkt.dst) else {
+            self.stats.no_route_drops += 1;
+            return;
+        };
+
+        // 3. Fast-reroute consultation (§6.1).
+        if self.is_rerouted(out, pkt.entry()) {
+            out = self.reroute.as_ref().unwrap().backup[&out];
+            self.stats.rerouted_packets += 1;
+        }
+
+        // 4. TM admission (congestion drops are not counted), then egress
+        //    counting + tagging, then the wire.
+        if let Some(adm) = ctx.tm_admit(out, &pkt) {
+            self.egress_count(out, &mut pkt);
+            ctx.wire_send(pkt, adm);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Kernel, token: TimerToken) {
+        let (role, port, kind, epoch) = split_token(token);
+        if role == ROLE_SENDER && kind == KIND_GUARD {
+            let Some(guard) = self.guards.get(&port).cloned() else {
+                return;
+            };
+            let congested = guard
+                .watched
+                .iter()
+                .any(|&(link, from)| ctx.take_link_max_backlog(link, from) > guard.threshold_bytes);
+            if congested {
+                if let Some(up) = self.upstream.get_mut(&port) {
+                    up.last_congested = Some(ctx.now());
+                }
+            }
+            ctx.schedule_timer(guard.window, make_token(ROLE_SENDER, port, KIND_GUARD, 0));
+            return;
+        }
+        if role == ROLE_SENDER {
+            let Some(up) = self.upstream.get_mut(&port) else {
+                return;
+            };
+            let actions = if kind == KIND_TREE {
+                up.tree_fsm.on_timer(epoch)
+            } else {
+                up.dedicated[usize::from(kind)].fsm.on_timer(epoch)
+            };
+            self.drive_sender(ctx, port, kind, actions);
+        } else {
+            let Some(down) = self.downstream.get_mut(&port) else {
+                return;
+            };
+            let actions = if kind == KIND_TREE {
+                match down.tree.as_mut() {
+                    Some(t) => t.fsm.on_timer(epoch),
+                    None => Vec::new(),
+                }
+            } else {
+                down.dedicated[usize::from(kind)].fsm.on_timer(epoch)
+            };
+            self.drive_receiver(ctx, port, kind, actions);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FancyInput, TimerConfig};
+    use crate::tree::TreeParams;
+    use fancy_sim::{
+        DetectionScope, DetectorKind, GrayFailure, LinkConfig, Network, SimDuration, SimTime,
+    };
+    use fancy_tcp::{ReceiverHost, ScheduledFlow, SenderHost};
+
+    fn token_roundtrip(role: u64, port: PortId, kind: u16, epoch: u64) {
+        assert_eq!(
+            split_token(make_token(role, port, kind, epoch)),
+            (role, port, kind, epoch)
+        );
+    }
+
+    #[test]
+    fn timer_tokens_roundtrip() {
+        token_roundtrip(ROLE_SENDER, 0, 0, 0);
+        token_roundtrip(ROLE_RECEIVER, 1023, KIND_TREE, 1 << 30);
+        token_roundtrip(ROLE_SENDER, 63, 499, 12345);
+    }
+
+    /// Build the §5 experiment topology:
+    /// `sender host — S1 — S2 — receiver host`, FANcY on the S1→S2 link.
+    /// Returns (network, s1, s2, link_id, receiver).
+    fn fancy_pair(
+        high_priority: Vec<Prefix>,
+        tree: TreeParams,
+        flows: Vec<ScheduledFlow>,
+        seed: u64,
+    ) -> (Network, usize, usize, usize, usize) {
+        let mut input = FancyInput {
+            high_priority,
+            memory_bytes_per_port: 1 << 20,
+            tree,
+            timers: TimerConfig::paper_default(),
+        };
+        input.timers = input.timers.for_link_delay(SimDuration::from_millis(10));
+        let layout = input.translate().expect("layout");
+
+        let mut net = Network::new(seed);
+        let host = net.add_node(Box::new(SenderHost::new(0x01_00_00_01, flows)));
+        // S1: port 0 → host, port 1 → S2 (monitored).
+        let mut fib1 = fancy_sim::Fib::new();
+        fib1.default_route(1);
+        fib1.route(Prefix::from_addr(0x01_00_00_01), 0);
+        let s1 = net.add_node(Box::new(FancySwitch::new(
+            fib1,
+            layout.clone(),
+            vec![1],
+            seed,
+        )));
+        // S2: port 0 → S1, port 1 → receiver.
+        let mut fib2 = fancy_sim::Fib::new();
+        fib2.default_route(1);
+        fib2.route(Prefix::from_addr(0x01_00_00_01), 0);
+        let s2 = net.add_node(Box::new(FancySwitch::new(fib2, layout, Vec::new(), seed + 1)));
+        let rx = net.add_node(Box::new(ReceiverHost::new()));
+
+        let edge = LinkConfig::new(10_000_000_000, SimDuration::from_micros(10));
+        let core = LinkConfig::new(10_000_000_000, SimDuration::from_millis(10));
+        net.connect(host, s1, edge); // host port 0 / s1 port 0
+        let link = net.connect(s1, s2, core); // s1 port 1 / s2 port 0
+        net.connect(s2, rx, edge); // s2 port 1 / rx port 0
+        (net, s1, s2, link, rx)
+    }
+
+    fn steady_flows(dst: u32, rate: u64, n: usize, spacing_ms: u64) -> Vec<ScheduledFlow> {
+        (0..n)
+            .map(|i| ScheduledFlow {
+                start: SimTime(i as u64 * spacing_ms * 1_000_000),
+                dst,
+                cfg: fancy_tcp::FlowConfig::for_rate(rate, 1.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dedicated_counter_detects_single_entry_blackhole() {
+        let entry = Prefix::from_addr(0x0A_00_00_05);
+        let flows = steady_flows(0x0A_00_00_05, 1_000_000, 20, 200);
+        let (mut net, s1, _s2, link, _rx) =
+            fancy_pair(vec![entry], TreeParams::paper_default(), flows, 11);
+        let fail_at = SimTime::ZERO + SimDuration::from_secs(1);
+        net.kernel
+            .add_failure(link, s1, GrayFailure::single_entry(entry, 1.0, fail_at));
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+
+        let det = net
+            .kernel
+            .records
+            .first_entry_detection(entry)
+            .expect("blackhole must be detected");
+        assert_eq!(det.detector, DetectorKind::DedicatedCounter);
+        let latency = det.time.duration_since(fail_at);
+        // Expect ≈ exchange interval (50 ms) + session open/close RTTs.
+        assert!(
+            latency < SimDuration::from_millis(500),
+            "detection took {latency}"
+        );
+        // The switch's own output structures agree.
+        let sw: &FancySwitch = net.node(s1);
+        assert_eq!(sw.flagged_entries(1), vec![entry]);
+    }
+
+    #[test]
+    fn no_failure_no_detection_counters_stay_consistent() {
+        let entry = Prefix::from_addr(0x0A_00_00_05);
+        let flows = steady_flows(0x0A_00_00_05, 1_000_000, 10, 100);
+        let (mut net, s1, _s2, _link, _rx) =
+            fancy_pair(vec![entry], TreeParams::paper_default(), flows, 12);
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        assert!(net.kernel.records.detections.is_empty());
+        let sw: &FancySwitch = net.node(s1);
+        let (ded_sessions, tree_sessions) = sw.sessions_completed(1);
+        // 5 s / (50 ms + ~2 RTT) ≈ 50+ dedicated sessions; tree ≈ 20.
+        assert!(ded_sessions > 30, "dedicated sessions: {ded_sessions}");
+        assert!(tree_sessions > 10, "tree sessions: {tree_sessions}");
+    }
+
+    #[test]
+    fn hash_tree_detects_best_effort_entry() {
+        let entry = Prefix::from_addr(0x0B_00_00_07);
+        // No high-priority entries: everything is best effort.
+        let flows = steady_flows(0x0B_00_00_07, 2_000_000, 30, 150);
+        let (mut net, s1, _s2, link, _rx) =
+            fancy_pair(Vec::new(), TreeParams::paper_default(), flows, 13);
+        let fail_at = SimTime::ZERO + SimDuration::from_secs(1);
+        net.kernel
+            .add_failure(link, s1, GrayFailure::single_entry(entry, 0.5, fail_at));
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(8));
+
+        let tree_dets: Vec<_> = net
+            .kernel
+            .records
+            .detections_by(DetectorKind::HashTree)
+            .collect();
+        assert!(!tree_dets.is_empty(), "tree must detect the failed entry");
+        let sw: &FancySwitch = net.node(s1);
+        // The reported hash path resolves to the failed entry.
+        let DetectionScope::HashPath(path) = &tree_dets[0].scope else {
+            panic!("unexpected scope");
+        };
+        assert_eq!(path, &sw.tree_hasher(1).hash_path(entry));
+        assert!(sw.tree_flags_entry(1, entry));
+        // Detection latency ≈ depth × (zooming interval + 2 RTT).
+        let latency = tree_dets[0].time.duration_since(fail_at);
+        assert!(
+            latency < SimDuration::from_millis(1500),
+            "tree detection took {latency}"
+        );
+    }
+
+    #[test]
+    fn uniform_failure_flagged_as_uniform() {
+        // Many entries so most root counters carry traffic.
+        let mut flows = Vec::new();
+        for i in 0..300u32 {
+            flows.push(ScheduledFlow {
+                start: SimTime((i as u64 % 10) * 20_000_000),
+                dst: 0x0C_00_00_00 + i * 256 + 1,
+                cfg: fancy_tcp::FlowConfig::for_rate(500_000, 30.0),
+            });
+        }
+        let (mut net, _s1, _s2, link, _rx) =
+            fancy_pair(Vec::new(), TreeParams::paper_default(), flows, 14);
+        let s1 = 1;
+        let fail_at = SimTime::ZERO + SimDuration::from_secs(2);
+        net.kernel
+            .add_failure(link, s1, GrayFailure::uniform(0.5, fail_at));
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let uni: Vec<_> = net
+            .kernel
+            .records
+            .detections_by(DetectorKind::UniformCheck)
+            .collect();
+        assert!(!uni.is_empty(), "uniform failure must be flagged");
+        let latency = uni[0].time.duration_since(fail_at);
+        // ≈ one zooming interval (§5.1.3).
+        assert!(latency < SimDuration::from_millis(600), "took {latency}");
+    }
+
+    #[test]
+    fn congestion_is_not_reported_as_gray_failure() {
+        let entry = Prefix::from_addr(0x0A_00_00_05);
+        let flows = steady_flows(0x0A_00_00_05, 40_000_000, 10, 10);
+        let mut input = FancyInput {
+            high_priority: vec![entry],
+            memory_bytes_per_port: 1 << 20,
+            tree: TreeParams::paper_default(),
+            timers: TimerConfig::paper_default().for_link_delay(SimDuration::from_millis(10)),
+        };
+        input.timers.dedicated_interval = SimDuration::from_millis(50);
+        let layout = input.translate().unwrap();
+
+        let mut net = Network::new(15);
+        let host = net.add_node(Box::new(SenderHost::new(0x01_00_00_01, flows)));
+        let mut fib1 = fancy_sim::Fib::new();
+        fib1.default_route(1);
+        fib1.route(Prefix::from_addr(0x01_00_00_01), 0);
+        let s1 = net.add_node(Box::new(FancySwitch::new(fib1, layout.clone(), vec![1], 1)));
+        let mut fib2 = fancy_sim::Fib::new();
+        fib2.default_route(1);
+        fib2.route(Prefix::from_addr(0x01_00_00_01), 0);
+        let s2 = net.add_node(Box::new(FancySwitch::new(fib2, layout, Vec::new(), 2)));
+        let rx = net.add_node(Box::new(ReceiverHost::new()));
+        net.connect(host, s1, LinkConfig::new(1_000_000_000, SimDuration::from_micros(10)));
+        // Bottleneck: 10 Mbps with a tiny TM queue → heavy congestion.
+        net.connect(
+            s1,
+            s2,
+            LinkConfig::new(10_000_000, SimDuration::from_millis(10)).with_tm_capacity(10_000),
+        );
+        net.connect(s2, rx, LinkConfig::new(1_000_000_000, SimDuration::from_micros(10)));
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+
+        assert!(
+            net.kernel.records.congestion_drops > 0,
+            "test needs congestion"
+        );
+        // Congestion losses happen before FANcY's egress counters: the
+        // counting protocol must NOT flag the entry.
+        assert!(
+            net.kernel
+                .records
+                .detections_by(DetectorKind::DedicatedCounter)
+                .count()
+                == 0,
+            "congestion misreported as gray failure"
+        );
+    }
+
+    #[test]
+    fn counting_protocol_survives_lossy_reverse_path() {
+        // Gray failure on the *reverse* direction (S2 → S1) drops 30 % of
+        // everything, including StartAcks and Reports. The stop-and-wait
+        // protocol must keep completing sessions and still detect the
+        // forward failure.
+        let entry = Prefix::from_addr(0x0A_00_00_05);
+        let flows = steady_flows(0x0A_00_00_05, 1_000_000, 30, 150);
+        let (mut net, s1, s2, link, _rx) =
+            fancy_pair(vec![entry], TreeParams::paper_default(), flows, 16);
+        net.kernel
+            .add_failure(link, s2, GrayFailure::uniform(0.3, SimTime::ZERO));
+        let fail_at = SimTime::ZERO + SimDuration::from_secs(1);
+        net.kernel
+            .add_failure(link, s1, GrayFailure::single_entry(entry, 1.0, fail_at));
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(6));
+
+        let det = net.kernel.records.first_entry_detection(entry);
+        assert!(det.is_some(), "must detect despite lossy reverse path");
+        let sw: &FancySwitch = net.node(s1);
+        let (sessions, _) = sw.sessions_completed(1);
+        assert!(sessions > 10, "sessions kept completing: {sessions}");
+    }
+
+    #[test]
+    fn hard_link_failure_reported_after_x_attempts() {
+        let entry = Prefix::from_addr(0x0A_00_00_05);
+        let flows = steady_flows(0x0A_00_00_05, 1_000_000, 5, 100);
+        let (mut net, s1, _s2, link, _rx) =
+            fancy_pair(vec![entry], TreeParams::paper_default(), flows, 17);
+        // Kill the reverse path entirely: no ACKs/reports ever return.
+        let s2 = 2;
+        net.kernel
+            .add_failure(link, s2, GrayFailure::uniform(1.0, SimTime::ZERO));
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+        let timeouts = net
+            .kernel
+            .records
+            .detections_by(DetectorKind::ProtocolTimeout)
+            .count();
+        assert!(timeouts > 0, "link failure must be declared");
+        let _ = s1;
+    }
+
+    #[test]
+    fn reroute_moves_flagged_entry_to_backup() {
+        let entry = Prefix::from_addr(0x0A_00_00_05);
+        let layout = FancyInput {
+            high_priority: vec![entry],
+            memory_bytes_per_port: 1 << 20,
+            tree: TreeParams::paper_default(),
+            timers: TimerConfig::paper_default().for_link_delay(SimDuration::from_millis(1)),
+        }
+        .translate()
+        .unwrap();
+
+        let mut net = Network::new(18);
+        let flows = steady_flows(0x0A_00_00_05, 2_000_000, 40, 100);
+        let host = net.add_node(Box::new(SenderHost::new(0x01_00_00_01, flows)));
+        let mut fib1 = fancy_sim::Fib::new();
+        fib1.default_route(1);
+        fib1.route(Prefix::from_addr(0x01_00_00_01), 0);
+        let mut s1_node = FancySwitch::new(fib1, layout.clone(), vec![1], 3);
+        s1_node.reroute = Some(Reroute {
+            backup: [(1, 2)].into_iter().collect(),
+        });
+        let s1 = net.add_node(Box::new(s1_node));
+        let mut fib2 = fancy_sim::Fib::new();
+        fib2.default_route(2);
+        fib2.route(Prefix::from_addr(0x01_00_00_01), 0);
+        let s2 = net.add_node(Box::new(FancySwitch::new(fib2, layout, Vec::new(), 4)));
+        let rx = net.add_node(Box::new(ReceiverHost::new()));
+        let fast = LinkConfig::new(1_000_000_000, SimDuration::from_millis(1));
+        net.connect(host, s1, fast); // s1 port 0
+        let primary = net.connect(s1, s2, fast); // s1 port 1, s2 port 0
+        net.connect(s1, s2, fast); // backup: s1 port 2, s2 port 1
+        net.connect(s2, rx, fast); // s2 port 2
+        let fail_at = SimTime::ZERO + SimDuration::from_secs(1);
+        net.kernel
+            .add_failure(primary, s1, GrayFailure::single_entry(entry, 1.0, fail_at));
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+
+        let sw: &FancySwitch = net.node(s1);
+        assert!(sw.is_rerouted(1, entry));
+        assert!(sw.stats.rerouted_packets > 0);
+        // Traffic keeps flowing after the reroute: the receiver saw packets
+        // well after the failure time.
+        let rxh: &ReceiverHost = net.node(rx);
+        assert!(rxh.entry_bytes[&entry] > 0);
+        let det = net.kernel.records.first_entry_detection(entry).unwrap();
+        assert!(
+            det.time.duration_since(fail_at) < SimDuration::from_millis(1000),
+            "sub-second reroute"
+        );
+    }
+
+    #[test]
+    fn overhead_tag_is_two_bytes_and_control_padded() {
+        let entry = Prefix::from_addr(0x0A_00_00_05);
+        let flows = steady_flows(0x0A_00_00_05, 1_000_000, 5, 100);
+        let (mut net, s1, _s2, _link, _rx) =
+            fancy_pair(vec![entry], TreeParams::paper_default(), flows, 19);
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let sw: &FancySwitch = net.node(s1);
+        assert!(sw.stats.control_sent > 0);
+        // All dedicated-session messages are minimum-size frames except the
+        // tree Report (5330 B); average must sit between those bounds.
+        let avg = sw.stats.control_bytes as f64 / sw.stats.control_sent as f64;
+        assert!(avg >= 64.0 && avg < 600.0, "avg control frame {avg}");
+        assert!(sw.stats.tagged_packets > 0);
+    }
+}

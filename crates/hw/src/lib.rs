@@ -1,0 +1,28 @@
+//! # fancy-hw — a Tofino-class hardware resource model
+//!
+//! No P4 toolchain or ASIC exists in this environment, so this crate models
+//! the hardware side of the paper instead of compiling to it:
+//!
+//! * [`profile`] — the pipeline resource budget of a Tofino-class switch
+//!   (stages, SRAM/TCAM blocks, stateful ALUs, VLIW slots, hash bits,
+//!   crossbars, register readout bandwidth);
+//! * [`program`] — P4-program resource accounting with block-quantized
+//!   register allocation;
+//! * [`fancy_prog`] — the three FANcY programs of Table 4 with register
+//!   sizes *computed* from the Appendix B.2 layout (and calibrated
+//!   match-action overheads, clearly separated);
+//! * [`recirc`] — the recirculation cost of the prototype's register access
+//!   patterns (Appendix B.1).
+//!
+//! The register readout bandwidth in [`profile::TofinoProfile`] also feeds
+//! the LossRadar feasibility analysis (Table 2) in `fancy-analysis`.
+
+pub mod fancy_prog;
+pub mod profile;
+pub mod program;
+pub mod recirc;
+
+pub use fancy_prog::{dedicated_only, fancy_with_rerouting, full_fancy, switch_p4_published};
+pub use profile::TofinoProfile;
+pub use program::{Component, P4Program, ResourceUse, Utilization};
+pub use recirc::RecircModel;

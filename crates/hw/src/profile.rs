@@ -1,0 +1,132 @@
+//! A Tofino-class switch resource profile.
+//!
+//! Public information about Tofino-generation programmable switches (the
+//! paper's reference \[5\] and Appendix B): a packet pipeline has 12
+//! match-action stages; each stage owns a fixed budget of SRAM blocks,
+//! TCAM blocks, stateful ALUs, VLIW action slots, hash bits and match
+//! crossbar bits. An in-switch application is constrained stage by stage;
+//! Table 4 reports utilization as a percentage of the pipeline totals.
+
+/// Per-pipeline resource budget of a Tofino-class switch.
+#[derive(Debug, Clone, Copy)]
+pub struct TofinoProfile {
+    /// Match-action stages per pipeline.
+    pub stages: u32,
+    /// SRAM blocks per stage.
+    pub sram_blocks_per_stage: u32,
+    /// Bits per SRAM block (16 KB blocks).
+    pub sram_block_bits: u64,
+    /// TCAM blocks per stage.
+    pub tcam_blocks_per_stage: u32,
+    /// Stateful ALUs per stage.
+    pub salus_per_stage: u32,
+    /// VLIW action slots per stage.
+    pub vliw_slots_per_stage: u32,
+    /// Hash bits per stage.
+    pub hash_bits_per_stage: u32,
+    /// Ternary match crossbar bits per stage.
+    pub ternary_xbar_bits_per_stage: u32,
+    /// Exact match crossbar bits per stage.
+    pub exact_xbar_bits_per_stage: u32,
+    /// Control-plane register readout bandwidth available to one
+    /// application, bits/second (drives the Table 2 read-speed analysis;
+    /// calibrated on the measured switch, see fancy-analysis::lossradar).
+    pub register_read_bps: f64,
+    /// Per-stage SRAM share one application can realistically claim,
+    /// in bits (per-stage memory is shared across all in-switch apps, §2.3).
+    pub app_stage_sram_bits: f64,
+}
+
+impl TofinoProfile {
+    /// A first-generation 100 Gbps/port, 32-port Tofino — the paper's
+    /// prototype platform (Wedge 100BF-32X).
+    pub fn tofino1() -> Self {
+        TofinoProfile {
+            stages: 12,
+            sram_blocks_per_stage: 80,
+            sram_block_bits: 16 * 1024 * 8,
+            tcam_blocks_per_stage: 24,
+            salus_per_stage: 4,
+            vliw_slots_per_stage: 32,
+            hash_bits_per_stage: 416,
+            ternary_xbar_bits_per_stage: 528,
+            exact_xbar_bits_per_stage: 1024,
+            register_read_bps: 63.5e6,
+            app_stage_sram_bits: 264.0 * 1024.0 * 8.0,
+        }
+    }
+
+    /// A newer-generation 400 Gbps-class device: same pipeline shape,
+    /// ≈1.5× faster register readout (the Table 2 400 Gbps row).
+    pub fn tofino3() -> Self {
+        TofinoProfile {
+            register_read_bps: 63.5e6 * 1.5,
+            ..Self::tofino1()
+        }
+    }
+
+    /// Total SRAM bits per pipeline.
+    pub fn total_sram_bits(&self) -> u64 {
+        u64::from(self.stages) * u64::from(self.sram_blocks_per_stage) * self.sram_block_bits
+    }
+
+    /// Total SRAM blocks per pipeline.
+    pub fn total_sram_blocks(&self) -> u32 {
+        self.stages * self.sram_blocks_per_stage
+    }
+
+    /// Total TCAM blocks per pipeline.
+    pub fn total_tcam_blocks(&self) -> u32 {
+        self.stages * self.tcam_blocks_per_stage
+    }
+
+    /// Total stateful ALUs per pipeline.
+    pub fn total_salus(&self) -> u32 {
+        self.stages * self.salus_per_stage
+    }
+
+    /// Total VLIW action slots per pipeline.
+    pub fn total_vliw(&self) -> u32 {
+        self.stages * self.vliw_slots_per_stage
+    }
+
+    /// Total hash bits per pipeline.
+    pub fn total_hash_bits(&self) -> u32 {
+        self.stages * self.hash_bits_per_stage
+    }
+
+    /// Total ternary crossbar bits per pipeline.
+    pub fn total_ternary_xbar(&self) -> u32 {
+        self.stages * self.ternary_xbar_bits_per_stage
+    }
+
+    /// Total exact crossbar bits per pipeline.
+    pub fn total_exact_xbar(&self) -> u32 {
+        self.stages * self.exact_xbar_bits_per_stage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tofino1_matches_public_figures() {
+        let p = TofinoProfile::tofino1();
+        // "current switches offer about 12-15 MB of memory per pipeline" —
+        // the paper's §2.3, citing [5].
+        let mb = p.total_sram_bits() as f64 / 8.0 / 1e6;
+        assert!((12.0..=16.5).contains(&mb), "pipeline SRAM {mb} MB");
+        assert_eq!(p.total_salus(), 48);
+        assert_eq!(p.total_vliw(), 384);
+        assert_eq!(p.total_sram_blocks(), 960);
+    }
+
+    #[test]
+    fn tofino3_reads_faster_same_shape() {
+        let t1 = TofinoProfile::tofino1();
+        let t3 = TofinoProfile::tofino3();
+        assert!(t3.register_read_bps > t1.register_read_bps);
+        assert_eq!(t1.total_sram_bits(), t3.total_sram_bits());
+    }
+}

@@ -1,0 +1,183 @@
+//! P4-program resource accounting.
+//!
+//! A [`P4Program`] is a list of named components, each declaring what it
+//! consumes of every pipeline resource. [`P4Program::utilization`] turns
+//! that into the percentage-of-pipeline numbers Table 4 reports. Register
+//! SRAM is block-quantized like the real allocator (registers cannot share
+//! a 16 KB block with other tables).
+
+use crate::profile::TofinoProfile;
+
+/// Resources consumed by one program component.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceUse {
+    /// Register/table SRAM, in bits (block-quantized at accounting time).
+    pub sram_bits: u64,
+    /// Extra SRAM blocks for match/action overheads (action data, next-table
+    /// pointers), already block-granular.
+    pub sram_overhead_blocks: u32,
+    /// TCAM blocks.
+    pub tcam_blocks: u32,
+    /// Stateful ALUs.
+    pub salus: u32,
+    /// VLIW action slots.
+    pub vliw_slots: u32,
+    /// Hash bits.
+    pub hash_bits: u32,
+    /// Ternary crossbar bits.
+    pub ternary_xbar_bits: u32,
+    /// Exact crossbar bits.
+    pub exact_xbar_bits: u32,
+}
+
+impl ResourceUse {
+    fn add(&mut self, other: &ResourceUse) {
+        self.sram_bits += other.sram_bits;
+        self.sram_overhead_blocks += other.sram_overhead_blocks;
+        self.tcam_blocks += other.tcam_blocks;
+        self.salus += other.salus;
+        self.vliw_slots += other.vliw_slots;
+        self.hash_bits += other.hash_bits;
+        self.ternary_xbar_bits += other.ternary_xbar_bits;
+        self.exact_xbar_bits += other.exact_xbar_bits;
+    }
+}
+
+/// A named component of a P4 program.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// What it consumes.
+    pub resources: ResourceUse,
+}
+
+/// A P4 program as a set of components.
+#[derive(Debug, Clone, Default)]
+pub struct P4Program {
+    /// Program name (shown by the Table 4 harness).
+    pub name: &'static str,
+    /// Components.
+    pub components: Vec<Component>,
+}
+
+/// Utilization percentages relative to a pipeline profile — one Table 4
+/// column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// SRAM percentage.
+    pub sram: f64,
+    /// Stateful-ALU percentage.
+    pub salu: f64,
+    /// VLIW action percentage.
+    pub vliw: f64,
+    /// TCAM percentage.
+    pub tcam: f64,
+    /// Hash-bits percentage.
+    pub hash_bits: f64,
+    /// Ternary crossbar percentage.
+    pub ternary_xbar: f64,
+    /// Exact crossbar percentage.
+    pub exact_xbar: f64,
+}
+
+impl P4Program {
+    /// Add a component.
+    pub fn with(mut self, name: &'static str, resources: ResourceUse) -> Self {
+        self.components.push(Component { name, resources });
+        self
+    }
+
+    /// Total resources across components. Register SRAM of each component
+    /// is rounded up to whole blocks (registers can't share blocks).
+    pub fn totals(&self, profile: &TofinoProfile) -> ResourceUse {
+        let mut t = ResourceUse::default();
+        for c in &self.components {
+            let mut r = c.resources;
+            let blocks = r.sram_bits.div_ceil(profile.sram_block_bits);
+            r.sram_bits = blocks * profile.sram_block_bits;
+            t.add(&r);
+        }
+        t
+    }
+
+    /// Register/table SRAM bytes before block quantization (the Appendix
+    /// B.2 "total memory" figures).
+    pub fn raw_sram_bytes(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.resources.sram_bits as f64 / 8.0)
+            .sum()
+    }
+
+    /// Percent-of-pipeline utilization (a Table 4 column).
+    pub fn utilization(&self, profile: &TofinoProfile) -> Utilization {
+        let t = self.totals(profile);
+        let sram_blocks =
+            t.sram_bits / profile.sram_block_bits + u64::from(t.sram_overhead_blocks);
+        let pct = |used: f64, avail: f64| 100.0 * used / avail;
+        Utilization {
+            sram: pct(sram_blocks as f64, f64::from(profile.total_sram_blocks())),
+            salu: pct(f64::from(t.salus), f64::from(profile.total_salus())),
+            vliw: pct(f64::from(t.vliw_slots), f64::from(profile.total_vliw())),
+            tcam: pct(f64::from(t.tcam_blocks), f64::from(profile.total_tcam_blocks())),
+            hash_bits: pct(f64::from(t.hash_bits), f64::from(profile.total_hash_bits())),
+            ternary_xbar: pct(
+                f64::from(t.ternary_xbar_bits),
+                f64::from(profile.total_ternary_xbar()),
+            ),
+            exact_xbar: pct(
+                f64::from(t.exact_xbar_bits),
+                f64::from(profile.total_exact_xbar()),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_are_block_quantized() {
+        let profile = TofinoProfile::tofino1();
+        let p = P4Program::default().with(
+            "one-bit register",
+            ResourceUse {
+                sram_bits: 1,
+                ..Default::default()
+            },
+        );
+        let t = p.totals(&profile);
+        assert_eq!(t.sram_bits, profile.sram_block_bits);
+    }
+
+    #[test]
+    fn utilization_percentages() {
+        let profile = TofinoProfile::tofino1();
+        let p = P4Program::default().with(
+            "half the salus",
+            ResourceUse {
+                salus: profile.total_salus() / 2,
+                ..Default::default()
+            },
+        );
+        let u = p.utilization(&profile);
+        assert!((u.salu - 50.0).abs() < 1e-9);
+        assert_eq!(u.sram, 0.0);
+    }
+
+    #[test]
+    fn components_accumulate() {
+        let profile = TofinoProfile::tofino1();
+        let mk = |salus| ResourceUse {
+            salus,
+            vliw_slots: 2,
+            ..Default::default()
+        };
+        let p = P4Program::default().with("a", mk(3)).with("b", mk(5));
+        let t = p.totals(&profile);
+        assert_eq!(t.salus, 8);
+        assert_eq!(t.vliw_slots, 4);
+    }
+}

@@ -1,0 +1,88 @@
+//! Recirculation cost model (Appendix B.1).
+//!
+//! Tofino register arrays can be accessed once per packet per stage, so the
+//! FANcY implementation recirculates packets to read or compare a tree
+//! node's `w` counters one by one ("we recirculate packets w times to read
+//! all such counters"), and uses a two-step resubmit/clone scheme for every
+//! FSM state transition. This module quantifies the pipeline bandwidth
+//! those recirculations consume — the hidden cost of the non-pipelined
+//! hash-tree design.
+
+/// Recirculation demand of one FANcY switch.
+#[derive(Debug, Clone, Copy)]
+pub struct RecircModel {
+    /// Ports running counting sessions.
+    pub ports: u32,
+    /// Tree width (counters read per report).
+    pub tree_width: u32,
+    /// Tree sessions per second per port (1 / zooming interval).
+    pub tree_sessions_per_sec: f64,
+    /// Dedicated sessions per second per port (1 / exchange interval).
+    pub dedicated_sessions_per_sec: f64,
+    /// Dedicated entries per port.
+    pub dedicated_per_port: u32,
+    /// FSM state transitions per session (open, ack, stop, report ≈ 4 per
+    /// side; each transition costs one resubmit/clone pass).
+    pub transitions_per_session: u32,
+}
+
+impl RecircModel {
+    /// The prototype's configuration (§6.1: 500 dedicated entries per port
+    /// exchanged every 200 ms, tree of width 190 zoomed every 200 ms).
+    pub fn prototype() -> Self {
+        RecircModel {
+            ports: 32,
+            tree_width: 190,
+            tree_sessions_per_sec: 5.0,
+            dedicated_sessions_per_sec: 5.0,
+            dedicated_per_port: 500,
+            transitions_per_session: 4,
+        }
+    }
+
+    /// Recirculated packets per second: per tree session the switch reads
+    /// *and* compares `w` counters (2·w passes), plus the per-transition
+    /// resubmits of every session's FSM.
+    pub fn recirculations_per_sec(&self) -> f64 {
+        let per_port_tree = self.tree_sessions_per_sec
+            * (2.0 * f64::from(self.tree_width) + f64::from(self.transitions_per_session));
+        let per_port_dedicated = self.dedicated_sessions_per_sec
+            * f64::from(self.dedicated_per_port)
+            * f64::from(self.transitions_per_session);
+        f64::from(self.ports) * (per_port_tree + per_port_dedicated)
+    }
+
+    /// Fraction of the pipeline's packet budget consumed, given the
+    /// pipeline forwarding capacity in packets/second.
+    pub fn pipeline_fraction(&self, pipeline_pps: f64) -> f64 {
+        self.recirculations_per_sec() / pipeline_pps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_recirculation_is_negligible() {
+        // A Tofino pipeline forwards multiple billion packets per second;
+        // FANcY's recirculations must be a vanishing fraction — this is why
+        // the prototype is viable at line rate.
+        let m = RecircModel::prototype();
+        let rps = m.recirculations_per_sec();
+        // 32 ports × (5 × (380 + 4) + 5 × 500 × 4) ≈ 381k/s.
+        assert!((300_000.0..500_000.0).contains(&rps), "rps {rps}");
+        let frac = m.pipeline_fraction(2.0e9);
+        assert!(frac < 0.001, "fraction {frac}");
+    }
+
+    #[test]
+    fn wider_trees_cost_more_recirculation() {
+        let base = RecircModel::prototype();
+        let wide = RecircModel {
+            tree_width: 380,
+            ..base
+        };
+        assert!(wide.recirculations_per_sec() > base.recirculations_per_sec());
+    }
+}

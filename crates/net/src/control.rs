@@ -1,0 +1,267 @@
+//! Counting-protocol control messages (Fig. 3/4 of the paper).
+//!
+//! Every counting session is opened by the upstream switch with a `Start`
+//! message, acknowledged by the downstream with a `StartAck`, closed with a
+//! `Stop`, and finished when the downstream returns its counters in a
+//! `Report`. Control messages are subject to loss like any other packet; the
+//! stop-and-wait retransmission logic lives in the FSMs (`fancy-core`), not
+//! here.
+//!
+//! Wire format (big endian):
+//!
+//! ```text
+//! +------+------+-------------+------------------+
+//! | type | kind |  scope (2B) |  session id (4B) |   8-byte fixed header
+//! +------+------+-------------+------------------+
+//! | n counters (2B) | n * u32 counters...        |   Report only
+//! +-----------------+----------------------------+
+//! ```
+//!
+//! A `Report` for the evaluated pipelined hash tree carries all 7 node
+//! slots × width 190 counters = 1330 × 4 B = 5320 B, exactly the report size
+//! the paper's overhead analysis uses (§5.3).
+
+use crate::error::{check_len, ParseError};
+
+/// Minimum Ethernet frame size; control messages smaller than this are
+/// padded on the wire. Used by the overhead analysis (§5.3: "five
+/// minimum-size packets, e.g. 64 B Ethernet frames").
+pub const ETHERNET_MIN_FRAME: usize = 64;
+
+/// Fixed header length of every control message.
+pub const CONTROL_HEADER_LEN: usize = 8;
+
+/// Which counting instance a control message belongs to.
+///
+/// Each port runs one independent counting session per dedicated
+/// (high-priority) entry plus one for the whole hash-based tree
+/// (Appendix B.2: "one array cell ... for each sub-state machine used by
+/// either dedicated counters or a hash-tree").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SessionKind {
+    /// The session counting one dedicated (high-priority) entry.
+    Dedicated {
+        /// Dedicated counter ID on this port.
+        counter_id: u16,
+    },
+    /// The session driving the port's hash-based tree.
+    Tree,
+}
+
+impl SessionKind {
+    fn wire_kind(self) -> u8 {
+        match self {
+            SessionKind::Dedicated { .. } => 0,
+            SessionKind::Tree => 1,
+        }
+    }
+
+    fn wire_scope(self) -> u16 {
+        match self {
+            SessionKind::Dedicated { counter_id } => counter_id,
+            SessionKind::Tree => 0,
+        }
+    }
+}
+
+/// The body of a control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlBody {
+    /// Open a counting session: downstream must reset counters and ACK.
+    Start,
+    /// Downstream acknowledges a `Start`; both sides begin counting.
+    StartAck,
+    /// Close the session: downstream waits `T_wait` then reports counters.
+    Stop,
+    /// Downstream counters, slot-major for tree sessions
+    /// (`[slot0[0..w], slot1[0..w], ...]`), single value for dedicated ones.
+    Report(Vec<u32>),
+}
+
+impl ControlBody {
+    fn wire_type(&self) -> u8 {
+        match self {
+            ControlBody::Start => 1,
+            ControlBody::StartAck => 2,
+            ControlBody::Stop => 3,
+            ControlBody::Report(_) => 4,
+        }
+    }
+}
+
+/// A full control message: session identity plus body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlMessage {
+    /// Which counting instance this message belongs to.
+    pub kind: SessionKind,
+    /// Monotonic session identifier, chosen by the upstream switch.
+    /// Lets both sides discard stale retransmissions from earlier sessions.
+    pub session_id: u32,
+    /// The message body.
+    pub body: ControlBody,
+}
+
+impl ControlMessage {
+    /// Exact serialized length in bytes (before Ethernet minimum padding).
+    pub fn wire_len(&self) -> usize {
+        match &self.body {
+            ControlBody::Report(counters) => CONTROL_HEADER_LEN + 2 + 4 * counters.len(),
+            _ => CONTROL_HEADER_LEN,
+        }
+    }
+
+    /// Length this message occupies on the wire, including minimum-frame
+    /// padding — the quantity that matters for overhead accounting.
+    pub fn frame_len(&self) -> usize {
+        self.wire_len().max(ETHERNET_MIN_FRAME)
+    }
+
+    /// Serialize into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; self.wire_len()];
+        self.emit(&mut buf);
+        buf
+    }
+
+    /// Serialize into `buf`, which must be at least [`Self::wire_len`] long.
+    pub fn emit(&self, buf: &mut [u8]) {
+        assert!(buf.len() >= self.wire_len());
+        buf[0] = self.body.wire_type();
+        buf[1] = self.kind.wire_kind();
+        buf[2..4].copy_from_slice(&self.kind.wire_scope().to_be_bytes());
+        buf[4..8].copy_from_slice(&self.session_id.to_be_bytes());
+        if let ControlBody::Report(counters) = &self.body {
+            let n = u16::try_from(counters.len()).expect("report exceeds 65535 counters");
+            buf[8..10].copy_from_slice(&n.to_be_bytes());
+            for (i, c) in counters.iter().enumerate() {
+                let off = 10 + 4 * i;
+                buf[off..off + 4].copy_from_slice(&c.to_be_bytes());
+            }
+        }
+    }
+
+    /// Parse a control message from `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        check_len(buf, CONTROL_HEADER_LEN)?;
+        let scope = u16::from_be_bytes([buf[2], buf[3]]);
+        let kind = match buf[1] {
+            0 => SessionKind::Dedicated { counter_id: scope },
+            1 => SessionKind::Tree,
+            _ => return Err(ParseError::BadField("session kind")),
+        };
+        let session_id = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        let body = match buf[0] {
+            1 => ControlBody::Start,
+            2 => ControlBody::StartAck,
+            3 => ControlBody::Stop,
+            4 => {
+                check_len(buf, CONTROL_HEADER_LEN + 2)?;
+                let n = usize::from(u16::from_be_bytes([buf[8], buf[9]]));
+                check_len(buf, CONTROL_HEADER_LEN + 2 + 4 * n)?;
+                let mut counters = Vec::with_capacity(n);
+                for i in 0..n {
+                    let off = 10 + 4 * i;
+                    counters.push(u32::from_be_bytes([
+                        buf[off],
+                        buf[off + 1],
+                        buf[off + 2],
+                        buf[off + 3],
+                    ]));
+                }
+                ControlBody::Report(counters)
+            }
+            t => return Err(ParseError::UnknownType(t)),
+        };
+        Ok(ControlMessage {
+            kind,
+            session_id,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: ControlMessage) {
+        let bytes = msg.to_bytes();
+        assert_eq!(bytes.len(), msg.wire_len());
+        assert_eq!(ControlMessage::parse(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn all_bodies_roundtrip() {
+        for kind in [SessionKind::Dedicated { counter_id: 499 }, SessionKind::Tree] {
+            for body in [
+                ControlBody::Start,
+                ControlBody::StartAck,
+                ControlBody::Stop,
+                ControlBody::Report(vec![0, 1, u32::MAX, 42]),
+                ControlBody::Report(vec![]),
+            ] {
+                roundtrip(ControlMessage {
+                    kind,
+                    session_id: 0xDEAD_BEEF,
+                    body,
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn tree_report_matches_paper_size() {
+        // §5.3: the hash-tree report carries 5320 B of counters in the
+        // pipelined zooming configuration (7 node slots × width 190).
+        let counters = vec![0u32; 7 * 190];
+        let msg = ControlMessage {
+            kind: SessionKind::Tree,
+            session_id: 1,
+            body: ControlBody::Report(counters),
+        };
+        assert_eq!(7 * 190 * 4, 5320);
+        assert_eq!(msg.wire_len(), CONTROL_HEADER_LEN + 2 + 5320);
+    }
+
+    #[test]
+    fn small_messages_pad_to_min_frame() {
+        let msg = ControlMessage {
+            kind: SessionKind::Tree,
+            session_id: 1,
+            body: ControlBody::Start,
+        };
+        assert_eq!(msg.frame_len(), ETHERNET_MIN_FRAME);
+    }
+
+    #[test]
+    fn bad_kind_and_type_rejected() {
+        let mut bytes = ControlMessage {
+            kind: SessionKind::Tree,
+            session_id: 1,
+            body: ControlBody::Start,
+        }
+        .to_bytes();
+        bytes[1] = 9;
+        assert_eq!(
+            ControlMessage::parse(&bytes),
+            Err(ParseError::BadField("session kind"))
+        );
+        bytes[1] = 1;
+        bytes[0] = 77;
+        assert_eq!(ControlMessage::parse(&bytes), Err(ParseError::UnknownType(77)));
+    }
+
+    #[test]
+    fn truncated_report_rejected() {
+        let msg = ControlMessage {
+            kind: SessionKind::Tree,
+            session_id: 1,
+            body: ControlBody::Report(vec![1, 2, 3]),
+        };
+        let bytes = msg.to_bytes();
+        assert!(matches!(
+            ControlMessage::parse(&bytes[..bytes.len() - 1]),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,65 @@
+//! Parse errors for wire formats.
+
+use core::fmt;
+
+/// An error encountered while parsing a wire-format buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the fixed part of the format.
+    Truncated {
+        /// Bytes required by the format.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A field held a value outside its legal range.
+    BadField(&'static str),
+    /// The message type discriminant is unknown.
+    UnknownType(u8),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { needed, got } => {
+                write!(f, "truncated buffer: need {needed} bytes, got {got}")
+            }
+            ParseError::BadField(name) => write!(f, "field `{name}` out of range"),
+            ParseError::UnknownType(t) => write!(f, "unknown message type {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Check that `buf` holds at least `needed` bytes.
+pub(crate) fn check_len(buf: &[u8], needed: usize) -> Result<(), ParseError> {
+    if buf.len() < needed {
+        Err(ParseError::Truncated {
+            needed,
+            got: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::Truncated { needed: 8, got: 3 };
+        assert!(e.to_string().contains("need 8"));
+        assert!(ParseError::BadField("width").to_string().contains("width"));
+        assert!(ParseError::UnknownType(9).to_string().contains("0x09"));
+    }
+
+    #[test]
+    fn check_len_boundary() {
+        assert!(check_len(&[0; 4], 4).is_ok());
+        assert!(check_len(&[0; 4], 5).is_err());
+        assert!(check_len(&[], 0).is_ok());
+    }
+}

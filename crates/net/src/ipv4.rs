@@ -1,0 +1,150 @@
+//! Minimal IPv4 header view.
+//!
+//! The simulator carries structured packets for speed, but gray failures
+//! match on concrete header fields (Table 1: destination prefixes, packet
+//! sizes, the IP identification field — e.g. the real Cisco bug dropping
+//! packets with IP ID `0xE000`). This module provides the byte-level header
+//! so that those fields exist as a real wire format, round-trip tested.
+//!
+//! Only the fields FANcY and the failure models touch are exposed; options
+//! are not supported (mirroring smoltcp's stance of documenting omissions).
+
+use crate::error::{check_len, ParseError};
+use crate::prefix::Prefix;
+
+/// Serialized length of the (option-less) IPv4 header.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// A minimal, option-less IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Total length of the packet (header + payload) in bytes.
+    pub total_len: u16,
+    /// Identification field (gray failures can match on it, Table 1).
+    pub ident: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Transport protocol (6 = TCP, 17 = UDP).
+    pub protocol: u8,
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+}
+
+impl Ipv4Header {
+    /// The /24 destination prefix — FANcY's entry key for this packet.
+    #[inline]
+    pub fn dst_prefix(&self) -> Prefix {
+        Prefix::from_addr(self.dst)
+    }
+
+    /// RFC 1071 header checksum over the serialized header.
+    fn checksum(bytes: &[u8; IPV4_HEADER_LEN]) -> u16 {
+        let mut sum = 0u32;
+        for i in (0..IPV4_HEADER_LEN).step_by(2) {
+            if i == 10 {
+                continue; // checksum field itself
+            }
+            sum += u32::from(u16::from_be_bytes([bytes[i], bytes[i + 1]]));
+        }
+        while sum > 0xffff {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+
+    /// Serialize into exactly [`IPV4_HEADER_LEN`] bytes, computing the
+    /// checksum.
+    pub fn emit(&self, buf: &mut [u8]) {
+        assert!(buf.len() >= IPV4_HEADER_LEN);
+        let mut hdr = [0u8; IPV4_HEADER_LEN];
+        hdr[0] = 0x45; // version 4, IHL 5
+        hdr[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        hdr[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        hdr[8] = self.ttl;
+        hdr[9] = self.protocol;
+        hdr[12..16].copy_from_slice(&self.src.to_be_bytes());
+        hdr[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let csum = Self::checksum(&hdr);
+        hdr[10..12].copy_from_slice(&csum.to_be_bytes());
+        buf[..IPV4_HEADER_LEN].copy_from_slice(&hdr);
+    }
+
+    /// Parse and verify a header from `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        check_len(buf, IPV4_HEADER_LEN)?;
+        if buf[0] != 0x45 {
+            return Err(ParseError::BadField("version/ihl"));
+        }
+        let mut hdr = [0u8; IPV4_HEADER_LEN];
+        hdr.copy_from_slice(&buf[..IPV4_HEADER_LEN]);
+        let stored = u16::from_be_bytes([hdr[10], hdr[11]]);
+        if Self::checksum(&hdr) != stored {
+            return Err(ParseError::BadField("checksum"));
+        }
+        Ok(Ipv4Header {
+            total_len: u16::from_be_bytes([hdr[2], hdr[3]]),
+            ident: u16::from_be_bytes([hdr[4], hdr[5]]),
+            ttl: hdr[8],
+            protocol: hdr[9],
+            src: u32::from_be_bytes([hdr[12], hdr[13], hdr[14], hdr[15]]),
+            dst: u32::from_be_bytes([hdr[16], hdr[17], hdr[18], hdr[19]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header {
+            total_len: 1500,
+            ident: 0xE000, // the Cisco CSCuv31196 trigger value
+            ttl: 64,
+            protocol: 6,
+            src: 0x0A_00_00_01,
+            dst: 0xC0_A8_07_2A,
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        let hdr = sample();
+        let mut buf = [0u8; IPV4_HEADER_LEN];
+        hdr.emit(&mut buf);
+        assert_eq!(Ipv4Header::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        // A gray failure caused by memory corruption flips bits; the header
+        // checksum must catch single-field corruption.
+        let hdr = sample();
+        let mut buf = [0u8; IPV4_HEADER_LEN];
+        hdr.emit(&mut buf);
+        buf[17] ^= 0x40;
+        assert_eq!(
+            Ipv4Header::parse(&buf),
+            Err(ParseError::BadField("checksum"))
+        );
+    }
+
+    #[test]
+    fn dst_prefix_is_slash24() {
+        assert_eq!(sample().dst_prefix().to_string(), "192.168.7.0/24");
+    }
+
+    #[test]
+    fn rejects_options() {
+        let hdr = sample();
+        let mut buf = [0u8; IPV4_HEADER_LEN];
+        hdr.emit(&mut buf);
+        buf[0] = 0x46; // IHL 6 → has options
+        assert_eq!(
+            Ipv4Header::parse(&buf),
+            Err(ParseError::BadField("version/ihl"))
+        );
+    }
+}

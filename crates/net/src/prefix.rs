@@ -1,0 +1,94 @@
+//! Destination-prefix entries.
+//!
+//! FANcY monitors *entries*: subsets of the header space defined by a match
+//! rule (§1, Fig. 1). The paper's evaluation uses destination /24 prefixes
+//! as entries (CAIDA traces are anonymized at /24 granularity, §5.2), so the
+//! whole workspace uses a compact /24-prefix type as the entry key.
+
+use core::fmt;
+
+/// A /24 IPv4 destination prefix — the monitoring *entry* granularity.
+///
+/// Stored as the upper 24 bits of the network address (i.e. `addr >> 8`), so
+/// consecutive prefixes are consecutive integers, which the traffic
+/// generators exploit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix(pub u32);
+
+impl Prefix {
+    /// Build a prefix from a full IPv4 address: keeps the /24 network part.
+    #[inline]
+    pub fn from_addr(addr: u32) -> Self {
+        Prefix(addr >> 8)
+    }
+
+    /// The network address of this prefix (`a.b.c.0`).
+    #[inline]
+    pub fn network_addr(self) -> u32 {
+        self.0 << 8
+    }
+
+    /// An arbitrary host address inside this prefix.
+    #[inline]
+    pub fn host(self, low: u8) -> u32 {
+        self.network_addr() | u32::from(low)
+    }
+
+    /// Does `addr` fall inside this /24 prefix?
+    #[inline]
+    pub fn contains(self, addr: u32) -> bool {
+        addr >> 8 == self.0
+    }
+
+    /// The prefix as a `u64` hash input.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.network_addr();
+        write!(
+            f,
+            "{}.{}.{}.0/24",
+            (n >> 24) & 0xff,
+            (n >> 16) & 0xff,
+            (n >> 8) & 0xff
+        )
+    }
+}
+
+impl From<u32> for Prefix {
+    fn from(raw: u32) -> Self {
+        Prefix(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_addr_truncates_host_bits() {
+        let a = 0x0A_01_02_37u32; // 10.1.2.55
+        let p = Prefix::from_addr(a);
+        assert_eq!(p.network_addr(), 0x0A_01_02_00);
+        assert!(p.contains(a));
+        assert!(p.contains(p.host(200)));
+        assert!(!p.contains(0x0A_01_03_01));
+    }
+
+    #[test]
+    fn display_formats_dotted_quad() {
+        assert_eq!(Prefix::from_addr(0xC0_A8_01_05).to_string(), "192.168.1.0/24");
+    }
+
+    #[test]
+    fn consecutive_prefixes_are_consecutive_ints() {
+        let p0 = Prefix(100);
+        let p1 = Prefix(101);
+        assert_eq!(p1.network_addr() - p0.network_addr(), 256);
+    }
+}

@@ -1,0 +1,156 @@
+//! The discrete-event queue.
+//!
+//! A binary heap ordered by `(time, insertion sequence)`. The sequence
+//! tie-break makes event ordering — and therefore whole experiments —
+//! fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// Node index within a [`crate::network::Network`].
+pub type NodeId = usize;
+
+/// Port index local to a node (assigned in connection order).
+pub type PortId = usize;
+
+/// Opaque timer token; its meaning is private to the node that set it.
+pub type TimerToken = u64;
+
+/// A scheduled simulation event.
+#[derive(Debug)]
+pub enum Event {
+    /// A packet arrives at `node` on `port`.
+    Arrival {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port at the receiving node.
+        port: PortId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A timer set by `node` fires.
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// The token the node passed when scheduling.
+        token: TimerToken,
+    },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of pending events.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), Event::Timer { node: 0, token: 3 });
+        q.push(SimTime(10), Event::Timer { node: 0, token: 1 });
+        q.push(SimTime(20), Event::Timer { node: 0, token: 2 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for token in 0..100 {
+            q.push(SimTime(5), Event::Timer { node: 0, token });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime(7), Event::Timer { node: 1, token: 0 });
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        assert_eq!(q.len(), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime(7));
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,234 @@
+//! Gray-failure injection.
+//!
+//! The paper defines a gray failure as "any hardware malfunction that causes
+//! non-transient packet loss on a subset of the traffic" and classifies real
+//! vendor bugs along two axes (Table 1): which forwarding *entries* are
+//! affected (one/some prefixes vs all) and which *packets* per entry are
+//! dropped (some vs all). This module models every class in that table:
+//!
+//! | Table 1 cell | [`FailureMatcher`] |
+//! |---|---|
+//! | specific IP prefixes, all packets | `Entries` with `drop_prob = 1` |
+//! | specific IP prefixes, some packets | `Entries` with `drop_prob < 1` |
+//! | packets with specific sizes | `PacketSize` |
+//! | packets with IP ID 0xE000 | `IpId` |
+//! | packets with wrong CRC / random corruption | `Uniform` |
+//! | packets from a specific line card | `SourceRange` (per ingress group) |
+//! | traffic on certain ports / interface flaps | `Flap` windows |
+//!
+//! Failures are attached to links and sampled when a packet is put on the
+//! wire — *after* the upstream traffic manager, so congestion drops are
+//! never confused with gray drops (matching where FANcY places its
+//! counters, §3).
+
+use rand::Rng;
+
+use fancy_net::Prefix;
+
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+
+/// Which packets a gray failure affects.
+#[derive(Debug, Clone)]
+pub enum FailureMatcher {
+    /// Packets whose destination entry is in the given set.
+    Entries(Vec<Prefix>),
+    /// Every packet (e.g. random CRC corruption on a link).
+    Uniform,
+    /// Packets whose total size falls in `[min, max]` bytes
+    /// (Cisco CSCtc33158: "drops random sized packets").
+    PacketSize {
+        /// Minimum matching size, inclusive.
+        min: u32,
+        /// Maximum matching size, inclusive.
+        max: u32,
+    },
+    /// Packets with a specific IPv4 identification value
+    /// (Cisco CSCuv31196: drops with IP ID 0xE000).
+    IpId(u16),
+    /// Packets from a contiguous source-address range, standing in for
+    /// "packets sent from a specific line card" (Cisco CSCea91692).
+    SourceRange {
+        /// Lowest matching source address, inclusive.
+        lo: u32,
+        /// Highest matching source address, inclusive.
+        hi: u32,
+    },
+    /// Interface flaps: the link drops *everything* during periodic windows
+    /// (Juniper PR1441816/PR1459698-style blackhole episodes).
+    Flap {
+        /// Length of each blackhole episode.
+        on: SimDuration,
+        /// Gap between episodes.
+        off: SimDuration,
+    },
+}
+
+impl FailureMatcher {
+    /// Does the matcher select this packet at time `now`?
+    pub fn matches(&self, pkt: &Packet, now: SimTime) -> bool {
+        match self {
+            FailureMatcher::Entries(set) => set.contains(&pkt.entry()),
+            FailureMatcher::Uniform => true,
+            FailureMatcher::PacketSize { min, max } => pkt.size >= *min && pkt.size <= *max,
+            FailureMatcher::IpId(id) => pkt.ip_id == *id,
+            FailureMatcher::SourceRange { lo, hi } => pkt.src >= *lo && pkt.src <= *hi,
+            FailureMatcher::Flap { on, off } => {
+                let period = on.as_nanos() + off.as_nanos();
+                if period == 0 {
+                    return false;
+                }
+                now.as_nanos() % period < on.as_nanos()
+            }
+        }
+    }
+}
+
+/// A gray failure installed on a link.
+#[derive(Debug, Clone)]
+pub struct GrayFailure {
+    /// Which packets are candidates for dropping.
+    pub matcher: FailureMatcher,
+    /// Probability that a matching packet is dropped (1.0 = blackhole).
+    pub drop_prob: f64,
+    /// Failure activation time.
+    pub start: SimTime,
+    /// Failure end (`SimTime::FAR_FUTURE` for permanent failures).
+    pub end: SimTime,
+}
+
+impl GrayFailure {
+    /// A permanent failure starting at `start`.
+    pub fn new(matcher: FailureMatcher, drop_prob: f64, start: SimTime) -> Self {
+        assert!((0.0..=1.0).contains(&drop_prob), "drop_prob must be in [0,1]");
+        GrayFailure {
+            matcher,
+            drop_prob,
+            start,
+            end: SimTime::FAR_FUTURE,
+        }
+    }
+
+    /// A permanent single-entry failure — the §5.1 workhorse.
+    pub fn single_entry(entry: Prefix, drop_prob: f64, start: SimTime) -> Self {
+        GrayFailure::new(FailureMatcher::Entries(vec![entry]), drop_prob, start)
+    }
+
+    /// A permanent multi-entry failure (§5.1.2's 100-entry scenarios).
+    pub fn multi_entry(entries: Vec<Prefix>, drop_prob: f64, start: SimTime) -> Self {
+        GrayFailure::new(FailureMatcher::Entries(entries), drop_prob, start)
+    }
+
+    /// A uniform random-loss failure over the whole link (§5.1.3).
+    pub fn uniform(drop_prob: f64, start: SimTime) -> Self {
+        GrayFailure::new(FailureMatcher::Uniform, drop_prob, start)
+    }
+
+    /// Is the failure active at `now`?
+    #[inline]
+    pub fn active(&self, now: SimTime) -> bool {
+        now >= self.start && now < self.end
+    }
+
+    /// Should this packet be dropped? Samples the drop probability.
+    pub fn drops(&self, pkt: &Packet, now: SimTime, rng: &mut impl Rng) -> bool {
+        if !self.active(now) || !self.matcher.matches(pkt, now) {
+            return false;
+        }
+        self.drop_prob >= 1.0 || rng.gen_bool(self.drop_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketBuilder, PacketKind};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn pkt(dst: u32, size: u32, ip_id: u16) -> Packet {
+        PacketBuilder::new(0x01000001, dst, size, PacketKind::Udp { flow: 0, seq: 0 })
+            .ip_id(ip_id)
+            .build()
+    }
+
+    #[test]
+    fn entry_failure_matches_only_listed_prefixes() {
+        let target = Prefix::from_addr(0x0A000100);
+        let f = GrayFailure::single_entry(target, 1.0, SimTime::ZERO);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(f.drops(&pkt(0x0A000105, 1500, 0), SimTime::ZERO, &mut rng));
+        assert!(!f.drops(&pkt(0x0A000205, 1500, 0), SimTime::ZERO, &mut rng));
+    }
+
+    #[test]
+    fn failure_respects_start_time() {
+        let f = GrayFailure::uniform(1.0, SimTime(5_000));
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!f.drops(&pkt(1, 100, 0), SimTime(4_999), &mut rng));
+        assert!(f.drops(&pkt(1, 100, 0), SimTime(5_000), &mut rng));
+    }
+
+    #[test]
+    fn probabilistic_drop_rate_is_close() {
+        let f = GrayFailure::uniform(0.1, SimTime::ZERO);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let p = pkt(1, 100, 0);
+        let drops = (0..100_000)
+            .filter(|_| f.drops(&p, SimTime::ZERO, &mut rng))
+            .count();
+        let rate = drops as f64 / 100_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "observed {rate}");
+    }
+
+    #[test]
+    fn size_and_ipid_matchers() {
+        let by_size = GrayFailure::new(
+            FailureMatcher::PacketSize { min: 64, max: 128 },
+            1.0,
+            SimTime::ZERO,
+        );
+        let by_id = GrayFailure::new(FailureMatcher::IpId(0xE000), 1.0, SimTime::ZERO);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(by_size.drops(&pkt(1, 100, 0), SimTime::ZERO, &mut rng));
+        assert!(!by_size.drops(&pkt(1, 1500, 0), SimTime::ZERO, &mut rng));
+        assert!(by_id.drops(&pkt(1, 100, 0xE000), SimTime::ZERO, &mut rng));
+        assert!(!by_id.drops(&pkt(1, 100, 0xE001), SimTime::ZERO, &mut rng));
+    }
+
+    #[test]
+    fn flap_alternates_with_time() {
+        let f = GrayFailure::new(
+            FailureMatcher::Flap {
+                on: SimDuration::from_millis(10),
+                off: SimDuration::from_millis(90),
+            },
+            1.0,
+            SimTime::ZERO,
+        );
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = pkt(1, 100, 0);
+        assert!(f.drops(&p, SimTime(5_000_000), &mut rng)); // inside on-window
+        assert!(!f.drops(&p, SimTime(50_000_000), &mut rng)); // inside off-window
+        assert!(f.drops(&p, SimTime(105_000_000), &mut rng)); // next period
+    }
+
+    #[test]
+    fn source_range_models_line_card() {
+        let f = GrayFailure::new(
+            FailureMatcher::SourceRange {
+                lo: 0x01000000,
+                hi: 0x01FFFFFF,
+            },
+            1.0,
+            SimTime::ZERO,
+        );
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut inside = pkt(9, 100, 0);
+        inside.src = 0x01ABCDEF;
+        let mut outside = pkt(9, 100, 0);
+        outside.src = 0x02000000;
+        assert!(f.drops(&inside, SimTime::ZERO, &mut rng));
+        assert!(!f.drops(&outside, SimTime::ZERO, &mut rng));
+    }
+}

@@ -1,0 +1,270 @@
+//! The simulation kernel: clock, event queue, links, RNG, records.
+//!
+//! Nodes interact with the world exclusively through `&mut Kernel` — it is
+//! the `ctx` handle passed to every [`crate::node::Node`] callback.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::event::{Event, EventQueue, NodeId, PortId, TimerToken};
+use crate::failure::GrayFailure;
+use crate::link::{Admission, Link, LinkConfig};
+use crate::packet::{Packet, PacketKind};
+use crate::record::{DetectionRecord, DetectionScope, DetectorKind, Records};
+use crate::time::{SimDuration, SimTime};
+
+/// Index of a link within the kernel.
+pub type LinkId = usize;
+
+/// The simulation kernel.
+pub struct Kernel {
+    now: SimTime,
+    pub(crate) queue: EventQueue,
+    pub(crate) links: Vec<Link>,
+    /// `(node, port) → (link, direction)` attachment map.
+    pub(crate) ports: Vec<Vec<(LinkId, usize)>>,
+    /// Node currently being dispatched (so `send` etc. know the caller).
+    pub(crate) current: NodeId,
+    next_uid: u64,
+    rng: SmallRng,
+    /// Experiment records (ground truth + detections).
+    pub records: Records,
+    /// Gray drops of FANcY control messages (kept separate from per-entry
+    /// ground truth; the counting protocol must survive these).
+    pub control_drops: u64,
+}
+
+impl Kernel {
+    pub(crate) fn new(seed: u64) -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            links: Vec::new(),
+            ports: Vec::new(),
+            current: 0,
+            next_uid: 1,
+            rng: SmallRng::seed_from_u64(seed),
+            records: Records::default(),
+            control_drops: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub(crate) fn set_now(&mut self, t: SimTime) {
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+    }
+
+    /// The deterministic RNG for this run.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// The node currently being dispatched.
+    #[inline]
+    pub fn self_id(&self) -> NodeId {
+        self.current
+    }
+
+    /// Number of ports attached on node `node`.
+    pub fn port_count(&self, node: NodeId) -> usize {
+        self.ports.get(node).map_or(0, Vec::len)
+    }
+
+    /// Schedule a timer for the *current* node after `delay`.
+    pub fn schedule_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        let node = self.current;
+        self.queue.push(self.now + delay, Event::Timer { node, token });
+    }
+
+    /// Schedule a timer for an explicit node (used by experiment setup).
+    pub fn schedule_timer_for(&mut self, node: NodeId, at: SimTime, token: TimerToken) {
+        self.queue.push(at, Event::Timer { node, token });
+    }
+
+    /// Deliver a packet directly to a node, bypassing any link — used by
+    /// experiment harnesses to inject traffic at a switch's ingress.
+    pub fn inject(&mut self, node: NodeId, port: PortId, mut pkt: Packet, at: SimTime) {
+        if pkt.uid == 0 {
+            pkt.uid = self.next_uid;
+            self.next_uid += 1;
+            pkt.created = at;
+        }
+        self.queue.push(at, Event::Arrival { node, port, pkt });
+    }
+
+    /// Resolve the current node's `port` to its link attachment.
+    fn resolve(&self, port: PortId) -> (LinkId, usize) {
+        self.ports[self.current][port]
+    }
+
+    /// Phase 1 of sending: try to admit `pkt` into the egress TM queue of
+    /// `port`. Returns an [`Admission`] on success; on failure the packet is
+    /// accounted as a congestion drop and the caller must discard it.
+    ///
+    /// Switch implementations that count packets (FANcY) call this first,
+    /// count/tag only admitted packets, then call [`Self::wire_send`] —
+    /// exactly the "after the upstream TM" counter placement of the paper.
+    pub fn tm_admit(&mut self, port: PortId, pkt: &Packet) -> Option<Admission> {
+        let (lid, dir) = self.resolve(port);
+        let now = self.now;
+        match self.links[lid].admit(lid, dir, u64::from(pkt.size), now) {
+            Some(a) => Some(a),
+            None => {
+                self.records.congestion_drops += 1;
+                None
+            }
+        }
+    }
+
+    /// Phase 2 of sending: put an admitted packet on the wire. Applies gray
+    /// failures and, if the packet survives, schedules its arrival at the
+    /// peer after the propagation delay.
+    pub fn wire_send(&mut self, mut pkt: Packet, adm: Admission) {
+        if pkt.uid == 0 {
+            pkt.uid = self.next_uid;
+            self.next_uid += 1;
+            pkt.created = self.now;
+        }
+        let link = &mut self.links[adm.link];
+        link.dirs[adm.dir].tx_packets += 1;
+        link.dirs[adm.dir].tx_bytes += u64::from(pkt.size);
+        self.records.wire_packets += 1;
+        self.records.wire_bytes += u64::from(pkt.size);
+
+        // Gray failures act on the wire, at the packet's departure time.
+        let when = adm.departure_end;
+        let mut dropped = false;
+        // Split borrows: failures need &mut rng and &link.dirs.
+        for f in &link.dirs[adm.dir].failures {
+            if f.drops(&pkt, when, &mut self.rng) {
+                dropped = true;
+                break;
+            }
+        }
+        if dropped {
+            match pkt.kind {
+                PacketKind::FancyControl(_) | PacketKind::NetSeerNack { .. } => {
+                    self.control_drops += 1;
+                }
+                _ => {
+                    let size = u64::from(pkt.size);
+                    let entry = pkt.entry();
+                    self.records.gray_drop(entry, when, size);
+                }
+            }
+            return;
+        }
+        let (peer, peer_port) = self.links[adm.link].peer(adm.dir);
+        let arrive = when + self.links[adm.link].cfg.delay;
+        self.queue.push(
+            arrive,
+            Event::Arrival {
+                node: peer,
+                port: peer_port,
+                pkt,
+            },
+        );
+    }
+
+    /// Convenience: admit + wire-send in one call (hosts, simple switches).
+    /// Returns false if the packet was dropped by the TM (congestion).
+    pub fn send(&mut self, port: PortId, pkt: Packet) -> bool {
+        match self.tm_admit(port, &pkt) {
+            Some(adm) => {
+                self.wire_send(pkt, adm);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Report a detection from the current node.
+    pub fn report(&mut self, port: PortId, scope: DetectionScope, detector: DetectorKind) {
+        let rec = DetectionRecord {
+            time: self.now,
+            node: self.current,
+            port,
+            scope,
+            detector,
+        };
+        self.records.detections.push(rec);
+    }
+
+    /// Install a gray failure on a link direction. `from` names the node
+    /// whose *egress* traffic is affected.
+    pub fn add_failure(&mut self, link: LinkId, from: NodeId, failure: GrayFailure) {
+        let l = &mut self.links[link];
+        let dir = if l.ends[0].0 == from {
+            0
+        } else if l.ends[1].0 == from {
+            1
+        } else {
+            panic!("node {from} is not an endpoint of link {link}");
+        };
+        l.dirs[dir].failures.push(failure);
+    }
+
+    /// Remove all failures from every link (used by repair scenarios).
+    pub fn clear_failures(&mut self) {
+        for l in &mut self.links {
+            l.dirs[0].failures.clear();
+            l.dirs[1].failures.clear();
+        }
+    }
+
+    /// Access a link's static configuration and counters.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id]
+    }
+
+    /// High-water TM backlog (bytes) of the current node's egress `port`
+    /// since the last call; resets the mark. Lets switches discard
+    /// measurements taken while queues were long (the paper's footnote 2).
+    pub fn take_max_backlog(&mut self, port: PortId) -> u64 {
+        let (lid, dir) = self.resolve(port);
+        self.links[lid].take_max_backlog(dir)
+    }
+
+    /// High-water TM backlog of an arbitrary link direction (`from` names
+    /// the transmitting node), resetting the mark. This models queue-depth
+    /// telemetry exported by path devices — what a partial FANcY
+    /// deployment polls to discard congestion-tainted measurements
+    /// (footnote 2 of the paper).
+    pub fn take_link_max_backlog(&mut self, link: LinkId, from: NodeId) -> u64 {
+        let l = &mut self.links[link];
+        let dir = if l.ends[0].0 == from {
+            0
+        } else if l.ends[1].0 == from {
+            1
+        } else {
+            panic!("node {from} is not an endpoint of link {link}");
+        };
+        l.take_max_backlog(dir)
+    }
+
+    pub(crate) fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        cfg: LinkConfig,
+        nodes_len: usize,
+    ) -> LinkId {
+        while self.ports.len() < nodes_len {
+            self.ports.push(Vec::new());
+        }
+        let pa = self.ports[a].len();
+        let pb = self.ports[b].len();
+        let id = self.links.len();
+        self.links.push(Link::new(cfg, (a, pa), (b, pb)));
+        self.ports[a].push((id, 0));
+        self.ports[b].push((id, 1));
+        id
+    }
+}

@@ -1,0 +1,58 @@
+//! The node abstraction.
+//!
+//! Everything attached to the network — hosts, plain switches, FANcY
+//! switches, baseline detectors — implements [`Node`]. Callbacks receive
+//! `&mut Kernel` as their window on the world (clock, RNG, links, records).
+
+use std::any::Any;
+
+use crate::event::{PortId, TimerToken};
+use crate::kernel::Kernel;
+use crate::packet::Packet;
+
+/// A network element.
+pub trait Node {
+    /// Called once when the simulation starts, before any event fires.
+    /// Kick off timers and initial traffic here.
+    fn on_start(&mut self, _ctx: &mut Kernel) {}
+
+    /// A packet arrived at `port` (at the ingress pipeline, i.e. before this
+    /// node's own traffic manager).
+    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: Packet);
+
+    /// A timer set via [`Kernel::schedule_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Kernel, _token: TimerToken) {}
+
+    /// Downcast support for post-run inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Downcast support for post-run inspection (mutable).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A sink node: swallows every packet, counting per-entry arrivals.
+///
+/// Useful as the far end of a link in unit tests and as a traffic sink in
+/// experiments that only care about what reached the destination.
+#[derive(Debug, Default)]
+pub struct SinkNode {
+    /// Total packets received.
+    pub packets: u64,
+    /// Total bytes received.
+    pub bytes: u64,
+}
+
+impl Node for SinkNode {
+    fn on_packet(&mut self, _ctx: &mut Kernel, _port: PortId, pkt: Packet) {
+        self.packets += 1;
+        self.bytes += u64::from(pkt.size);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

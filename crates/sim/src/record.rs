@@ -1,0 +1,196 @@
+//! Ground truth and detection records.
+//!
+//! The kernel keeps two kinds of bookkeeping that experiments need:
+//!
+//! * **ground truth** — which packets gray failures actually dropped, per
+//!   entry (the paper's TPR definitions compare detector output against
+//!   packets *actually* lost, §5.1: "When we do not detect any failure ...
+//!   we report a TPR of 0"), and
+//! * **detections** — what the detectors running inside switches reported,
+//!   pushed through [`crate::kernel::Kernel::report`].
+
+use std::collections::HashMap;
+
+use fancy_net::Prefix;
+
+use crate::event::{NodeId, PortId};
+use crate::time::SimTime;
+
+/// What a detection refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectionScope {
+    /// A single monitored entry (dedicated counter hit).
+    Entry(Prefix),
+    /// A hash path through a FANcY hash-based tree. Maps to one or a few
+    /// entries; the experiment harness resolves paths against the entry
+    /// universe with the tree's hash functions.
+    HashPath(Vec<u8>),
+    /// A uniform random failure over the whole link (§5.1.3).
+    Uniform,
+    /// The link itself is unresponsive (the sender FSM exhausted its
+    /// `X = 5` Start/Stop retransmissions).
+    LinkDown,
+}
+
+/// Which mechanism produced a detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// A FANcY dedicated (high-priority) counter mismatch.
+    DedicatedCounter,
+    /// A FANcY hash-tree leaf counter mismatch after zooming.
+    HashTree,
+    /// FANcY's majority-of-root-counters uniform-failure check.
+    UniformCheck,
+    /// The counting protocol's retransmission limit (hard link failure).
+    ProtocolTimeout,
+    /// A baseline detector, identified by name.
+    Baseline(&'static str),
+}
+
+/// One detection event reported by an in-switch detector.
+#[derive(Debug, Clone)]
+pub struct DetectionRecord {
+    /// Simulated time at which the detector flagged the failure.
+    pub time: SimTime,
+    /// Node that detected (the upstream switch of the counting session).
+    pub node: NodeId,
+    /// Egress port (link) the detection refers to.
+    pub port: PortId,
+    /// Affected traffic.
+    pub scope: DetectionScope,
+    /// Producing mechanism.
+    pub detector: DetectorKind,
+}
+
+/// Per-entry ground-truth drop statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DropStats {
+    /// Packets dropped by gray failures for this entry.
+    pub count: u64,
+    /// Bytes dropped by gray failures for this entry.
+    pub bytes: u64,
+    /// Time of the first gray drop.
+    pub first: Option<SimTime>,
+    /// Time of the last gray drop.
+    pub last: Option<SimTime>,
+}
+
+impl DropStats {
+    fn observe(&mut self, now: SimTime, bytes: u64) {
+        self.count += 1;
+        self.bytes += bytes;
+        if self.first.is_none() {
+            self.first = Some(now);
+        }
+        self.last = Some(now);
+    }
+}
+
+/// All records accumulated during one simulation run.
+#[derive(Debug, Default)]
+pub struct Records {
+    /// Detections reported by in-switch detectors.
+    pub detections: Vec<DetectionRecord>,
+    /// Ground truth: gray drops per entry.
+    pub gray_drops: HashMap<Prefix, DropStats>,
+    /// Individual gray-drop timestamps per entry, kept only when
+    /// `log_drop_times` is set (some analyses need e.g. "were packets
+    /// dropped in three consecutive counting sessions").
+    pub drop_times: HashMap<Prefix, Vec<SimTime>>,
+    /// Whether to keep `drop_times` (costs memory on long runs).
+    pub log_drop_times: bool,
+    /// Total congestion (traffic-manager) drops — never gray failures.
+    pub congestion_drops: u64,
+    /// Total packets put on the wire across all links.
+    pub wire_packets: u64,
+    /// Total bytes put on the wire across all links.
+    pub wire_bytes: u64,
+}
+
+impl Records {
+    /// Record a gray drop for `entry` at `now`.
+    pub(crate) fn gray_drop(&mut self, entry: Prefix, now: SimTime, bytes: u64) {
+        self.gray_drops.entry(entry).or_default().observe(now, bytes);
+        if self.log_drop_times {
+            self.drop_times.entry(entry).or_default().push(now);
+        }
+    }
+
+    /// Total gray drops across all entries.
+    pub fn total_gray_drops(&self) -> u64 {
+        self.gray_drops.values().map(|s| s.count).sum()
+    }
+
+    /// The first gray-drop time for `entry`, if any packet was dropped.
+    pub fn first_drop(&self, entry: Prefix) -> Option<SimTime> {
+        self.gray_drops.get(&entry).and_then(|s| s.first)
+    }
+
+    /// Detections of a given kind.
+    pub fn detections_by(&self, kind: DetectorKind) -> impl Iterator<Item = &DetectionRecord> {
+        self.detections.iter().filter(move |d| d.detector == kind)
+    }
+
+    /// The earliest detection whose scope is exactly `Entry(entry)`.
+    pub fn first_entry_detection(&self, entry: Prefix) -> Option<&DetectionRecord> {
+        self.detections
+            .iter()
+            .filter(|d| d.scope == DetectionScope::Entry(entry))
+            .min_by_key(|d| d.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_stats_track_first_and_last() {
+        let mut r = Records::default();
+        let e = Prefix(42);
+        r.gray_drop(e, SimTime(100), 1500);
+        r.gray_drop(e, SimTime(300), 500);
+        let s = r.gray_drops[&e];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.bytes, 2000);
+        assert_eq!(s.first, Some(SimTime(100)));
+        assert_eq!(s.last, Some(SimTime(300)));
+        assert_eq!(r.total_gray_drops(), 2);
+        assert_eq!(r.first_drop(e), Some(SimTime(100)));
+        assert_eq!(r.first_drop(Prefix(1)), None);
+    }
+
+    #[test]
+    fn drop_times_only_kept_when_enabled() {
+        let mut r = Records::default();
+        r.gray_drop(Prefix(1), SimTime(5), 100);
+        assert!(r.drop_times.is_empty());
+        r.log_drop_times = true;
+        r.gray_drop(Prefix(1), SimTime(9), 100);
+        assert_eq!(r.drop_times[&Prefix(1)], vec![SimTime(9)]);
+    }
+
+    #[test]
+    fn detection_queries() {
+        let mut r = Records::default();
+        r.detections.push(DetectionRecord {
+            time: SimTime(200),
+            node: 0,
+            port: 0,
+            scope: DetectionScope::Entry(Prefix(7)),
+            detector: DetectorKind::DedicatedCounter,
+        });
+        r.detections.push(DetectionRecord {
+            time: SimTime(100),
+            node: 0,
+            port: 0,
+            scope: DetectionScope::Entry(Prefix(7)),
+            detector: DetectorKind::HashTree,
+        });
+        assert_eq!(r.detections_by(DetectorKind::DedicatedCounter).count(), 1);
+        assert_eq!(
+            r.first_entry_detection(Prefix(7)).unwrap().time,
+            SimTime(100)
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! Per-flow TCP sender state.
+//!
+//! A deliberately compact TCP model that reproduces the two behaviours the
+//! FANcY evaluation depends on (§5.1–§5.2 of the paper):
+//!
+//! 1. **RTO-driven retransmissions with exponential backoff** — after a
+//!    blackhole, the only packets FANcY sees for an entry are
+//!    retransmissions spaced at exponentially increasing intervals
+//!    (the paper's explanation of why 100 % loss is *harder* than 50 %).
+//! 2. **Rate reduction under loss** — Reno-style AIMD plus slow start, so
+//!    partial-loss entries keep sending at a reduced, loss-reactive rate.
+//!
+//! Sequence numbers are packet-granular (one MSS per segment), like the
+//! simulator itself. Fast retransmit on three duplicate ACKs is included;
+//! SACK, window scaling and delayed ACKs are not (they do not change the
+//! loss-visibility behaviour under study).
+
+use fancy_sim::{SimDuration, SimTime};
+
+/// Default TCP retransmission timeout used throughout the paper (§5.1:
+/// "a retransmission timeout of 200 ms").
+pub const DEFAULT_RTO: SimDuration = SimDuration::from_millis(200);
+
+/// Upper bound for exponential RTO backoff.
+pub const MAX_RTO: SimDuration = SimDuration::from_secs(60);
+
+/// Static per-flow parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowConfig {
+    /// Application-limited send rate in bits per second.
+    pub rate_bps: u64,
+    /// Number of data packets the flow wants to deliver.
+    pub total_packets: u64,
+    /// Segment size in bytes (headers included).
+    pub pkt_size: u32,
+    /// Initial/steady retransmission timeout.
+    pub initial_rto: SimDuration,
+}
+
+impl FlowConfig {
+    /// A flow carrying `rate_bps` for about `duration_s` seconds.
+    ///
+    /// Packet size is chosen so small flows still emit a few packets per
+    /// second (very low-rate entries would otherwise send one maximum-size
+    /// packet every several seconds and the experiment would measure the
+    /// packetization artifact, not the detector).
+    pub fn for_rate(rate_bps: u64, duration_s: f64) -> Self {
+        let bytes_per_sec = (rate_bps / 8).max(1);
+        // Aim for >= 4 packets per second, within Ethernet frame bounds.
+        let pkt_size = (bytes_per_sec / 4).clamp(64, 1500) as u32;
+        let total_bytes = (bytes_per_sec as f64 * duration_s).max(1.0) as u64;
+        let total_packets = (total_bytes / u64::from(pkt_size)).max(1);
+        FlowConfig {
+            rate_bps,
+            total_packets,
+            pkt_size,
+            initial_rto: DEFAULT_RTO,
+        }
+    }
+
+    /// Inter-packet pacing interval at the application rate.
+    pub fn pace_interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(f64::from(self.pkt_size) * 8.0 / self.rate_bps as f64)
+    }
+}
+
+/// What the flow wants to do next, as computed by [`TcpFlow`] transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowAction {
+    /// Send a (re)transmission of packet `seq`. `retx` marks retransmissions.
+    Send { seq: u64, retx: bool },
+    /// Nothing to do right now.
+    Idle,
+}
+
+/// TCP sender state for one flow.
+#[derive(Debug, Clone)]
+pub struct TcpFlow {
+    /// Static parameters.
+    pub cfg: FlowConfig,
+    /// Next never-sent sequence number.
+    pub next_seq: u64,
+    /// Lowest unacknowledged sequence number.
+    pub send_una: u64,
+    /// Congestion window, in packets.
+    pub cwnd: f64,
+    /// Slow-start threshold, in packets.
+    pub ssthresh: f64,
+    /// Current RTO (after backoff).
+    pub rto: SimDuration,
+    /// Consecutive duplicate ACKs observed.
+    pub dup_acks: u32,
+    /// Absolute deadline of the armed RTO timer (None = disarmed).
+    pub rto_deadline: Option<SimTime>,
+    /// Total retransmissions performed (for workload statistics and Blink).
+    pub retransmissions: u64,
+    /// Completion time, once all packets are acknowledged.
+    pub completed_at: Option<SimTime>,
+}
+
+impl TcpFlow {
+    /// A fresh flow.
+    pub fn new(cfg: FlowConfig) -> Self {
+        TcpFlow {
+            cfg,
+            next_seq: 0,
+            send_una: 0,
+            cwnd: 10.0, // IW10, standard initial window
+            ssthresh: 64.0,
+            rto: cfg.initial_rto,
+            dup_acks: 0,
+            rto_deadline: None,
+            retransmissions: 0,
+            completed_at: None,
+        }
+    }
+
+    /// Packets in flight.
+    #[inline]
+    pub fn inflight(&self) -> u64 {
+        self.next_seq - self.send_una
+    }
+
+    /// Has every packet been acknowledged?
+    #[inline]
+    pub fn done(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// May the application emit a new (never-sent) packet right now?
+    pub fn can_send_new(&self) -> bool {
+        !self.done()
+            && self.next_seq < self.cfg.total_packets
+            && (self.inflight() as f64) < self.cwnd
+    }
+
+    /// Emit the next new packet. Call only when [`Self::can_send_new`].
+    pub fn send_new(&mut self, now: SimTime) -> FlowAction {
+        debug_assert!(self.can_send_new());
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rto);
+        }
+        FlowAction::Send { seq, retx: false }
+    }
+
+    /// Process a cumulative ACK for `ack` (next expected seq at receiver).
+    /// Returns a retransmission action if fast retransmit triggers.
+    pub fn on_ack(&mut self, ack: u64, now: SimTime) -> FlowAction {
+        if ack > self.send_una {
+            let newly = ack - self.send_una;
+            self.send_una = ack;
+            self.dup_acks = 0;
+            // Successful delivery: backoff state resets.
+            self.rto = self.cfg.initial_rto;
+            // Reno growth.
+            for _ in 0..newly {
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += 1.0;
+                } else {
+                    self.cwnd += 1.0 / self.cwnd;
+                }
+            }
+            if self.send_una >= self.cfg.total_packets {
+                self.completed_at = Some(now);
+                self.rto_deadline = None;
+            } else if self.inflight() > 0 {
+                self.rto_deadline = Some(now + self.rto);
+            } else {
+                self.rto_deadline = None;
+            }
+            FlowAction::Idle
+        } else if ack == self.send_una && self.inflight() > 0 {
+            self.dup_acks += 1;
+            if self.dup_acks == 3 {
+                // Fast retransmit.
+                self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                self.cwnd = self.ssthresh;
+                self.retransmissions += 1;
+                self.rto_deadline = Some(now + self.rto);
+                FlowAction::Send {
+                    seq: self.send_una,
+                    retx: true,
+                }
+            } else {
+                FlowAction::Idle
+            }
+        } else {
+            FlowAction::Idle
+        }
+    }
+
+    /// The RTO timer fired at `now`. Returns the retransmission to perform,
+    /// or `Idle` if the timer was stale.
+    pub fn on_rto(&mut self, now: SimTime) -> FlowAction {
+        match self.rto_deadline {
+            Some(deadline) if now >= deadline && self.inflight() > 0 => {
+                self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                self.cwnd = 1.0;
+                self.rto = SimDuration::from_nanos(
+                    (self.rto.as_nanos() * 2).min(MAX_RTO.as_nanos()),
+                );
+                self.rto_deadline = Some(now + self.rto);
+                self.dup_acks = 0;
+                self.retransmissions += 1;
+                FlowAction::Send {
+                    seq: self.send_una,
+                    retx: true,
+                }
+            }
+            _ => FlowAction::Idle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> TcpFlow {
+        TcpFlow::new(FlowConfig {
+            rate_bps: 1_000_000,
+            total_packets: 100,
+            pkt_size: 1500,
+            initial_rto: DEFAULT_RTO,
+        })
+    }
+
+    #[test]
+    fn for_rate_sizes_packets_sanely() {
+        // 4 Kbps entry → small packets so a few per second still flow.
+        let c = FlowConfig::for_rate(4_000, 1.0);
+        assert!(c.pkt_size >= 64 && c.pkt_size < 1500);
+        assert!(c.total_packets >= 1);
+        // 10 Mbps → full-size packets.
+        let c = FlowConfig::for_rate(10_000_000, 1.0);
+        assert_eq!(c.pkt_size, 1500);
+        // Pacing: 1500 B at 12 Mbps = 1 ms.
+        let c = FlowConfig {
+            rate_bps: 12_000_000,
+            total_packets: 1,
+            pkt_size: 1500,
+            initial_rto: DEFAULT_RTO,
+        };
+        assert_eq!(c.pace_interval(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn normal_delivery_completes() {
+        let mut f = flow();
+        let mut now = SimTime::ZERO;
+        while !f.done() {
+            while f.can_send_new() {
+                f.send_new(now);
+            }
+            // Receiver acks everything sent so far.
+            f.on_ack(f.next_seq, now);
+            now += SimDuration::from_millis(10);
+        }
+        assert_eq!(f.retransmissions, 0);
+        assert_eq!(f.send_una, 100);
+    }
+
+    #[test]
+    fn slow_start_doubles_window() {
+        let mut f = flow();
+        let w0 = f.cwnd;
+        while f.can_send_new() {
+            f.send_new(SimTime::ZERO);
+        }
+        f.on_ack(f.next_seq, SimTime(1000));
+        assert!(f.cwnd >= w0 * 2.0 - 1.0);
+    }
+
+    #[test]
+    fn rto_backs_off_exponentially() {
+        let mut f = flow();
+        f.send_new(SimTime::ZERO);
+        let mut now = SimTime::ZERO + DEFAULT_RTO;
+        let mut rtos = Vec::new();
+        for _ in 0..4 {
+            let a = f.on_rto(now);
+            assert!(matches!(a, FlowAction::Send { seq: 0, retx: true }));
+            rtos.push(f.rto);
+            now = f.rto_deadline.unwrap();
+        }
+        assert_eq!(rtos[0], SimDuration::from_millis(400));
+        assert_eq!(rtos[1], SimDuration::from_millis(800));
+        assert_eq!(rtos[2], SimDuration::from_millis(1600));
+        assert_eq!(rtos[3], SimDuration::from_millis(3200));
+    }
+
+    #[test]
+    fn stale_rto_is_ignored() {
+        let mut f = flow();
+        f.send_new(SimTime::ZERO);
+        // ACK arrives; deadline moves forward.
+        f.on_ack(1, SimTime(1_000));
+        assert!(f.rto_deadline.is_none()); // nothing in flight
+        assert_eq!(f.on_rto(SimTime(300_000_000)), FlowAction::Idle);
+    }
+
+    #[test]
+    fn fast_retransmit_after_three_dupacks() {
+        let mut f = flow();
+        for _ in 0..5 {
+            f.send_new(SimTime::ZERO);
+        }
+        assert_eq!(f.on_ack(0, SimTime(1)), FlowAction::Idle);
+        assert_eq!(f.on_ack(0, SimTime(2)), FlowAction::Idle);
+        let a = f.on_ack(0, SimTime(3));
+        assert_eq!(
+            a,
+            FlowAction::Send {
+                seq: 0,
+                retx: true
+            }
+        );
+        assert!(f.cwnd < 10.0);
+    }
+
+    #[test]
+    fn ack_resets_backoff() {
+        let mut f = flow();
+        f.send_new(SimTime::ZERO);
+        f.on_rto(SimTime::ZERO + DEFAULT_RTO);
+        assert_eq!(f.rto, SimDuration::from_millis(400));
+        f.on_ack(1, SimTime(500_000_000));
+        assert_eq!(f.rto, DEFAULT_RTO);
+    }
+
+    #[test]
+    fn completion_recorded_once_all_acked() {
+        let mut f = TcpFlow::new(FlowConfig {
+            rate_bps: 1_000_000,
+            total_packets: 2,
+            pkt_size: 1500,
+            initial_rto: DEFAULT_RTO,
+        });
+        f.send_new(SimTime::ZERO);
+        f.send_new(SimTime::ZERO);
+        assert!(!f.can_send_new());
+        f.on_ack(2, SimTime(42));
+        assert_eq!(f.completed_at, Some(SimTime(42)));
+        assert!(f.done());
+    }
+}

@@ -1,0 +1,578 @@
+//! Host nodes: TCP senders, the universal receiver, and a UDP source.
+//!
+//! A [`SenderHost`] runs many concurrent [`TcpFlow`]s with application-rate
+//! pacing; a [`ReceiverHost`] stands in for *all* destination hosts (it
+//! accepts any destination address, ACKs every data segment, and keeps
+//! per-entry byte counts and optional throughput time series). This keeps
+//! node counts small even when experiments span hundreds of thousands of
+//! destination prefixes.
+
+use std::any::Any;
+use std::collections::{BTreeSet, HashMap};
+
+use fancy_net::Prefix;
+use fancy_sim::{
+    FlowId, Kernel, Node, Packet, PacketBuilder, PacketKind, PortId, SimDuration, SimTime,
+    TimerToken,
+};
+
+use crate::flow::{FlowAction, FlowConfig, TcpFlow};
+
+/// Size of a pure ACK on the wire.
+pub const ACK_SIZE: u32 = 64;
+
+const KIND_START: u64 = 0;
+const KIND_PACE: u64 = 1;
+const KIND_RTO: u64 = 2;
+const KIND_UDP: u64 = 3;
+
+fn token(kind: u64, flow: FlowId) -> TimerToken {
+    (flow << 2) | kind
+}
+
+fn split_token(t: TimerToken) -> (u64, FlowId) {
+    (t & 3, t >> 2)
+}
+
+/// A flow waiting to start.
+#[derive(Debug, Clone)]
+pub struct ScheduledFlow {
+    /// Absolute start time.
+    pub start: SimTime,
+    /// Destination address (its /24 is the monitored entry).
+    pub dst: u32,
+    /// Flow parameters.
+    pub cfg: FlowConfig,
+}
+
+/// Aggregate sender-side statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SenderStats {
+    /// Data packets transmitted (including retransmissions).
+    pub data_packets: u64,
+    /// Retransmitted packets.
+    pub retransmissions: u64,
+    /// Flows that delivered all their data.
+    pub completed_flows: u64,
+    /// Congestion (TM) drops observed at the host's own uplink.
+    pub local_congestion_drops: u64,
+}
+
+/// A host that originates TCP flows on port 0.
+pub struct SenderHost {
+    /// This host's source address.
+    pub addr: u32,
+    /// Flows not yet started.
+    pub scheduled: Vec<ScheduledFlow>,
+    flows: HashMap<FlowId, TcpFlow>,
+    dsts: HashMap<FlowId, u32>,
+    /// Flows whose pace timer is armed.
+    pacing: HashMap<FlowId, bool>,
+    ip_id: u16,
+    /// Aggregate statistics.
+    pub stats: SenderStats,
+}
+
+impl SenderHost {
+    /// A sender with a list of scheduled flows.
+    pub fn new(addr: u32, scheduled: Vec<ScheduledFlow>) -> Self {
+        SenderHost {
+            addr,
+            scheduled,
+            flows: HashMap::new(),
+            dsts: HashMap::new(),
+            pacing: HashMap::new(),
+            ip_id: 0,
+            stats: SenderStats::default(),
+        }
+    }
+
+    fn transmit(&mut self, ctx: &mut Kernel, flow: FlowId, seq: u64, retx: bool) {
+        let dst = self.dsts[&flow];
+        let size = self.flows[&flow].cfg.pkt_size;
+        self.ip_id = self.ip_id.wrapping_add(1);
+        let pkt = PacketBuilder::new(self.addr, dst, size, PacketKind::TcpData { flow, seq, retx })
+            .ip_id(self.ip_id)
+            .build();
+        self.stats.data_packets += 1;
+        if retx {
+            self.stats.retransmissions += 1;
+        }
+        if !ctx.send(0, pkt) {
+            self.stats.local_congestion_drops += 1;
+        }
+    }
+
+    /// Arm the flow's RTO timer at its current deadline, if any.
+    fn arm_rto(&mut self, ctx: &mut Kernel, flow: FlowId) {
+        if let Some(deadline) = self.flows[&flow].rto_deadline {
+            let delay = deadline.saturating_since(ctx.now());
+            ctx.schedule_timer(delay, token(KIND_RTO, flow));
+        }
+    }
+
+    /// Send one paced packet if the window allows, and keep pacing armed
+    /// while there is new data to send.
+    fn pace(&mut self, ctx: &mut Kernel, flow: FlowId) {
+        let Some(f) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        if f.done() {
+            self.pacing.insert(flow, false);
+            return;
+        }
+        if f.can_send_new() {
+            let now = ctx.now();
+            if let FlowAction::Send { seq, retx } = f.send_new(now) {
+                let interval = f.cfg.pace_interval();
+                let more = f.next_seq < f.cfg.total_packets;
+                self.transmit(ctx, flow, seq, retx);
+                self.arm_rto(ctx, flow);
+                if more {
+                    ctx.schedule_timer(interval, token(KIND_PACE, flow));
+                    self.pacing.insert(flow, true);
+                } else {
+                    self.pacing.insert(flow, false);
+                }
+            }
+        } else if self.flows[&flow].next_seq < self.flows[&flow].cfg.total_packets {
+            // Window-limited: pacing resumes from the ACK path.
+            self.pacing.insert(flow, false);
+        } else {
+            self.pacing.insert(flow, false);
+        }
+    }
+
+    /// Number of flows that have been started.
+    pub fn started_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Iterate over flow states (post-run inspection).
+    pub fn flows(&self) -> impl Iterator<Item = (&FlowId, &TcpFlow)> {
+        self.flows.iter()
+    }
+}
+
+impl Node for SenderHost {
+    fn on_start(&mut self, ctx: &mut Kernel) {
+        for (i, s) in self.scheduled.iter().enumerate() {
+            let delay = s.start.saturating_since(ctx.now());
+            ctx.schedule_timer(delay, token(KIND_START, i as u64));
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Kernel, _port: PortId, pkt: Packet) {
+        let PacketKind::TcpAck { flow, ack } = pkt.kind else {
+            return; // hosts ignore anything that is not an ACK
+        };
+        let Some(f) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        let was_done = f.done();
+        let action = f.on_ack(ack, ctx.now());
+        if let FlowAction::Send { seq, retx } = action {
+            self.transmit(ctx, flow, seq, retx);
+        }
+        let (done, can_send) = {
+            let f = &self.flows[&flow];
+            (f.done(), f.can_send_new())
+        };
+        if done {
+            if !was_done {
+                self.stats.completed_flows += 1;
+            }
+            return;
+        }
+        self.arm_rto(ctx, flow);
+        // Window opened: resume pacing if it went idle.
+        if can_send && !self.pacing.get(&flow).copied().unwrap_or(false) {
+            self.pace(ctx, flow);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Kernel, t: TimerToken) {
+        let (kind, flow) = split_token(t);
+        match kind {
+            KIND_START => {
+                let s = self.scheduled[flow as usize].clone();
+                self.flows.insert(flow, TcpFlow::new(s.cfg));
+                self.dsts.insert(flow, s.dst);
+                self.pace(ctx, flow);
+            }
+            KIND_PACE => self.pace(ctx, flow),
+            KIND_RTO => {
+                let Some(f) = self.flows.get_mut(&flow) else {
+                    return;
+                };
+                let action = f.on_rto(ctx.now());
+                if let FlowAction::Send { seq, retx } = action {
+                    self.transmit(ctx, flow, seq, retx);
+                    self.arm_rto(ctx, flow);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct RecvFlow {
+    rcv_next: u64,
+    out_of_order: BTreeSet<u64>,
+}
+
+/// A throughput probe: byte counts per fixed time bucket for a set of
+/// entries (or all traffic).
+#[derive(Debug, Clone)]
+pub struct ThroughputProbe {
+    /// Human-readable label (printed by experiment harnesses).
+    pub label: String,
+    /// Entries to match; `None` matches every entry.
+    pub entries: Option<Vec<Prefix>>,
+    /// Bucket length.
+    pub bucket: SimDuration,
+    /// Bytes received per bucket.
+    pub series: Vec<u64>,
+}
+
+impl ThroughputProbe {
+    /// A probe over specific entries.
+    pub fn for_entries(label: &str, entries: Vec<Prefix>, bucket: SimDuration) -> Self {
+        ThroughputProbe {
+            label: label.to_string(),
+            entries: Some(entries),
+            bucket,
+            series: Vec::new(),
+        }
+    }
+
+    /// A probe over all traffic.
+    pub fn all(label: &str, bucket: SimDuration) -> Self {
+        ThroughputProbe {
+            label: label.to_string(),
+            entries: None,
+            bucket,
+            series: Vec::new(),
+        }
+    }
+
+    fn observe(&mut self, now: SimTime, entry: Prefix, bytes: u64) {
+        if let Some(set) = &self.entries {
+            if !set.contains(&entry) {
+                return;
+            }
+        }
+        let idx = (now.as_nanos() / self.bucket.as_nanos()) as usize;
+        if self.series.len() <= idx {
+            self.series.resize(idx + 1, 0);
+        }
+        self.series[idx] += bytes;
+    }
+
+    /// The series converted to bits per second.
+    pub fn bps_series(&self) -> Vec<f64> {
+        let secs = self.bucket.as_secs_f64();
+        self.series.iter().map(|&b| b as f64 * 8.0 / secs).collect()
+    }
+}
+
+/// The universal receiver: accepts data for any destination address, sends
+/// cumulative ACKs back toward the packet's source, and tracks per-entry
+/// byte counts.
+#[derive(Default)]
+pub struct ReceiverHost {
+    recv: HashMap<FlowId, RecvFlow>,
+    /// Bytes received per entry.
+    pub entry_bytes: HashMap<Prefix, u64>,
+    /// Packets received per entry.
+    pub entry_packets: HashMap<Prefix, u64>,
+    /// Optional throughput probes.
+    pub probes: Vec<ThroughputProbe>,
+    /// Total data packets received.
+    pub data_packets: u64,
+}
+
+impl ReceiverHost {
+    /// A receiver with no probes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a throughput probe.
+    pub fn with_probe(mut self, probe: ThroughputProbe) -> Self {
+        self.probes.push(probe);
+        self
+    }
+
+    fn note(&mut self, now: SimTime, entry: Prefix, bytes: u64) {
+        *self.entry_bytes.entry(entry).or_insert(0) += bytes;
+        *self.entry_packets.entry(entry).or_insert(0) += 1;
+        self.data_packets += 1;
+        for p in &mut self.probes {
+            p.observe(now, entry, bytes);
+        }
+    }
+}
+
+impl Node for ReceiverHost {
+    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: Packet) {
+        match pkt.kind {
+            PacketKind::TcpData { flow, seq, .. } => {
+                self.note(ctx.now(), pkt.entry(), u64::from(pkt.size));
+                let st = self.recv.entry(flow).or_default();
+                if seq == st.rcv_next {
+                    st.rcv_next += 1;
+                    while st.out_of_order.remove(&st.rcv_next) {
+                        st.rcv_next += 1;
+                    }
+                } else if seq > st.rcv_next {
+                    st.out_of_order.insert(seq);
+                }
+                let ack = PacketBuilder::new(
+                    pkt.dst,
+                    pkt.src,
+                    ACK_SIZE,
+                    PacketKind::TcpAck {
+                        flow,
+                        ack: st.rcv_next,
+                    },
+                )
+                .build();
+                ctx.send(port, ack);
+            }
+            PacketKind::Udp { .. } => {
+                self.note(ctx.now(), pkt.entry(), u64::from(pkt.size));
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An open-loop constant-rate UDP source (the Tofino case study mixes
+/// 50 Mbps of UDP into its workload, §6.1).
+pub struct UdpSource {
+    /// Source address.
+    pub addr: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Send rate in bits per second.
+    pub rate_bps: u64,
+    /// Datagram size in bytes.
+    pub pkt_size: u32,
+    /// Stop time.
+    pub until: SimTime,
+    seq: u64,
+    sent: u64,
+}
+
+impl UdpSource {
+    /// A UDP source running until `until`.
+    pub fn new(addr: u32, dst: u32, rate_bps: u64, pkt_size: u32, until: SimTime) -> Self {
+        UdpSource {
+            addr,
+            dst,
+            rate_bps,
+            pkt_size,
+            until,
+            seq: 0,
+            sent: 0,
+        }
+    }
+
+    /// Datagrams sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(f64::from(self.pkt_size) * 8.0 / self.rate_bps as f64)
+    }
+}
+
+impl Node for UdpSource {
+    fn on_start(&mut self, ctx: &mut Kernel) {
+        ctx.schedule_timer(SimDuration::ZERO, token(KIND_UDP, 0));
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Kernel, _port: PortId, _pkt: Packet) {}
+
+    fn on_timer(&mut self, ctx: &mut Kernel, _t: TimerToken) {
+        if ctx.now() >= self.until {
+            return;
+        }
+        let pkt = PacketBuilder::new(
+            self.addr,
+            self.dst,
+            self.pkt_size,
+            PacketKind::Udp {
+                flow: u64::MAX,
+                seq: self.seq,
+            },
+        )
+        .build();
+        self.seq += 1;
+        self.sent += 1;
+        ctx.send(0, pkt);
+        ctx.schedule_timer(self.interval(), token(KIND_UDP, 0));
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fancy_sim::{GrayFailure, LinkConfig, Network};
+
+    fn flow_cfg(rate: u64, pkts: u64) -> FlowConfig {
+        FlowConfig {
+            rate_bps: rate,
+            total_packets: pkts,
+            pkt_size: 1500,
+            initial_rto: crate::flow::DEFAULT_RTO,
+        }
+    }
+
+    /// host A ── link ── receiver, optional failure on the forward direction.
+    fn setup(flows: Vec<ScheduledFlow>, failure: Option<GrayFailure>) -> (Network, usize, usize) {
+        let mut net = Network::new(3);
+        let a = net.add_node(Box::new(SenderHost::new(0x01000001, flows)));
+        let b = net.add_node(Box::new(ReceiverHost::new()));
+        let link = net.connect(
+            a,
+            b,
+            LinkConfig::new(1_000_000_000, SimDuration::from_millis(5)),
+        );
+        if let Some(f) = failure {
+            net.kernel.add_failure(link, a, f);
+        }
+        (net, a, b)
+    }
+
+    #[test]
+    fn lossless_flow_completes_without_retx() {
+        let flows = vec![ScheduledFlow {
+            start: SimTime::ZERO,
+            dst: 0x0A000005,
+            cfg: flow_cfg(10_000_000, 50),
+        }];
+        let (mut net, a, b) = setup(flows, None);
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let tx: &SenderHost = net.node(a);
+        assert_eq!(tx.stats.completed_flows, 1);
+        assert_eq!(tx.stats.retransmissions, 0);
+        let rx: &ReceiverHost = net.node(b);
+        assert_eq!(
+            rx.entry_packets[&Prefix::from_addr(0x0A000005)],
+            50
+        );
+    }
+
+    #[test]
+    fn blackhole_triggers_backoff_retransmissions() {
+        let entry = Prefix::from_addr(0x0A000005);
+        let flows = vec![ScheduledFlow {
+            start: SimTime::ZERO,
+            dst: 0x0A000005,
+            cfg: flow_cfg(10_000_000, 50),
+        }];
+        let (mut net, a, _b) = setup(flows, Some(GrayFailure::single_entry(entry, 1.0, SimTime::ZERO)));
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let tx: &SenderHost = net.node(a);
+        assert_eq!(tx.stats.completed_flows, 0);
+        // RTO at 200,400,800,1600,3200,6400 ms → ~6 retransmissions in 10 s.
+        assert!(tx.stats.retransmissions >= 4 && tx.stats.retransmissions <= 8,
+            "retx = {}", tx.stats.retransmissions);
+    }
+
+    #[test]
+    fn partial_loss_still_completes_via_recovery() {
+        let entry = Prefix::from_addr(0x0A000005);
+        let flows = vec![ScheduledFlow {
+            start: SimTime::ZERO,
+            dst: 0x0A000005,
+            cfg: flow_cfg(10_000_000, 200),
+        }];
+        let (mut net, a, _b) =
+            setup(flows, Some(GrayFailure::single_entry(entry, 0.05, SimTime::ZERO)));
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+        let tx: &SenderHost = net.node(a);
+        assert_eq!(tx.stats.completed_flows, 1, "flow should recover from 5% loss");
+        assert!(tx.stats.retransmissions > 0);
+    }
+
+    #[test]
+    fn sender_paces_at_the_configured_rate() {
+        // 12 Mbps, 1500 B packets → 1 ms spacing → ~100 packets in 100 ms.
+        let flows = vec![ScheduledFlow {
+            start: SimTime::ZERO,
+            dst: 0x0A000001,
+            cfg: flow_cfg(12_000_000, 1000),
+        }];
+        let (mut net, a, _b) = setup(flows, None);
+        net.run_until(SimTime::ZERO + SimDuration::from_millis(100));
+        let sent = net.node::<SenderHost>(a).stats.data_packets;
+        assert!((80..=110).contains(&sent), "sent = {sent}");
+    }
+
+    #[test]
+    fn probe_buckets_throughput() {
+        let mut probe = ThroughputProbe::all("all", SimDuration::from_millis(100));
+        probe.observe(SimTime(50_000_000), Prefix(1), 1000);
+        probe.observe(SimTime(150_000_000), Prefix(1), 500);
+        probe.observe(SimTime(160_000_000), Prefix(2), 500);
+        assert_eq!(probe.series, vec![1000, 1000]);
+        assert_eq!(probe.bps_series(), vec![80_000.0, 80_000.0]);
+    }
+
+    #[test]
+    fn entry_probe_filters() {
+        let mut probe = ThroughputProbe::for_entries(
+            "one",
+            vec![Prefix(1)],
+            SimDuration::from_millis(100),
+        );
+        probe.observe(SimTime(0), Prefix(1), 100);
+        probe.observe(SimTime(0), Prefix(2), 100);
+        assert_eq!(probe.series, vec![100]);
+    }
+
+    #[test]
+    fn udp_source_hits_target_rate() {
+        let mut net = Network::new(9);
+        let until = SimTime::ZERO + SimDuration::from_secs(1);
+        let src = net.add_node(Box::new(UdpSource::new(
+            1, 0x0B000001, 12_000_000, 1500, until,
+        )));
+        let rx = net.add_node(Box::new(ReceiverHost::new()));
+        net.connect(
+            src,
+            rx,
+            LinkConfig::new(1_000_000_000, SimDuration::from_millis(1)),
+        );
+        net.run_until(until + SimDuration::from_secs(1));
+        // 12 Mbps / (1500 B) = 1000 pps for 1 s.
+        let got = net.node::<ReceiverHost>(rx).data_packets;
+        assert!((995..=1005).contains(&got), "got {got}");
+    }
+}

@@ -1,0 +1,285 @@
+//! CAIDA-like trace synthesis (substitute for the traces of Appendix C).
+//!
+//! The paper evaluates FANcY system-wide on four anonymized CAIDA backbone
+//! traces (Table 5). Those traces are access-restricted, so this module
+//! synthesizes traffic with the *published* characteristics of each trace:
+//! aggregate bit rate, packet rate, flow arrival rate, and ≈250 K /24
+//! destination prefixes with Zipf-skewed popularity (the only properties
+//! the evaluation depends on — FANcY sees per-entry packet streams, not
+//! payload).
+//!
+//! A `scale` knob shrinks rate and prefix count proportionally so
+//! experiments stay laptop-sized while preserving the skew shape; the
+//! experiment harness documents the scale it ran at.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use fancy_net::Prefix;
+use fancy_sim::{SimDuration, SimTime};
+use fancy_tcp::{FlowConfig, ScheduledFlow};
+
+use crate::zipf::Zipf;
+
+/// Published characteristics of one CAIDA trace (Table 5 of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct CaidaSpec {
+    /// Trace ID (1–4).
+    pub id: u8,
+    /// Trace name as listed in Table 5.
+    pub name: &'static str,
+    /// Aggregate bit rate.
+    pub bit_rate_bps: u64,
+    /// Aggregate packet rate.
+    pub pkt_rate_pps: u64,
+    /// Flow arrival rate.
+    pub flow_rate_fps: u64,
+    /// Distinct /24 destination prefixes (≈250 K on average, §5.2; the
+    /// sensitivity analysis trace has ≈560 K, Appendix D).
+    pub prefixes: usize,
+    /// Zipf exponent of prefix popularity.
+    pub zipf_s: f64,
+}
+
+impl CaidaSpec {
+    /// Average packet size implied by the published rates.
+    pub fn avg_pkt_bytes(&self) -> u32 {
+        ((self.bit_rate_bps / 8) / self.pkt_rate_pps.max(1)) as u32
+    }
+}
+
+/// The four traces of Table 5.
+pub fn paper_traces() -> [CaidaSpec; 4] {
+    [
+        CaidaSpec {
+            id: 1,
+            name: "caida-equinix-chicago.dirB (2014-06-19)",
+            bit_rate_bps: 6_250_000_000,
+            pkt_rate_pps: 759_100,
+            flow_rate_fps: 28_300,
+            prefixes: 250_000,
+            zipf_s: 1.1,
+        },
+        CaidaSpec {
+            id: 2,
+            name: "caida-equinix-nyc.dirA (2018-04-19)",
+            bit_rate_bps: 3_860_000_000,
+            pkt_rate_pps: 557_000,
+            flow_rate_fps: 26_400,
+            prefixes: 250_000,
+            zipf_s: 1.1,
+        },
+        CaidaSpec {
+            id: 3,
+            name: "caida-equinix-nyc.dirB (2018-08-16)",
+            bit_rate_bps: 5_790_000_000,
+            pkt_rate_pps: 2_030_000,
+            flow_rate_fps: 104_500,
+            prefixes: 250_000,
+            zipf_s: 1.1,
+        },
+        CaidaSpec {
+            id: 4,
+            name: "caida-equinix-nyc.dirB (2019-01-17)",
+            bit_rate_bps: 4_720_000_000,
+            pkt_rate_pps: 1_560_000,
+            flow_rate_fps: 90_700,
+            prefixes: 560_000, // the Appendix D sensitivity-analysis trace
+            zipf_s: 1.1,
+        },
+    ]
+}
+
+/// A synthesized trace slice ready for replay.
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    /// The spec this trace was built from.
+    pub spec: CaidaSpec,
+    /// The scale it was built at.
+    pub scale: f64,
+    /// Prefixes in popularity order (rank 0 = heaviest).
+    pub prefixes_by_rank: Vec<Prefix>,
+    /// Normalized traffic share per rank.
+    pub weights: Vec<f64>,
+    /// Flow schedule.
+    pub flows: Vec<ScheduledFlow>,
+}
+
+impl SyntheticTrace {
+    /// The top `n` prefixes by traffic (dedicated-counter allocation uses
+    /// the top 500, "mimicking an allocation based on historical data").
+    pub fn top_prefixes(&self, n: usize) -> Vec<Prefix> {
+        self.prefixes_by_rank.iter().take(n).copied().collect()
+    }
+
+    /// Traffic share of the prefix at `rank`.
+    pub fn share_of_rank(&self, rank: usize) -> f64 {
+        self.weights[rank]
+    }
+
+    /// Measured statistics of the generated schedule (Table 5 check).
+    pub fn stats(&self, duration: SimDuration) -> TraceStats {
+        let secs = duration.as_secs_f64();
+        let total_bytes: u64 = self
+            .flows
+            .iter()
+            .map(|f| f.cfg.total_packets * u64::from(f.cfg.pkt_size))
+            .sum();
+        let total_packets: u64 = self.flows.iter().map(|f| f.cfg.total_packets).sum();
+        TraceStats {
+            bit_rate_bps: total_bytes as f64 * 8.0 / secs,
+            pkt_rate_pps: total_packets as f64 / secs,
+            flow_rate_fps: self.flows.len() as f64 / secs,
+            distinct_prefixes: self.prefixes_by_rank.len(),
+        }
+    }
+}
+
+/// Aggregate statistics of a synthesized slice.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceStats {
+    /// Offered load in bits per second.
+    pub bit_rate_bps: f64,
+    /// Offered packets per second.
+    pub pkt_rate_pps: f64,
+    /// Flow arrivals per second.
+    pub flow_rate_fps: f64,
+    /// Prefix universe size.
+    pub distinct_prefixes: usize,
+}
+
+/// Synthesize a `duration`-long slice of `spec`, scaled by `scale`
+/// (1.0 = published rates; 0.01 = 1 % of rates and prefixes).
+pub fn synthesize(spec: CaidaSpec, duration: SimDuration, scale: f64, seed: u64) -> SyntheticTrace {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_prefixes = ((spec.prefixes as f64 * scale) as usize).max(100);
+    let zipf = Zipf::new(n_prefixes, spec.zipf_s);
+
+    // Deterministic but scattered prefix identities: rank r maps to a
+    // pseudo-random /24 so hash trees don't see consecutive integers.
+    let mut prefixes_by_rank: Vec<Prefix> = Vec::with_capacity(n_prefixes);
+    let mut used = std::collections::HashSet::with_capacity(n_prefixes);
+    while prefixes_by_rank.len() < n_prefixes {
+        let p = Prefix(rng.gen_range(0x0100_00..0xDFFF_FF));
+        if used.insert(p) {
+            prefixes_by_rank.push(p);
+        }
+    }
+
+    let secs = duration.as_secs_f64();
+    let total_flows = ((spec.flow_rate_fps as f64 * scale * secs) as usize).max(n_prefixes / 10);
+    let bit_rate = spec.bit_rate_bps as f64 * scale;
+    let pkt_size = spec.avg_pkt_bytes().clamp(64, 1500);
+
+    // Flows per prefix proportional to its weight; every flow carries the
+    // same rate so that per-prefix traffic follows the Zipf share. Flow
+    // durations are ≈1 s (the §5.1 convention), so `total_flows / secs`
+    // flows are concurrently active.
+    let concurrent = total_flows as f64 / secs;
+    let per_flow_bps = (bit_rate / concurrent).max(1_000.0) as u64;
+
+    let mut flows = Vec::with_capacity(total_flows);
+    for rank in 0..n_prefixes {
+        let expect = zipf.weight(rank) * total_flows as f64;
+        // Round stochastically so light prefixes still appear sometimes.
+        let mut n = expect.floor() as usize;
+        if rng.gen::<f64>() < expect.fract() {
+            n += 1;
+        }
+        let prefix = prefixes_by_rank[rank];
+        for _ in 0..n {
+            let start = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen::<f64>() * secs);
+            let mut cfg = FlowConfig::for_rate(per_flow_bps, 1.0);
+            cfg.pkt_size = pkt_size;
+            cfg.total_packets = ((per_flow_bps / 8) / u64::from(pkt_size)).max(1);
+            flows.push(ScheduledFlow {
+                start,
+                dst: prefix.host(rng.gen_range(1..=254)),
+                cfg,
+            });
+        }
+    }
+    flows.sort_by_key(|f| f.start);
+    SyntheticTrace {
+        spec,
+        scale,
+        prefixes_by_rank,
+        weights: zipf.weights().to_vec(),
+        flows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_table_5() {
+        let traces = paper_traces();
+        assert_eq!(traces.len(), 4);
+        assert_eq!(traces[0].bit_rate_bps, 6_250_000_000);
+        assert_eq!(traces[2].pkt_rate_pps, 2_030_000);
+        // Implied packet sizes are plausible backbone averages.
+        for t in &traces {
+            let s = t.avg_pkt_bytes();
+            assert!((200..1500).contains(&s), "trace {}: {s} B", t.id);
+        }
+    }
+
+    #[test]
+    fn synthesized_rates_track_spec_at_scale() {
+        let spec = paper_traces()[1];
+        let dur = SimDuration::from_secs(10);
+        let scale = 0.02;
+        let trace = synthesize(spec, dur, scale, 1);
+        let stats = trace.stats(dur);
+        let target_bps = spec.bit_rate_bps as f64 * scale;
+        let target_fps = spec.flow_rate_fps as f64 * scale;
+        assert!(
+            (stats.bit_rate_bps - target_bps).abs() / target_bps < 0.3,
+            "bps {} vs {target_bps}",
+            stats.bit_rate_bps
+        );
+        assert!(
+            (stats.flow_rate_fps - target_fps).abs() / target_fps < 0.3,
+            "fps {} vs {target_fps}",
+            stats.flow_rate_fps
+        );
+    }
+
+    #[test]
+    fn traffic_is_skewed_toward_top_ranks() {
+        let spec = paper_traces()[0];
+        let trace = synthesize(spec, SimDuration::from_secs(10), 0.01, 2);
+        // Count flows landing in the top-10% prefixes.
+        let top: std::collections::HashSet<Prefix> = trace
+            .top_prefixes(trace.prefixes_by_rank.len() / 10)
+            .into_iter()
+            .collect();
+        let in_top = trace
+            .flows
+            .iter()
+            .filter(|f| top.contains(&Prefix::from_addr(f.dst)))
+            .count();
+        let share = in_top as f64 / trace.flows.len() as f64;
+        assert!(share > 0.6, "top-decile share {share}");
+    }
+
+    #[test]
+    fn determinism_and_distinct_prefixes() {
+        let spec = paper_traces()[3];
+        let a = synthesize(spec, SimDuration::from_secs(5), 0.005, 9);
+        let b = synthesize(spec, SimDuration::from_secs(5), 0.005, 9);
+        assert_eq!(a.flows.len(), b.flows.len());
+        assert_eq!(a.prefixes_by_rank, b.prefixes_by_rank);
+        let set: std::collections::HashSet<_> = a.prefixes_by_rank.iter().collect();
+        assert_eq!(set.len(), a.prefixes_by_rank.len(), "duplicate prefixes");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        synthesize(paper_traces()[0], SimDuration::from_secs(1), 0.0, 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! The synthetic entry-size grid of §5.1 (Figures 7–9).
+//!
+//! The paper benchmarks FANcY against 18 "entry sizes", each a combination
+//! of total throughput and flow arrival rate (from 4 Kbps with 1 flow/s up
+//! to 500 Mbps with 250 flows/s). "All simulated flows have a duration of
+//! ≈1 second in the absence of losses, and a retransmission timeout of
+//! 200 ms" (§5.1). This module generates those workloads.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use fancy_net::Prefix;
+use fancy_sim::{SimDuration, SimTime};
+use fancy_tcp::{FlowConfig, ScheduledFlow};
+
+/// One row of the Fig. 7/9 grid: an entry's traffic intensity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntrySize {
+    /// Total throughput the entry drives, bits per second.
+    pub total_bps: u64,
+    /// New flows per second.
+    pub flows_per_sec: f64,
+}
+
+impl EntrySize {
+    /// Human-readable label matching the paper's y-axis
+    /// (e.g. `500Mbps/250`).
+    pub fn label(&self) -> String {
+        let rate = if self.total_bps >= 1_000_000 {
+            format!("{}Mbps", self.total_bps / 1_000_000)
+        } else {
+            format!("{}Kbps", self.total_bps / 1_000)
+        };
+        format!("{rate}/{}", self.flows_per_sec as u64)
+    }
+
+    /// Per-flow rate, assuming ≈1 s flows: `flows_per_sec` flows are
+    /// concurrently active, sharing the total.
+    pub fn per_flow_bps(&self) -> u64 {
+        ((self.total_bps as f64) / self.flows_per_sec).max(1.0) as u64
+    }
+}
+
+/// The 18 entry sizes of Figures 7 and 9, largest first (paper order).
+pub fn paper_grid() -> Vec<EntrySize> {
+    const ROWS: [(u64, f64); 18] = [
+        (500_000_000, 250.0),
+        (100_000_000, 200.0),
+        (50_000_000, 150.0),
+        (10_000_000, 150.0),
+        (10_000_000, 100.0),
+        (1_000_000, 100.0),
+        (1_000_000, 50.0),
+        (500_000, 50.0),
+        (500_000, 25.0),
+        (100_000, 25.0),
+        (100_000, 10.0),
+        (50_000, 10.0),
+        (50_000, 5.0),
+        (25_000, 5.0),
+        (25_000, 2.0),
+        (8_000, 2.0),
+        (8_000, 1.0),
+        (4_000, 1.0),
+    ];
+    ROWS.iter()
+        .map(|&(total_bps, flows_per_sec)| EntrySize {
+            total_bps,
+            flows_per_sec,
+        })
+        .collect()
+}
+
+/// The loss rates (percent) swept along the x-axis of Figures 7 and 9.
+pub fn paper_loss_rates() -> Vec<f64> {
+    vec![100.0, 75.0, 50.0, 10.0, 1.0, 0.1]
+}
+
+/// A generated workload: the monitored entries and their flows.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Entries carrying traffic.
+    pub entries: Vec<Prefix>,
+    /// Flow schedule for a `SenderHost`.
+    pub flows: Vec<ScheduledFlow>,
+}
+
+/// Generate a grid workload: `entries.len()` entries, each driving traffic
+/// of intensity `size` for `duration`, with Poisson flow arrivals
+/// (the paper randomizes flow start times across repetitions — the `seed`
+/// plays that role here).
+pub fn generate(
+    entries: &[Prefix],
+    size: EntrySize,
+    duration: SimDuration,
+    seed: u64,
+) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut flows = Vec::new();
+    let horizon = duration.as_secs_f64();
+    for &entry in entries {
+        // Poisson arrivals at `flows_per_sec`, first flow starting at a
+        // random phase so the failure time is not synchronized with flows.
+        let mut t = rng.gen::<f64>() / size.flows_per_sec;
+        let cfg = FlowConfig::for_rate(size.per_flow_bps(), 1.0);
+        while t < horizon {
+            flows.push(ScheduledFlow {
+                start: SimTime::ZERO + SimDuration::from_secs_f64(t),
+                dst: entry.host(rng.gen_range(1..=254)),
+                cfg,
+            });
+            // Exponential inter-arrival.
+            let u: f64 = rng.gen_range(1e-9..1.0);
+            t += -u.ln() / size.flows_per_sec;
+        }
+    }
+    // Arrival order keeps the sender host's flow IDs deterministic.
+    flows.sort_by_key(|f| f.start);
+    Workload {
+        entries: entries.to_vec(),
+        flows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_has_18_rows_in_order() {
+        let g = paper_grid();
+        assert_eq!(g.len(), 18);
+        assert_eq!(g[0].label(), "500Mbps/250");
+        assert_eq!(g[17].label(), "4Kbps/1");
+        // Monotone non-increasing throughput.
+        assert!(g.windows(2).all(|w| w[0].total_bps >= w[1].total_bps));
+    }
+
+    #[test]
+    fn per_flow_rate_splits_the_total() {
+        let e = EntrySize {
+            total_bps: 500_000_000,
+            flows_per_sec: 250.0,
+        };
+        assert_eq!(e.per_flow_bps(), 2_000_000);
+        let tiny = EntrySize {
+            total_bps: 4_000,
+            flows_per_sec: 1.0,
+        };
+        assert_eq!(tiny.per_flow_bps(), 4_000);
+    }
+
+    #[test]
+    fn generate_produces_expected_flow_count() {
+        let entries = vec![Prefix(1)];
+        let size = EntrySize {
+            total_bps: 1_000_000,
+            flows_per_sec: 50.0,
+        };
+        let w = generate(&entries, size, SimDuration::from_secs(30), 42);
+        // Poisson(50/s × 30 s) = 1500 ± a few sigma.
+        assert!(
+            (1200..1800).contains(&w.flows.len()),
+            "got {} flows",
+            w.flows.len()
+        );
+        // All flows target the entry.
+        assert!(w
+            .flows
+            .iter()
+            .all(|f| Prefix::from_addr(f.dst) == Prefix(1)));
+        // Starts sorted and within the horizon.
+        assert!(w.flows.windows(2).all(|p| p[0].start <= p[1].start));
+        assert!(w.flows.iter().all(|f| f.start.as_secs_f64() < 30.0));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let entries = vec![Prefix(1), Prefix(2)];
+        let size = EntrySize {
+            total_bps: 100_000,
+            flows_per_sec: 10.0,
+        };
+        let a = generate(&entries, size, SimDuration::from_secs(10), 7);
+        let b = generate(&entries, size, SimDuration::from_secs(10), 7);
+        let c = generate(&entries, size, SimDuration::from_secs(10), 8);
+        assert_eq!(a.flows.len(), b.flows.len());
+        assert_eq!(a.flows[0].start, b.flows[0].start);
+        assert_ne!(
+            (a.flows.len(), a.flows[0].start),
+            (c.flows.len(), c.flows[0].start)
+        );
+    }
+
+    #[test]
+    fn aggregate_rate_roughly_matches_target() {
+        let entries = vec![Prefix(9)];
+        let size = EntrySize {
+            total_bps: 10_000_000,
+            flows_per_sec: 100.0,
+        };
+        let w = generate(&entries, size, SimDuration::from_secs(10), 3);
+        let total_bytes: u64 = w
+            .flows
+            .iter()
+            .map(|f| f.cfg.total_packets * u64::from(f.cfg.pkt_size))
+            .sum();
+        let avg_bps = total_bytes as f64 * 8.0 / 10.0;
+        let target = size.total_bps as f64;
+        assert!(
+            (avg_bps - target).abs() / target < 0.25,
+            "avg {avg_bps} vs target {target}"
+        );
+    }
+}

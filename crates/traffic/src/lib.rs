@@ -1,0 +1,19 @@
+//! # fancy-traffic — workload generation for the FANcY evaluation
+//!
+//! Three workload families, mirroring the paper's §5:
+//!
+//! * [`grid`] — the 18-row synthetic entry-size grid of Figures 7–9
+//!   (4 Kbps/1 fps … 500 Mbps/250 fps, ≈1 s TCP flows);
+//! * [`zipf`] — Zipf prefix-popularity skew (§5.1.3 uniform-failure
+//!   experiments, and the backbone of trace synthesis);
+//! * [`caida`] — CAIDA-like trace synthesis matching the published Table 5
+//!   characteristics (the real traces are access-restricted; see DESIGN.md
+//!   for the substitution argument).
+
+pub mod caida;
+pub mod grid;
+pub mod zipf;
+
+pub use caida::{paper_traces, synthesize, CaidaSpec, SyntheticTrace, TraceStats};
+pub use grid::{generate, paper_grid, paper_loss_rates, EntrySize, Workload};
+pub use zipf::Zipf;

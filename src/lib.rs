@@ -1,0 +1,46 @@
+//! # fancy — a Rust reproduction of FANcY (SIGCOMM 2022)
+//!
+//! *FAst In-Network GraY Failure Detection for ISPs* (Costa Molero,
+//! Vissicchio, Vanbever — SIGCOMM '22) detects and localizes *gray
+//! failures* — hardware malfunctions that silently drop a subset of
+//! traffic — by letting neighboring switches synchronize packet counters
+//! through a lightweight stop-and-wait protocol, with a zoomable
+//! hash-based tree covering the entries that don't get a dedicated
+//! counter.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`fancy_core`] | the FANcY system: protocol FSMs, dedicated counters, hash trees + zooming, output structures, the switch |
+//! | [`fancy_sim`] | deterministic packet-level simulator (ns-3 substitute) with gray-failure injection |
+//! | [`fancy_tcp`] | closed-loop TCP flow model and host nodes |
+//! | [`fancy_traffic`] | §5 workloads: entry-size grids, Zipf skew, CAIDA-like traces |
+//! | [`fancy_baselines`] | LossRadar (IBFs), NetSeer, Blink, simple designs |
+//! | [`fancy_hw`] | Tofino-class resource model (Table 4, Appendix B) |
+//! | [`fancy_analysis`] | closed-form models (Appendix A, Table 2, Figure 2, §5.3) |
+//! | [`fancy_apps`] | fast-reroute scenarios and operator reporting |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the `bench`
+//! crate for the harnesses that regenerate every table and figure of the
+//! paper.
+
+pub use fancy_analysis as analysis;
+pub use fancy_apps as apps;
+pub use fancy_baselines as baselines;
+pub use fancy_core as core;
+pub use fancy_hw as hw;
+pub use fancy_net as net;
+pub use fancy_sim as sim;
+pub use fancy_tcp as tcp;
+pub use fancy_traffic as traffic;
+
+/// Commonly used items across the workspace, in one import.
+pub mod prelude {
+    pub use fancy_apps::{case_study, linear, CaseStudyConfig, LinearConfig};
+    pub use fancy_core::prelude::*;
+    pub use fancy_net::{ControlMessage, FancyTag, Prefix};
+    pub use fancy_sim::prelude::*;
+    pub use fancy_tcp::{FlowConfig, ReceiverHost, ScheduledFlow, SenderHost, ThroughputProbe};
+    pub use fancy_traffic::{paper_grid, paper_loss_rates, EntrySize};
+}

@@ -1,0 +1,173 @@
+//! Localization tests: FANcY must identify *which link* (and which
+//! entries) a gray failure lives on — the property that separates it from
+//! a mere loss detector ("By localizing we mean identifying both the
+//! switch port suffering from a gray failure and the affected traffic").
+
+use std::any::Any;
+
+use fancy::core::{FancyInput, FancySwitch, TimerConfig, TreeParams};
+use fancy::prelude::*;
+use fancy::sim::{LinkConfig, Network, SimDuration};
+use fancy::tcp::{ReceiverHost, SenderHost};
+
+/// host — S1 — S2 — S3 — receiver, FANcY everywhere, failure on exactly
+/// one inter-switch link. Only the upstream switch of *that* link must
+/// report, localizing the failure to its port.
+fn chain(failure_on_second_hop: bool) -> (Network, usize, usize, Vec<Prefix>) {
+    let victims: Vec<Prefix> = (0..3u32).map(|i| Prefix(0x0A_44_00 + i)).collect();
+    let mut flows = Vec::new();
+    for (k, v) in victims.iter().enumerate() {
+        for i in 0..30u64 {
+            flows.push(ScheduledFlow {
+                start: SimTime(i * 150_000_000 + k as u64 * 31_000_000),
+                dst: v.host(1),
+                cfg: FlowConfig::for_rate(2_000_000, 1.0),
+            });
+        }
+    }
+    flows.sort_by_key(|f| f.start);
+
+    let layout = FancyInput {
+        high_priority: victims.clone(),
+        memory_bytes_per_port: 1 << 20,
+        tree: TreeParams::paper_default(),
+        timers: TimerConfig::paper_default().for_link_delay(SimDuration::from_millis(5)),
+    }
+    .translate()
+    .unwrap();
+
+    let mut net = Network::new(33);
+    let host = net.add_node(Box::new(SenderHost::new(0x01_00_00_01, flows)));
+    let mk_fib = || {
+        let mut fib = Fib::new();
+        fib.route(Prefix::from_addr(0x01_00_00_01), 0);
+        fib.default_route(1);
+        fib
+    };
+    let s1 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout.clone(), vec![1], 1)));
+    let s2 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout.clone(), vec![1], 2)));
+    let s3 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout, Vec::new(), 3)));
+    let rx = net.add_node(Box::new(ReceiverHost::new()));
+
+    let edge = LinkConfig::new(10_000_000_000, SimDuration::from_micros(10));
+    let hop = LinkConfig::new(10_000_000_000, SimDuration::from_millis(5));
+    net.connect(host, s1, edge);
+    let l12 = net.connect(s1, s2, hop);
+    let l23 = net.connect(s2, s3, hop);
+    net.connect(s3, rx, edge);
+
+    let (link, from) = if failure_on_second_hop { (l23, s2) } else { (l12, s1) };
+    net.kernel.add_failure(
+        link,
+        from,
+        GrayFailure::single_entry(victims[1], 0.4, SimTime(1_000_000_000)),
+    );
+    net.run_until(SimTime(5_000_000_000));
+    (net, s1, s2, victims.into_iter().collect())
+}
+
+#[test]
+fn failure_on_first_hop_reported_by_s1_only() {
+    let (net, s1, s2, victims) = chain(false);
+    let det: Vec<_> = net
+        .kernel
+        .records
+        .detections
+        .iter()
+        .filter(|d| matches!(d.scope, DetectionScope::Entry(_)))
+        .collect();
+    assert!(!det.is_empty(), "failure must be detected");
+    assert!(
+        det.iter().all(|d| d.node == s1),
+        "only the upstream of the failing link reports: {det:?}"
+    );
+    let _ = s2;
+    // And only the failed entry is implicated.
+    for d in &det {
+        assert_eq!(d.scope, DetectionScope::Entry(victims[1]));
+    }
+}
+
+#[test]
+fn failure_on_second_hop_reported_by_s2_only() {
+    let (net, s1, s2, victims) = chain(true);
+    let det: Vec<_> = net
+        .kernel
+        .records
+        .detections
+        .iter()
+        .filter(|d| matches!(d.scope, DetectionScope::Entry(_)))
+        .collect();
+    assert!(!det.is_empty(), "failure must be detected");
+    assert!(
+        det.iter().all(|d| d.node == s2),
+        "localization must pin the second hop: {det:?}"
+    );
+    let _ = s1;
+    for d in &det {
+        assert_eq!(d.scope, DetectionScope::Entry(victims[1]));
+    }
+}
+
+#[test]
+fn two_simultaneous_failures_on_different_links_both_localized() {
+    // Independent failures on hops 1 and 2, different entries: each
+    // upstream flags exactly its own.
+    let victims: Vec<Prefix> = (0..4u32).map(|i| Prefix(0x0A_55_00 + i)).collect();
+    let mut flows = Vec::new();
+    for (k, v) in victims.iter().enumerate() {
+        for i in 0..30u64 {
+            flows.push(ScheduledFlow {
+                start: SimTime(i * 150_000_000 + k as u64 * 17_000_000),
+                dst: v.host(1),
+                cfg: FlowConfig::for_rate(2_000_000, 1.0),
+            });
+        }
+    }
+    flows.sort_by_key(|f| f.start);
+    let layout = FancyInput {
+        high_priority: victims.clone(),
+        memory_bytes_per_port: 1 << 20,
+        tree: TreeParams::paper_default(),
+        timers: TimerConfig::paper_default().for_link_delay(SimDuration::from_millis(5)),
+    }
+    .translate()
+    .unwrap();
+    let mut net = Network::new(44);
+    let host = net.add_node(Box::new(SenderHost::new(0x01_00_00_01, flows)));
+    let mk_fib = || {
+        let mut fib = Fib::new();
+        fib.route(Prefix::from_addr(0x01_00_00_01), 0);
+        fib.default_route(1);
+        fib
+    };
+    let s1 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout.clone(), vec![1], 1)));
+    let s2 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout.clone(), vec![1], 2)));
+    let s3 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout, Vec::new(), 3)));
+    let rx = net.add_node(Box::new(ReceiverHost::new()));
+    let edge = LinkConfig::new(10_000_000_000, SimDuration::from_micros(10));
+    let hop = LinkConfig::new(10_000_000_000, SimDuration::from_millis(5));
+    net.connect(host, s1, edge);
+    let l12 = net.connect(s1, s2, hop);
+    let l23 = net.connect(s2, s3, hop);
+    net.connect(s3, rx, edge);
+    net.kernel.add_failure(
+        l12,
+        s1,
+        GrayFailure::single_entry(victims[0], 0.5, SimTime(1_000_000_000)),
+    );
+    net.kernel.add_failure(
+        l23,
+        s2,
+        GrayFailure::single_entry(victims[2], 0.5, SimTime(1_200_000_000)),
+    );
+    net.run_until(SimTime(5_000_000_000));
+
+    let sw1: &FancySwitch = net.node(s1);
+    let sw2: &FancySwitch = net.node(s2);
+    assert_eq!(sw1.flagged_entries(1), vec![victims[0]]);
+    assert_eq!(sw2.flagged_entries(1), vec![victims[2]]);
+    // Downcast sanity (the nodes really are FANcY switches).
+    let any1: &dyn Any = sw1;
+    assert!(any1.downcast_ref::<FancySwitch>().is_some());
+}

@@ -1,0 +1,110 @@
+//! Integration tests of FANcY's operator interface and memory contracts,
+//! cross-checked against the analytical formulas.
+
+use fancy::analysis::tree_math;
+use fancy::core::{ConfigError, FancyInput, TimerConfig, TreeParams};
+use fancy::hw::fancy_prog;
+use fancy::net::Prefix;
+
+fn entries(n: u32) -> Vec<Prefix> {
+    (0..n).map(Prefix).collect()
+}
+
+#[test]
+fn paper_input_translates_to_paper_layout() {
+    // §5: 64-port switch, 1.25 MB (20 KB/port), 500 high-priority entries
+    // → 500 dedicated counters and a d=3, k=2, w=190 tree.
+    let layout = FancyInput::paper_default(entries(500)).translate().unwrap();
+    assert_eq!(layout.high_priority.len(), 500);
+    assert_eq!(
+        (layout.tree.depth, layout.tree.split, layout.tree.width),
+        (3, 2, 190)
+    );
+    // Whole-switch total (×64 ports) stays within the 1.25 MB budget.
+    let total_bytes = layout.total_bits() * 64 / 8;
+    assert!(total_bytes <= 1_310_720, "total {total_bytes} B");
+}
+
+#[test]
+fn interface_error_contract() {
+    // Fig. 1 / §4.3: "The system returns an error, if the set of
+    // high-priority entries cannot be supported with the memory budget."
+    let mut input = FancyInput::paper_default(entries(500));
+    input.memory_bytes_per_port = 1024; // 8 Kbit: not even the counters fit
+    assert!(matches!(
+        input.translate(),
+        Err(ConfigError::HighPriorityExceedsBudget { .. })
+    ));
+
+    let mut input = FancyInput::paper_default(entries(0));
+    input.memory_bytes_per_port = 64; // tree can't fit either
+    assert!(matches!(
+        input.translate(),
+        Err(ConfigError::TreeExceedsBudget { .. })
+    ));
+}
+
+#[test]
+fn all_entries_high_priority_is_supported() {
+    // §1: "If operators want to monitor a more limited set of entries,
+    // they can also specify all entries as high priority."
+    let mut input = FancyInput::paper_default(entries(1024));
+    input.tree = TreeParams {
+        width: 4,
+        depth: 1,
+        split: 1,
+        pipelined: false,
+    };
+    let layout = input.translate().unwrap();
+    assert_eq!(layout.high_priority.len(), 1024);
+    assert!(layout.dedicated_id(Prefix(1023)).is_some());
+}
+
+#[test]
+fn engine_slots_match_analytical_node_count() {
+    // The zoom engine's slot provisioning equals Appendix A.3's Eq. 3 for
+    // pipelined trees.
+    for (k, d) in [(2u8, 3u8), (3, 3), (2, 4), (1, 3)] {
+        let params = TreeParams {
+            width: 16,
+            depth: d,
+            split: k,
+            pipelined: true,
+        };
+        assert_eq!(
+            params.slot_count() as u64,
+            tree_math::nodes(k, d, true),
+            "k={k} d={d}"
+        );
+    }
+}
+
+#[test]
+fn config_memory_matches_appendix_formula_plus_protocol_state() {
+    // TreeParams::memory_bits = Eq. 3 counter memory + 88 bits/node of
+    // protocol state (§4.3).
+    let p = TreeParams::paper_default();
+    let counters = tree_math::memory_bits(190, 2, 3, true);
+    assert_eq!(p.memory_bits(), counters + 88 * 7);
+}
+
+#[test]
+fn hw_model_and_core_agree_on_output_structure_sizes() {
+    // The Tofino program's reroute registers and fancy-core's output
+    // structures are the same bits.
+    let hw_bits = fancy_prog::reroute_bits(32, 512, 100_000);
+    let core_bits: u64 = (0..32)
+        .map(|_| fancy::core::FlagArray::new(512).memory_bits())
+        .sum::<u64>()
+        + fancy::core::OutputBloom::tofino_default(0).memory_bits();
+    assert_eq!(hw_bits, core_bits);
+}
+
+#[test]
+fn timers_scale_with_link_delay() {
+    let slow = TimerConfig::paper_default().for_link_delay(fancy::sim::SimDuration::from_millis(10));
+    let fast = TimerConfig::paper_default().for_link_delay(fancy::sim::SimDuration::from_millis(1));
+    assert!(slow.trtx > fast.trtx);
+    // T_rtx must exceed one RTT or every session would retransmit.
+    assert!(slow.trtx > fancy::sim::SimDuration::from_millis(20));
+}

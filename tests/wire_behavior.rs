@@ -1,0 +1,126 @@
+//! Wire-level behavior, observed with trace taps: tags appear only on the
+//! monitored hop (they are hop-local, §4.1/§5.3), control messages flow on
+//! schedule, and ACKs travel the reverse path untagged.
+
+use fancy::core::{FancyInput, FancySwitch, TimerConfig, TreeParams};
+use fancy::net::FancyTag;
+use fancy::prelude::*;
+use fancy::sim::{LinkConfig, Network, SimDuration, TraceTap};
+use fancy::tcp::{ReceiverHost, SenderHost};
+
+/// host — S1 — tapM — S2 — tapE — receiver.
+/// tapM sits on the monitored S1→S2 link, tapE on the egress edge.
+fn tapped_net() -> (Network, usize, usize, Prefix) {
+    let victim = Prefix(0x0A_88_01);
+    let flows: Vec<ScheduledFlow> = (0..20u64)
+        .map(|i| ScheduledFlow {
+            start: SimTime(i * 100_000_000),
+            dst: victim.host(1),
+            cfg: FlowConfig::for_rate(2_000_000, 1.0),
+        })
+        .collect();
+    let layout = FancyInput {
+        high_priority: vec![victim],
+        memory_bytes_per_port: 1 << 20,
+        tree: TreeParams::paper_default(),
+        timers: TimerConfig::paper_default().for_link_delay(SimDuration::from_millis(5)),
+    }
+    .translate()
+    .unwrap();
+    let mut net = Network::new(21);
+    let host = net.add_node(Box::new(SenderHost::new(0x01_00_00_01, flows)));
+    let mk_fib = || {
+        let mut fib = Fib::new();
+        fib.route(Prefix::from_addr(0x01_00_00_01), 0);
+        fib.default_route(1);
+        fib
+    };
+    let s1 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout.clone(), vec![1], 1)));
+    let tap_mon = net.add_node(Box::new(TraceTap::new()));
+    let s2 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout, Vec::new(), 2)));
+    let tap_edge = net.add_node(Box::new(TraceTap::new()));
+    let rx = net.add_node(Box::new(ReceiverHost::new()));
+    let edge = LinkConfig::new(1_000_000_000, SimDuration::from_micros(10));
+    let hop = LinkConfig::new(1_000_000_000, SimDuration::from_millis(5));
+    net.connect(host, s1, edge); // s1 port 0
+    net.connect(s1, tap_mon, hop); // s1 port 1 (monitored) — tap port 0
+    net.connect(tap_mon, s2, hop); // tap port 1 — s2 port 0
+    net.connect(s2, tap_edge, edge); // s2 port 1 — tapE port 0
+    net.connect(tap_edge, rx, edge); // tapE port 1 — rx
+    net.run_until(SimTime(3_000_000_000));
+    (net, tap_mon, tap_edge, victim)
+}
+
+#[test]
+fn tags_are_hop_local() {
+    let (net, tap_mon, tap_edge, _victim) = tapped_net();
+    let mon: &TraceTap = net.node(tap_mon);
+    let edge: &TraceTap = net.node(tap_edge);
+
+    // On the monitored link, data packets carry dedicated tags whenever a
+    // session is counting — which is most of the time.
+    let tagged = mon
+        .forward()
+        .filter(|c| c.kind == "data" && c.tag.is_some())
+        .count();
+    let data = mon.forward().filter(|c| c.kind == "data").count();
+    assert!(data > 100, "enough data crossed: {data}");
+    assert!(
+        tagged * 10 > data * 5,
+        "most data packets tagged on the monitored hop: {tagged}/{data}"
+    );
+    assert!(mon.forward().all(|c| match c.tag {
+        Some(FancyTag::Dedicated { counter_id }) => counter_id == 0,
+        Some(FancyTag::Tree { .. }) => true, // ACK-direction entries go best effort
+        None => true,
+    }));
+
+    // Downstream of S2 the tag is gone: it was consumed at ingress.
+    assert!(
+        edge.forward().all(|c| c.tag.is_none()),
+        "tags must be stripped after the monitored hop"
+    );
+    let edge_data = edge.forward().filter(|c| c.kind == "data").count();
+    assert!(edge_data > 100, "traffic reached the receiver: {edge_data}");
+}
+
+#[test]
+fn control_messages_flow_both_ways_on_the_monitored_link() {
+    let (net, tap_mon, tap_edge, _victim) = tapped_net();
+    let mon: &TraceTap = net.node(tap_mon);
+    // Start/Stop travel forward; StartAck/Report travel backward.
+    let fwd_ctrl = mon.forward().filter(|c| c.kind == "ctrl").count();
+    let rev_ctrl = mon.reverse().filter(|c| c.kind == "ctrl").count();
+    assert!(fwd_ctrl > 20, "forward control: {fwd_ctrl}");
+    assert!(rev_ctrl > 20, "reverse control: {rev_ctrl}");
+    // Roughly balanced: 2 forward (Start, Stop) vs 2 reverse (ACK, Report).
+    let ratio = fwd_ctrl as f64 / rev_ctrl as f64;
+    assert!((0.7..1.4).contains(&ratio), "ratio {ratio}");
+    // Control messages never leak past the FANcY pair.
+    let edge: &TraceTap = net.node(tap_edge);
+    assert_eq!(edge.forward().filter(|c| c.kind == "ctrl").count(), 0);
+
+    // Tree reports are the big frames (5330 B + header); dedicated control
+    // is minimum-size.
+    let big = mon.reverse().filter(|c| c.kind == "ctrl" && c.size > 5000).count();
+    assert!(big > 0, "tree reports present");
+    let min = mon
+        .reverse()
+        .filter(|c| c.kind == "ctrl" && c.size == 64)
+        .count();
+    assert!(min > 0, "minimum-size control frames present");
+}
+
+#[test]
+fn acks_travel_reverse_untagged() {
+    let (net, tap_mon, _tap_edge, _victim) = tapped_net();
+    let mon: &TraceTap = net.node(tap_mon);
+    let acks = mon.reverse().filter(|c| c.kind == "ack").count();
+    assert!(acks > 100, "ACK stream present: {acks}");
+    // S2 does not monitor its S2→S1 direction in this setup, so ACKs are
+    // untagged.
+    assert!(mon
+        .reverse()
+        .filter(|c| c.kind == "ack")
+        .all(|c| c.tag.is_none()));
+}
