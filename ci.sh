@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate, fully offline (all deps are vendored path crates; see
+# .cargo/config.toml). Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, all targets) =="
+cargo build --release --workspace --all-targets
+
+echo "== tests =="
+cargo test -q --workspace --release
+
+echo "== clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "ci.sh: all green"

@@ -129,16 +129,14 @@ impl IncidentTracker {
         inc.detections += 1;
         inc.severity = inc.severity.max(Self::severity_of(rec));
         match &rec.scope {
-            DetectionScope::Entry(p) => {
-                if !inc.entries.contains(p) {
+            DetectionScope::Entry(p)
+                if !inc.entries.contains(p) => {
                     inc.entries.push(*p);
                 }
-            }
-            DetectionScope::HashPath(path) => {
-                if !inc.hash_paths.contains(path) {
+            DetectionScope::HashPath(path)
+                if !inc.hash_paths.contains(path) => {
                     inc.hash_paths.push(path.clone());
                 }
-            }
             _ => {}
         }
     }

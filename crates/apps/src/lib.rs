@@ -23,5 +23,6 @@ pub mod scenarios;
 pub use incident::{Incident, IncidentConfig, IncidentTracker, Severity};
 pub use reporter::{format_detection, format_report};
 pub use scenarios::{
-    case_study, linear, CaseStudy, CaseStudyConfig, LinearConfig, LinearScenario, SENDER_ADDR,
+    case_study, linear, CaseStudy, CaseStudyConfig, LinearConfig, LinearConfigBuilder,
+    LinearScenario, ScenarioError, SENDER_ADDR,
 };

@@ -5,13 +5,51 @@
 //! link switch and a backup path. Building these once here keeps the
 //! experiment harness, the examples and the integration tests consistent.
 
-use fancy_core::{FancyInput, FancyLayout, FancySwitch, Reroute, TimerConfig, TreeParams};
+use core::fmt;
+
+use fancy_core::{
+    ConfigError, FancyInput, FancyLayout, FancySwitch, Reroute, TimerConfig, TreeParams,
+};
 use fancy_net::Prefix;
 use fancy_sim::{Bridge, Fib, LinkConfig, LinkId, Network, NodeId, PortId, SimDuration};
 use fancy_tcp::{ReceiverHost, ScheduledFlow, SenderHost, ThroughputProbe, UdpSource};
 
 /// Source address used by the sender host in all scenarios.
 pub const SENDER_ADDR: u32 = 0x01_00_00_01;
+
+/// Why a scenario could not be assembled.
+///
+/// Scenario constructors return this instead of panicking, so experiment
+/// harnesses can surface a configuration problem (e.g. a tree that does not
+/// fit the per-port memory budget) as a normal error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// Translating the FANcY input into a switch layout failed — the
+    /// requested entries/tree exceed the memory budget or are malformed.
+    Layout(ConfigError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Layout(e) => write!(f, "scenario layout does not fit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Layout(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for ScenarioError {
+    fn from(e: ConfigError) -> Self {
+        ScenarioError::Layout(e)
+    }
+}
 
 /// Parameters of the linear §5 scenario.
 #[derive(Debug, Clone)]
@@ -38,16 +76,103 @@ impl LinearConfig {
     /// The paper's §5 defaults: 10 ms inter-switch delay, timers scaled to
     /// it, paper tree, no high-priority entries.
     pub fn paper_default(seed: u64, flows: Vec<ScheduledFlow>) -> Self {
-        let core_delay = SimDuration::from_millis(10);
+        LinearConfig::builder().seed(seed).flows(flows).build()
+    }
+
+    /// A builder starting from the paper's §5 defaults.
+    pub fn builder() -> LinearConfigBuilder {
+        LinearConfigBuilder::default()
+    }
+}
+
+/// Chainable builder for [`LinearConfig`].
+///
+/// Starts from the paper's §5 defaults; every setter overrides one knob.
+/// Unless [`LinearConfigBuilder::timers`] is called, the protocol timers
+/// are derived from the core link's propagation delay at
+/// [`LinearConfigBuilder::build`] time, so `.core_link(...)` alone keeps
+/// the timers consistent with the topology.
+#[derive(Debug, Clone, Default)]
+pub struct LinearConfigBuilder {
+    seed: u64,
+    high_priority: Vec<Prefix>,
+    tree: Option<TreeParams>,
+    timers: Option<TimerConfig>,
+    core_link: Option<LinkConfig>,
+    edge_link: Option<LinkConfig>,
+    flows: Vec<ScheduledFlow>,
+    probes: Vec<ThroughputProbe>,
+}
+
+impl LinearConfigBuilder {
+    /// RNG seed (also seeds the switches' hash functions).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// High-priority entries monitored with dedicated counters.
+    pub fn high_priority(mut self, entries: Vec<Prefix>) -> Self {
+        self.high_priority = entries;
+        self
+    }
+
+    /// Tree parameters (default: the paper's tree).
+    pub fn tree(mut self, tree: TreeParams) -> Self {
+        self.tree = Some(tree);
+        self
+    }
+
+    /// Explicit protocol timers. Without this, timers are scaled to the
+    /// core link's delay when the config is built.
+    pub fn timers(mut self, timers: TimerConfig) -> Self {
+        self.timers = Some(timers);
+        self
+    }
+
+    /// The monitored inter-switch link (default: 100 Gbps, 10 ms).
+    pub fn core_link(mut self, link: LinkConfig) -> Self {
+        self.core_link = Some(link);
+        self
+    }
+
+    /// Host ↔ switch links (default: 100 Gbps, 10 µs).
+    pub fn edge_link(mut self, link: LinkConfig) -> Self {
+        self.edge_link = Some(link);
+        self
+    }
+
+    /// The flow schedule, replacing anything set before.
+    pub fn flows(mut self, flows: Vec<ScheduledFlow>) -> Self {
+        self.flows = flows;
+        self
+    }
+
+    /// Append one throughput probe at the receiver.
+    pub fn probe(mut self, probe: ThroughputProbe) -> Self {
+        self.probes.push(probe);
+        self
+    }
+
+    /// Finish, filling every unset knob with the paper default.
+    pub fn build(self) -> LinearConfig {
+        let core_link = self
+            .core_link
+            .unwrap_or_else(|| LinkConfig::new(100_000_000_000, SimDuration::from_millis(10)));
+        let timers = self
+            .timers
+            .unwrap_or_else(|| TimerConfig::paper_default().for_link_delay(core_link.delay));
         LinearConfig {
-            seed,
-            high_priority: Vec::new(),
-            tree: TreeParams::paper_default(),
-            timers: TimerConfig::paper_default().for_link_delay(core_delay),
-            core_link: LinkConfig::new(100_000_000_000, core_delay),
-            edge_link: LinkConfig::new(100_000_000_000, SimDuration::from_micros(10)),
-            flows,
-            probes: Vec::new(),
+            seed: self.seed,
+            high_priority: self.high_priority,
+            tree: self.tree.unwrap_or_else(TreeParams::paper_default),
+            timers,
+            core_link,
+            edge_link: self
+                .edge_link
+                .unwrap_or_else(|| LinkConfig::new(100_000_000_000, SimDuration::from_micros(10))),
+            flows: self.flows,
+            probes: self.probes,
         }
     }
 }
@@ -72,16 +197,17 @@ pub struct LinearScenario {
     pub layout: FancyLayout,
 }
 
-/// Build the linear scenario. Panics if the layout does not fit the
-/// (generous) memory budget used for experiments.
-pub fn linear(cfg: LinearConfig) -> LinearScenario {
+/// Build the linear scenario. Fails with [`ScenarioError::Layout`] if the
+/// requested entries/tree do not fit the (generous) experiment memory
+/// budget.
+pub fn linear(cfg: LinearConfig) -> Result<LinearScenario, ScenarioError> {
     let input = FancyInput {
         high_priority: cfg.high_priority.clone(),
         memory_bytes_per_port: 4 << 20,
         tree: cfg.tree,
         timers: cfg.timers,
     };
-    let layout = input.translate().expect("experiment layout must fit");
+    let layout = input.translate()?;
 
     let mut net = Network::new(cfg.seed);
     let sender = net.add_node(Box::new(SenderHost::new(SENDER_ADDR, cfg.flows)));
@@ -111,7 +237,7 @@ pub fn linear(cfg: LinearConfig) -> LinearScenario {
     let monitored_link = net.connect(s1, s2, cfg.core_link); // s1 port 1, s2 port 0
     net.connect(s2, receiver, cfg.edge_link); // s2 port 1
 
-    LinearScenario {
+    Ok(LinearScenario {
         net,
         sender,
         s1,
@@ -120,7 +246,7 @@ pub fn linear(cfg: LinearConfig) -> LinearScenario {
         monitored_link,
         monitored_port: 1,
         layout,
-    }
+    })
 }
 
 /// Parameters of the §6.1 Tofino case study.
@@ -183,15 +309,16 @@ pub struct CaseStudy {
     pub layout: FancyLayout,
 }
 
-/// Build the case study.
-pub fn case_study(cfg: CaseStudyConfig) -> CaseStudy {
+/// Build the case study. Fails with [`ScenarioError::Layout`] if the
+/// requested entries/tree do not fit the experiment memory budget.
+pub fn case_study(cfg: CaseStudyConfig) -> Result<CaseStudy, ScenarioError> {
     let input = FancyInput {
         high_priority: cfg.high_priority.clone(),
         memory_bytes_per_port: 4 << 20,
         tree: cfg.tree,
         timers: cfg.timers,
     };
-    let layout = input.translate().expect("case-study layout must fit");
+    let layout = input.translate()?;
 
     let mut net = Network::new(cfg.seed);
     let sender = net.add_node(Box::new(SenderHost::new(SENDER_ADDR, cfg.flows)));
@@ -243,7 +370,7 @@ pub fn case_study(cfg: CaseStudyConfig) -> CaseStudy {
     net.connect(s2, receiver, hw); // s2 port 2
     net.connect(udp, s1, hw); // s1 port 3
 
-    CaseStudy {
+    Ok(CaseStudy {
         net,
         sender,
         udp,
@@ -254,7 +381,7 @@ pub fn case_study(cfg: CaseStudyConfig) -> CaseStudy {
         failure_link,
         primary_port: 1,
         layout,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -274,11 +401,53 @@ mod tests {
     }
 
     #[test]
-    fn linear_scenario_runs_and_detects() {
+    fn builder_matches_paper_default() {
+        let a = LinearConfig::paper_default(9, Vec::new());
+        let b = LinearConfig::builder().seed(9).build();
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.timers, b.timers);
+        assert_eq!(a.core_link.delay, b.core_link.delay);
+        assert_eq!(a.edge_link.bandwidth_bps, b.edge_link.bandwidth_bps);
+    }
+
+    #[test]
+    fn builder_scales_timers_to_core_delay() {
+        let slow = LinearConfig::builder()
+            .core_link(LinkConfig::new(10_000_000_000, SimDuration::from_millis(40)))
+            .build();
+        let expected = TimerConfig::paper_default().for_link_delay(SimDuration::from_millis(40));
+        assert_eq!(slow.timers, expected);
+        // An explicit timer config wins over derivation.
+        let explicit = LinearConfig::builder()
+            .core_link(LinkConfig::new(10_000_000_000, SimDuration::from_millis(40)))
+            .timers(TimerConfig::paper_default())
+            .build();
+        assert_eq!(explicit.timers, TimerConfig::paper_default());
+    }
+
+    #[test]
+    fn oversized_layout_is_an_error_not_a_panic() {
+        let dup = Prefix::from_addr(0x0A_00_00_01);
+        let cfg = LinearConfig::builder().high_priority(vec![dup, dup]).build();
+        match linear(cfg) {
+            Err(ScenarioError::Layout(ConfigError::DuplicateHighPriority(p))) => {
+                assert_eq!(p, dup);
+            }
+            Err(e) => panic!("unexpected scenario error: {e}"),
+            Ok(_) => panic!("expected a duplicate-entry layout error"),
+        }
+    }
+
+    #[test]
+    fn linear_scenario_runs_and_detects() -> Result<(), ScenarioError> {
         let entry = Prefix::from_addr(0x0A_00_00_09);
-        let mut cfg = LinearConfig::paper_default(5, flows(0x0A_00_00_09, 30));
-        cfg.high_priority = vec![entry];
-        let mut sc = linear(cfg);
+        let mut sc = linear(
+            LinearConfig::builder()
+                .seed(5)
+                .flows(flows(0x0A_00_00_09, 30))
+                .high_priority(vec![entry])
+                .build(),
+        )?;
         sc.net.kernel.add_failure(
             sc.monitored_link,
             sc.s1,
@@ -289,17 +458,17 @@ mod tests {
         // The receiver saw traffic (before the failure at least).
         let rx: &ReceiverHost = sc.net.node(sc.receiver);
         assert!(rx.data_packets > 0);
+        Ok(())
     }
 
     #[test]
-    fn case_study_reroutes_within_a_second() {
+    fn case_study_reroutes_within_a_second() -> Result<(), ScenarioError> {
         let entry = Prefix::from_addr(0x0A_00_00_09);
-        let mut probes = Vec::new();
-        probes.push(ThroughputProbe::for_entries(
+        let probes = vec![ThroughputProbe::for_entries(
             "test entry",
             vec![entry],
             SimDuration::from_millis(100),
-        ));
+        )];
         let cfg = CaseStudyConfig {
             seed: 6,
             high_priority: vec![entry],
@@ -316,7 +485,7 @@ mod tests {
             link_bps: 1_000_000_000,
             probes,
         };
-        let mut cs = case_study(cfg);
+        let mut cs = case_study(cfg)?;
         let fail_at = SimTime(2_000_000_000);
         cs.net.kernel.add_failure(
             cs.failure_link,
@@ -343,5 +512,6 @@ mod tests {
         assert!(series.len() >= 40, "probe covered the run: {}", series.len());
         let tail: u64 = series[series.len() - 5..].iter().sum();
         assert!(tail > 0, "traffic must resume after reroute");
+        Ok(())
     }
 }

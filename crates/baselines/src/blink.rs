@@ -106,7 +106,7 @@ impl Blink {
             // Rising edge only: one alarm per failure episode.
             if st
                 .fired_at
-                .map_or(true, |t| now.saturating_since(t) > BLINK_WINDOW * 2)
+                .is_none_or(|t| now.saturating_since(t) > BLINK_WINDOW * 2)
             {
                 st.fired_at = Some(now);
                 self.alarms.push((prefix, now));

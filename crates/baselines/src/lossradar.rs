@@ -93,10 +93,7 @@ impl Ibf {
     /// (the overload regime Table 2 is about).
     pub fn decode(mut self) -> Result<Vec<u64>, Vec<u64>> {
         let mut out = Vec::new();
-        loop {
-            let Some(idx) = self.cells.iter().position(Cell::is_pure) else {
-                break;
-            };
+        while let Some(idx) = self.cells.iter().position(Cell::is_pure) {
             let key = self.cells[idx].key_xor;
             let sign = self.cells[idx].count.signum();
             let check = mix64(key ^ CHECK_SALT);

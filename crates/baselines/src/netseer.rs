@@ -141,7 +141,7 @@ pub fn simulate_operational_fraction(
             nack_cursor += 1;
         }
         let seq = up.on_send(Prefix(i as u32 % 1000));
-        let lost = loss_every > 0 && seq % loss_every == 0;
+        let lost = loss_every > 0 && seq.is_multiple_of(loss_every);
         if !lost {
             down.on_receive(seq);
             for range in down.take_nacks() {

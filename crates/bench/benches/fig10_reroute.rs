@@ -6,13 +6,14 @@
 //! latency; the paper's claim is sub-second detection + reroute even at
 //! 1 % loss.
 
+use fancy_apps::ScenarioError;
 use fancy_bench::{
     env::Scale,
     fig10::{run_case_study, EntryKind},
     fmt,
 };
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let scale = Scale::from_env();
     fmt::banner(
         "Figure 10",
@@ -31,7 +32,7 @@ fn main() {
         let mut runs = Vec::new();
         for loss in [100.0, 10.0, 1.0] {
             header.push(format!("loss {loss}% (Gbps)"));
-            runs.push(run_case_study(loss, kind, &scale, 0xF16_10 ^ loss as u64));
+            runs.push(run_case_study(loss, kind, &scale, 0xF1610 ^ loss as u64)?);
         }
         let len = runs.iter().map(|r| r.gbps_series.len()).max().unwrap_or(0);
         for i in 0..len {
@@ -64,4 +65,5 @@ fn main() {
          (250 ms sessions here, as in the prototype), tree entries after ≈3 zooming \
          sessions; traffic returns to the pre-failure level on the backup path."
     );
+    Ok(())
 }

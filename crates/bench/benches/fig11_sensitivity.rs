@@ -5,9 +5,10 @@
 //! trace. Reports TPR, median detection time, detected-bytes fraction and
 //! false positives — the four axes of the paper's scatter plots.
 
-use fancy_bench::{caida_exp, env::Scale, fmt};
+use fancy_apps::ScenarioError;
+use fancy_bench::{caida_exp, env::Scale, fmt, runner::Sweep};
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let scale = Scale::from_env();
     fmt::banner(
         "Figure 11",
@@ -16,22 +17,29 @@ fn main() {
     );
 
     for burst in [10usize, 50] {
-        let mut rows = Vec::new();
-        for (i, cfg) in caida_exp::fig11_configs().iter().enumerate() {
-            let p = caida_exp::run_fig11_point(*cfg, burst, &scale, 0xF11 ^ (i as u64) << 8);
-            rows.push(vec![
-                format!("{}/{}/{} ({})", cfg.depth, cfg.split, cfg.width, cfg.memory_label),
-                format!("{:.3}", p.tpr),
-                format!("{:.2}", p.median_detection_s),
-                format!("{:.3}", p.detected_bytes),
-                format!("{:.1}", p.false_positives),
-            ]);
-        }
+        let configs = caida_exp::fig11_configs().to_vec();
+        let (points, report) = Sweep::new(format!("fig11 burst {burst}"), configs.clone())
+            .seed(0xF11 ^ burst as u64)
+            .try_run(|cfg, ctx| caida_exp::run_fig11_point(*cfg, burst, &scale, ctx))?;
+        let rows: Vec<Vec<String>> = configs
+            .iter()
+            .zip(&points)
+            .map(|(cfg, p)| {
+                vec![
+                    format!("{}/{}/{} ({})", cfg.depth, cfg.split, cfg.width, cfg.memory_label),
+                    format!("{:.3}", p.tpr),
+                    format!("{:.2}", p.median_detection_s),
+                    format!("{:.3}", p.detected_bytes),
+                    format!("{:.1}", p.false_positives),
+                ]
+            })
+            .collect();
         fmt::table(
             &format!("burst of {burst} simultaneous failures"),
             &["d/k/w (mem)", "TPR", "median det (s)", "bytes TPR", "FPs"],
             &rows,
         );
+        println!("{}", report.summary());
     }
     println!(
         "\nShape checks vs the paper: bigger split → higher TPR and faster detection \
@@ -40,4 +48,5 @@ fn main() {
          speed (narrow/deep cheap trees still detect, slowly, with more FPs); and \
          the 50-burst stresses every design more than the 10-burst."
     );
+    Ok(())
 }

@@ -6,10 +6,11 @@
 //! plus the analytical expectation for the high-traffic regime.
 
 use fancy_analysis::speed;
+use fancy_apps::ScenarioError;
 use fancy_bench::{cells, env::Scale, fmt};
 use fancy_traffic::{paper_grid, paper_loss_rates};
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let scale = Scale::from_env();
     fmt::banner(
         "Figure 7",
@@ -19,9 +20,9 @@ fn main() {
 
     let grid = paper_grid();
     let losses = paper_loss_rates();
-    let results = cells::sweep_grid(grid.len(), losses.len(), |r, c| {
-        cells::run_dedicated_cell(grid[r], losses[c], &scale, cells::seed_for(0xF1607, r, c))
-    });
+    let (results, report) = cells::sweep_grid("fig7", 0xF1607, grid.len(), losses.len(), |r, c, ctx| {
+        cells::run_dedicated_cell(grid[r], losses[c], &scale, ctx)
+    })?;
 
     let row_labels: Vec<String> = grid.iter().map(|e| e.label()).collect();
     let col_labels: Vec<String> = losses.iter().map(|l| format!("{l}%")).collect();
@@ -53,4 +54,6 @@ fn main() {
          accuracy decays only in the bottom-right (tiny entries × 0.1% loss), where often \
          no packet is dropped at all during the experiment."
     );
+    println!("\n{}", report.summary());
+    Ok(())
 }

@@ -6,11 +6,12 @@
 //! Lower is better; the paper's takeaway is that accuracy is insensitive
 //! to zooming speeds between 50 and 200 ms.
 
+use fancy_apps::ScenarioError;
 use fancy_bench::{cells, env::Scale, fmt};
 use fancy_sim::SimDuration;
 use fancy_traffic::paper_grid;
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let scale = Scale::from_env();
     fmt::banner(
         "Figure 8",
@@ -22,26 +23,27 @@ fn main() {
     let losses = [100.0, 50.0, 10.0, 1.0, 0.1];
 
     // All (loss, zoom) searches are independent: run them in parallel.
-    let results = cells::sweep_grid(losses.len(), zooms.len(), |r, c| {
-        let rank = cells::min_rank_for_tpr(
-            &grid,
-            losses[r],
-            SimDuration::from_millis(zooms[c]),
-            &scale,
-            0xF18 ^ zooms[c] ^ (losses[r] as u64) << 8,
-        );
-        // Smuggle the rank through the generic cell result (0 = not found).
-        cells::CellResult {
-            tpr: rank.map_or(0.0, |k| k as f64),
-            avg_detection_s: 0.0,
-            reps: scale.reps,
-        }
-    });
+    let (results, report) =
+        cells::sweep_grid("fig8", 0xF18, losses.len(), zooms.len(), |r, c, ctx| {
+            let rank = cells::min_rank_for_tpr(
+                &grid,
+                losses[r],
+                SimDuration::from_millis(zooms[c]),
+                &scale,
+                ctx.seed,
+            )?;
+            // Smuggle the rank through the generic cell result (0 = not found).
+            Ok(cells::CellResult {
+                tpr: rank.map_or(0.0, |k| k as f64),
+                avg_detection_s: 0.0,
+                reps: scale.reps,
+            })
+        })?;
     let mut rows = Vec::new();
     for (r, &loss) in losses.iter().enumerate() {
         let mut row = vec![format!("{loss}%")];
-        for c in 0..zooms.len() {
-            let rank = results[r][c].tpr as usize;
+        for cell in &results[r] {
+            let rank = cell.tpr as usize;
             row.push(if rank == 0 {
                 "not reached".to_string()
             } else {
@@ -61,4 +63,6 @@ fn main() {
          entry size grows, and speeds >= 50 ms behave nearly identically \
          (very fast zooming needs more traffic per session)."
     );
+    println!("\n{}", report.summary());
+    Ok(())
 }

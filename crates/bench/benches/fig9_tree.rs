@@ -7,6 +7,7 @@
 //! tens of Gbps per run); headers state what ran.
 
 use fancy_analysis::speed;
+use fancy_apps::ScenarioError;
 use fancy_bench::{cells, env::Scale, fmt};
 use fancy_sim::SimDuration;
 use fancy_traffic::{paper_grid, paper_loss_rates, EntrySize};
@@ -31,7 +32,7 @@ fn heatmaps(title: &str, grid: &[EntrySize], losses: &[f64], results: &[Vec<cell
     );
 }
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let scale = Scale::from_env();
     fmt::banner(
         "Figure 9",
@@ -43,16 +44,10 @@ fn main() {
 
     // (a) single-entry failures, full grid.
     let grid = paper_grid();
-    let single = cells::sweep_grid(grid.len(), losses.len(), |r, c| {
-        cells::run_tree_cell(
-            grid[r],
-            losses[c],
-            1,
-            zoom,
-            &scale,
-            cells::seed_for(0xF190A, r, c),
-        )
-    });
+    let (single, report_a) =
+        cells::sweep_grid("fig9a", 0xF190A, grid.len(), losses.len(), |r, c, ctx| {
+            cells::run_tree_cell(grid[r], losses[c], 1, zoom, &scale, ctx)
+        })?;
     heatmaps("(a) single-entry failures", &grid, &losses, &single);
     let expect = speed::tree_secs(3, 0.2, 0.01);
     fmt::compare("single-entry high-traffic detection", 0.68, single[0][0].avg_detection_s, "s");
@@ -81,16 +76,10 @@ fn main() {
         scale.multi_entries,
         cap / 1_000_000
     );
-    let multi = cells::sweep_grid(grid_b.len(), losses.len(), |r, c| {
-        cells::run_tree_cell(
-            grid_b[r],
-            losses[c],
-            scale.multi_entries,
-            zoom,
-            &scale,
-            cells::seed_for(0xF190B, r, c),
-        )
-    });
+    let (multi, report_b) =
+        cells::sweep_grid("fig9b", 0xF190B, grid_b.len(), losses.len(), |r, c, ctx| {
+            cells::run_tree_cell(grid_b[r], losses[c], scale.multi_entries, zoom, &scale, ctx)
+        })?;
     heatmaps("(b) multi-entry failures", &grid_b, &losses, &multi);
     println!(
         "\nShape checks vs the paper: (a) detection ≈ 0.68 s at high traffic/loss, TPR \
@@ -98,4 +87,6 @@ fn main() {
          slows to several seconds — the zooming pipeline explores a bounded number of \
          counters per session (split 2 → up to 4 paths in flight)."
     );
+    println!("\n{}\n{}", report_a.summary(), report_b.summary());
+    Ok(())
 }

@@ -2,14 +2,14 @@
 //! actually measured on a running simulation.
 
 use fancy_analysis::overhead;
-use fancy_apps::{linear, LinearConfig};
+use fancy_apps::{linear, LinearConfig, ScenarioError};
 use fancy_bench::{env::Scale, fmt};
 use fancy_core::FancySwitch;
 use fancy_net::Prefix;
 use fancy_sim::{SimDuration, SimTime};
 use fancy_traffic::{generate, EntrySize};
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let scale = Scale::from_env();
     fmt::banner("§5.3", "Overhead analysis", &scale.describe());
 
@@ -42,9 +42,13 @@ fn main() {
     };
     let duration = SimDuration::from_secs(10).min(scale.duration);
     let flows = generate(&[entry], size, duration, 0x0BEA).flows;
-    let mut cfg = LinearConfig::paper_default(0x0BEA, flows);
-    cfg.high_priority = vec![entry];
-    let mut sc = linear(cfg);
+    let mut sc = linear(
+        LinearConfig::builder()
+            .seed(0x0BEA)
+            .flows(flows)
+            .high_priority(vec![entry])
+            .build(),
+    )?;
     sc.net.run_until(SimTime::ZERO + duration);
     let sw: &FancySwitch = sc.net.node(sc.s1);
     let secs = duration.as_secs_f64();
@@ -77,4 +81,5 @@ fn main() {
         "\nPaper takeaway reproduced: total overhead far below 0.2% of an ISP link; \
          control traffic is dominated by the dedicated sessions, tags by data volume."
     );
+    Ok(())
 }

@@ -4,16 +4,17 @@
 //! failure modelled on the cited Cisco/Juniper bug and reports which FANcY
 //! mechanism localized it and how fast.
 
+use fancy_apps::ScenarioError;
 use fancy_bench::{env::Scale, fmt, table1};
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let scale = Scale::from_env();
     fmt::banner(
         "Table 1",
         "Detection demos across gray-failure classes",
         &scale.describe(),
     );
-    let demos = table1::run_all(&scale, 0x7AB1E);
+    let demos = table1::run_all(&scale, 0x7AB1E)?;
     let rows: Vec<Vec<String>> = demos
         .iter()
         .map(|d| {
@@ -36,4 +37,5 @@ fn main() {
          matching packet is actually dropped — FANcY is traffic-driven, exactly as \
          the paper qualifies. Every other class is localized within seconds."
     );
+    Ok(())
 }

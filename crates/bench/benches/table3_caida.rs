@@ -2,12 +2,13 @@
 //!
 //! Synthesized traces with the published Table 5 characteristics, replayed
 //! through the full FANcY system (dedicated counters for the top prefixes
-//! + hash tree for the rest); sampled top prefixes are blackholed one per
-//! run at each loss rate. Prints measured vs paper rows.
+//! plus hash tree for the rest); sampled top prefixes are blackholed one
+//! per run at each loss rate. Prints measured vs paper rows.
 
+use fancy_apps::ScenarioError;
 use fancy_bench::{caida_exp, env::Scale, fmt};
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let scale = Scale::from_env();
     fmt::banner(
         "Table 3",
@@ -25,7 +26,7 @@ fn main() {
         (0.1, 56.6, 5.0, 86.7, 0.1, 6.29),
     ];
 
-    let rows3 = caida_exp::run_table3(&scale, 0x7AB13);
+    let rows3 = caida_exp::run_table3(&scale, 0x7AB13)?;
     let mut printable = Vec::new();
     for (r, p) in rows3.iter().zip(paper) {
         printable.push(vec![
@@ -58,4 +59,5 @@ fn main() {
          because traffic is Zipf-skewed; and 100% loss performs *worse* than 50% \
          because TCP collapses blackholed flows to sparse RTO retransmissions."
     );
+    Ok(())
 }

@@ -6,9 +6,10 @@
 //! spraying per-entry reports first.
 
 use fancy_analysis::speed;
+use fancy_apps::ScenarioError;
 use fancy_bench::{env::Scale, fmt, uniform};
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let scale = Scale::from_env();
     fmt::banner(
         "§5.1.3",
@@ -17,7 +18,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for loss in [100.0, 75.0, 50.0, 10.0, 1.0, 0.1] {
-        let r = uniform::run_uniform(loss, &scale, 0x04F1);
+        let r = uniform::run_uniform(loss, &scale, 0x04F1)?;
         rows.push(vec![
             format!("{loss}%"),
             format!("{:.0}%", r.classified_uniform * 100.0),
@@ -50,4 +51,5 @@ fn main() {
          links — even 0.1% loss mismatches a majority of root counters; the \
          quick-scale boundary sits higher because sessions see fewer drops.)"
     );
+    Ok(())
 }

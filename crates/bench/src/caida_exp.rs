@@ -12,11 +12,10 @@
 
 use std::collections::HashSet;
 
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use fancy_apps::{linear, LinearConfig};
+use fancy_apps::{linear, LinearConfig, ScenarioError};
 use fancy_baselines::{BaselineState, BaselineTap, TapSide};
 use fancy_core::{FancySwitch, TimerConfig, TreeParams};
 use fancy_net::{mix64, Prefix};
@@ -26,7 +25,8 @@ use fancy_sim::{
 use fancy_tcp::{ReceiverHost, SenderHost};
 use fancy_traffic::{paper_traces, synthesize, SyntheticTrace};
 
-use crate::env::{workers, Scale};
+use crate::env::Scale;
+use crate::runner::{CellCtx, Sweep};
 
 /// Loss rates of Table 3 (percent).
 pub const TABLE3_LOSS_RATES: [f64; 6] = [100.0, 75.0, 50.0, 10.0, 1.0, 0.1];
@@ -86,21 +86,27 @@ fn dedicated_count(trace: &SyntheticTrace) -> usize {
 }
 
 /// Run one Table 3-style failure experiment: replay `trace`, fail the
-/// prefix at `rank` with `loss_pct` drops, and attribute detection.
+/// prefix at `rank` with `loss_pct` drops, and attribute detection. The
+/// seed comes from `ctx` (use [`CellCtx::detached`] outside a sweep).
 pub fn run_trace_failure(
     trace: &SyntheticTrace,
     rank: usize,
     loss_pct: f64,
     duration: SimDuration,
-    seed: u64,
-) -> FailureOutcome {
+    ctx: &CellCtx,
+) -> Result<FailureOutcome, ScenarioError> {
+    let seed = ctx.seed;
     let failed = trace.prefixes_by_rank[rank];
     let dedicated: Vec<Prefix> = trace.top_prefixes(dedicated_count(trace));
     let is_dedicated = dedicated.contains(&failed);
 
-    let mut cfg = LinearConfig::paper_default(seed, trace.flows.clone());
-    cfg.high_priority = dedicated;
-    let mut sc = linear(cfg);
+    let mut sc = linear(
+        LinearConfig::builder()
+            .seed(seed)
+            .flows(trace.flows.clone())
+            .high_priority(dedicated)
+            .build(),
+    )?;
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA11);
     let horizon = duration.as_secs_f64();
     let fail_at =
@@ -143,12 +149,13 @@ pub fn run_trace_failure(
         }
     }
 
-    FailureOutcome {
+    ctx.absorb(&sc.net);
+    Ok(FailureOutcome {
         weight: trace.share_of_rank(rank),
         dedicated: is_dedicated,
         detection_s,
         false_positives: fps.len(),
-    }
+    })
 }
 
 fn aggregate(loss_pct: f64, outcomes: &[FailureOutcome], duration: SimDuration) -> Table3Row {
@@ -183,8 +190,10 @@ fn aggregate(loss_pct: f64, outcomes: &[FailureOutcome], duration: SimDuration) 
     }
 }
 
-/// Run the full Table 3 sweep.
-pub fn run_table3(scale: &Scale, seed: u64) -> Vec<Table3Row> {
+/// Run the full Table 3 sweep. Each loss rate fans its sampled failures
+/// out through [`Sweep`]; per-run seeds are keyed by the job's position,
+/// so the table is identical at any `FANCY_THREADS`.
+pub fn run_table3(scale: &Scale, seed: u64) -> Result<Vec<Table3Row>, ScenarioError> {
     let traces: Vec<SyntheticTrace> = paper_traces()
         .iter()
         .take(if scale.full { 4 } else { 2 })
@@ -203,27 +212,12 @@ pub fn run_table3(scale: &Scale, seed: u64) -> Vec<Table3Row> {
                         .map(move |r| (ti, r))
                 })
                 .collect();
-            let outcomes = Mutex::new(Vec::with_capacity(jobs.len()));
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            crossbeam::scope(|s| {
-                for _ in 0..workers() {
-                    s.spawn(|_| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(&(ti, rank)) = jobs.get(i) else { break };
-                        let o = run_trace_failure(
-                            &traces[ti],
-                            rank,
-                            loss,
-                            scale.duration,
-                            mix64(seed ^ (loss as u64) << 32 ^ (ti as u64) << 16 ^ rank as u64),
-                        );
-                        outcomes.lock().push(o);
-                    });
-                }
-            })
-            .expect("table3 worker panicked");
-            let outcomes = outcomes.into_inner();
-            aggregate(loss, &outcomes, scale.duration)
+            let (outcomes, _report) = Sweep::new(format!("table3 {loss}%"), jobs)
+                .seed(mix64(seed ^ (loss as u64) << 32))
+                .try_run(|&(ti, rank), ctx| {
+                    run_trace_failure(&traces[ti], rank, loss, scale.duration, ctx)
+                })?;
+            Ok(aggregate(loss, &outcomes, scale.duration))
         })
         .collect()
 }
@@ -256,6 +250,72 @@ pub fn run_baseline_comparison(scale: &Scale, loss_pct: f64, seed: u64) -> Vec<B
     let covered: Vec<Prefix> = trace.top_prefixes(covered_n);
     let failures = sample_failures(&trace, 0.04, scale.trace_failures.min(24), seed ^ 9);
 
+    /// What one baseline run observed; folded into the rows afterward.
+    struct RunOutcome {
+        link_det: bool,
+        all_det: bool,
+        cov_det: bool,
+        cbf_fps: Option<f64>,
+    }
+
+    let (runs_out, _report) = Sweep::new(format!("baselines {loss_pct}%"), failures)
+        .seed(mix64(seed ^ 0xBA5E))
+        .run(|&rank, ctx| {
+            let failed = trace.prefixes_by_rank[rank];
+            let rs = ctx.seed;
+
+            // host — upTap — (failing link) — downTap — receiver.
+            // The budget-constrained per-entry variant is evaluated on
+            // the same run: it detects exactly when the unbounded
+            // variant detects AND the prefix is within its coverage.
+            let st_all = BaselineState::new(&universe, rs);
+            let mut net = Network::new(rs);
+            let host = net.add_node(Box::new(SenderHost::new(0x01000001, trace.flows.clone())));
+            let interval = SimDuration::from_millis(50);
+            let settle = SimDuration::from_millis(25);
+            let up_all = net.add_node(Box::new(BaselineTap::new(
+                TapSide::Upstream,
+                st_all.clone(),
+                interval,
+                settle,
+            )));
+            let down_all = net.add_node(Box::new(BaselineTap::new(
+                TapSide::Downstream,
+                st_all.clone(),
+                interval,
+                settle,
+            )));
+            let rx = net.add_node(Box::new(ReceiverHost::new()));
+            let fast = LinkConfig::new(100_000_000_000, SimDuration::from_millis(1));
+            let core = LinkConfig::new(100_000_000_000, SimDuration::from_millis(10));
+            net.connect(host, up_all, fast);
+            let link = net.connect(up_all, down_all, core);
+            net.connect(down_all, rx, fast);
+            let mut rng = SmallRng::seed_from_u64(rs ^ 2);
+            let fail_at = SimTime::ZERO
+                + SimDuration::from_secs_f64(rng.gen_range(1.0..scale.duration.as_secs_f64() * 0.4));
+            net.kernel.add_failure(
+                link,
+                up_all,
+                GrayFailure::single_entry(failed, loss_pct / 100.0, fail_at),
+            );
+            net.run_until(SimTime::ZERO + scale.duration);
+            ctx.absorb(&net);
+
+            let st = st_all.borrow();
+            let all_det = st.entry_detected_at.contains_key(&failed);
+            RunOutcome {
+                link_det: st.link_detected_at.is_some(),
+                all_det,
+                // The budget variant detects iff it covers the prefix.
+                cov_det: all_det && covered.contains(&failed),
+                cbf_fps: st.cbf_detected_at(failed).is_some().then(|| {
+                    (st.cbf_implicated(&universe).len().saturating_sub(1)) as f64
+                }),
+            }
+        });
+
+    let runs = runs_out.len().max(1) as f64;
     #[derive(Default)]
     struct Acc {
         link_det: usize,
@@ -263,78 +323,17 @@ pub fn run_baseline_comparison(scale: &Scale, loss_pct: f64, seed: u64) -> Vec<B
         cov_det: usize,
         cbf_det: usize,
         cbf_fps: f64,
-        runs: usize,
     }
-    let acc = Mutex::new(Acc::default());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|s| {
-        for _ in 0..workers() {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&rank) = failures.get(i) else { break };
-                let failed = trace.prefixes_by_rank[rank];
-                let rs = mix64(seed ^ 0xBA5E ^ rank as u64);
-
-                // host — upTap — (failing link) — downTap — receiver.
-                // The budget-constrained per-entry variant is evaluated on
-                // the same run: it detects exactly when the unbounded
-                // variant detects AND the prefix is within its coverage.
-                let st_all = BaselineState::new(&universe, rs);
-                let mut net = Network::new(rs);
-                let host = net.add_node(Box::new(SenderHost::new(0x01000001, trace.flows.clone())));
-                let interval = SimDuration::from_millis(50);
-                let settle = SimDuration::from_millis(25);
-                let up_all = net.add_node(Box::new(BaselineTap::new(
-                    TapSide::Upstream,
-                    st_all.clone(),
-                    interval,
-                    settle,
-                )));
-                let down_all = net.add_node(Box::new(BaselineTap::new(
-                    TapSide::Downstream,
-                    st_all.clone(),
-                    interval,
-                    settle,
-                )));
-                let rx = net.add_node(Box::new(ReceiverHost::new()));
-                let fast = LinkConfig::new(100_000_000_000, SimDuration::from_millis(1));
-                let core = LinkConfig::new(100_000_000_000, SimDuration::from_millis(10));
-                net.connect(host, up_all, fast);
-                let link = net.connect(up_all, down_all, core);
-                net.connect(down_all, rx, fast);
-                let mut rng = SmallRng::seed_from_u64(rs ^ 2);
-                let fail_at = SimTime::ZERO
-                    + SimDuration::from_secs_f64(rng.gen_range(1.0..scale.duration.as_secs_f64() * 0.4));
-                net.kernel.add_failure(
-                    link,
-                    up_all,
-                    GrayFailure::single_entry(failed, loss_pct / 100.0, fail_at),
-                );
-                net.run_until(SimTime::ZERO + scale.duration);
-
-                let st = st_all.borrow();
-                let mut a = acc.lock();
-                a.runs += 1;
-                if st.link_detected_at.is_some() {
-                    a.link_det += 1;
-                }
-                if st.entry_detected_at.contains_key(&failed) {
-                    a.all_det += 1;
-                    // The budget variant detects iff it covers the prefix.
-                    if covered.contains(&failed) {
-                        a.cov_det += 1;
-                    }
-                }
-                if st.cbf_detected_at(failed).is_some() {
-                    a.cbf_det += 1;
-                    a.cbf_fps += (st.cbf_implicated(&universe).len().saturating_sub(1)) as f64;
-                }
-            });
+    let mut a = Acc::default();
+    for o in &runs_out {
+        a.link_det += usize::from(o.link_det);
+        a.all_det += usize::from(o.all_det);
+        a.cov_det += usize::from(o.cov_det);
+        if let Some(fps) = o.cbf_fps {
+            a.cbf_det += 1;
+            a.cbf_fps += fps;
         }
-    })
-    .expect("baseline worker panicked");
-    let a = acc.into_inner();
-    let runs = a.runs.max(1) as f64;
+    }
 
     vec![
         BaselineRow {
@@ -419,13 +418,15 @@ pub struct Fig11Point {
 }
 
 /// Run one Figure 11 point: `burst` prefixes of the trace blackholed at
-/// once under the given tree shape, averaged over `reps`.
+/// once under the given tree shape, averaged over `reps`. The seed comes
+/// from `ctx` (use [`CellCtx::detached`] outside a sweep).
 pub fn run_fig11_point(
     config: Fig11Config,
     burst: usize,
     scale: &Scale,
-    seed: u64,
-) -> Fig11Point {
+    ctx: &CellCtx,
+) -> Result<Fig11Point, ScenarioError> {
+    let seed = ctx.seed;
     let spec = paper_traces()[3]; // the sensitivity-analysis trace
     let mut tprs = Vec::new();
     let mut medians = Vec::new();
@@ -456,18 +457,23 @@ pub fn run_fig11_point(
         }
         let failed: Vec<Prefix> = ranks.iter().map(|&r| trace.prefixes_by_rank[r]).collect();
 
-        let mut cfg = LinearConfig::paper_default(s ^ 2, trace.flows.clone());
-        cfg.tree = TreeParams {
-            width: config.width,
-            depth: config.depth,
-            split: config.split,
-            pipelined: true,
-        };
-        cfg.timers = TimerConfig {
-            zooming_interval: SimDuration::from_millis(200),
-            ..cfg.timers
-        };
-        let mut sc = linear(cfg);
+        let base = LinearConfig::paper_default(s ^ 2, trace.flows.clone());
+        let mut sc = linear(
+            LinearConfig::builder()
+                .seed(s ^ 2)
+                .flows(trace.flows.clone())
+                .tree(TreeParams {
+                    width: config.width,
+                    depth: config.depth,
+                    split: config.split,
+                    pipelined: true,
+                })
+                .timers(TimerConfig {
+                    zooming_interval: SimDuration::from_millis(200),
+                    ..base.timers
+                })
+                .build(),
+        )?;
         let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(1.0..2.0));
         sc.net.kernel.add_failure(
             sc.monitored_link,
@@ -511,16 +517,17 @@ pub fn run_fig11_point(
         medians.push(median);
         bytes.push(if w_all > 0.0 { w_det / w_all } else { 0.0 });
         fps.push(fp_set.len() as f64);
+        ctx.absorb(&sc.net);
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    Fig11Point {
+    Ok(Fig11Point {
         config,
         burst,
         tpr: avg(&tprs),
         median_detection_s: avg(&medians),
         detected_bytes: avg(&bytes),
         false_positives: avg(&fps),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -539,17 +546,18 @@ mod tests {
     }
 
     #[test]
-    fn trace_failure_blackhole_is_detected() {
+    fn trace_failure_blackhole_is_detected() -> Result<(), ScenarioError> {
         let scale = tiny();
         let trace = synthesize(paper_traces()[0], scale.duration, scale.trace_scale, 3);
         // Rank 0 carries the most traffic and is dedicated-covered.
-        let o = run_trace_failure(&trace, 0, 100.0, scale.duration, 77);
+        let o = run_trace_failure(&trace, 0, 100.0, scale.duration, &CellCtx::detached(77))?;
         assert!(o.dedicated);
         assert!(o.detection_s.is_some(), "top prefix blackhole missed");
         // A mid-rank prefix goes through the tree.
         let mid = dedicated_count(&trace) + 5;
-        let o = run_trace_failure(&trace, mid, 100.0, scale.duration, 78);
+        let o = run_trace_failure(&trace, mid, 100.0, scale.duration, &CellCtx::detached(78))?;
         assert!(!o.dedicated);
+        Ok(())
     }
 
     #[test]
@@ -565,9 +573,10 @@ mod tests {
     }
 
     #[test]
-    fn fig11_point_runs() {
-        let p = run_fig11_point(fig11_configs()[1], 3, &tiny(), 42);
+    fn fig11_point_runs() -> Result<(), ScenarioError> {
+        let p = run_fig11_point(fig11_configs()[1], 3, &tiny(), &CellCtx::detached(42))?;
         assert!(p.tpr >= 0.0 && p.tpr <= 1.0);
         assert!(p.median_detection_s > 0.0);
+        Ok(())
     }
 }

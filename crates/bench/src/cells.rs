@@ -2,19 +2,21 @@
 //!
 //! A *cell* is one (entry size × loss rate) combination, run `reps` times
 //! with different seeds and failure times, yielding a TPR and an average
-//! detection time — one heatmap pixel of Figure 7 or 9.
+//! detection time — one heatmap pixel of Figure 7 or 9. Grids fan out
+//! through [`crate::runner::Sweep`]; every cell draws its seed from the
+//! sweep, so results are bit-identical at any `FANCY_THREADS`.
 
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use fancy_apps::{linear, LinearConfig};
+use fancy_apps::{linear, LinearConfig, ScenarioError};
 use fancy_core::{FancySwitch, TimerConfig};
 use fancy_net::{mix64, Prefix};
 use fancy_sim::{DetectionScope, DetectorKind, GrayFailure, SimDuration, SimTime};
 use fancy_traffic::{generate, EntrySize};
 
-use crate::env::{workers, Scale};
+use crate::env::Scale;
+use crate::runner::{CellCtx, Sweep, SweepReport};
 
 /// Aggregated result of one heatmap cell.
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,10 +28,6 @@ pub struct CellResult {
     pub avg_detection_s: f64,
     /// Repetitions run.
     pub reps: u64,
-}
-
-fn cell_seed(base: u64, row: usize, col: usize, rep: u64) -> u64 {
-    mix64(base ^ (row as u64) << 40 ^ (col as u64) << 24 ^ rep)
 }
 
 /// Entries used by cell experiments: scattered /24s far from host prefixes.
@@ -47,22 +45,27 @@ pub fn cell_entries(n: usize, seed: u64) -> Vec<Prefix> {
 }
 
 /// Run one Figure 7 cell: a single high-priority entry with a dedicated
-/// counter, failing with `loss_pct` percent drops.
+/// counter, failing with `loss_pct` percent drops. Seeds come from `ctx`
+/// (use [`CellCtx::detached`] outside a sweep).
 pub fn run_dedicated_cell(
     size: EntrySize,
     loss_pct: f64,
     scale: &Scale,
-    seed: u64,
-) -> CellResult {
+    ctx: &CellCtx,
+) -> Result<CellResult, ScenarioError> {
     let mut tpr_sum = 0.0;
     let mut det_sum = 0.0;
     for rep in 0..scale.reps {
-        let s = mix64(seed ^ rep);
+        let s = mix64(ctx.seed ^ rep);
         let entry = cell_entries(1, s)[0];
         let flows = generate(&[entry], size, scale.duration, s ^ 1).flows;
-        let mut cfg = LinearConfig::paper_default(s ^ 2, flows);
-        cfg.high_priority = vec![entry];
-        let mut sc = linear(cfg);
+        let mut sc = linear(
+            LinearConfig::builder()
+                .seed(s ^ 2)
+                .flows(flows)
+                .high_priority(vec![entry])
+                .build(),
+        )?;
         let mut rng = SmallRng::seed_from_u64(s ^ 3);
         let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(0.5..2.0));
         sc.net.kernel.add_failure(
@@ -78,12 +81,13 @@ pub fn run_dedicated_cell(
             }
             None => det_sum += scale.duration.as_secs_f64(),
         }
+        ctx.absorb(&sc.net);
     }
-    CellResult {
+    Ok(CellResult {
         tpr: tpr_sum / scale.reps as f64,
         avg_detection_s: det_sum / scale.reps as f64,
         reps: scale.reps,
-    }
+    })
 }
 
 /// Run one Figure 9 cell: `n_entries` best-effort entries (each driving
@@ -95,20 +99,22 @@ pub fn run_tree_cell(
     n_entries: usize,
     zooming: SimDuration,
     scale: &Scale,
-    seed: u64,
-) -> CellResult {
+    ctx: &CellCtx,
+) -> Result<CellResult, ScenarioError> {
     let mut tpr_sum = 0.0;
     let mut det_sum = 0.0;
     for rep in 0..scale.reps {
-        let s = mix64(seed ^ rep ^ 0xF00D);
+        let s = mix64(ctx.seed ^ rep ^ 0xF00D);
         let entries = cell_entries(n_entries, s);
         let flows = generate(&entries, size, scale.duration, s ^ 1).flows;
-        let mut cfg = LinearConfig::paper_default(s ^ 2, flows);
-        cfg.timers = TimerConfig {
-            zooming_interval: zooming,
-            ..cfg.timers
-        };
-        let mut sc = linear(cfg);
+        let base = LinearConfig::builder().seed(s ^ 2).flows(flows).build();
+        let mut sc = linear(LinearConfig {
+            timers: TimerConfig {
+                zooming_interval: zooming,
+                ..base.timers
+            },
+            ..base
+        })?;
         let mut rng = SmallRng::seed_from_u64(s ^ 3);
         let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(0.5..2.0));
         sc.net.kernel.add_failure(
@@ -140,61 +146,62 @@ pub fn run_tree_cell(
             }
         }
         tpr_sum += detected as f64 / n_entries as f64;
+        ctx.absorb(&sc.net);
     }
-    CellResult {
+    Ok(CellResult {
         tpr: tpr_sum / scale.reps as f64,
         avg_detection_s: det_sum / (scale.reps as f64 * n_entries as f64),
         reps: scale.reps,
-    }
+    })
 }
 
-/// Sweep a full heatmap in parallel. `f(row, col)` computes one cell.
-pub fn sweep_grid<F>(rows: usize, cols: usize, f: F) -> Vec<Vec<CellResult>>
+/// Sweep a full heatmap through the parallel [`Sweep`] engine.
+/// `f(row, col, ctx)` computes one cell from its deterministic context;
+/// cells are indexed row-major, so seeds depend only on the position in
+/// the grid, never on scheduling.
+pub fn sweep_grid<F>(
+    label: &str,
+    base_seed: u64,
+    rows: usize,
+    cols: usize,
+    f: F,
+) -> Result<(Vec<Vec<CellResult>>, SweepReport), ScenarioError>
 where
-    F: Fn(usize, usize) -> CellResult + Sync,
+    F: Fn(usize, usize, &CellCtx) -> Result<CellResult, ScenarioError> + Sync,
 {
-    let results = Mutex::new(vec![vec![CellResult::default(); cols]; rows]);
     let jobs: Vec<(usize, usize)> =
         (0..rows).flat_map(|r| (0..cols).map(move |c| (r, c))).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..workers() {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(r, c)) = jobs.get(i) else { break };
-                let cell = f(r, c);
-                results.lock()[r][c] = cell;
-            });
-        }
-    })
-    .expect("worker panicked");
-    results.into_inner()
+    let (flat, report) = Sweep::new(label, jobs)
+        .seed(base_seed)
+        .try_run(|&(r, c), ctx| f(r, c, ctx))?;
+    let mut grid = Vec::with_capacity(rows);
+    let mut it = flat.into_iter();
+    for _ in 0..rows {
+        grid.push(it.by_ref().take(cols).collect());
+    }
+    Ok((grid, report))
 }
 
 /// Figure 8: for each (zooming speed, loss rate), the smallest entry-size
 /// rank whose tree TPR reaches 95 %. Rank 1 = the smallest entry of the
-/// grid (4 Kbps/1), rank 18 = the largest. Returns `None` when even the
-/// largest entry misses the target.
+/// grid (4 Kbps/1), rank 18 = the largest. Returns `Ok(None)` when even
+/// the largest entry misses the target.
 pub fn min_rank_for_tpr(
     grid: &[EntrySize],
     loss_pct: f64,
     zooming: SimDuration,
     scale: &Scale,
     seed: u64,
-) -> Option<usize> {
+) -> Result<Option<usize>, ScenarioError> {
     // Walk from the smallest entry upward; TPR is monotone in traffic.
     for (i, &size) in grid.iter().rev().enumerate() {
-        let r = run_tree_cell(size, loss_pct, 1, zooming, scale, cell_seed(seed, i, 0, 0));
+        let ctx = CellCtx::detached(mix64(seed ^ (i as u64) << 40));
+        let r = run_tree_cell(size, loss_pct, 1, zooming, scale, &ctx)?;
         if r.tpr >= 0.95 {
-            return Some(i + 1);
+            return Ok(Some(i + 1));
         }
     }
-    None
-}
-
-/// Deterministic per-cell seed, exposed for the bench mains.
-pub fn seed_for(base: u64, row: usize, col: usize) -> u64 {
-    cell_seed(base, row, col, 0)
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -213,18 +220,19 @@ mod tests {
     }
 
     #[test]
-    fn dedicated_cell_blackhole_is_found_fast() {
+    fn dedicated_cell_blackhole_is_found_fast() -> Result<(), ScenarioError> {
         let size = EntrySize {
             total_bps: 1_000_000,
             flows_per_sec: 50.0,
         };
-        let r = run_dedicated_cell(size, 100.0, &tiny_scale(), 42);
+        let r = run_dedicated_cell(size, 100.0, &tiny_scale(), &CellCtx::detached(42))?;
         assert_eq!(r.tpr, 1.0);
         assert!(r.avg_detection_s < 0.5, "took {}", r.avg_detection_s);
+        Ok(())
     }
 
     #[test]
-    fn tree_cell_single_entry_detected() {
+    fn tree_cell_single_entry_detected() -> Result<(), ScenarioError> {
         let size = EntrySize {
             total_bps: 2_000_000,
             flows_per_sec: 50.0,
@@ -235,22 +243,29 @@ mod tests {
             1,
             SimDuration::from_millis(200),
             &tiny_scale(),
-            7,
-        );
+            &CellCtx::detached(7),
+        )?;
         assert_eq!(r.tpr, 1.0);
         // ≈ 3 zooming sessions.
         assert!(r.avg_detection_s < 2.0, "took {}", r.avg_detection_s);
+        Ok(())
     }
 
     #[test]
-    fn sweep_grid_is_deterministic_and_parallel() {
-        let a = sweep_grid(2, 2, |r, c| CellResult {
-            tpr: (r + c) as f64,
-            avg_detection_s: 0.0,
-            reps: 1,
-        });
-        assert_eq!(a[1][1].tpr, 2.0);
+    fn sweep_grid_keeps_row_major_order() -> Result<(), ScenarioError> {
+        let (a, report) = sweep_grid("test grid", 1, 2, 3, |r, c, _| {
+            Ok(CellResult {
+                tpr: (r * 10 + c) as f64,
+                avg_detection_s: 0.0,
+                reps: 1,
+            })
+        })?;
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].len(), 3);
+        assert_eq!(a[1][2].tpr, 12.0);
         assert_eq!(a[0][1].tpr, 1.0);
+        assert_eq!(report.cells, 6);
+        Ok(())
     }
 
     #[test]

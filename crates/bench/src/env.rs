@@ -1,16 +1,82 @@
 //! Experiment scaling knobs.
 //!
-//! Every harness honors two environment variables:
+//! All environment handling funnels through one typed reader,
+//! [`BenchEnv::from_env`]. Every harness honors:
 //!
 //! * `FANCY_FULL=1` — run at paper scale (10 repetitions, 30 s experiments,
 //!   100-entry failure bursts, larger trace scale). Budget hours.
 //! * `FANCY_REPS=<n>` — override the repetition count only.
+//! * `FANCY_THREADS=<n>` — worker threads for [`crate::runner::Sweep`]
+//!   fan-out (default: the machine's parallelism, capped at 16). Results
+//!   are bit-identical at any value; this only trades wall-clock.
 //!
 //! The defaults are scaled down so `cargo bench --workspace` finishes in
 //! tens of minutes while preserving every qualitative shape; the printed
 //! headers state the scale used, and EXPERIMENTS.md records the deviations.
 
 use fancy_sim::SimDuration;
+
+/// Typed view of the `FANCY_*` environment variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchEnv {
+    /// `FANCY_FULL=1`: run at paper scale.
+    pub full: bool,
+    /// `FANCY_REPS`: explicit repetition override, if set and valid.
+    pub reps: Option<u64>,
+    /// `FANCY_THREADS` (or the machine's parallelism, capped at 16).
+    /// Always at least 1.
+    pub threads: usize,
+}
+
+impl BenchEnv {
+    /// Read and parse the environment. Unset or malformed variables fall
+    /// back to their defaults — experiments never abort on a typo'd knob.
+    pub fn from_env() -> Self {
+        let full = std::env::var("FANCY_FULL").is_ok_and(|v| v == "1");
+        let reps = std::env::var("FANCY_REPS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(|r| r.max(1));
+        let threads = std::env::var("FANCY_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|t| t.max(1))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+                    .min(16)
+            });
+        BenchEnv { full, reps, threads }
+    }
+
+    /// Resolve the experiment scale these knobs select.
+    pub fn scale(&self) -> Scale {
+        let mut s = if self.full {
+            Scale {
+                reps: 10,
+                duration: SimDuration::from_secs(30),
+                multi_entries: 100,
+                trace_scale: 0.04,
+                trace_failures: 120,
+                full: true,
+            }
+        } else {
+            Scale {
+                reps: 3,
+                duration: SimDuration::from_secs(12),
+                multi_entries: 20,
+                trace_scale: 0.01,
+                trace_failures: 36,
+                full: false,
+            }
+        };
+        if let Some(r) = self.reps {
+            s.reps = r;
+        }
+        s
+    }
+}
 
 /// Resolved experiment scale.
 #[derive(Debug, Clone, Copy)]
@@ -31,34 +97,9 @@ pub struct Scale {
 }
 
 impl Scale {
-    /// Read the scale from the environment.
+    /// Read the scale from the environment (via [`BenchEnv::from_env`]).
     pub fn from_env() -> Self {
-        let full = std::env::var("FANCY_FULL").map_or(false, |v| v == "1");
-        let mut s = if full {
-            Scale {
-                reps: 10,
-                duration: SimDuration::from_secs(30),
-                multi_entries: 100,
-                trace_scale: 0.04,
-                trace_failures: 120,
-                full: true,
-            }
-        } else {
-            Scale {
-                reps: 3,
-                duration: SimDuration::from_secs(12),
-                multi_entries: 20,
-                trace_scale: 0.01,
-                trace_failures: 36,
-                full: false,
-            }
-        };
-        if let Ok(r) = std::env::var("FANCY_REPS") {
-            if let Ok(r) = r.parse::<u64>() {
-                s.reps = r.max(1);
-            }
-        }
-        s
+        BenchEnv::from_env().scale()
     }
 
     /// One-line description for experiment headers.
@@ -74,10 +115,48 @@ impl Scale {
     }
 }
 
-/// Worker threads for cell-parallel experiments.
-pub fn workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16)
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var mutation is process-global, so everything lives in one test.
+    #[test]
+    fn env_parsing_and_scale_resolution() {
+        // Defaults with nothing set.
+        std::env::remove_var("FANCY_FULL");
+        std::env::remove_var("FANCY_REPS");
+        std::env::remove_var("FANCY_THREADS");
+        let e = BenchEnv::from_env();
+        assert!(!e.full);
+        assert_eq!(e.reps, None);
+        assert!(e.threads >= 1 && e.threads <= 16);
+        let s = e.scale();
+        assert_eq!(s.reps, 3);
+        assert!(!s.full);
+
+        // Explicit knobs.
+        std::env::set_var("FANCY_FULL", "1");
+        std::env::set_var("FANCY_REPS", "7");
+        std::env::set_var("FANCY_THREADS", "3");
+        let e = BenchEnv::from_env();
+        assert!(e.full);
+        assert_eq!(e.reps, Some(7));
+        assert_eq!(e.threads, 3);
+        let s = e.scale();
+        assert!(s.full);
+        assert_eq!(s.reps, 7);
+        assert_eq!(s.duration, SimDuration::from_secs(30));
+
+        // Malformed values fall back instead of aborting; zero clamps to 1.
+        std::env::set_var("FANCY_REPS", "many");
+        std::env::set_var("FANCY_THREADS", "0");
+        let e = BenchEnv::from_env();
+        assert_eq!(e.reps, None);
+        assert_eq!(e.threads, 1);
+        assert_eq!(e.scale().reps, 10); // full still set
+
+        std::env::remove_var("FANCY_FULL");
+        std::env::remove_var("FANCY_REPS");
+        std::env::remove_var("FANCY_THREADS");
+    }
 }

@@ -12,7 +12,7 @@
 //! hardware; the default harness scales the rates down (keeping their
 //! ratio) so a software run stays fast, and prints the scale used.
 
-use fancy_apps::{case_study, CaseStudyConfig};
+use fancy_apps::{case_study, CaseStudyConfig, ScenarioError};
 use fancy_core::{TimerConfig, TreeParams};
 use fancy_net::Prefix;
 use fancy_sim::{GrayFailure, SimDuration, SimTime};
@@ -49,7 +49,12 @@ pub struct Fig10Run {
 pub const FAIL_AT: SimTime = SimTime(2_000_000_000);
 
 /// Run one Figure 10 experiment.
-pub fn run_case_study(loss_pct: f64, kind: EntryKind, scale: &Scale, seed: u64) -> Fig10Run {
+pub fn run_case_study(
+    loss_pct: f64,
+    kind: EntryKind,
+    scale: &Scale,
+    seed: u64,
+) -> Result<Fig10Run, ScenarioError> {
     // Paper: 50 Gbps TCP + 50 Mbps UDP on 100 Gbps links. Scaled default:
     // 1 Gbps TCP + 1 Mbps UDP on 2 Gbps links (same ratios).
     let (tcp_bps, udp_bps, link_bps) = if scale.full {
@@ -92,7 +97,7 @@ pub fn run_case_study(loss_pct: f64, kind: EntryKind, scale: &Scale, seed: u64) 
             SimDuration::from_millis(100),
         )],
     };
-    let mut cs = case_study(cfg);
+    let mut cs = case_study(cfg)?;
     cs.net.kernel.add_failure(
         cs.failure_link,
         cs.link_switch,
@@ -128,13 +133,13 @@ pub fn run_case_study(loss_pct: f64, kind: EntryKind, scale: &Scale, seed: u64) 
         .into_iter()
         .map(|b| b / 1e9)
         .collect();
-    Fig10Run {
+    Ok(Fig10Run {
         loss_pct,
         kind,
         gbps_series,
         detection_s,
         offered_bps: tcp_bps,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -153,8 +158,8 @@ mod tests {
     }
 
     #[test]
-    fn dedicated_blackhole_recovers_sub_second() {
-        let r = run_case_study(100.0, EntryKind::Dedicated, &tiny(), 3);
+    fn dedicated_blackhole_recovers_sub_second() -> Result<(), ScenarioError> {
+        let r = run_case_study(100.0, EntryKind::Dedicated, &tiny(), 3)?;
         let d = r.detection_s.expect("must detect blackhole");
         assert!(d < 1.0, "detection took {d}s");
         // Throughput in the last second is back above half the pre-failure
@@ -165,13 +170,15 @@ mod tests {
             post > pre * 0.5,
             "throughput must recover: pre {pre:.3} post {post:.3}"
         );
+        Ok(())
     }
 
     #[test]
-    fn tree_one_percent_loss_detected_under_a_second() {
-        let r = run_case_study(1.0, EntryKind::Tree, &tiny(), 4);
+    fn tree_one_percent_loss_detected_under_a_second() -> Result<(), ScenarioError> {
+        let r = run_case_study(1.0, EntryKind::Tree, &tiny(), 4)?;
         let d = r.detection_s.expect("1% loss must be detected");
         // ≈ 3 zooming sessions on sub-ms links.
         assert!(d < 1.2, "tree detection took {d}s");
+        Ok(())
     }
 }

@@ -20,12 +20,8 @@ pub fn compact(v: f64) -> String {
     }
     if v == 0.0 {
         "0".to_string()
-    } else if v >= 100.0 {
-        format!("{v:.0}")
     } else if v >= 10.0 {
         format!("{v:.0}")
-    } else if v >= 1.0 {
-        format!("{v:.2}")
     } else {
         format!("{v:.2}")
     }

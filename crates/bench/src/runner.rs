@@ -1,0 +1,375 @@
+//! The parallel experiment engine.
+//!
+//! A [`Sweep`] fans a list of independent simulation *cells* (one cell =
+//! one self-contained set of runs, e.g. a heatmap pixel) across worker
+//! threads. Three properties make it safe to use for paper results:
+//!
+//! 1. **Deterministic seeding.** Every cell's RNG seed is derived from
+//!    the sweep's base seed and the cell's *index* — never from the
+//!    thread that happens to execute it. `FANCY_THREADS=1` and
+//!    `FANCY_THREADS=64` produce bit-identical results.
+//! 2. **Indexed result slots.** Each worker writes its result into the
+//!    slot owned by the cell index, so the output order is the input
+//!    order regardless of completion order.
+//! 3. **Observational telemetry.** Per-cell kernels count their own
+//!    events (see `fancy_sim::telemetry`); workers fold those counters
+//!    into shared atomics that only the final [`SweepReport`] reads.
+//!
+//! Workers pull the next cell from an atomic cursor, so slow cells do
+//! not stall the rest of the grid (dynamic load balancing).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use fancy_net::mix64;
+use fancy_sim::{Network, TelemetryCounters};
+
+use crate::env::BenchEnv;
+
+/// Per-cell context handed to the sweep's work function.
+pub struct CellCtx<'a> {
+    /// Index of this cell in the sweep's input order.
+    pub index: usize,
+    /// Deterministic seed for this cell, independent of thread count
+    /// and scheduling: `mix64(base_seed ^ index)`.
+    pub seed: u64,
+    stats: Option<&'a SharedStats>,
+}
+
+impl CellCtx<'_> {
+    /// A context outside any sweep (direct cell-function calls, unit
+    /// tests): carries the seed, discards telemetry.
+    pub fn detached(seed: u64) -> CellCtx<'static> {
+        CellCtx { index: 0, seed, stats: None }
+    }
+
+    /// Fold a finished network's kernel telemetry into the sweep's
+    /// aggregate report. Call once per simulated network, after its
+    /// last `run_until`. No-op on a detached context.
+    pub fn absorb(&self, net: &Network) {
+        if let Some(stats) = self.stats {
+            stats.absorb(net);
+        }
+    }
+}
+
+/// Lock-free aggregate the workers fold per-cell telemetry into.
+#[derive(Default)]
+struct SharedStats {
+    events: AtomicU64,
+    arrivals: AtomicU64,
+    timers: AtomicU64,
+    queue_high_water: AtomicU64,
+    forwarded: AtomicU64,
+    gray: AtomicU64,
+    control: AtomicU64,
+    congestion: AtomicU64,
+    sim_nanos: AtomicU64,
+    wall_nanos: AtomicU64,
+    networks: AtomicU64,
+}
+
+impl SharedStats {
+    fn absorb(&self, net: &Network) {
+        let t = &net.kernel.telemetry;
+        // Relaxed is enough: values are only read after scope join, and
+        // every counter is an independent monotone sum (or max).
+        self.events.fetch_add(t.events_dispatched, Ordering::Relaxed);
+        self.arrivals.fetch_add(t.packet_arrivals, Ordering::Relaxed);
+        self.timers.fetch_add(t.timers_fired, Ordering::Relaxed);
+        self.queue_high_water.fetch_max(t.queue_high_water, Ordering::Relaxed);
+        self.forwarded.fetch_add(t.packets_forwarded, Ordering::Relaxed);
+        self.gray.fetch_add(t.packets_gray_dropped, Ordering::Relaxed);
+        self.control.fetch_add(t.control_drops, Ordering::Relaxed);
+        self.congestion.fetch_add(t.congestion_drops, Ordering::Relaxed);
+        let snap = net.kernel.telemetry_snapshot();
+        self.sim_nanos.fetch_add(snap.sim_elapsed.as_nanos(), Ordering::Relaxed);
+        self.wall_nanos.fetch_add(snap.wall_elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.networks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn counters(&self) -> TelemetryCounters {
+        TelemetryCounters {
+            events_dispatched: self.events.load(Ordering::Relaxed),
+            packet_arrivals: self.arrivals.load(Ordering::Relaxed),
+            timers_fired: self.timers.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            packets_forwarded: self.forwarded.load(Ordering::Relaxed),
+            packets_gray_dropped: self.gray.load(Ordering::Relaxed),
+            control_drops: self.control.load(Ordering::Relaxed),
+            congestion_drops: self.congestion.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Aggregate progress/throughput report of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The sweep's label.
+    pub label: String,
+    /// Number of cells executed.
+    pub cells: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Telemetry summed (high-water: maxed) over every absorbed network.
+    pub telemetry: TelemetryCounters,
+    /// Simulated seconds summed over every absorbed network.
+    pub sim_seconds: f64,
+    /// Wall-clock summed over every absorbed kernel's run loops. With
+    /// `threads` workers this exceeds [`SweepReport::wall`]; the ratio
+    /// is the effective parallelism.
+    pub kernel_wall: Duration,
+    /// Networks folded in via [`CellCtx::absorb`] (0 when the work
+    /// function never absorbs — telemetry fields are then all zero).
+    pub networks: u64,
+}
+
+impl SweepReport {
+    /// Events dispatched per wall-clock second, across all workers.
+    pub fn events_per_wall_sec(&self) -> f64 {
+        let w = self.wall.as_secs_f64();
+        if w > 0.0 {
+            self.telemetry.events_dispatched as f64 / w
+        } else {
+            0.0
+        }
+    }
+
+    /// Multi-line human-readable summary for experiment footers.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "sweep '{}': {} cells on {} thread(s) in {:.2}s",
+            self.label,
+            self.cells,
+            self.threads,
+            self.wall.as_secs_f64(),
+        );
+        if self.networks > 0 {
+            s.push_str(&format!(
+                "\n  {} networks, {:.1} sim-s, {} events ({:.0} events/wall-s), queue high-water {}\
+                 \n  packets: {} forwarded, {} gray-dropped, {} control-dropped, {} congestion-dropped",
+                self.networks,
+                self.sim_seconds,
+                self.telemetry.events_dispatched,
+                self.events_per_wall_sec(),
+                self.telemetry.queue_high_water,
+                self.telemetry.packets_forwarded,
+                self.telemetry.packets_gray_dropped,
+                self.telemetry.control_drops,
+                self.telemetry.congestion_drops,
+            ));
+        }
+        s
+    }
+}
+
+/// A parallel sweep over independent experiment cells.
+///
+/// ```
+/// use fancy_bench::runner::Sweep;
+///
+/// let (squares, report) = Sweep::new("squares", (0..32u64).collect::<Vec<_>>())
+///     .threads(8)
+///     .run(|&cell, ctx| cell * cell + (ctx.seed & 0)); // seed is per-index
+/// assert_eq!(squares[5], 25);
+/// assert_eq!(report.cells, 32);
+/// ```
+pub struct Sweep<C> {
+    label: String,
+    cells: Vec<C>,
+    threads: usize,
+    base_seed: u64,
+}
+
+impl<C: Sync> Sweep<C> {
+    /// A sweep over `cells`, using `FANCY_THREADS` (or the machine's
+    /// parallelism) workers and the default base seed.
+    pub fn new(label: impl Into<String>, cells: Vec<C>) -> Self {
+        Sweep {
+            label: label.into(),
+            cells,
+            threads: BenchEnv::from_env().threads,
+            base_seed: 0xFA9C,
+        }
+    }
+
+    /// Override the worker-thread count (values < 1 mean serial).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Override the base seed cells derive their seeds from.
+    pub fn seed(mut self, base: u64) -> Self {
+        self.base_seed = base;
+        self
+    }
+
+    /// The deterministic seed cell `index` will receive.
+    pub fn cell_seed(&self, index: usize) -> u64 {
+        mix64(self.base_seed ^ index as u64)
+    }
+
+    /// Execute `f` once per cell and return the results in input order,
+    /// plus the aggregate report. Results are identical for every
+    /// thread count because seeds and result slots are keyed by cell
+    /// index, not by worker.
+    pub fn run<R, F>(&self, f: F) -> (Vec<R>, SweepReport)
+    where
+        R: Send,
+        F: Fn(&C, &CellCtx) -> R + Sync,
+    {
+        let start = Instant::now();
+        let stats = SharedStats::default();
+        let n = self.cells.len();
+
+        let results: Vec<R> = if self.threads <= 1 || n <= 1 {
+            self.cells
+                .iter()
+                .enumerate()
+                .map(|(index, cell)| {
+                    let ctx = CellCtx {
+                        index,
+                        seed: self.cell_seed(index),
+                        stats: Some(&stats),
+                    };
+                    f(cell, &ctx)
+                })
+                .collect()
+        } else {
+            let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(n);
+            slots.resize_with(n, || Mutex::new(None));
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..self.threads.min(n) {
+                    scope.spawn(|| loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = self.cells.get(index) else {
+                            break;
+                        };
+                        let ctx = CellCtx {
+                            index,
+                            seed: self.cell_seed(index),
+                            stats: Some(&stats),
+                        };
+                        let r = f(cell, &ctx);
+                        *slots[index].lock().expect("result slot poisoned") = Some(r);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("worker exited without writing its slot")
+                })
+                .collect()
+        };
+
+        let report = SweepReport {
+            label: self.label.clone(),
+            cells: n,
+            threads: self.threads.min(n.max(1)),
+            wall: start.elapsed(),
+            telemetry: stats.counters(),
+            sim_seconds: stats.sim_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            kernel_wall: Duration::from_nanos(stats.wall_nanos.load(Ordering::Relaxed)),
+            networks: stats.networks.load(Ordering::Relaxed),
+        };
+        (results, report)
+    }
+
+    /// Like [`Sweep::run`] for fallible cells: stops at the first error
+    /// (in cell order) after the sweep completes. Cells keep their
+    /// deterministic seeds, so a partial failure is reproducible.
+    pub fn try_run<R, E, F>(&self, f: F) -> Result<(Vec<R>, SweepReport), E>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(&C, &CellCtx) -> Result<R, E> + Sync,
+    {
+        let (results, report) = self.run(f);
+        let mut ok = Vec::with_capacity(results.len());
+        for r in results {
+            ok.push(r?);
+        }
+        Ok((ok, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fancy_sim::{LinkConfig, Network, SimDuration, SimTime, SinkNode};
+
+    #[test]
+    fn results_keep_input_order_at_any_thread_count() {
+        let cells: Vec<usize> = (0..37).collect();
+        for threads in [1, 2, 8] {
+            let (out, report) = Sweep::new("order", cells.clone())
+                .threads(threads)
+                .run(|&c, ctx| {
+                    assert_eq!(c, ctx.index);
+                    c * 10
+                });
+            assert_eq!(out, (0..37).map(|c| c * 10).collect::<Vec<_>>());
+            assert_eq!(report.cells, 37);
+        }
+    }
+
+    #[test]
+    fn seeds_are_index_keyed_and_thread_invariant() {
+        let sweep = |threads| {
+            Sweep::new("seeds", (0..64usize).collect::<Vec<_>>())
+                .seed(0xC0FFEE)
+                .threads(threads)
+                .run(|_, ctx| ctx.seed)
+                .0
+        };
+        let serial = sweep(1);
+        assert_eq!(serial, sweep(8));
+        assert_eq!(serial[3], mix64(0xC0FFEE ^ 3));
+        // All seeds distinct.
+        let set: std::collections::HashSet<_> = serial.iter().collect();
+        assert_eq!(set.len(), 64);
+    }
+
+    #[test]
+    fn telemetry_aggregates_across_cells() {
+        // Each cell runs a tiny 2-node network pushing one packet.
+        let (_, report) = Sweep::new("telemetry", vec![(); 5]).threads(2).run(|_, ctx| {
+            let mut net = Network::new(ctx.seed);
+            let a = net.add_node(Box::new(SinkNode::default()));
+            let b = net.add_node(Box::new(SinkNode::default()));
+            net.connect(a, b, LinkConfig::default());
+            let pkt = fancy_sim::PacketBuilder::new(
+                1,
+                2,
+                100,
+                fancy_sim::PacketKind::Udp { flow: 0, seq: 0 },
+            )
+            .build();
+            net.kernel.inject(a, 0, pkt, SimTime::ZERO);
+            net.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+            ctx.absorb(&net);
+        });
+        assert_eq!(report.networks, 5);
+        // One injected arrival per cell (the packet sinks at `a`).
+        assert_eq!(report.telemetry.events_dispatched, 5);
+        assert_eq!(report.sim_seconds, 5.0);
+        assert!(report.summary().contains("5 cells"));
+    }
+
+    #[test]
+    fn try_run_surfaces_first_error_by_cell_order() {
+        let r: Result<(Vec<usize>, SweepReport), String> =
+            Sweep::new("fallible", (0..10usize).collect::<Vec<_>>())
+                .threads(4)
+                .try_run(|&c, _| if c % 4 == 3 { Err(format!("cell {c}")) } else { Ok(c) });
+        assert_eq!(r.err(), Some("cell 3".to_string()));
+    }
+}

@@ -5,7 +5,7 @@
 //! modelled on the cited Cisco/Juniper bugs — and verifies FANcY detects
 //! it, reporting which mechanism fired and how fast.
 
-use fancy_apps::{linear, LinearConfig};
+use fancy_apps::{linear, LinearConfig, ScenarioError};
 use fancy_net::Prefix;
 use fancy_sim::{
     DetectorKind, FailureMatcher, GrayFailure, SimDuration, SimTime,
@@ -13,6 +13,7 @@ use fancy_sim::{
 use fancy_tcp::{FlowConfig, ScheduledFlow};
 
 use crate::env::Scale;
+use crate::runner::Sweep;
 
 /// Outcome of one failure-class demo.
 #[derive(Debug, Clone)]
@@ -55,28 +56,34 @@ fn mechanism_name(d: DetectorKind) -> &'static str {
     }
 }
 
-fn run_class(
+/// One class demo's inputs (a cell in the Table 1 sweep).
+struct ClassSpec {
     class: &'static str,
     bug: &'static str,
     matcher: FailureMatcher,
     drop_prob: f64,
     entries: Vec<Prefix>,
     high_priority: Vec<Prefix>,
-    scale: &Scale,
     seed: u64,
-) -> ClassDemo {
+}
+
+fn run_class(spec: &ClassSpec, scale: &Scale) -> Result<ClassDemo, ScenarioError> {
     let duration = SimDuration::from_secs(8).min(scale.duration);
-    let flows = flows_for(&entries, 2_000_000, duration);
-    let mut cfg = LinearConfig::paper_default(seed, flows);
-    cfg.high_priority = high_priority;
-    let mut sc = linear(cfg);
+    let flows = flows_for(&spec.entries, 2_000_000, duration);
+    let mut sc = linear(
+        LinearConfig::builder()
+            .seed(spec.seed)
+            .flows(flows)
+            .high_priority(spec.high_priority.clone())
+            .build(),
+    )?;
     let fail_at = SimTime(1_000_000_000);
     sc.net.kernel.add_failure(
         sc.monitored_link,
         sc.s1,
         GrayFailure {
-            matcher,
-            drop_prob,
+            matcher: spec.matcher.clone(),
+            drop_prob: spec.drop_prob,
             start: fail_at,
             end: SimTime::FAR_FUTURE,
         },
@@ -90,106 +97,104 @@ fn run_class(
         .iter()
         .filter(|d| d.time >= fail_at)
         .min_by_key(|d| d.time);
-    ClassDemo {
-        class,
-        bug,
+    Ok(ClassDemo {
+        class: spec.class,
+        bug: spec.bug,
         detected: first.is_some(),
         detection_s: first.map(|d| d.time.duration_since(fail_at).as_secs_f64()),
         mechanism: first.map(|d| mechanism_name(d.detector)),
-    }
+    })
 }
 
-/// Run every Table 1 class demo.
-pub fn run_all(scale: &Scale, seed: u64) -> Vec<ClassDemo> {
+/// Run every Table 1 class demo, fanned out through [`Sweep`].
+pub fn run_all(scale: &Scale, seed: u64) -> Result<Vec<ClassDemo>, ScenarioError> {
     let e = |i: u32| Prefix(0x0A_10_00 + i);
     let some_entries: Vec<Prefix> = (0..4).map(e).collect();
     // Uniform-loss classification needs most root counters (width 190)
     // to carry traffic: give the uniform/flap demos a wide entry set.
     let many_entries: Vec<Prefix> = (0..400).map(e).collect();
 
-    vec![
-        run_class(
-            "one/some prefixes, all packets",
-            "Cisco CSCti14290: specific IP prefixes blackholed",
-            FailureMatcher::Entries(vec![e(1)]),
-            1.0,
-            some_entries.clone(),
-            vec![e(1)],
-            scale,
+    let specs = vec![
+        ClassSpec {
+            class: "one/some prefixes, all packets",
+            bug: "Cisco CSCti14290: specific IP prefixes blackholed",
+            matcher: FailureMatcher::Entries(vec![e(1)]),
+            drop_prob: 1.0,
+            entries: some_entries.clone(),
+            high_priority: vec![e(1)],
             seed,
-        ),
-        run_class(
-            "one/some prefixes, some packets",
-            "Juniper PR1398407-style partial per-prefix drops",
-            FailureMatcher::Entries(vec![e(2)]),
-            0.3,
-            some_entries.clone(),
-            vec![e(2)],
-            scale,
-            seed ^ 1,
-        ),
-        run_class(
-            "all prefixes, packets of specific sizes",
-            "Cisco CSCtc33158: drops random sized packets",
+        },
+        ClassSpec {
+            class: "one/some prefixes, some packets",
+            bug: "Juniper PR1398407-style partial per-prefix drops",
+            matcher: FailureMatcher::Entries(vec![e(2)]),
+            drop_prob: 0.3,
+            entries: some_entries.clone(),
+            high_priority: vec![e(2)],
+            seed: seed ^ 1,
+        },
+        ClassSpec {
+            class: "all prefixes, packets of specific sizes",
+            bug: "Cisco CSCtc33158: drops random sized packets",
             // Our 2 Mbps flows use 1500 B segments and 64 B ACKs; dropping
             // the 1400–1500 B range hits every entry's data packets.
-            FailureMatcher::PacketSize { min: 1400, max: 1500 },
-            1.0,
-            some_entries.clone(),
-            vec![e(0)],
-            scale,
-            seed ^ 2,
-        ),
-        run_class(
-            "all prefixes, packets with a specific IP ID",
-            "Cisco CSCuv31196: drops IP ID 0xE000",
+            matcher: FailureMatcher::PacketSize { min: 1400, max: 1500 },
+            drop_prob: 1.0,
+            entries: some_entries.clone(),
+            high_priority: vec![e(0)],
+            seed: seed ^ 2,
+        },
+        ClassSpec {
+            class: "all prefixes, packets with a specific IP ID",
+            bug: "Cisco CSCuv31196: drops IP ID 0xE000",
             // Hosts cycle the 16-bit IP ID; ≈1/65536 of packets match, so
-            // we widen the matcher to a 256-value band to emulate the
-            // line-card variant of the bug at observable rates.
-            FailureMatcher::IpId(0xE000),
-            1.0,
-            some_entries.clone(),
-            vec![e(0)],
-            scale,
-            seed ^ 3,
-        ),
-        run_class(
-            "packets from a specific line card",
-            "Cisco CSCea91692: drops traffic from one PSA/line card",
-            FailureMatcher::SourceRange {
+            // the demo detects only once a matching packet is actually
+            // dropped — exactly as the paper qualifies.
+            matcher: FailureMatcher::IpId(0xE000),
+            drop_prob: 1.0,
+            entries: some_entries.clone(),
+            high_priority: vec![e(0)],
+            seed: seed ^ 3,
+        },
+        ClassSpec {
+            class: "packets from a specific line card",
+            bug: "Cisco CSCea91692: drops traffic from one PSA/line card",
+            matcher: FailureMatcher::SourceRange {
                 lo: 0x01_00_00_00,
                 hi: 0x01_FF_FF_FF, // the sender host's address range
             },
-            1.0,
-            some_entries.clone(),
-            vec![e(0)],
-            scale,
-            seed ^ 4,
-        ),
-        run_class(
-            "all prefixes, random packets (CRC corruption)",
-            "Juniper PR1313977: CRC-errored drops on et- interfaces",
-            FailureMatcher::Uniform,
-            0.3,
-            many_entries.clone(),
-            Vec::new(),
-            scale,
-            seed ^ 5,
-        ),
-        run_class(
-            "interface flaps",
-            "Juniper PR1459698: silent drops upon interface flapping",
-            FailureMatcher::Flap {
+            drop_prob: 1.0,
+            entries: some_entries.clone(),
+            high_priority: vec![e(0)],
+            seed: seed ^ 4,
+        },
+        ClassSpec {
+            class: "all prefixes, random packets (CRC corruption)",
+            bug: "Juniper PR1313977: CRC-errored drops on et- interfaces",
+            matcher: FailureMatcher::Uniform,
+            drop_prob: 0.3,
+            entries: many_entries.clone(),
+            high_priority: Vec::new(),
+            seed: seed ^ 5,
+        },
+        ClassSpec {
+            class: "interface flaps",
+            bug: "Juniper PR1459698: silent drops upon interface flapping",
+            matcher: FailureMatcher::Flap {
                 on: SimDuration::from_millis(60),
                 off: SimDuration::from_millis(240),
             },
-            1.0,
-            many_entries,
-            Vec::new(),
-            scale,
-            seed ^ 6,
-        ),
-    ]
+            drop_prob: 1.0,
+            entries: many_entries,
+            high_priority: Vec::new(),
+            seed: seed ^ 6,
+        },
+    ];
+
+    let (demos, _report) = Sweep::new("table1 classes", specs)
+        .seed(seed)
+        .try_run(|spec, _ctx| run_class(spec, scale))?;
+    Ok(demos)
 }
 
 #[cfg(test)]
@@ -208,8 +213,8 @@ mod tests {
     }
 
     #[test]
-    fn every_class_except_rare_ipid_is_detected() {
-        let demos = run_all(&tiny(), 99);
+    fn every_class_except_rare_ipid_is_detected() -> Result<(), ScenarioError> {
+        let demos = run_all(&tiny(), 99)?;
         assert_eq!(demos.len(), 7);
         for d in &demos {
             if d.class.contains("IP ID") {
@@ -223,15 +228,17 @@ mod tests {
             let t = d.detection_s.unwrap();
             assert!(t < 5.0, "{}: detection took {t}s", d.class);
         }
+        Ok(())
     }
 
     #[test]
-    fn uniform_class_is_classified_uniform() {
-        let demos = run_all(&tiny(), 7);
+    fn uniform_class_is_classified_uniform() -> Result<(), ScenarioError> {
+        let demos = run_all(&tiny(), 7)?;
         let crc = demos
             .iter()
             .find(|d| d.class.contains("random packets"))
             .unwrap();
         assert_eq!(crc.mechanism, Some("uniform check"));
+        Ok(())
     }
 }

@@ -9,13 +9,14 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use fancy_apps::{linear, LinearConfig};
+use fancy_apps::{linear, LinearConfig, ScenarioError};
 use fancy_net::{mix64, Prefix};
 use fancy_sim::{DetectorKind, GrayFailure, SimDuration, SimTime};
 use fancy_tcp::{FlowConfig, ScheduledFlow};
 use fancy_traffic::Zipf;
 
 use crate::env::Scale;
+use crate::runner::Sweep;
 
 /// Result of one uniform-failure experiment.
 #[derive(Debug, Clone, Copy)]
@@ -67,8 +68,18 @@ fn zipf_flows(
     flows
 }
 
-/// Run the uniform-failure experiment at one loss rate.
-pub fn run_uniform(loss_pct: f64, scale: &Scale, seed: u64) -> UniformResult {
+/// What one uniform-failure repetition observed.
+struct RepOutcome {
+    classified: bool,
+    linkfail: bool,
+    det_s: f64,
+    miscls: u64,
+}
+
+/// Run the uniform-failure experiment at one loss rate. Repetitions are
+/// independent runs and fan out through [`Sweep`]; seeds stay keyed by
+/// repetition index, so the result is thread-count invariant.
+pub fn run_uniform(loss_pct: f64, scale: &Scale, seed: u64) -> Result<UniformResult, ScenarioError> {
     // Scaled stand-in for a loaded 100 Gbps link: enough entries that most
     // root counters carry traffic.
     let (entries_n, total_bps) = if scale.full {
@@ -76,73 +87,68 @@ pub fn run_uniform(loss_pct: f64, scale: &Scale, seed: u64) -> UniformResult {
     } else {
         (600, 300_000_000)
     };
-    let mut classified = 0u64;
-    let mut linkfail = 0u64;
-    let mut det_sum = 0.0;
-    let mut miscls = 0u64;
-    for rep in 0..scale.reps {
-        let s = mix64(seed ^ rep ^ 0x04F1);
-        let entries: Vec<Prefix> = (0..entries_n as u32)
-            .map(|i| Prefix(0x0C_00_00 + i * 7 % 0x01_00_00))
-            .collect();
-        let duration = SimDuration::from_secs(6).min(scale.duration);
-        let flows = zipf_flows(&entries, total_bps, duration, s);
-        let cfg = LinearConfig::paper_default(s ^ 1, flows);
-        let mut sc = linear(cfg);
-        let mut rng = SmallRng::seed_from_u64(s ^ 2);
-        let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(1.5..2.5));
-        sc.net.kernel.add_failure(
-            sc.monitored_link,
-            sc.s1,
-            GrayFailure::uniform(loss_pct / 100.0, fail_at),
-        );
-        sc.net.run_until(SimTime::ZERO + duration);
+    let reps: Vec<u64> = (0..scale.reps).collect();
+    let (outcomes, _report) = Sweep::new(format!("uniform {loss_pct}%"), reps)
+        .seed(seed)
+        .try_run(|&rep, ctx| -> Result<RepOutcome, ScenarioError> {
+            let s = mix64(seed ^ rep ^ 0x04F1);
+            let entries: Vec<Prefix> = (0..entries_n as u32)
+                .map(|i| Prefix(0x0C_00_00 + i * 7 % 0x01_00_00))
+                .collect();
+            let duration = SimDuration::from_secs(6).min(scale.duration);
+            let flows = zipf_flows(&entries, total_bps, duration, s);
+            let mut sc = linear(LinearConfig::builder().seed(s ^ 1).flows(flows).build())?;
+            let mut rng = SmallRng::seed_from_u64(s ^ 2);
+            let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(1.5..2.5));
+            sc.net.kernel.add_failure(
+                sc.monitored_link,
+                sc.s1,
+                GrayFailure::uniform(loss_pct / 100.0, fail_at),
+            );
+            sc.net.run_until(SimTime::ZERO + duration);
+            ctx.absorb(&sc.net);
 
-        let uni = sc
-            .net
-            .kernel
-            .records
-            .detections_by(DetectorKind::UniformCheck)
-            .min_by_key(|d| d.time);
-        let hard = sc
-            .net
-            .kernel
-            .records
-            .detections_by(DetectorKind::ProtocolTimeout)
-            .filter(|d| d.time >= fail_at)
-            .min_by_key(|d| d.time);
-        match (uni, hard) {
-            (Some(d), _) => {
-                classified += 1;
-                det_sum += d.time.duration_since(fail_at).as_secs_f64();
-            }
-            (None, Some(d)) => {
-                // Total loss also kills control messages: the stop-and-wait
-                // protocol correctly escalates to a hard link failure.
-                linkfail += 1;
-                det_sum += d.time.duration_since(fail_at).as_secs_f64();
-            }
-            (None, None) => det_sum += duration.as_secs_f64(),
-        }
-        // Leaf-level reports firing *before* the uniform classification
-        // would be misclassifications.
-        if let Some(u) = uni {
-            miscls += sc
+            let uni = sc
                 .net
                 .kernel
                 .records
-                .detections_by(DetectorKind::HashTree)
-                .filter(|d| d.time < u.time && d.time >= fail_at)
-                .count() as u64;
-        }
-    }
-    UniformResult {
+                .detections_by(DetectorKind::UniformCheck)
+                .min_by_key(|d| d.time);
+            let hard = sc
+                .net
+                .kernel
+                .records
+                .detections_by(DetectorKind::ProtocolTimeout)
+                .filter(|d| d.time >= fail_at)
+                .min_by_key(|d| d.time);
+            let (classified, linkfail, det_s) = match (uni, hard) {
+                (Some(d), _) => (true, false, d.time.duration_since(fail_at).as_secs_f64()),
+                // Total loss also kills control messages: the stop-and-wait
+                // protocol correctly escalates to a hard link failure.
+                (None, Some(d)) => (false, true, d.time.duration_since(fail_at).as_secs_f64()),
+                (None, None) => (false, false, duration.as_secs_f64()),
+            };
+            // Leaf-level reports firing *before* the uniform classification
+            // would be misclassifications.
+            let miscls = uni.map_or(0, |u| {
+                sc.net
+                    .kernel
+                    .records
+                    .detections_by(DetectorKind::HashTree)
+                    .filter(|d| d.time < u.time && d.time >= fail_at)
+                    .count() as u64
+            });
+            Ok(RepOutcome { classified, linkfail, det_s, miscls })
+        })?;
+
+    Ok(UniformResult {
         loss_pct,
-        classified_uniform: classified as f64 / scale.reps as f64,
-        link_failure: linkfail as f64 / scale.reps as f64,
-        detection_s: det_sum / scale.reps as f64,
-        misclassified: miscls,
-    }
+        classified_uniform: outcomes.iter().filter(|o| o.classified).count() as f64
+            / scale.reps as f64,
+        link_failure: outcomes.iter().filter(|o| o.linkfail).count() as f64 / scale.reps as f64,
+        detection_s: outcomes.iter().map(|o| o.det_s).sum::<f64>() / scale.reps as f64,
+        misclassified: outcomes.iter().map(|o| o.miscls).sum(),
+    })
 }
 
 #[cfg(test)]
@@ -150,7 +156,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn heavy_uniform_loss_classified_in_one_interval() {
+    fn heavy_uniform_loss_classified_in_one_interval() -> Result<(), ScenarioError> {
         let scale = Scale {
             reps: 1,
             duration: SimDuration::from_secs(6),
@@ -159,11 +165,12 @@ mod tests {
             trace_failures: 4,
             full: false,
         };
-        let r = run_uniform(50.0, &scale, 11);
+        let r = run_uniform(50.0, &scale, 11)?;
         assert_eq!(r.classified_uniform, 1.0);
         assert_eq!(r.link_failure, 0.0);
         // ≈ one zooming interval (200 ms) + protocol overhead.
         assert!(r.detection_s < 0.8, "took {}", r.detection_s);
         assert_eq!(r.misclassified, 0);
+        Ok(())
     }
 }

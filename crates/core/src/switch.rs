@@ -251,7 +251,7 @@ impl FancySwitch {
     /// Is the port currently latched link-down (protocol timeouts and no
     /// completed session since)?
     pub fn is_link_down(&self, port: PortId) -> bool {
-        self.upstream.get(&port).map_or(false, |u| u.link_down)
+        self.upstream.get(&port).is_some_and(|u| u.link_down)
     }
 
     /// Would this packet be steered to a backup port? (Outcome of the
@@ -363,7 +363,7 @@ impl FancySwitch {
         let (Some(guard), Some(up)) = (self.guards.get(&port), self.upstream.get(&port)) else {
             return false;
         };
-        up.last_congested.map_or(false, |t| {
+        up.last_congested.is_some_and(|t| {
             ctx.now().saturating_since(t).as_nanos() <= 2 * guard.window.as_nanos()
         })
     }
@@ -1070,7 +1070,7 @@ mod tests {
         // All dedicated-session messages are minimum-size frames except the
         // tree Report (5330 B); average must sit between those bounds.
         let avg = sw.stats.control_bytes as f64 / sw.stats.control_sent as f64;
-        assert!(avg >= 64.0 && avg < 600.0, "avg control frame {avg}");
+        assert!((64.0..600.0).contains(&avg), "avg control frame {avg}");
         assert!(sw.stats.tagged_packets > 0);
     }
 }

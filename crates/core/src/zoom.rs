@@ -142,7 +142,7 @@ impl ZoomEngine {
         let mut best: Option<&ActivePath> = None;
         for p in &self.paths {
             if self.hasher.matches_prefix(entry, &p.path)
-                && best.map_or(true, |b| p.path.len() > b.path.len())
+                && best.is_none_or(|b| p.path.len() > b.path.len())
             {
                 best = Some(p);
             }
@@ -526,7 +526,7 @@ mod tests {
         let mut e = ZoomEngine::new(p, 9);
         let traffic: Vec<(Prefix, u32)> = (0..500u32).map(|i| (Prefix(i), 10)).collect();
         // Fail many entries at once; engine must stay within its slots.
-        let loss = |p: Prefix| if p.0 % 3 == 0 { 10 } else { 0 };
+        let loss = |p: Prefix| if p.0.is_multiple_of(3) { 10 } else { 0 };
         for _ in 0..10 {
             session(&mut e, &traffic, loss);
             let active = e.active_paths().count();

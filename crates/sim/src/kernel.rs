@@ -11,6 +11,7 @@ use crate::failure::GrayFailure;
 use crate::link::{Admission, Link, LinkConfig};
 use crate::packet::{Packet, PacketKind};
 use crate::record::{DetectionRecord, DetectionScope, DetectorKind, Records};
+use crate::telemetry::{TelemetryCounters, TelemetrySink, TelemetrySnapshot};
 use crate::time::{SimDuration, SimTime};
 
 /// Index of a link within the kernel.
@@ -32,6 +33,12 @@ pub struct Kernel {
     /// Gray drops of FANcY control messages (kept separate from per-entry
     /// ground truth; the counting protocol must survive these).
     pub control_drops: u64,
+    /// Always-on runtime counters (events, queue depth, drop classes).
+    /// Strictly observational: nothing here feeds back into simulation.
+    pub telemetry: TelemetryCounters,
+    /// Wall-clock time accumulated inside `run_until` loops.
+    pub(crate) wall_elapsed: std::time::Duration,
+    pub(crate) sink: Option<Box<dyn TelemetrySink>>,
 }
 
 impl Kernel {
@@ -46,6 +53,30 @@ impl Kernel {
             rng: SmallRng::seed_from_u64(seed),
             records: Records::default(),
             control_drops: 0,
+            telemetry: TelemetryCounters::default(),
+            wall_elapsed: std::time::Duration::ZERO,
+            sink: None,
+        }
+    }
+
+    /// Attach a [`TelemetrySink`]; the network flushes a snapshot to it
+    /// after every completed `run_until`. Replaces any previous sink.
+    pub fn set_telemetry_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach and return the current telemetry sink, if any (used by tests
+    /// to inspect a `MemorySink` after a run).
+    pub fn take_telemetry_sink(&mut self) -> Option<Box<dyn TelemetrySink>> {
+        self.sink.take()
+    }
+
+    /// A point-in-time snapshot of this kernel's telemetry.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self.telemetry,
+            sim_elapsed: self.now.duration_since(SimTime::ZERO),
+            wall_elapsed: self.wall_elapsed,
         }
     }
 
@@ -118,6 +149,7 @@ impl Kernel {
             Some(a) => Some(a),
             None => {
                 self.records.congestion_drops += 1;
+                self.telemetry.congestion_drops += 1;
                 None
             }
         }
@@ -152,15 +184,18 @@ impl Kernel {
             match pkt.kind {
                 PacketKind::FancyControl(_) | PacketKind::NetSeerNack { .. } => {
                     self.control_drops += 1;
+                    self.telemetry.control_drops += 1;
                 }
                 _ => {
                     let size = u64::from(pkt.size);
                     let entry = pkt.entry();
                     self.records.gray_drop(entry, when, size);
+                    self.telemetry.packets_gray_dropped += 1;
                 }
             }
             return;
         }
+        self.telemetry.packets_forwarded += 1;
         let (peer, peer_port) = self.links[adm.link].peer(adm.dir);
         let arrive = when + self.links[adm.link].cfg.delay;
         self.queue.push(

@@ -61,6 +61,7 @@ pub mod packet;
 pub mod record;
 pub mod switch;
 pub mod tap;
+pub mod telemetry;
 pub mod time;
 
 /// Convenient re-exports for building simulations.
@@ -75,6 +76,9 @@ pub mod prelude {
     pub use crate::record::{DetectionRecord, DetectionScope, DetectorKind, Records};
     pub use crate::switch::{Bridge, Fib, PlainSwitch};
     pub use crate::tap::{Capture, TraceTap};
+    pub use crate::telemetry::{
+        MemorySink, NullSink, PrintSink, TelemetryCounters, TelemetrySink, TelemetrySnapshot,
+    };
     pub use crate::time::{transmission_time, SimDuration, SimTime};
 }
 

@@ -74,20 +74,32 @@ impl Network {
 
     /// Run the simulation until the event queue drains or the clock passes
     /// `until`. Events scheduled exactly at `until` still fire.
+    ///
+    /// Updates the kernel's [`crate::telemetry::TelemetryCounters`] as it
+    /// dispatches and, if a sink is attached, flushes one cumulative
+    /// [`crate::telemetry::TelemetrySnapshot`] before returning.
     pub fn run_until(&mut self, until: SimTime) {
+        let wall_start = std::time::Instant::now();
         self.start_if_needed();
         while let Some(t) = self.kernel.queue.peek_time() {
             if t > until {
                 break;
             }
+            let depth = self.kernel.queue.len() as u64;
+            if depth > self.kernel.telemetry.queue_high_water {
+                self.kernel.telemetry.queue_high_water = depth;
+            }
             let (t, event) = self.kernel.queue.pop().expect("peeked event vanished");
             self.kernel.set_now(t);
+            self.kernel.telemetry.events_dispatched += 1;
             match event {
                 Event::Arrival { node, port, pkt } => {
+                    self.kernel.telemetry.packet_arrivals += 1;
                     self.kernel.current = node;
                     self.nodes[node].on_packet(&mut self.kernel, port, pkt);
                 }
                 Event::Timer { node, token } => {
+                    self.kernel.telemetry.timers_fired += 1;
                     self.kernel.current = node;
                     self.nodes[node].on_timer(&mut self.kernel, token);
                 }
@@ -97,6 +109,11 @@ impl Network {
         // so post-run queries see a consistent end time.
         if self.kernel.now() < until && until != SimTime::FAR_FUTURE {
             self.kernel.set_now(until);
+        }
+        self.kernel.wall_elapsed += wall_start.elapsed();
+        if let Some(mut sink) = self.kernel.sink.take() {
+            sink.record(&self.kernel.telemetry_snapshot());
+            self.kernel.sink = Some(sink);
         }
     }
 

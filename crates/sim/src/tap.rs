@@ -105,7 +105,7 @@ impl TraceTap {
 
 impl Node for TraceTap {
     fn on_packet(&mut self, ctx: &mut Kernel, port: usize, pkt: Packet) {
-        if self.limit.map_or(true, |l| self.captures.len() < l) {
+        if self.limit.is_none_or(|l| self.captures.len() < l) {
             self.captures.push(Capture {
                 time: ctx.now(),
                 port,

@@ -1,0 +1,250 @@
+//! Kernel runtime telemetry.
+//!
+//! The kernel keeps a set of always-on counters that cost one integer
+//! add (or max) on paths that already touch the counted object — cheap
+//! enough to leave enabled in every run. They answer the operational
+//! questions the experiment harness has: is this cell making progress,
+//! how deep does its event queue get, how much wall-clock does one
+//! simulated second cost, and how many packets did the run actually
+//! push.
+//!
+//! Consumers either read [`crate::kernel::Kernel::telemetry`] directly
+//! after a run or attach a [`TelemetrySink`] to the kernel; the network
+//! flushes a [`TelemetrySnapshot`] to the sink every time a
+//! [`crate::network::Network::run_until`] call returns.
+//!
+//! Telemetry is strictly observational: no counter feeds back into
+//! simulation behavior, so enabling a sink can never change results —
+//! the property the parallel sweep runner's bit-identical guarantee
+//! rests on.
+
+use std::time::Duration;
+
+use crate::time::SimDuration;
+
+/// Always-on kernel counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelemetryCounters {
+    /// Events dispatched by the run loop (arrivals + timers).
+    pub events_dispatched: u64,
+    /// Packet-arrival events dispatched.
+    pub packet_arrivals: u64,
+    /// Timer events dispatched.
+    pub timers_fired: u64,
+    /// High-water mark of the pending-event queue length.
+    pub queue_high_water: u64,
+    /// Packets that survived the wire (scheduled to arrive at the peer).
+    pub packets_forwarded: u64,
+    /// Data packets dropped by gray failures.
+    pub packets_gray_dropped: u64,
+    /// FANcY/baseline control messages dropped by gray failures.
+    pub control_drops: u64,
+    /// Packets refused by a traffic-manager queue (congestion).
+    pub congestion_drops: u64,
+}
+
+impl TelemetryCounters {
+    /// Fold another counter set into this one (sums, and max for the
+    /// queue high-water mark). Used by sweep runners to aggregate
+    /// per-cell kernels into one report; the result is independent of
+    /// fold order, so parallel aggregation stays deterministic.
+    pub fn absorb(&mut self, other: &TelemetryCounters) {
+        self.events_dispatched += other.events_dispatched;
+        self.packet_arrivals += other.packet_arrivals;
+        self.timers_fired += other.timers_fired;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.packets_forwarded += other.packets_forwarded;
+        self.packets_gray_dropped += other.packets_gray_dropped;
+        self.control_drops += other.control_drops;
+        self.congestion_drops += other.congestion_drops;
+    }
+}
+
+/// A point-in-time view of a kernel's telemetry, as delivered to sinks.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// Cumulative counters since the kernel was created.
+    pub counters: TelemetryCounters,
+    /// Simulated time elapsed since the start of the run.
+    pub sim_elapsed: SimDuration,
+    /// Wall-clock time spent inside the run loop so far.
+    pub wall_elapsed: Duration,
+}
+
+impl TelemetrySnapshot {
+    /// Wall-clock seconds the kernel spends per simulated second
+    /// (`< 1` means faster than real time). `None` before any
+    /// simulated time has passed.
+    pub fn wall_secs_per_sim_sec(&self) -> Option<f64> {
+        let sim = self.sim_elapsed.as_secs_f64();
+        (sim > 0.0).then(|| self.wall_elapsed.as_secs_f64() / sim)
+    }
+
+    /// Events dispatched per wall-clock second, the kernel's raw speed.
+    pub fn events_per_wall_sec(&self) -> f64 {
+        let wall = self.wall_elapsed.as_secs_f64();
+        if wall > 0.0 {
+            self.counters.events_dispatched as f64 / wall
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "sim {:.2}s in wall {:.2}s ({:.3} wall-s/sim-s) | {} events ({} arrivals, {} timers), \
+             queue high-water {} | fwd {} gray {} ctrl {} cong {}",
+            self.sim_elapsed.as_secs_f64(),
+            self.wall_elapsed.as_secs_f64(),
+            self.wall_secs_per_sim_sec().unwrap_or(0.0),
+            self.counters.events_dispatched,
+            self.counters.packet_arrivals,
+            self.counters.timers_fired,
+            self.counters.queue_high_water,
+            self.counters.packets_forwarded,
+            self.counters.packets_gray_dropped,
+            self.counters.control_drops,
+            self.counters.congestion_drops,
+        )
+    }
+}
+
+/// Where kernel telemetry is drained to.
+///
+/// Attached with [`crate::kernel::Kernel::set_telemetry_sink`]; the
+/// network calls [`TelemetrySink::record`] once per completed
+/// `run_until`, with cumulative counters. `Send` so scenarios carrying
+/// a sink can move between sweep worker threads.
+pub trait TelemetrySink: Send {
+    /// Receive a snapshot. Called after every completed `run_until`.
+    fn record(&mut self, snapshot: &TelemetrySnapshot);
+}
+
+/// Discards every snapshot.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn record(&mut self, _snapshot: &TelemetrySnapshot) {}
+}
+
+/// Prints a labelled one-line summary to stderr per snapshot.
+#[derive(Debug, Clone)]
+pub struct PrintSink {
+    /// Prefix for every line (e.g. the experiment cell name).
+    pub label: String,
+}
+
+impl PrintSink {
+    /// A sink printing with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        PrintSink { label: label.into() }
+    }
+}
+
+impl TelemetrySink for PrintSink {
+    fn record(&mut self, snapshot: &TelemetrySnapshot) {
+        eprintln!("[telemetry {}] {}", self.label, snapshot.summary());
+    }
+}
+
+/// Keeps every snapshot in memory for later inspection (tests, reports).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// All recorded snapshots, in order.
+    pub snapshots: Vec<TelemetrySnapshot>,
+}
+
+impl TelemetrySink for MemorySink {
+    fn record(&mut self, snapshot: &TelemetrySnapshot) {
+        self.snapshots.push(snapshot.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn absorb_sums_and_maxes() {
+        let mut a = TelemetryCounters {
+            events_dispatched: 10,
+            packet_arrivals: 6,
+            timers_fired: 4,
+            queue_high_water: 3,
+            packets_forwarded: 5,
+            packets_gray_dropped: 1,
+            control_drops: 0,
+            congestion_drops: 2,
+        };
+        let b = TelemetryCounters {
+            events_dispatched: 1,
+            packet_arrivals: 1,
+            timers_fired: 0,
+            queue_high_water: 9,
+            packets_forwarded: 1,
+            packets_gray_dropped: 0,
+            control_drops: 3,
+            congestion_drops: 0,
+        };
+        a.absorb(&b);
+        assert_eq!(a.events_dispatched, 11);
+        assert_eq!(a.queue_high_water, 9);
+        assert_eq!(a.control_drops, 3);
+        assert_eq!(a.congestion_drops, 2);
+    }
+
+    #[test]
+    fn absorb_is_order_independent() {
+        let sets = [
+            TelemetryCounters { events_dispatched: 5, queue_high_water: 2, ..Default::default() },
+            TelemetryCounters { events_dispatched: 7, queue_high_water: 8, ..Default::default() },
+            TelemetryCounters { events_dispatched: 1, queue_high_water: 4, ..Default::default() },
+        ];
+        let mut fwd = TelemetryCounters::default();
+        let mut rev = TelemetryCounters::default();
+        for s in &sets {
+            fwd.absorb(s);
+        }
+        for s in sets.iter().rev() {
+            rev.absorb(s);
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn snapshot_rates() {
+        let snap = TelemetrySnapshot {
+            counters: TelemetryCounters { events_dispatched: 1000, ..Default::default() },
+            sim_elapsed: SimDuration::from_secs(4),
+            wall_elapsed: Duration::from_secs(2),
+        };
+        assert_eq!(snap.wall_secs_per_sim_sec(), Some(0.5));
+        assert_eq!(snap.events_per_wall_sec(), 500.0);
+        assert!(snap.summary().contains("1000 events"));
+
+        let empty = TelemetrySnapshot {
+            counters: TelemetryCounters::default(),
+            sim_elapsed: SimDuration::from_nanos(0),
+            wall_elapsed: Duration::ZERO,
+        };
+        assert_eq!(empty.wall_secs_per_sim_sec(), None);
+        assert_eq!(empty.events_per_wall_sec(), 0.0);
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let mut sink = MemorySink::default();
+        let snap = TelemetrySnapshot {
+            counters: TelemetryCounters::default(),
+            sim_elapsed: SimDuration::from_secs(1),
+            wall_elapsed: Duration::from_millis(1),
+        };
+        sink.record(&snap);
+        sink.record(&snap);
+        assert_eq!(sink.snapshots.len(), 2);
+        NullSink.record(&snap); // must not blow up
+    }
+}

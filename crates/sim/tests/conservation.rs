@@ -124,7 +124,7 @@ proptest! {
         seed in any::<u64>(),
         victim_idx in 0u32..7,
     ) {
-        let victim = Prefix(0x0C_00_00 + victim_idx * 1);
+        let victim = Prefix(0x0C_00_00 + victim_idx);
         let mut net = Network::new(seed);
         let schedule: Vec<(SimTime, u32, u32)> = (0..200usize)
             .map(|i| (SimTime(i as u64 * 2_000_000), (0x0C_00_00 + (i as u32 % 7)) << 8 | 1, 400))

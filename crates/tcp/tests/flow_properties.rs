@@ -34,7 +34,7 @@ proptest! {
         });
         let mut now = SimTime::ZERO;
         for e in events {
-            now = now + SimDuration::from_millis(37);
+            now += SimDuration::from_millis(37);
             match e {
                 0 => {
                     if f.can_send_new() {

@@ -161,7 +161,7 @@ pub fn synthesize(spec: CaidaSpec, duration: SimDuration, scale: f64, seed: u64)
     let mut prefixes_by_rank: Vec<Prefix> = Vec::with_capacity(n_prefixes);
     let mut used = std::collections::HashSet::with_capacity(n_prefixes);
     while prefixes_by_rank.len() < n_prefixes {
-        let p = Prefix(rng.gen_range(0x0100_00..0xDFFF_FF));
+        let p = Prefix(rng.gen_range(0x0001_0000..0x00DF_FFFF));
         if used.insert(p) {
             prefixes_by_rank.push(p);
         }
@@ -180,14 +180,13 @@ pub fn synthesize(spec: CaidaSpec, duration: SimDuration, scale: f64, seed: u64)
     let per_flow_bps = (bit_rate / concurrent).max(1_000.0) as u64;
 
     let mut flows = Vec::with_capacity(total_flows);
-    for rank in 0..n_prefixes {
+    for (rank, &prefix) in prefixes_by_rank.iter().enumerate() {
         let expect = zipf.weight(rank) * total_flows as f64;
         // Round stochastically so light prefixes still appear sometimes.
         let mut n = expect.floor() as usize;
         if rng.gen::<f64>() < expect.fract() {
             n += 1;
         }
-        let prefix = prefixes_by_rank[rank];
         for _ in 0..n {
             let start = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen::<f64>() * secs);
             let mut cfg = FlowConfig::for_rate(per_flow_bps, 1.0);

@@ -18,7 +18,7 @@ struct Zoo {
     drop_prob: f64,
 }
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let entries: Vec<Prefix> = (0..300u32).map(|i| Prefix(0x0A_30_00 + i)).collect();
     let zoo = [
         Zoo {
@@ -73,9 +73,13 @@ fn main() {
             }
         }
         flows.sort_by_key(|f| f.start);
-        let mut cfg = LinearConfig::paper_default(100 + i as u64, flows);
-        cfg.high_priority = entries[..8].to_vec();
-        let mut sc = fancy::apps::linear(cfg);
+        let mut sc = fancy::apps::linear(
+            LinearConfig::builder()
+                .seed(100 + i as u64)
+                .flows(flows)
+                .high_priority(entries[..8].to_vec())
+                .build(),
+        )?;
         let fail_at = SimTime(1_000_000_000);
         sc.net.kernel.add_failure(
             sc.monitored_link,
@@ -108,4 +112,5 @@ fn main() {
             None => println!("{:<52} {:>9} {:>10}  -", z.name, "NO", "-"),
         }
     }
+    Ok(())
 }

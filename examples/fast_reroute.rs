@@ -15,7 +15,7 @@ use fancy::prelude::*;
 use fancy::sim::SimDuration;
 use fancy::tcp::ReceiverHost;
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let victim = Prefix::from_addr(0x0A_00_07_00);
     let bystander = Prefix::from_addr(0x0A_00_08_00);
     let duration = SimDuration::from_secs(5);
@@ -56,7 +56,7 @@ fn main() {
             ),
         ],
     };
-    let mut cs = case_study(cfg);
+    let mut cs = case_study(cfg)?;
 
     let fail_at = SimTime(2_000_000_000);
     cs.net.kernel.add_failure(
@@ -103,4 +103,5 @@ fn main() {
             b.get(i).copied().unwrap_or(0.0) / 1e6,
         );
     }
+    Ok(())
 }

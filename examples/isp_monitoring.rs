@@ -9,12 +9,12 @@
 //! cargo run --release --example isp_monitoring
 //! ```
 
-use fancy::apps::{format_report, linear, LinearConfig};
+use fancy::apps::{format_report, linear, LinearConfig, ScenarioError};
 use fancy::prelude::*;
-use fancy::sim::SimDuration;
+use fancy::sim::{PrintSink, SimDuration};
 use fancy::traffic::{paper_traces, synthesize};
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     let duration = SimDuration::from_secs(10);
     // 1 % of the published equinix-chicago trace: ≈60 Mbps over ≈2500
     // /24 prefixes with Zipf-skewed popularity.
@@ -28,9 +28,17 @@ fn main() {
     // Allocation based on "historical data": dedicated counters for the
     // top 8 prefixes, best-effort tree for everything else.
     let dedicated = trace.top_prefixes(8);
-    let mut cfg = LinearConfig::paper_default(7, trace.flows.clone());
-    cfg.high_priority = dedicated.clone();
-    let mut sc = linear(cfg);
+    let mut sc = linear(
+        LinearConfig::builder()
+            .seed(7)
+            .flows(trace.flows.clone())
+            .high_priority(dedicated.clone())
+            .build(),
+    )?;
+    // Print a kernel-telemetry line after each run_until.
+    sc.net
+        .kernel
+        .set_telemetry_sink(Box::new(PrintSink::new("isp_monitoring")));
 
     // Break one hot prefix (dedicated-covered), one mid-rank prefix
     // (tree-covered), and one cold prefix (tree-covered, little traffic).
@@ -79,4 +87,5 @@ fn main() {
             Some(&trace.prefixes_by_rank),
         )
     );
+    Ok(())
 }

@@ -9,7 +9,7 @@
 
 use fancy::prelude::*;
 
-fn main() {
+fn main() -> Result<(), ScenarioError> {
     // The entry (destination /24 prefix) we will break.
     let victim = Prefix::from_addr(0x0A_00_07_00); // 10.0.7.0/24
 
@@ -25,9 +25,13 @@ fn main() {
 
     // The §5 linear scenario: sender host — S1 — S2 — receiver, with FANcY
     // monitoring the S1→S2 link. The victim gets a dedicated counter.
-    let mut cfg = LinearConfig::paper_default(42, flows);
-    cfg.high_priority = vec![victim];
-    let mut sc = fancy::apps::linear(cfg);
+    let mut sc = fancy::apps::linear(
+        LinearConfig::builder()
+            .seed(42)
+            .flows(flows)
+            .high_priority(vec![victim])
+            .build(),
+    )?;
 
     // A gray failure: from t = 1 s, drop 10 % of the victim's packets on
     // the wire — invisible to BFD, NetFlow sampling, or link counters.
@@ -67,4 +71,8 @@ fn main() {
         "\n{}",
         fancy::apps::format_report("s1", &sc.net.kernel.records, None, None)
     );
+
+    // The kernel keeps cheap telemetry counters while it runs:
+    println!("\n{}", sc.net.kernel.telemetry_snapshot().summary());
+    Ok(())
 }

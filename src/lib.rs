@@ -37,7 +37,9 @@ pub use fancy_traffic as traffic;
 
 /// Commonly used items across the workspace, in one import.
 pub mod prelude {
-    pub use fancy_apps::{case_study, linear, CaseStudyConfig, LinearConfig};
+    pub use fancy_apps::{
+        case_study, linear, CaseStudyConfig, LinearConfig, LinearConfigBuilder, ScenarioError,
+    };
     pub use fancy_core::prelude::*;
     pub use fancy_net::{ControlMessage, FancyTag, Prefix};
     pub use fancy_sim::prelude::*;

@@ -5,7 +5,7 @@
 //! detection, one-interval uniform classification, congestion immunity,
 //! zero dedicated-counter false positives.
 
-use fancy::apps::{linear, LinearConfig};
+use fancy::apps::{linear, LinearConfig, ScenarioError};
 use fancy::prelude::*;
 use fancy::sim::SimDuration;
 
@@ -20,16 +20,20 @@ fn steady_flows(entry: Prefix, rate: u64, n: u64, spacing_ms: u64) -> Vec<Schedu
 }
 
 #[test]
-fn dedicated_detection_is_about_70ms_at_50ms_exchanges() {
+fn dedicated_detection_is_about_70ms_at_50ms_exchanges() -> Result<(), ScenarioError> {
     // Figure 7's headline: "the average detection time is ≈70 ms, which is
     // approximately the counters' exchange frequency (50 ms) plus counting
     // sessions' opening and closing" — on 10 ms links with high traffic.
     let entry = Prefix::from_addr(0x0A_00_01_00);
     let mut latencies = Vec::new();
     for seed in 0..5u64 {
-        let mut cfg = LinearConfig::paper_default(seed, steady_flows(entry, 5_000_000, 40, 100));
-        cfg.high_priority = vec![entry];
-        let mut sc = linear(cfg);
+        let mut sc = linear(
+            LinearConfig::builder()
+                .seed(seed)
+                .flows(steady_flows(entry, 5_000_000, 40, 100))
+                .high_priority(vec![entry])
+                .build(),
+        )?;
         let fail_at = SimTime(1_000_000_000 + seed * 17_000_000);
         sc.net.kernel.add_failure(
             sc.monitored_link,
@@ -47,15 +51,16 @@ fn dedicated_detection_is_about_70ms_at_50ms_exchanges() {
         (0.02..0.20).contains(&avg),
         "avg detection {avg}s, expected ≈0.07–0.1 s"
     );
+    Ok(())
 }
 
 #[test]
-fn tree_detection_is_about_three_zooming_intervals() {
+fn tree_detection_is_about_three_zooming_intervals() -> Result<(), ScenarioError> {
     // Figure 9a: "single-entry failures are typically detected in 680 ms
     // ... three times the selected zooming speed (200 ms)".
     let entry = Prefix::from_addr(0x0A_00_02_00);
     let cfg = LinearConfig::paper_default(3, steady_flows(entry, 5_000_000, 40, 100));
-    let mut sc = linear(cfg);
+    let mut sc = linear(cfg)?;
     let fail_at = SimTime(1_000_000_000);
     sc.net.kernel.add_failure(
         sc.monitored_link,
@@ -78,10 +83,11 @@ fn tree_detection_is_about_three_zooming_intervals() {
     // And the reported path resolves to the failed entry.
     let sw: &FancySwitch = sc.net.node(sc.s1);
     assert!(sw.tree_flags_entry(sc.monitored_port, entry));
+    Ok(())
 }
 
 #[test]
-fn dedicated_counters_have_zero_false_positives() {
+fn dedicated_counters_have_zero_false_positives() -> Result<(), ScenarioError> {
     // §5: "the false positive rate is always zero for any dedicated
     // counter". Run a lossless but busy, congested scenario and assert no
     // detection of any kind.
@@ -91,12 +97,18 @@ fn dedicated_counters_have_zero_false_positives() {
         flows.extend(steady_flows(e, 3_000_000, 10, 300));
     }
     flows.sort_by_key(|f| f.start);
-    let mut cfg = LinearConfig::paper_default(9, flows);
-    cfg.high_priority = entries;
     // Narrow the monitored link to force congestion drops at the TM.
-    cfg.core_link = fancy::sim::LinkConfig::new(20_000_000, SimDuration::from_millis(10))
-        .with_tm_capacity(40_000);
-    let mut sc = linear(cfg);
+    let mut sc = linear(
+        LinearConfig::builder()
+            .seed(9)
+            .flows(flows)
+            .high_priority(entries)
+            .core_link(
+                fancy::sim::LinkConfig::new(20_000_000, SimDuration::from_millis(10))
+                    .with_tm_capacity(40_000),
+            )
+            .build(),
+    )?;
     sc.net.run_until(SimTime(6_000_000_000));
     assert!(
         sc.net.kernel.records.congestion_drops > 100,
@@ -109,17 +121,18 @@ fn dedicated_counters_have_zero_false_positives() {
         "congestion must never be flagged as a gray failure: {:?}",
         sc.net.kernel.records.detections.first()
     );
+    Ok(())
 }
 
 #[test]
-fn blackholed_tcp_reduces_to_backoff_retransmissions() {
+fn blackholed_tcp_reduces_to_backoff_retransmissions() -> Result<(), ScenarioError> {
     // §5.2's key dynamic: "a hard failure immediately slows down all the
     // TCP flows, reducing all affected traffic to just retransmissions"
     // at exponentially increasing intervals. Verify the post-failure
     // packet rate collapses by orders of magnitude.
     let entry = Prefix::from_addr(0x0A_00_03_00);
     let cfg = LinearConfig::paper_default(4, steady_flows(entry, 10_000_000, 10, 100));
-    let mut sc = linear(cfg);
+    let mut sc = linear(cfg)?;
     let fail_at = SimTime(1_000_000_000);
     sc.net.kernel.add_failure(
         sc.monitored_link,
@@ -145,16 +158,21 @@ fn blackholed_tcp_reduces_to_backoff_retransmissions() {
         drops.last.unwrap() > SimTime(5_000_000_000),
         "backoff retransmissions should continue late into the run"
     );
+    Ok(())
 }
 
 #[test]
-fn detection_survives_failures_in_both_directions() {
+fn detection_survives_failures_in_both_directions() -> Result<(), ScenarioError> {
     // The counting protocol must keep working when the *reverse* path also
     // drops control traffic (the strawman §4.1 fails exactly here).
     let entry = Prefix::from_addr(0x0A_00_04_00);
-    let mut cfg = LinearConfig::paper_default(5, steady_flows(entry, 2_000_000, 40, 100));
-    cfg.high_priority = vec![entry];
-    let mut sc = linear(cfg);
+    let mut sc = linear(
+        LinearConfig::builder()
+            .seed(5)
+            .flows(steady_flows(entry, 2_000_000, 40, 100))
+            .high_priority(vec![entry])
+            .build(),
+    )?;
     sc.net.kernel.add_failure(
         sc.monitored_link,
         sc.s2,
@@ -174,15 +192,21 @@ fn detection_survives_failures_in_both_directions() {
         .first_entry_detection(entry)
         .expect("detection must survive a 40% lossy reverse path");
     assert!(det.time >= fail_at);
+    Ok(())
 }
 
 #[test]
 fn whole_system_is_deterministic() {
     let run = |seed: u64| {
         let entry = Prefix::from_addr(0x0A_00_05_00);
-        let mut cfg = LinearConfig::paper_default(seed, steady_flows(entry, 1_000_000, 20, 200));
-        cfg.high_priority = vec![entry];
-        let mut sc = linear(cfg);
+        let mut sc = linear(
+            LinearConfig::builder()
+                .seed(seed)
+                .flows(steady_flows(entry, 1_000_000, 20, 200))
+                .high_priority(vec![entry])
+                .build(),
+        )
+        .expect("paper-default layout always fits");
         sc.net.kernel.add_failure(
             sc.monitored_link,
             sc.s1,

@@ -78,11 +78,10 @@ fn run_fsm_pair(drop_pattern: &[bool], rounds: usize) -> (u64, u64) {
         // Execute pending sender actions.
         for a in std::mem::take(&mut pending_sender) {
             match a {
-                SenderAction::Send(body) => {
-                    if !*drop_iter.next().unwrap() {
+                SenderAction::Send(body)
+                    if !*drop_iter.next().unwrap() => {
                         to_receiver.push((sender.session_id, body));
                     }
-                }
                 SenderAction::ArmTimer { epoch, .. } => sender_timer = Some(epoch),
                 _ => {}
             }
