@@ -13,4 +13,7 @@ cargo test -q --workspace --release
 echo "== clippy (all targets, warnings are errors) =="
 cargo clippy --workspace --all-targets --release -- -D warnings
 
+echo "== trace-report smoke (JSONL round-trip, fails on schema drift) =="
+cargo run -q --release --example trace_report
+
 echo "ci.sh: all green"

@@ -13,7 +13,10 @@
 //!   trees and uniform failures (the headline numbers of Figures 7/9 and
 //!   §5.1.3);
 //! * [`tpr_model`] — detection-probability closed forms (the TPR cliffs of
-//!   Figures 7/9 as run-length probabilities over lossy sessions).
+//!   Figures 7/9 as run-length probabilities over lossy sessions);
+//! * [`timeline`] — detection timelines extracted from flight-recorder
+//!   traces (failure onset → first suspicion → detection → reroute), the
+//!   measured counterpart the [`speed`] models are compared against.
 //!
 //! The experiment harness (`fancy-bench`) prints these model values next to
 //! the measured ones so paper-vs-reproduction comparisons are one table.
@@ -22,5 +25,6 @@ pub mod lossradar;
 pub mod netseer;
 pub mod overhead;
 pub mod speed;
+pub mod timeline;
 pub mod tpr_model;
 pub mod tree_math;

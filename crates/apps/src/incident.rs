@@ -18,7 +18,10 @@
 use std::collections::HashMap;
 
 use fancy_net::Prefix;
-use fancy_sim::{DetectionRecord, DetectionScope, DetectorKind, NodeId, PortId, SimDuration, SimTime};
+use fancy_sim::{
+    DetectionRecord, DetectionScope, DetectorKind, NodeId, PortId, SimDuration, SimTime,
+    TraceEvent, TraceSink,
+};
 
 /// How bad an incident is, in escalating order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -29,6 +32,17 @@ pub enum Severity {
     UniformLoss,
     /// The link does not respond to the counting protocol at all.
     LinkDown,
+}
+
+impl Severity {
+    /// Stable label used in trace events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::EntryLoss => "entry_loss",
+            Severity::UniformLoss => "uniform_loss",
+            Severity::LinkDown => "link_down",
+        }
+    }
 }
 
 /// An aggregated failure incident on one link.
@@ -112,8 +126,23 @@ impl IncidentTracker {
     /// Feed one detection. Call in time order (the simulator's record list
     /// already is, per link).
     pub fn observe(&mut self, rec: &DetectionRecord) {
-        self.expire(rec.time);
+        self.observe_with(rec, None);
+    }
+
+    fn observe_with(&mut self, rec: &DetectionRecord, mut sink: Option<&mut dyn TraceSink>) {
+        self.expire_with(rec.time, sink.as_mut().map(|s| &mut **s as &mut dyn TraceSink));
         let key = (rec.node, rec.port);
+        let created = !self.active.contains_key(&key);
+        if created {
+            if let Some(sink) = sink {
+                sink.record(&TraceEvent::IncidentOpen {
+                    t: rec.time.as_nanos(),
+                    node: rec.node as u64,
+                    port: rec.port as u64,
+                    severity: Self::severity_of(rec).name().to_owned(),
+                });
+            }
+        }
         let inc = self.active.entry(key).or_insert_with(|| Incident {
             node: rec.node,
             port: rec.port,
@@ -143,28 +172,68 @@ impl IncidentTracker {
 
     /// Close incidents whose last detection is older than `clear_after`.
     pub fn expire(&mut self, now: SimTime) {
+        self.expire_with(now, None);
+    }
+
+    fn expire_with(&mut self, now: SimTime, sink: Option<&mut dyn TraceSink>) {
         let clear = self.cfg.clear_after;
-        let expired: Vec<(NodeId, PortId)> = self
+        let mut expired: Vec<(NodeId, PortId)> = self
             .active
             .iter()
             .filter(|(_, inc)| now.saturating_since(inc.last_seen) > clear)
             .map(|(&k, _)| k)
             .collect();
+        // HashMap iteration order is arbitrary: keep the trace stream (and
+        // history order for simultaneous clears) deterministic.
+        expired.sort_unstable();
+        let mut sink = sink;
         for k in expired {
             let mut inc = self.active.remove(&k).expect("key just listed");
             inc.cleared_at = Some(inc.last_seen + clear);
+            if let Some(sink) = sink.as_mut().map(|s| &mut **s as &mut dyn TraceSink) {
+                sink.record(&TraceEvent::IncidentClear {
+                    t: inc.cleared_at.expect("just set").as_nanos(),
+                    node: inc.node as u64,
+                    port: inc.port as u64,
+                    detections: inc.detections as u64,
+                });
+            }
             self.history.push(inc);
         }
     }
 
     /// Fold a whole record list (e.g. post-run) and close everything.
     pub fn ingest_all(&mut self, records: &[DetectionRecord], end: SimTime) -> Vec<Incident> {
+        self.ingest_inner(records, end, None)
+    }
+
+    /// [`IncidentTracker::ingest_all`], narrating incident lifecycle into
+    /// the flight recorder: one `incident_open` per incident creation, one
+    /// `incident_clear` when it times out.
+    pub fn ingest_all_traced(
+        &mut self,
+        records: &[DetectionRecord],
+        end: SimTime,
+        sink: &mut dyn TraceSink,
+    ) -> Vec<Incident> {
+        self.ingest_inner(records, end, Some(sink))
+    }
+
+    fn ingest_inner(
+        &mut self,
+        records: &[DetectionRecord],
+        end: SimTime,
+        mut sink: Option<&mut dyn TraceSink>,
+    ) -> Vec<Incident> {
         let mut recs: Vec<&DetectionRecord> = records.iter().collect();
         recs.sort_by_key(|r| r.time);
         for r in recs {
-            self.observe(r);
+            self.observe_with(r, sink.as_mut().map(|s| &mut **s as &mut dyn TraceSink));
         }
-        self.expire(end + self.cfg.clear_after + SimDuration::from_nanos(1));
+        self.expire_with(
+            end + self.cfg.clear_after + SimDuration::from_nanos(1),
+            sink,
+        );
         let mut out = self.history.clone();
         out.extend(self.active.values().cloned());
         out.sort_by_key(|i| i.opened);
@@ -254,6 +323,34 @@ mod tests {
         ];
         let incidents = t.ingest_all(&recs, SimTime(60_000_000_000));
         assert_eq!(incidents[0].severity, Severity::LinkDown);
+    }
+
+    #[test]
+    fn traced_ingest_narrates_open_and_clear() {
+        use fancy_sim::RingRecorder;
+        let mut t = IncidentTracker::new(IncidentConfig::default());
+        let recs = vec![
+            rec(1000, 1, 2, DetectionScope::Uniform, DetectorKind::UniformCheck),
+            rec(1200, 1, 2, DetectionScope::Entry(Prefix(7)), DetectorKind::DedicatedCounter),
+        ];
+        let mut ring = RingRecorder::new(16);
+        let incidents = t.ingest_all_traced(&recs, SimTime(60_000_000_000), &mut ring);
+        assert_eq!(incidents.len(), 1);
+        let events = ring.take();
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            TraceEvent::IncidentOpen { t, node, port, severity } => {
+                assert_eq!((*t, *node, *port), (1_000_000_000, 1, 2));
+                assert_eq!(severity, "uniform_loss");
+            }
+            other => panic!("expected incident_open, got {other:?}"),
+        }
+        match &events[1] {
+            TraceEvent::IncidentClear { node, port, detections, .. } => {
+                assert_eq!((*node, *port, *detections), (1, 2, 2));
+            }
+            other => panic!("expected incident_clear, got {other:?}"),
+        }
     }
 
     #[test]

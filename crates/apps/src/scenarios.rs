@@ -27,12 +27,27 @@ pub enum ScenarioError {
     /// Translating the FANcY input into a switch layout failed — the
     /// requested entries/tree exceed the memory budget or are malformed.
     Layout(ConfigError),
+    /// A link in the topology is misconfigured. Carries the id the link
+    /// holds (or would have held) in the network plus its scenario-level
+    /// name, so a harness sweeping link parameters can point at the exact
+    /// offending cell instead of a bare "bad config".
+    Link {
+        /// Id of the offending link, in connect order.
+        link: LinkId,
+        /// Scenario-level name ("core", "edge sender↔s1", ...).
+        name: &'static str,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScenarioError::Layout(e) => write!(f, "scenario layout does not fit: {e}"),
+            ScenarioError::Link { link, name, reason } => {
+                write!(f, "link {link} ({name}): {reason}")
+            }
         }
     }
 }
@@ -41,8 +56,31 @@ impl std::error::Error for ScenarioError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScenarioError::Layout(e) => Some(e),
+            ScenarioError::Link { .. } => None,
         }
     }
+}
+
+/// Connect `a ↔ b` after validating the link configuration. On failure the
+/// error names the link by the id it would have been assigned (connect
+/// order), so the caller's message points at the exact topology edge.
+fn checked_connect(
+    net: &mut Network,
+    a: NodeId,
+    b: NodeId,
+    cfg: LinkConfig,
+    name: &'static str,
+) -> Result<LinkId, ScenarioError> {
+    let link = net.kernel.link_count();
+    if cfg.bandwidth_bps == 0 {
+        // Zero bandwidth would divide by zero in transmission-time math.
+        return Err(ScenarioError::Link {
+            link,
+            name,
+            reason: "bandwidth must be > 0",
+        });
+    }
+    Ok(net.connect(a, b, cfg))
 }
 
 impl From<ConfigError> for ScenarioError {
@@ -233,9 +271,9 @@ pub fn linear(cfg: LinearConfig) -> Result<LinearScenario, ScenarioError> {
     rx.probes = cfg.probes;
     let receiver = net.add_node(Box::new(rx));
 
-    net.connect(sender, s1, cfg.edge_link); // s1 port 0
-    let monitored_link = net.connect(s1, s2, cfg.core_link); // s1 port 1, s2 port 0
-    net.connect(s2, receiver, cfg.edge_link); // s2 port 1
+    checked_connect(&mut net, sender, s1, cfg.edge_link, "edge sender↔s1")?; // s1 port 0
+    let monitored_link = checked_connect(&mut net, s1, s2, cfg.core_link, "core s1↔s2")?; // s1 port 1, s2 port 0
+    checked_connect(&mut net, s2, receiver, cfg.edge_link, "edge s2↔receiver")?; // s2 port 1
 
     Ok(LinearScenario {
         net,
@@ -362,13 +400,13 @@ pub fn case_study(cfg: CaseStudyConfig) -> Result<CaseStudy, ScenarioError> {
     let receiver = net.add_node(Box::new(rx));
 
     let hw = LinkConfig::new(cfg.link_bps, SimDuration::from_micros(5));
-    net.connect(sender, s1, hw); // s1 port 0
-    net.connect(s1, link_switch, hw); // s1 port 1 ↔ ls port 0 (primary)
-    let failure_link = net.connect(link_switch, s2, hw); // ls port 1 ↔ s2 port 0
-    net.connect(s1, link_switch, hw); // s1 port 2 ↔ ls port 2 (backup)
-    net.connect(link_switch, s2, hw); // ls port 3 ↔ s2 port 1
-    net.connect(s2, receiver, hw); // s2 port 2
-    net.connect(udp, s1, hw); // s1 port 3
+    checked_connect(&mut net, sender, s1, hw, "sender↔s1")?; // s1 port 0
+    checked_connect(&mut net, s1, link_switch, hw, "primary s1↔ls")?; // s1 port 1 ↔ ls port 0 (primary)
+    let failure_link = checked_connect(&mut net, link_switch, s2, hw, "primary ls↔s2")?; // ls port 1 ↔ s2 port 0
+    checked_connect(&mut net, s1, link_switch, hw, "backup s1↔ls")?; // s1 port 2 ↔ ls port 2 (backup)
+    checked_connect(&mut net, link_switch, s2, hw, "backup ls↔s2")?; // ls port 3 ↔ s2 port 1
+    checked_connect(&mut net, s2, receiver, hw, "s2↔receiver")?; // s2 port 2
+    checked_connect(&mut net, udp, s1, hw, "udp↔s1")?; // s1 port 3
 
     Ok(CaseStudy {
         net,
@@ -398,6 +436,22 @@ mod tests {
                 cfg: FlowConfig::for_rate(2_000_000, 1.0),
             })
             .collect()
+    }
+
+    #[test]
+    fn bad_link_error_names_the_offending_link() {
+        let cfg = LinearConfig::builder()
+            .seed(1)
+            .core_link(LinkConfig::new(0, SimDuration::from_millis(10)))
+            .build();
+        match linear(cfg) {
+            Err(ScenarioError::Link { link, name, .. }) => {
+                // The core link is the second connect of the linear topology.
+                assert_eq!(link, 1);
+                assert_eq!(name, "core s1↔s2");
+            }
+            other => panic!("expected a link error, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

@@ -18,12 +18,13 @@
 //! Workers pull the next cell from an atomic cursor, so slow cells do
 //! not stall the rest of the grid (dynamic load balancing).
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use fancy_net::mix64;
-use fancy_sim::{Network, TelemetryCounters};
+use fancy_sim::{trace::Profiler, JsonlWriter, Network, TelemetryCounters, TraceSink};
 
 use crate::env::BenchEnv;
 
@@ -35,13 +36,14 @@ pub struct CellCtx<'a> {
     /// and scheduling: `mix64(base_seed ^ index)`.
     pub seed: u64,
     stats: Option<&'a SharedStats>,
+    trace_dir: Option<&'a Path>,
 }
 
 impl CellCtx<'_> {
     /// A context outside any sweep (direct cell-function calls, unit
     /// tests): carries the seed, discards telemetry.
     pub fn detached(seed: u64) -> CellCtx<'static> {
-        CellCtx { index: 0, seed, stats: None }
+        CellCtx { index: 0, seed, stats: None, trace_dir: None }
     }
 
     /// Fold a finished network's kernel telemetry into the sweep's
@@ -52,15 +54,53 @@ impl CellCtx<'_> {
             stats.absorb(net);
         }
     }
+
+    /// Wall-clock a span of cell work under `label`; spans merge by
+    /// label across cells and surface in [`SweepReport::phases`]. On a
+    /// detached context the closure still runs, untimed.
+    pub fn time<R>(&self, label: &str, f: impl FnOnce() -> R) -> R {
+        let Some(stats) = self.stats else { return f() };
+        let start = Instant::now();
+        let r = f();
+        stats
+            .phases
+            .lock()
+            .expect("profiler poisoned")
+            .add(label, start.elapsed());
+        r
+    }
+
+    /// Where this cell's trace lands when the sweep has a trace
+    /// directory ([`Sweep::trace_dir`]): `<dir>/cell-<index>.jsonl`.
+    pub fn trace_path(&self) -> Option<PathBuf> {
+        self.trace_dir
+            .map(|d| d.join(format!("cell-{:04}.jsonl", self.index)))
+    }
+
+    /// A JSONL flight-recorder sink writing this cell's trace file, or
+    /// `None` when the sweep records no traces. Install it with
+    /// `net.kernel.set_tracer(...)` at the top of the cell.
+    ///
+    /// # Panics
+    /// Panics if the trace file cannot be created — a broken trace dir
+    /// should fail the experiment loudly, not drop data silently.
+    pub fn tracer(&self) -> Option<Box<dyn TraceSink>> {
+        let path = self.trace_path()?;
+        let w = JsonlWriter::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+        Some(Box::new(w))
+    }
 }
 
-/// Lock-free aggregate the workers fold per-cell telemetry into.
+/// Lock-free aggregate the workers fold per-cell telemetry into (the
+/// span profiler is the one mutex, touched once per `CellCtx::time`).
 #[derive(Default)]
 struct SharedStats {
     events: AtomicU64,
     arrivals: AtomicU64,
     timers: AtomicU64,
     queue_high_water: AtomicU64,
+    timer_high_water: AtomicU64,
     forwarded: AtomicU64,
     gray: AtomicU64,
     control: AtomicU64,
@@ -68,6 +108,7 @@ struct SharedStats {
     sim_nanos: AtomicU64,
     wall_nanos: AtomicU64,
     networks: AtomicU64,
+    phases: Mutex<Profiler>,
 }
 
 impl SharedStats {
@@ -79,6 +120,7 @@ impl SharedStats {
         self.arrivals.fetch_add(t.packet_arrivals, Ordering::Relaxed);
         self.timers.fetch_add(t.timers_fired, Ordering::Relaxed);
         self.queue_high_water.fetch_max(t.queue_high_water, Ordering::Relaxed);
+        self.timer_high_water.fetch_max(t.timer_high_water, Ordering::Relaxed);
         self.forwarded.fetch_add(t.packets_forwarded, Ordering::Relaxed);
         self.gray.fetch_add(t.packets_gray_dropped, Ordering::Relaxed);
         self.control.fetch_add(t.control_drops, Ordering::Relaxed);
@@ -95,6 +137,7 @@ impl SharedStats {
             packet_arrivals: self.arrivals.load(Ordering::Relaxed),
             timers_fired: self.timers.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            timer_high_water: self.timer_high_water.load(Ordering::Relaxed),
             packets_forwarded: self.forwarded.load(Ordering::Relaxed),
             packets_gray_dropped: self.gray.load(Ordering::Relaxed),
             control_drops: self.control.load(Ordering::Relaxed),
@@ -125,6 +168,9 @@ pub struct SweepReport {
     /// Networks folded in via [`CellCtx::absorb`] (0 when the work
     /// function never absorbs — telemetry fields are then all zero).
     pub networks: u64,
+    /// Wall-clock spans recorded via [`CellCtx::time`], merged by label
+    /// in first-seen order. Empty when cells never time anything.
+    pub phases: Vec<(String, Duration)>,
 }
 
 impl SweepReport {
@@ -149,18 +195,25 @@ impl SweepReport {
         );
         if self.networks > 0 {
             s.push_str(&format!(
-                "\n  {} networks, {:.1} sim-s, {} events ({:.0} events/wall-s), queue high-water {}\
+                "\n  {} networks, {:.1} sim-s, {} events ({:.0} events/wall-s), queue high-water {} (timers {})\
                  \n  packets: {} forwarded, {} gray-dropped, {} control-dropped, {} congestion-dropped",
                 self.networks,
                 self.sim_seconds,
                 self.telemetry.events_dispatched,
                 self.events_per_wall_sec(),
                 self.telemetry.queue_high_water,
+                self.telemetry.timer_high_water,
                 self.telemetry.packets_forwarded,
                 self.telemetry.packets_gray_dropped,
                 self.telemetry.control_drops,
                 self.telemetry.congestion_drops,
             ));
+        }
+        if !self.phases.is_empty() {
+            s.push_str("\n  phases:");
+            for (label, d) in &self.phases {
+                s.push_str(&format!(" {label} {:.2}s", d.as_secs_f64()));
+            }
         }
         s
     }
@@ -182,6 +235,7 @@ pub struct Sweep<C> {
     cells: Vec<C>,
     threads: usize,
     base_seed: u64,
+    trace_dir: Option<PathBuf>,
 }
 
 impl<C: Sync> Sweep<C> {
@@ -193,6 +247,7 @@ impl<C: Sync> Sweep<C> {
             cells,
             threads: BenchEnv::from_env().threads,
             base_seed: 0xFA9C,
+            trace_dir: None,
         }
     }
 
@@ -205,6 +260,15 @@ impl<C: Sync> Sweep<C> {
     /// Override the base seed cells derive their seeds from.
     pub fn seed(mut self, base: u64) -> Self {
         self.base_seed = base;
+        self
+    }
+
+    /// Persist per-cell flight-recorder traces under `dir` (created at
+    /// run time): cells obtain a sink with [`CellCtx::tracer`] and each
+    /// writes `cell-<index>.jsonl`. Trace file names are index-keyed,
+    /// so the directory layout is thread-count invariant too.
+    pub fn trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
         self
     }
 
@@ -225,6 +289,11 @@ impl<C: Sync> Sweep<C> {
         let start = Instant::now();
         let stats = SharedStats::default();
         let n = self.cells.len();
+        let trace_dir = self.trace_dir.as_deref();
+        if let Some(dir) = trace_dir {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("cannot create trace dir {}: {e}", dir.display()));
+        }
 
         let results: Vec<R> = if self.threads <= 1 || n <= 1 {
             self.cells
@@ -235,6 +304,7 @@ impl<C: Sync> Sweep<C> {
                         index,
                         seed: self.cell_seed(index),
                         stats: Some(&stats),
+                        trace_dir,
                     };
                     f(cell, &ctx)
                 })
@@ -254,6 +324,7 @@ impl<C: Sync> Sweep<C> {
                             index,
                             seed: self.cell_seed(index),
                             stats: Some(&stats),
+                            trace_dir,
                         };
                         let r = f(cell, &ctx);
                         *slots[index].lock().expect("result slot poisoned") = Some(r);
@@ -279,6 +350,8 @@ impl<C: Sync> Sweep<C> {
             sim_seconds: stats.sim_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             kernel_wall: Duration::from_nanos(stats.wall_nanos.load(Ordering::Relaxed)),
             networks: stats.networks.load(Ordering::Relaxed),
+            phases: std::mem::take(&mut *stats.phases.lock().expect("profiler poisoned"))
+                .into_spans(),
         };
         (results, report)
     }

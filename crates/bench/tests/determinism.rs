@@ -11,13 +11,15 @@
 use fancy_apps::{linear, LinearConfig, ScenarioError};
 use fancy_bench::runner::{CellCtx, Sweep};
 use fancy_net::Prefix;
-use fancy_sim::{GrayFailure, SimTime};
+use fancy_sim::{GrayFailure, SharedRecorder, SimTime};
 use fancy_tcp::{FlowConfig, ScheduledFlow};
 
 const CELLS: usize = 32;
 const BASE_SEED: u64 = 0xDE7E_2121;
 
-/// Everything observable about one cell's run.
+/// Everything observable about one cell's run — including the full
+/// flight-recorder trace as JSONL, so "bit-identical" covers every
+/// event's fields and ordering, not just aggregate counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Signature {
     gray_drops: u64,
@@ -26,6 +28,7 @@ struct Signature {
     events_dispatched: u64,
     packets_forwarded: u64,
     control_drops: u64,
+    trace: String,
 }
 
 /// One cell: a small linear scenario whose entry, loss rate and failure
@@ -46,6 +49,8 @@ fn run_cell(ctx: &CellCtx) -> Result<Signature, ScenarioError> {
             .high_priority(vec![entry])
             .build(),
     )?;
+    let recorder = SharedRecorder::new(1 << 16);
+    sc.net.kernel.set_tracer(Box::new(recorder.clone()));
     let fail_at = SimTime(800_000_000 + (ctx.seed % 5) * 100_000_000);
     let loss = 0.3 + (ctx.seed % 7) as f64 * 0.1;
     sc.net.kernel.add_failure(
@@ -56,6 +61,7 @@ fn run_cell(ctx: &CellCtx) -> Result<Signature, ScenarioError> {
     sc.net.run_until(SimTime(3_000_000_000));
     ctx.absorb(&sc.net);
     let t = sc.net.kernel.telemetry;
+    assert_eq!(recorder.dropped(), 0, "ring must be large enough for the full trace");
     Ok(Signature {
         gray_drops: sc.net.kernel.records.total_gray_drops(),
         detections: sc.net.kernel.records.detections.len(),
@@ -63,6 +69,7 @@ fn run_cell(ctx: &CellCtx) -> Result<Signature, ScenarioError> {
         events_dispatched: t.events_dispatched,
         packets_forwarded: t.packets_forwarded,
         control_drops: t.control_drops,
+        trace: recorder.to_jsonl(),
     })
 }
 
@@ -84,9 +91,13 @@ fn sweep_results_are_identical_serial_and_at_any_thread_count() -> Result<(), Sc
     let (eight_threads, report8) = sweep.threads(8).try_run(|_, ctx| run_cell(ctx))?;
     assert_eq!(reference, eight_threads, "8-thread sweep must match the serial loop");
 
-    // The failures and detections actually exercised the scenarios.
+    // The failures and detections actually exercised the scenarios, and
+    // the traces are non-trivial (so the bit-identity above means
+    // something).
     assert!(reference.iter().any(|s| s.gray_drops > 0));
     assert!(reference.iter().any(|s| s.detections > 0));
+    assert!(reference.iter().all(|s| !s.trace.is_empty()));
+    assert!(reference.iter().any(|s| s.trace.contains("\"ev\":\"detect\"")));
 
     // Aggregated telemetry is scheduling-independent too (sums and maxes
     // of per-cell counters commute).

@@ -1,0 +1,88 @@
+//! `Sweep::trace_dir` end-to-end: every cell writes `cell-<index>.jsonl`,
+//! each file parses as valid flight-recorder JSONL, and the files are
+//! byte-identical across thread counts (index-keyed names + deterministic
+//! cells make the whole directory scheduling-invariant).
+
+use std::path::{Path, PathBuf};
+
+use fancy_apps::{linear, LinearConfig, ScenarioError};
+use fancy_bench::runner::Sweep;
+use fancy_net::Prefix;
+use fancy_sim::{trace::parse_jsonl, GrayFailure, SimTime};
+use fancy_tcp::{FlowConfig, ScheduledFlow};
+
+const CELLS: usize = 6;
+
+/// Scratch directory under the build tree (gitignored, per-test name so
+/// parallel test binaries cannot collide).
+fn scratch(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_sweep(dir: &Path, threads: usize) -> Result<(), ScenarioError> {
+    let sweep = Sweep::new("trace-dir", (0..CELLS).collect::<Vec<usize>>())
+        .seed(0x7D1F)
+        .threads(threads)
+        .trace_dir(dir);
+    let (_, report) = sweep.try_run(|_, ctx| {
+        let entry = Prefix(0x0A_50_00 + (ctx.seed % 16) as u32);
+        let mut sc = linear(
+            LinearConfig::builder()
+                .seed(ctx.seed)
+                .flows(vec![ScheduledFlow {
+                    start: SimTime(0),
+                    dst: entry.host(1),
+                    cfg: FlowConfig::for_rate(2_000_000, 1.0),
+                }])
+                .high_priority(vec![entry])
+                .build(),
+        )?;
+        if let Some(tracer) = ctx.tracer() {
+            sc.net.kernel.set_tracer(tracer);
+        }
+        sc.net.kernel.add_failure(
+            sc.monitored_link,
+            sc.s1,
+            GrayFailure::single_entry(entry, 0.2, SimTime(300_000_000)),
+        );
+        sc.net.run_until(SimTime(1_500_000_000));
+        ctx.absorb(&sc.net);
+        Ok::<(), ScenarioError>(())
+    })?;
+    assert_eq!(report.networks, CELLS as u64);
+    Ok(())
+}
+
+#[test]
+fn sweep_persists_one_parseable_trace_per_cell() -> Result<(), ScenarioError> {
+    let dir = scratch("per-cell");
+    run_sweep(&dir, 1)?;
+    for index in 0..CELLS {
+        let path = dir.join(format!("cell-{index:04}.jsonl"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        let events = parse_jsonl(&text)
+            .unwrap_or_else(|(line, e)| panic!("{}:{line}: {e:?}", path.display()));
+        assert!(!events.is_empty(), "cell {index} traced nothing");
+        // Every cell suffers a gray failure, so every trace records it.
+        assert!(text.contains("\"cause\":\"gray\""), "cell {index} has no gray drop");
+    }
+    Ok(())
+}
+
+#[test]
+fn trace_files_are_identical_across_thread_counts() -> Result<(), ScenarioError> {
+    let serial = scratch("threads-1");
+    let threaded = scratch("threads-8");
+    run_sweep(&serial, 1)?;
+    run_sweep(&threaded, 8)?;
+    for index in 0..CELLS {
+        let name = format!("cell-{index:04}.jsonl");
+        let a = std::fs::read(serial.join(&name)).expect("serial trace");
+        let b = std::fs::read(threaded.join(&name)).expect("threaded trace");
+        assert_eq!(a, b, "{name} differs between 1 and 8 threads");
+    }
+    Ok(())
+}

@@ -32,6 +32,18 @@ pub enum SenderState {
     WaitReport,
 }
 
+impl SenderState {
+    /// Stable lowercase name (trace events, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SenderState::Idle => "idle",
+            SenderState::WaitAck => "wait_ack",
+            SenderState::Counting => "counting",
+            SenderState::WaitReport => "wait_report",
+        }
+    }
+}
+
 /// What the switch must do in response to a sender-FSM transition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SenderAction {
@@ -189,6 +201,18 @@ pub enum ReceiverState {
     Counting,
     /// Stop received; counting continues for `T_wait` before reporting.
     WaitToSend,
+}
+
+impl ReceiverState {
+    /// Stable lowercase name (trace events, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReceiverState::Idle => "idle",
+            ReceiverState::Ready => "ready",
+            ReceiverState::Counting => "counting",
+            ReceiverState::WaitToSend => "wait_to_send",
+        }
+    }
 }
 
 /// What the switch must do in response to a receiver-FSM transition.

@@ -15,18 +15,19 @@
 //! 5. wire — where gray failures live.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use fancy_net::{ControlBody, ControlMessage, FancyTag, Prefix, SessionKind};
 use fancy_sim::{
-    DetectionScope, DetectorKind, Kernel, Node, Packet, PacketKind, PortId, TimerToken,
+    DetectionScope, DetectorKind, DropCause, Kernel, Node, Packet, PacketKind, PortId, TimerToken,
+    TraceEvent, UNIT_TREE,
 };
 
 use crate::config::FancyLayout;
 use crate::fsm::{ReceiverAction, ReceiverFsm, SenderAction, SenderFsm};
 use crate::output::{FlagArray, OutputBloom};
 use crate::tree::TreeHasher;
-use crate::zoom::{ZoomEngine, ZoomOutcome};
+use crate::zoom::{ZoomEngine, ZoomOutcome, ZoomStep};
 
 /// `kind` value marking the tree session in timer tokens and dispatch.
 const KIND_TREE: u16 = u16::MAX;
@@ -48,6 +49,56 @@ fn split_token(t: TimerToken) -> (u64, PortId, u16, u64) {
         ((t >> 11) & 0xffff) as u16,
         t >> 27,
     )
+}
+
+/// Trace-event `unit` for a session kind given as the internal `kind` id.
+fn unit_of(kind: u16) -> u64 {
+    if kind == KIND_TREE {
+        UNIT_TREE
+    } else {
+        u64::from(kind)
+    }
+}
+
+fn unit_of_session(kind: SessionKind) -> u64 {
+    match kind {
+        SessionKind::Tree => UNIT_TREE,
+        SessionKind::Dedicated { counter_id } => u64::from(counter_id),
+    }
+}
+
+fn body_label(body: &ControlBody) -> &'static str {
+    match body {
+        ControlBody::Start => "start",
+        ControlBody::StartAck => "start_ack",
+        ControlBody::Stop => "stop",
+        ControlBody::Report(_) => "report",
+    }
+}
+
+/// Emit an FSM-transition trace event if the state actually changed.
+/// Cheap enough to call unconditionally: the names are static strings and
+/// the kernel's trace guard is a single branch.
+fn trace_fsm(
+    ctx: &mut Kernel,
+    port: PortId,
+    kind: u16,
+    role: &'static str,
+    from: &'static str,
+    to: &'static str,
+) {
+    if from != to && ctx.trace_enabled() {
+        let node = ctx.self_id() as u64;
+        ctx.trace(|t| TraceEvent::FsmTransition {
+            t,
+            node,
+            port: port as u64,
+            role: role.to_owned(),
+            unit: unit_of(kind),
+            from: from.to_owned(),
+            to: to.to_owned(),
+        });
+    }
 }
 
 /// Fast-reroute configuration (§6.1): per primary port, the backup port to
@@ -161,6 +212,10 @@ pub struct FancySwitch {
     pub control_dst: HashMap<PortId, u32>,
     /// Aggregate statistics.
     pub stats: SwitchStats,
+    /// `(primary port, entry)` pairs whose reroute has been traced, so
+    /// the flight recorder sees one rising-edge event per reroute, not
+    /// one per packet. Only populated while tracing is enabled.
+    traced_reroutes: HashSet<(PortId, Prefix)>,
 }
 
 impl FancySwitch {
@@ -188,6 +243,7 @@ impl FancySwitch {
             addr: 0,
             control_dst: HashMap::new(),
             stats: SwitchStats::default(),
+            traced_reroutes: HashSet::new(),
         };
         for port in monitored {
             sw.upstream.insert(port, sw.make_upstream(port));
@@ -294,6 +350,20 @@ impl FancySwitch {
         let size = msg.frame_len() as u32;
         self.stats.control_sent += 1;
         self.stats.control_bytes += u64::from(size);
+        if ctx.trace_enabled() {
+            let node = ctx.self_id() as u64;
+            let body = body_label(&msg.body);
+            ctx.trace(|t| TraceEvent::CounterExchange {
+                t,
+                node,
+                port: port as u64,
+                unit: unit_of_session(kind),
+                session: u64::from(session_id),
+                body: body.to_owned(),
+                dir: "tx".to_owned(),
+                len: u64::from(size),
+            });
+        }
         let pkt =
             fancy_sim::PacketBuilder::new(self.addr, dst, size, PacketKind::FancyControl(msg))
                 .build();
@@ -336,12 +406,18 @@ impl FancySwitch {
                     }
                     self.deliver_report(ctx, port, kind, &counters);
                     // "immediately after, starts a new session" (§3).
-                    let up = self.upstream.get_mut(&port).unwrap();
-                    let next = if kind == KIND_TREE {
-                        up.tree_fsm.open()
-                    } else {
-                        up.dedicated[usize::from(kind)].fsm.open()
+                    let (before, after, next) = {
+                        let up = self.upstream.get_mut(&port).unwrap();
+                        let fsm = if kind == KIND_TREE {
+                            &mut up.tree_fsm
+                        } else {
+                            &mut up.dedicated[usize::from(kind)].fsm
+                        };
+                        let before = fsm.state.name();
+                        let next = fsm.open();
+                        (before, fsm.state.name(), next)
                     };
+                    trace_fsm(ctx, port, kind, "tx", before, after);
                     queue.extend(next);
                 }
                 SenderAction::LinkFailure => {
@@ -392,6 +468,32 @@ impl FancySwitch {
                 }
                 up.zoom.end_session(counters)
             };
+            if ctx.trace_enabled() {
+                // Drain the zooming steps before emitting detections so a
+                // timeline reader sees first-suspicion before detect at
+                // equal timestamps.
+                let steps = self.upstream.get_mut(&port).unwrap().zoom.take_session_log();
+                let node = ctx.self_id() as u64;
+                for step in steps {
+                    let (label, path, lost): (&str, &[u8], u32) = match &step {
+                        ZoomStep::Adopt { path } => ("adopt", path, 0),
+                        ZoomStep::Descend { path } => ("descend", path, 0),
+                        ZoomStep::Abandon { path } => ("abandon", path, 0),
+                        ZoomStep::Leaf { path, lost } => ("leaf", path, *lost),
+                        ZoomStep::Uniform => ("uniform", &[], 0),
+                    };
+                    let path: Vec<u64> = path.iter().map(|&b| u64::from(b)).collect();
+                    let step = label.to_owned();
+                    ctx.trace(|t| TraceEvent::ZoomStep {
+                        t,
+                        node,
+                        port: port as u64,
+                        step,
+                        path,
+                        lost: u64::from(lost),
+                    });
+                }
+            }
             for outcome in outcomes {
                 match outcome {
                     ZoomOutcome::Uniform => {
@@ -532,10 +634,26 @@ impl FancySwitch {
             SessionKind::Tree => KIND_TREE,
             SessionKind::Dedicated { counter_id } => counter_id,
         };
+        if ctx.trace_enabled() {
+            let node = ctx.self_id() as u64;
+            let body = body_label(&msg.body);
+            let len = msg.frame_len() as u64;
+            let session = u64::from(msg.session_id);
+            ctx.trace(|t| TraceEvent::CounterExchange {
+                t,
+                node,
+                port: port as u64,
+                unit: unit_of(kind),
+                session,
+                body: body.to_owned(),
+                dir: "rx".to_owned(),
+                len,
+            });
+        }
         match &msg.body {
             ControlBody::Start | ControlBody::Stop => {
                 self.ensure_downstream(port, kind);
-                let actions = {
+                let (before, after, actions) = {
                     let down = self.downstream.get_mut(&port).unwrap();
                     down.reply_to = src;
                     let fsm = if kind == KIND_TREE {
@@ -543,21 +661,30 @@ impl FancySwitch {
                     } else {
                         &mut down.dedicated[usize::from(kind)].fsm
                     };
-                    fsm.on_message(msg.session_id, &msg.body)
+                    let before = fsm.state.name();
+                    let actions = fsm.on_message(msg.session_id, &msg.body);
+                    (before, fsm.state.name(), actions)
                 };
+                trace_fsm(ctx, port, kind, "rx", before, after);
                 self.drive_receiver(ctx, port, kind, actions);
             }
             ControlBody::StartAck | ControlBody::Report(_) => {
                 let Some(up) = self.upstream.get_mut(&port) else {
                     return; // reply on a port we do not monitor: ignore
                 };
-                let actions = if kind == KIND_TREE {
-                    up.tree_fsm.on_message(msg.session_id, &msg.body)
+                let (before, after, actions) = if kind == KIND_TREE {
+                    let before = up.tree_fsm.state.name();
+                    let actions = up.tree_fsm.on_message(msg.session_id, &msg.body);
+                    (before, up.tree_fsm.state.name(), actions)
                 } else if usize::from(kind) < up.dedicated.len() {
-                    up.dedicated[usize::from(kind)].fsm.on_message(msg.session_id, &msg.body)
+                    let fsm = &mut up.dedicated[usize::from(kind)].fsm;
+                    let before = fsm.state.name();
+                    let actions = fsm.on_message(msg.session_id, &msg.body);
+                    (before, fsm.state.name(), actions)
                 } else {
-                    Vec::new()
+                    ("idle", "idle", Vec::new())
                 };
+                trace_fsm(ctx, port, kind, "tx", before, after);
                 self.drive_sender(ctx, port, kind, actions);
             }
         }
@@ -565,7 +692,7 @@ impl FancySwitch {
 
     /// Ingress counting: tagged packets are counted before this switch's TM
     /// and the (hop-local) tag is stripped.
-    fn ingress_count(&mut self, port: PortId, pkt: &mut Packet) {
+    fn ingress_count(&mut self, ctx: &mut Kernel, port: PortId, pkt: &mut Packet) {
         let Some(tag) = pkt.tag.take() else { return };
         let Some(down) = self.downstream.get_mut(&port) else {
             return;
@@ -575,7 +702,10 @@ impl FancySwitch {
                 if let Some(d) = down.dedicated.get_mut(usize::from(counter_id)) {
                     if d.fsm.accepts_counts() {
                         d.count = d.count.wrapping_add(1);
+                        let before = d.fsm.state.name();
                         d.fsm.on_tagged_packet();
+                        let after = d.fsm.state.name();
+                        trace_fsm(ctx, port, counter_id, "rx", before, after);
                     }
                 }
             }
@@ -587,7 +717,10 @@ impl FancySwitch {
                         if i < t.counters.len() {
                             t.counters[i] = t.counters[i].wrapping_add(1);
                         }
+                        let before = t.fsm.state.name();
                         t.fsm.on_tagged_packet();
+                        let after = t.fsm.state.name();
+                        trace_fsm(ctx, port, KIND_TREE, "rx", before, after);
                     }
                 }
             }
@@ -626,10 +759,22 @@ impl Node for FancySwitch {
         for port in self.monitored.clone() {
             let n = self.upstream[&port].dedicated.len();
             for id in 0..n {
-                let actions = self.upstream.get_mut(&port).unwrap().dedicated[id].fsm.open();
+                let (before, after, actions) = {
+                    let fsm = &mut self.upstream.get_mut(&port).unwrap().dedicated[id].fsm;
+                    let before = fsm.state.name();
+                    let actions = fsm.open();
+                    (before, fsm.state.name(), actions)
+                };
+                trace_fsm(ctx, port, id as u16, "tx", before, after);
                 self.drive_sender(ctx, port, id as u16, actions);
             }
-            let actions = self.upstream.get_mut(&port).unwrap().tree_fsm.open();
+            let (before, after, actions) = {
+                let fsm = &mut self.upstream.get_mut(&port).unwrap().tree_fsm;
+                let before = fsm.state.name();
+                let actions = fsm.open();
+                (before, fsm.state.name(), actions)
+            };
+            trace_fsm(ctx, port, KIND_TREE, "tx", before, after);
             self.drive_sender(ctx, port, KIND_TREE, actions);
         }
     }
@@ -654,17 +799,47 @@ impl Node for FancySwitch {
             return;
         }
         // 1. Ingress (downstream) counting, before our TM.
-        self.ingress_count(port, &mut pkt);
+        self.ingress_count(ctx, port, &mut pkt);
 
         // 2. FIB lookup.
         let Some(mut out) = self.fib.lookup(pkt.dst) else {
             self.stats.no_route_drops += 1;
+            if ctx.trace_enabled() {
+                let node = ctx.self_id() as u64;
+                let uid = pkt.uid;
+                let entry = u64::from(pkt.entry().0);
+                let flow = pkt.flow();
+                let size = u64::from(pkt.size);
+                ctx.trace(|t| TraceEvent::PacketDrop {
+                    t,
+                    cause: DropCause::NoRoute,
+                    node,
+                    link: None,
+                    dir: None,
+                    uid,
+                    entry,
+                    flow,
+                    size,
+                });
+            }
             return;
         };
 
         // 3. Fast-reroute consultation (§6.1).
         if self.is_rerouted(out, pkt.entry()) {
-            out = self.reroute.as_ref().unwrap().backup[&out];
+            let backup = self.reroute.as_ref().unwrap().backup[&out];
+            if ctx.trace_enabled() && self.traced_reroutes.insert((out, pkt.entry())) {
+                let node = ctx.self_id() as u64;
+                let entry = u64::from(pkt.entry().0);
+                ctx.trace(|t| TraceEvent::Reroute {
+                    t,
+                    node,
+                    entry,
+                    primary: out as u64,
+                    backup: backup as u64,
+                });
+            }
+            out = backup;
             self.stats.rerouted_packets += 1;
         }
 
@@ -698,24 +873,38 @@ impl Node for FancySwitch {
             let Some(up) = self.upstream.get_mut(&port) else {
                 return;
             };
-            let actions = if kind == KIND_TREE {
-                up.tree_fsm.on_timer(epoch)
-            } else {
-                up.dedicated[usize::from(kind)].fsm.on_timer(epoch)
+            let (before, after, actions) = {
+                let fsm = if kind == KIND_TREE {
+                    &mut up.tree_fsm
+                } else {
+                    &mut up.dedicated[usize::from(kind)].fsm
+                };
+                let before = fsm.state.name();
+                let actions = fsm.on_timer(epoch);
+                (before, fsm.state.name(), actions)
             };
+            trace_fsm(ctx, port, kind, "tx", before, after);
             self.drive_sender(ctx, port, kind, actions);
         } else {
             let Some(down) = self.downstream.get_mut(&port) else {
                 return;
             };
-            let actions = if kind == KIND_TREE {
+            let (before, after, actions) = if kind == KIND_TREE {
                 match down.tree.as_mut() {
-                    Some(t) => t.fsm.on_timer(epoch),
-                    None => Vec::new(),
+                    Some(t) => {
+                        let before = t.fsm.state.name();
+                        let actions = t.fsm.on_timer(epoch);
+                        (before, t.fsm.state.name(), actions)
+                    }
+                    None => ("idle", "idle", Vec::new()),
                 }
             } else {
-                down.dedicated[usize::from(kind)].fsm.on_timer(epoch)
+                let fsm = &mut down.dedicated[usize::from(kind)].fsm;
+                let before = fsm.state.name();
+                let actions = fsm.on_timer(epoch);
+                (before, fsm.state.name(), actions)
             };
+            trace_fsm(ctx, port, kind, "rx", before, after);
             self.drive_receiver(ctx, port, kind, actions);
         }
     }

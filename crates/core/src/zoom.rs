@@ -61,6 +61,39 @@ pub enum ZoomOutcome {
     },
 }
 
+/// One elementary decision taken while processing a session report —
+/// the flight-recorder view of [`ZoomEngine::end_session`]. Outcomes
+/// ([`ZoomOutcome`]) are what the switch *acts* on; steps additionally
+/// record the exploration that led there (adopted roots, descents,
+/// abandoned paths), which is what a detection-latency timeline needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoomStep {
+    /// A mismatching root counter was adopted for exploration.
+    Adopt {
+        /// The new length-1 partial path.
+        path: Vec<u8>,
+    },
+    /// An active path extended one level deeper.
+    Descend {
+        /// The extended partial path.
+        path: Vec<u8>,
+    },
+    /// An active path stopped mismatching and was abandoned.
+    Abandon {
+        /// The abandoned partial path.
+        path: Vec<u8>,
+    },
+    /// A leaf counter mismatched: full path reported.
+    Leaf {
+        /// The complete root-to-leaf path.
+        path: Vec<u8>,
+        /// Packets lost at that leaf during the session.
+        lost: u32,
+    },
+    /// The majority-of-roots uniform check fired (rising edge).
+    Uniform,
+}
+
 #[derive(Debug, Clone)]
 struct ActivePath {
     /// Partial hash path (length = level being refined, 1..depth).
@@ -84,6 +117,9 @@ pub struct ZoomEngine {
     pub policy: SelectionPolicy,
     /// Total zoom-in steps performed (statistics).
     pub zoom_steps: u64,
+    /// Steps taken by the most recent `end_session` call (cleared at the
+    /// start of each call, so it never grows when nobody drains it).
+    session_log: Vec<ZoomStep>,
 }
 
 impl ZoomEngine {
@@ -99,7 +135,13 @@ impl ZoomEngine {
             uniform_active: false,
             policy: SelectionPolicy::MaxLoss,
             zoom_steps: 0,
+            session_log: Vec::new(),
         }
+    }
+
+    /// Drain the step log of the most recent session (flight recorder).
+    pub fn take_session_log(&mut self) -> Vec<ZoomStep> {
+        std::mem::take(&mut self.session_log)
     }
 
     /// Override the zoom-candidate selection policy.
@@ -187,6 +229,7 @@ impl ZoomEngine {
             "report length mismatch"
         );
         let mut outcomes = Vec::new();
+        self.session_log.clear();
 
         // Per-slot positive differences (local − remote = packets lost).
         let diff = |slot: usize, idx: usize| -> i64 {
@@ -207,11 +250,13 @@ impl ZoomEngine {
             if !self.uniform_active {
                 self.uniform_active = true;
                 outcomes.push(ZoomOutcome::Uniform);
+                self.session_log.push(ZoomStep::Uniform);
             }
             // "localizing it to all entries": no point zooming further —
             // abandon in-flight paths so their slots are free when the
             // uniform episode ends.
             for p in std::mem::take(&mut self.paths) {
+                self.session_log.push(ZoomStep::Abandon { path: p.path });
                 self.free_slots.push(p.slot);
             }
             return outcomes;
@@ -223,6 +268,10 @@ impl ZoomEngine {
             for i in 0..width {
                 let d = diff(0, i);
                 if d > 0 {
+                    self.session_log.push(ZoomStep::Leaf {
+                        path: vec![i as u8],
+                        lost: d as u32,
+                    });
                     outcomes.push(ZoomOutcome::LeafFailure {
                         path: vec![i as u8],
                         lost: d as u32,
@@ -253,11 +302,18 @@ impl ZoomEngine {
             let at_leaf = p.path.len() + 1 == depth;
             if mism.is_empty() {
                 // Losses stopped (or were transient): abandon this path.
+                self.session_log.push(ZoomStep::Abandon {
+                    path: p.path.clone(),
+                });
                 freed.push(p.slot);
             } else if at_leaf {
                 for (i, d) in mism {
                     let mut full = p.path.clone();
                     full.push(i as u8);
+                    self.session_log.push(ZoomStep::Leaf {
+                        path: full.clone(),
+                        lost: d as u32,
+                    });
                     outcomes.push(ZoomOutcome::LeafFailure {
                         path: full,
                         lost: d as u32,
@@ -282,6 +338,7 @@ impl ZoomEngine {
             if self.paths_at_level(level) < self.params().path_capacity(level as u8) {
                 if let Some(slot) = self.free_slots.pop() {
                     self.zoom_steps += 1;
+                    self.session_log.push(ZoomStep::Descend { path: q.clone() });
                     self.paths.push(ActivePath { path: q, slot });
                 }
             }
@@ -307,6 +364,9 @@ impl ZoomEngine {
             }
             let Some(slot) = self.free_slots.pop() else { break };
             self.zoom_steps += 1;
+            self.session_log.push(ZoomStep::Adopt {
+                path: vec![i as u8],
+            });
             self.paths.push(ActivePath {
                 path: vec![i as u8],
                 slot,
@@ -483,6 +543,48 @@ mod tests {
         // Only one root adopted per session with split 1 (pipelined allows
         // one path per level).
         assert_eq!(e.active_paths().count(), 1);
+    }
+
+    #[test]
+    fn session_log_records_adopt_descend_leaf_and_abandon() {
+        let mut e = ZoomEngine::new(params(16, 3, 2), 2);
+        let traffic: Vec<(Prefix, u32)> = (0..200u32).map(|i| (Prefix(i), 20)).collect();
+        let failed = Prefix(77);
+        let loss = |p: Prefix| if p == failed { 20 } else { 0 };
+
+        session(&mut e, &traffic, loss);
+        let log = e.take_session_log();
+        assert!(matches!(log[0], ZoomStep::Adopt { .. }), "got {log:?}");
+        assert!(e.take_session_log().is_empty(), "drained");
+
+        session(&mut e, &traffic, loss);
+        assert!(e
+            .take_session_log()
+            .iter()
+            .any(|s| matches!(s, ZoomStep::Descend { .. })));
+
+        session(&mut e, &traffic, loss);
+        let log = e.take_session_log();
+        let leaf = log.iter().find_map(|s| match s {
+            ZoomStep::Leaf { path, lost } => Some((path.clone(), *lost)),
+            _ => None,
+        });
+        assert_eq!(leaf, Some((e.hasher().hash_path(failed), 20)));
+
+        // Loss stops: the remaining exploration is abandoned.
+        session(&mut e, &traffic, |_| 0);
+        let log = e.take_session_log();
+        assert!(log.iter().all(|s| matches!(s, ZoomStep::Abandon { .. })));
+    }
+
+    #[test]
+    fn session_log_records_uniform_rising_edge() {
+        let mut e = ZoomEngine::new(params(190, 3, 2), 4);
+        let traffic: Vec<(Prefix, u32)> = (0..500u32).map(|i| (Prefix(i), 10)).collect();
+        session(&mut e, &traffic, |_| 5);
+        assert_eq!(e.take_session_log(), vec![ZoomStep::Uniform]);
+        session(&mut e, &traffic, |_| 5);
+        assert!(e.take_session_log().is_empty(), "rising edge only");
     }
 
     #[test]

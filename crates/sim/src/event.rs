@@ -72,6 +72,11 @@ impl Ord for Scheduled {
 pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     seq: u64,
+    /// Pending `Event::Timer`s, tracked separately so telemetry can
+    /// report a timer high-water mark distinct from the overall queue
+    /// depth (there is no separate timer wheel — timers and arrivals
+    /// share this one heap).
+    timers: usize,
 }
 
 impl EventQueue {
@@ -84,12 +89,25 @@ impl EventQueue {
     pub fn push(&mut self, at: SimTime, event: Event) {
         let seq = self.seq;
         self.seq += 1;
+        if matches!(event, Event::Timer { .. }) {
+            self.timers += 1;
+        }
         self.heap.push(Scheduled { at, seq, event });
     }
 
     /// Pop the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.at, s.event))
+        self.heap.pop().map(|s| {
+            if matches!(s.event, Event::Timer { .. }) {
+                self.timers -= 1;
+            }
+            (s.at, s.event)
+        })
+    }
+
+    /// Number of pending timer events.
+    pub fn pending_timers(&self) -> usize {
+        self.timers
     }
 
     /// Time of the earliest pending event.
@@ -140,6 +158,18 @@ mod tests {
             })
             .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pending_timers_tracks_timer_events_only() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(1), Event::Timer { node: 0, token: 1 });
+        q.push(SimTime(2), Event::Timer { node: 0, token: 2 });
+        assert_eq!(q.pending_timers(), 2);
+        q.pop();
+        assert_eq!(q.pending_timers(), 1);
+        q.pop();
+        assert_eq!(q.pending_timers(), 0);
     }
 
     #[test]

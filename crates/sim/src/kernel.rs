@@ -3,6 +3,7 @@
 //! Nodes interact with the world exclusively through `&mut Kernel` — it is
 //! the `ctx` handle passed to every [`crate::node::Node`] callback.
 
+use fancy_trace::{DropCause, TraceEvent, TraceSink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -39,6 +40,9 @@ pub struct Kernel {
     /// Wall-clock time accumulated inside `run_until` loops.
     pub(crate) wall_elapsed: std::time::Duration,
     pub(crate) sink: Option<Box<dyn TelemetrySink>>,
+    /// Flight recorder. `None` (the default) keeps every emission site a
+    /// single branch; see [`Kernel::trace`].
+    pub(crate) tracer: Option<Box<dyn TraceSink>>,
 }
 
 impl Kernel {
@@ -56,6 +60,39 @@ impl Kernel {
             telemetry: TelemetryCounters::default(),
             wall_elapsed: std::time::Duration::ZERO,
             sink: None,
+            tracer: None,
+        }
+    }
+
+    /// Attach a [`TraceSink`]; every subsequent kernel- and node-level
+    /// trace emission lands in it. Replaces any previous sink. Like
+    /// telemetry, tracing is strictly observational — the sink cannot
+    /// influence the schedule, so traces are identical run-to-run.
+    pub fn set_tracer(&mut self, tracer: Box<dyn TraceSink>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detach and return the current trace sink, if any.
+    pub fn take_tracer(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracer.take()
+    }
+
+    /// Is a trace sink attached? Instrumentation sites with non-trivial
+    /// event preparation (cloning a path, reading state twice) check this
+    /// first so the disabled path stays a single branch.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Emit a trace event. The closure receives the current time in
+    /// nanoseconds and is only invoked when a sink is attached, so the
+    /// disabled cost is one `Option` discriminant check.
+    #[inline]
+    pub fn trace(&mut self, make: impl FnOnce(u64) -> TraceEvent) {
+        let t = self.now.as_nanos();
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.record(&make(t));
         }
     }
 
@@ -150,6 +187,22 @@ impl Kernel {
             None => {
                 self.records.congestion_drops += 1;
                 self.telemetry.congestion_drops += 1;
+                if self.trace_enabled() {
+                    let node = self.current as u64;
+                    let (uid, entry, flow, size) =
+                        (pkt.uid, u64::from(pkt.entry().0), pkt.flow(), u64::from(pkt.size));
+                    self.trace(|t| TraceEvent::PacketDrop {
+                        t,
+                        cause: DropCause::Congestion,
+                        node,
+                        link: Some(lid as u64),
+                        dir: Some(dir as u64),
+                        uid,
+                        entry,
+                        flow,
+                        size,
+                    });
+                }
                 None
             }
         }
@@ -181,21 +234,54 @@ impl Kernel {
             }
         }
         if dropped {
-            match pkt.kind {
+            let cause = match pkt.kind {
                 PacketKind::FancyControl(_) | PacketKind::NetSeerNack { .. } => {
                     self.control_drops += 1;
                     self.telemetry.control_drops += 1;
+                    DropCause::Control
                 }
                 _ => {
                     let size = u64::from(pkt.size);
                     let entry = pkt.entry();
                     self.records.gray_drop(entry, when, size);
                     self.telemetry.packets_gray_dropped += 1;
+                    DropCause::Gray
                 }
+            };
+            if self.trace_enabled() {
+                let node = self.current as u64;
+                let (uid, entry, flow, size) =
+                    (pkt.uid, u64::from(pkt.entry().0), pkt.flow(), u64::from(pkt.size));
+                // The wire acts at the packet's departure time, which may
+                // trail `now` by the serialization backlog.
+                self.trace(|_| TraceEvent::PacketDrop {
+                    t: when.as_nanos(),
+                    cause,
+                    node,
+                    link: Some(adm.link as u64),
+                    dir: Some(adm.dir as u64),
+                    uid,
+                    entry,
+                    flow,
+                    size,
+                });
             }
             return;
         }
         self.telemetry.packets_forwarded += 1;
+        if self.trace_enabled() {
+            let (uid, entry, flow, size) =
+                (pkt.uid, u64::from(pkt.entry().0), pkt.flow(), u64::from(pkt.size));
+            self.trace(|_| TraceEvent::PacketForward {
+                t: when.as_nanos(),
+                link: adm.link as u64,
+                dir: adm.dir as u64,
+                uid,
+                entry,
+                flow,
+                size,
+            });
+        }
         let (peer, peer_port) = self.links[adm.link].peer(adm.dir);
         let arrive = when + self.links[adm.link].cfg.delay;
         self.queue.push(
@@ -222,6 +308,33 @@ impl Kernel {
 
     /// Report a detection from the current node.
     pub fn report(&mut self, port: PortId, scope: DetectionScope, detector: DetectorKind) {
+        if self.trace_enabled() {
+            let node = self.current as u64;
+            let (scope_name, entry, path) = match &scope {
+                DetectionScope::Entry(p) => ("entry", Some(u64::from(p.0)), Vec::new()),
+                DetectionScope::HashPath(p) => {
+                    ("path", None, p.iter().map(|&b| u64::from(b)).collect())
+                }
+                DetectionScope::Uniform => ("uniform", None, Vec::new()),
+                DetectionScope::LinkDown => ("link_down", None, Vec::new()),
+            };
+            let detector_name = match detector {
+                DetectorKind::DedicatedCounter => "dedicated".to_owned(),
+                DetectorKind::HashTree => "tree".to_owned(),
+                DetectorKind::UniformCheck => "uniform".to_owned(),
+                DetectorKind::ProtocolTimeout => "timeout".to_owned(),
+                DetectorKind::Baseline(name) => format!("baseline:{name}"),
+            };
+            self.trace(|t| TraceEvent::Detection {
+                t,
+                node,
+                port: port as u64,
+                detector: detector_name,
+                scope: scope_name.to_owned(),
+                entry,
+                path,
+            });
+        }
         let rec = DetectionRecord {
             time: self.now,
             node: self.current,
@@ -257,6 +370,13 @@ impl Kernel {
     /// Access a link's static configuration and counters.
     pub fn link(&self, id: LinkId) -> &Link {
         &self.links[id]
+    }
+
+    /// Number of links installed so far. Because ids are assigned in
+    /// connect order, this is also the id the *next* link will get —
+    /// scenario builders use it to name a link in error context.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
     }
 
     /// High-water TM backlog (bytes) of the current node's egress `port`

@@ -64,6 +64,10 @@ pub mod tap;
 pub mod telemetry;
 pub mod time;
 
+/// The flight-recorder crate, re-exported so instrumented downstream
+/// crates (core, tcp, apps) need no direct `fancy-trace` dependency.
+pub use fancy_trace as trace;
+
 /// Convenient re-exports for building simulations.
 pub mod prelude {
     pub use crate::event::{NodeId, PortId, TimerToken};
@@ -80,6 +84,9 @@ pub mod prelude {
         MemorySink, NullSink, PrintSink, TelemetryCounters, TelemetrySink, TelemetrySnapshot,
     };
     pub use crate::time::{transmission_time, SimDuration, SimTime};
+    pub use fancy_trace::{
+        DropCause, JsonlWriter, RingRecorder, SharedRecorder, TraceEvent, TraceSink, UNIT_TREE,
+    };
 }
 
 pub use prelude::*;

@@ -89,6 +89,10 @@ impl Network {
             if depth > self.kernel.telemetry.queue_high_water {
                 self.kernel.telemetry.queue_high_water = depth;
             }
+            let timers = self.kernel.queue.pending_timers() as u64;
+            if timers > self.kernel.telemetry.timer_high_water {
+                self.kernel.telemetry.timer_high_water = timers;
+            }
             let (t, event) = self.kernel.queue.pop().expect("peeked event vanished");
             self.kernel.set_now(t);
             self.kernel.telemetry.events_dispatched += 1;

@@ -84,6 +84,17 @@ impl Packet {
         Prefix::from_addr(self.dst)
     }
 
+    /// The transport flow this packet belongs to, if any.
+    #[inline]
+    pub fn flow(&self) -> Option<FlowId> {
+        match self.kind {
+            PacketKind::TcpData { flow, .. }
+            | PacketKind::TcpAck { flow, .. }
+            | PacketKind::Udp { flow, .. } => Some(flow),
+            PacketKind::FancyControl(_) | PacketKind::NetSeerNack { .. } => None,
+        }
+    }
+
     /// Is this a FANcY control message?
     #[inline]
     pub fn is_control(&self) -> bool {

@@ -33,6 +33,11 @@ pub struct TelemetryCounters {
     pub timers_fired: u64,
     /// High-water mark of the pending-event queue length.
     pub queue_high_water: u64,
+    /// High-water mark of pending *timer* events specifically. Timers
+    /// share the one event heap (there is no separate timer wheel), but
+    /// their backlog is tracked on its own: a protocol storm shows up
+    /// here long before it dominates the overall queue depth.
+    pub timer_high_water: u64,
     /// Packets that survived the wire (scheduled to arrive at the peer).
     pub packets_forwarded: u64,
     /// Data packets dropped by gray failures.
@@ -53,6 +58,7 @@ impl TelemetryCounters {
         self.packet_arrivals += other.packet_arrivals;
         self.timers_fired += other.timers_fired;
         self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.timer_high_water = self.timer_high_water.max(other.timer_high_water);
         self.packets_forwarded += other.packets_forwarded;
         self.packets_gray_dropped += other.packets_gray_dropped;
         self.control_drops += other.control_drops;
@@ -94,7 +100,7 @@ impl TelemetrySnapshot {
     pub fn summary(&self) -> String {
         format!(
             "sim {:.2}s in wall {:.2}s ({:.3} wall-s/sim-s) | {} events ({} arrivals, {} timers), \
-             queue high-water {} | fwd {} gray {} ctrl {} cong {}",
+             queue high-water {} (timers {}) | fwd {} gray {} ctrl {} cong {}",
             self.sim_elapsed.as_secs_f64(),
             self.wall_elapsed.as_secs_f64(),
             self.wall_secs_per_sim_sec().unwrap_or(0.0),
@@ -102,6 +108,7 @@ impl TelemetrySnapshot {
             self.counters.packet_arrivals,
             self.counters.timers_fired,
             self.counters.queue_high_water,
+            self.counters.timer_high_water,
             self.counters.packets_forwarded,
             self.counters.packets_gray_dropped,
             self.counters.control_drops,
@@ -174,6 +181,7 @@ mod tests {
             packet_arrivals: 6,
             timers_fired: 4,
             queue_high_water: 3,
+            timer_high_water: 2,
             packets_forwarded: 5,
             packets_gray_dropped: 1,
             control_drops: 0,
@@ -184,6 +192,7 @@ mod tests {
             packet_arrivals: 1,
             timers_fired: 0,
             queue_high_water: 9,
+            timer_high_water: 1,
             packets_forwarded: 1,
             packets_gray_dropped: 0,
             control_drops: 3,
@@ -192,6 +201,7 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.events_dispatched, 11);
         assert_eq!(a.queue_high_water, 9);
+        assert_eq!(a.timer_high_water, 2);
         assert_eq!(a.control_drops, 3);
         assert_eq!(a.congestion_drops, 2);
     }

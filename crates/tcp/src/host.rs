@@ -13,7 +13,7 @@ use std::collections::{BTreeSet, HashMap};
 use fancy_net::Prefix;
 use fancy_sim::{
     FlowId, Kernel, Node, Packet, PacketBuilder, PacketKind, PortId, SimDuration, SimTime,
-    TimerToken,
+    TimerToken, TraceEvent,
 };
 
 use crate::flow::{FlowAction, FlowConfig, TcpFlow};
@@ -28,6 +28,12 @@ const KIND_UDP: u64 = 3;
 
 fn token(kind: u64, flow: FlowId) -> TimerToken {
     (flow << 2) | kind
+}
+
+/// Congestion windows are floats internally; trace events carry them in
+/// milli-packets so the JSONL schema stays integer-only (exact round trips).
+fn mpkt(cwnd: f64) -> u64 {
+    (cwnd * 1000.0) as u64
 }
 
 fn split_token(t: TimerToken) -> (u64, FlowId) {
@@ -170,8 +176,23 @@ impl Node for SenderHost {
             return;
         };
         let was_done = f.done();
+        let cwnd_before = f.cwnd;
         let action = f.on_ack(ack, ctx.now());
+        let cwnd_after = f.cwnd;
         if let FlowAction::Send { seq, retx } = action {
+            if retx && ctx.trace_enabled() {
+                let node = ctx.self_id() as u64;
+                ctx.trace(|t| TraceEvent::TcpFastRetx { t, node, flow, seq });
+                if cwnd_after < cwnd_before {
+                    ctx.trace(|t| TraceEvent::TcpCwnd {
+                        t,
+                        node,
+                        flow,
+                        from_mpkt: mpkt(cwnd_before),
+                        to_mpkt: mpkt(cwnd_after),
+                    });
+                }
+            }
             self.transmit(ctx, flow, seq, retx);
         }
         let (done, can_send) = {
@@ -205,8 +226,30 @@ impl Node for SenderHost {
                 let Some(f) = self.flows.get_mut(&flow) else {
                     return;
                 };
+                let cwnd_before = f.cwnd;
                 let action = f.on_rto(ctx.now());
+                let (cwnd_after, rto_ns) = (f.cwnd, f.rto.as_nanos());
                 if let FlowAction::Send { seq, retx } = action {
+                    if ctx.trace_enabled() {
+                        let node = ctx.self_id() as u64;
+                        ctx.trace(|t| TraceEvent::TcpRto {
+                            t,
+                            node,
+                            flow,
+                            seq,
+                            rto_ns,
+                            cwnd_mpkt: mpkt(cwnd_after),
+                        });
+                        if cwnd_after < cwnd_before {
+                            ctx.trace(|t| TraceEvent::TcpCwnd {
+                                t,
+                                node,
+                                flow,
+                                from_mpkt: mpkt(cwnd_before),
+                                to_mpkt: mpkt(cwnd_after),
+                            });
+                        }
+                    }
                     self.transmit(ctx, flow, seq, retx);
                     self.arm_rto(ctx, flow);
                 }

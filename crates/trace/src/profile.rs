@@ -1,0 +1,95 @@
+//! Span-style wall-clock profiling.
+//!
+//! Complements the simulated-time trace: while [`crate::TraceEvent`]s
+//! say what happened *inside* the experiment, the profiler says where
+//! the *experiment runner* spent real time (building the scenario,
+//! running the kernel, extracting the timeline, rendering the report).
+//! Spans with the same label accumulate, so per-phase totals fall out of
+//! a loop for free. Sweep reports surface these spans next to the
+//! kernel telemetry.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates labelled wall-clock spans.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    spans: Vec<(String, Duration)>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Time `f` under `label`, merging with any prior span of that label.
+    pub fn time<R>(&mut self, label: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add(label, start.elapsed());
+        out
+    }
+
+    /// Add a measured duration to `label`'s total.
+    pub fn add(&mut self, label: &str, dur: Duration) {
+        if let Some((_, total)) = self.spans.iter_mut().find(|(l, _)| l == label) {
+            *total += dur;
+        } else {
+            self.spans.push((label.to_owned(), dur));
+        }
+    }
+
+    /// The accumulated spans, in first-seen order.
+    pub fn spans(&self) -> &[(String, Duration)] {
+        &self.spans
+    }
+
+    /// Consume the profiler and keep the spans (e.g. to attach to a
+    /// sweep report).
+    pub fn into_spans(self) -> Vec<(String, Duration)> {
+        self.spans
+    }
+
+    /// A one-line-per-span human summary.
+    pub fn report(&self) -> String {
+        let total: Duration = self.spans.iter().map(|(_, d)| *d).sum();
+        let mut out = String::new();
+        for (label, dur) in &self.spans {
+            let pct = if total.is_zero() {
+                0.0
+            } else {
+                100.0 * dur.as_secs_f64() / total.as_secs_f64()
+            };
+            out.push_str(&format!("{label:<24} {dur:>12?} {pct:5.1}%\n"));
+        }
+        out.push_str(&format!("{:<24} {total:>12?}\n", "total"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_merge_by_label_and_keep_order() {
+        let mut p = Profiler::new();
+        p.add("parse", Duration::from_millis(2));
+        p.add("render", Duration::from_millis(1));
+        p.add("parse", Duration::from_millis(3));
+        assert_eq!(p.spans().len(), 2);
+        assert_eq!(p.spans()[0], ("parse".into(), Duration::from_millis(5)));
+        assert_eq!(p.spans()[1].0, "render");
+        let report = p.report();
+        assert!(report.contains("parse"));
+        assert!(report.contains("total"));
+    }
+
+    #[test]
+    fn time_returns_the_closure_result() {
+        let mut p = Profiler::new();
+        let v = p.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(p.spans().len(), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Trace sinks: where events go.
+//!
+//! A sink is installed on the simulation kernel (or handed to an offline
+//! pass) and receives every emitted [`TraceEvent`]. Sinks are
+//! observational only — they have no way to signal back — so attaching
+//! one cannot change the simulation schedule.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceEvent;
+
+/// Receives trace events. `Send` so a sink can ride inside a sweep cell
+/// that runs on a worker thread.
+pub trait TraceSink: Send {
+    /// Record one event. Events arrive in emission order, which is the
+    /// kernel's deterministic dispatch order.
+    fn record(&mut self, event: &TraceEvent);
+}
+
+/// Swallows everything (useful to measure tracing overhead itself).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTraceSink;
+
+impl TraceSink for NullTraceSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// A bounded in-memory flight recorder. When full, the *oldest* events
+/// are discarded — after an experiment you usually care about the most
+/// recent window before the interesting moment.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// A recorder keeping at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            capacity: capacity.max(1),
+            buf: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drain the buffer into a vector, oldest first.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Serialize the held events as JSONL (one line each, oldest first).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.buf {
+            out.push_str(&ev.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event.clone());
+    }
+}
+
+/// A cloneable handle around a [`RingRecorder`]. Install one clone as
+/// the kernel's sink and keep another to read the events back after the
+/// run — this sidesteps the need to downcast a `Box<dyn TraceSink>`.
+#[derive(Debug, Clone)]
+pub struct SharedRecorder(Arc<Mutex<RingRecorder>>);
+
+impl SharedRecorder {
+    /// A shared recorder keeping at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        SharedRecorder(Arc::new(Mutex::new(RingRecorder::new(capacity))))
+    }
+
+    /// Copy out the currently held events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.0.lock().expect("recorder poisoned").events().cloned().collect()
+    }
+
+    /// Serialize the held events as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        self.0.lock().expect("recorder poisoned").to_jsonl()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.0.lock().expect("recorder poisoned").dropped()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("recorder poisoned").len()
+    }
+
+    /// True when nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for SharedRecorder {
+    fn record(&mut self, event: &TraceEvent) {
+        self.0.lock().expect("recorder poisoned").record(event);
+    }
+}
+
+/// Streams events as JSONL to any writer (a file, a `Vec<u8>`, …).
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write + Send> {
+    w: Option<W>,
+    written: u64,
+}
+
+impl<W: Write + Send> JsonlWriter<W> {
+    /// Wrap a writer.
+    pub fn new(w: W) -> Self {
+        JsonlWriter {
+            w: Some(w),
+            written: 0,
+        }
+    }
+
+    /// Events written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and hand back the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        let mut w = self.w.take().expect("writer present until dropped");
+        w.flush()?;
+        Ok(w)
+    }
+}
+
+impl JsonlWriter<BufWriter<File>> {
+    /// Create (truncating) a JSONL trace file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(JsonlWriter::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlWriter<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        // An experiment trace is best-effort on I/O errors: a full disk
+        // should not abort the simulation itself.
+        if let Some(w) = self.w.as_mut() {
+            let _ = writeln!(w, "{}", event.to_jsonl());
+            self.written += 1;
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlWriter<W> {
+    fn drop(&mut self) {
+        if let Some(w) = self.w.as_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_jsonl;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent::Reroute {
+            t,
+            node: 1,
+            entry: 7,
+            primary: 2,
+            backup: 3,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = RingRecorder::new(3);
+        for t in 1..=5 {
+            r.record(&ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<u64> = r.events().map(TraceEvent::time_ns).collect();
+        assert_eq!(ts, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn shared_recorder_sees_events_through_clone() {
+        let handle = SharedRecorder::new(16);
+        let mut sink = handle.clone();
+        sink.record(&ev(1));
+        sink.record(&ev(2));
+        assert_eq!(handle.len(), 2);
+        assert_eq!(handle.snapshot()[0], ev(1));
+        assert!(parse_jsonl(&handle.to_jsonl()).is_ok());
+    }
+
+    #[test]
+    fn jsonl_writer_output_parses_back() {
+        let mut w = JsonlWriter::new(Vec::new());
+        w.record(&ev(1));
+        w.record(&ev(2));
+        assert_eq!(w.written(), 2);
+        let bytes = w.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, vec![ev(1), ev(2)]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Flight-recorder timeline regressions.
+//!
+//! Two cross-checks tie the trace pipeline to ground truth:
+//!
+//! 1. the detection time extracted from the trace equals the kernel's own
+//!    `DetectionRecord`, and the onset→detect latency respects the
+//!    hand-computed FSM epoch bound for dedicated counters;
+//! 2. a hash-tree (Figure 8 style) zooming trace reproduces the
+//!    `fancy_analysis::speed` closed-form detection latency.
+
+use fancy::analysis::{speed, timeline::TimelineReport};
+use fancy::prelude::*;
+
+/// Capture a full trace of a linear scenario with a gray failure on
+/// `victim`, returning (trace events, detection records, timer config).
+fn traced_linear(
+    victim: Prefix,
+    dedicated: bool,
+    loss: f64,
+    fail_at: SimTime,
+    until: SimTime,
+    n_flows: u64,
+) -> (Vec<TraceEvent>, Vec<fancy::sim::DetectionRecord>, fancy::core::TimerConfig) {
+    let flows: Vec<ScheduledFlow> = (0..n_flows)
+        .map(|i| ScheduledFlow {
+            start: SimTime(i * 20_000_000),
+            dst: victim.host(1),
+            cfg: FlowConfig::for_rate(4_000_000, 4.0),
+        })
+        .collect();
+    let high_priority = if dedicated { vec![victim] } else { Vec::new() };
+    let mut sc = fancy::apps::linear(
+        LinearConfig::builder()
+            .seed(11)
+            .flows(flows)
+            .high_priority(high_priority)
+            .build(),
+    )
+    .expect("linear scenario builds");
+    let timers = sc.layout.timers;
+    let recorder = SharedRecorder::new(1 << 20);
+    sc.net.kernel.set_tracer(Box::new(recorder.clone()));
+    sc.net.kernel.add_failure(
+        sc.monitored_link,
+        sc.s1,
+        GrayFailure::single_entry(victim, loss, fail_at),
+    );
+    sc.net.run_until(until);
+    assert_eq!(recorder.dropped(), 0, "ring sized for the whole trace");
+    (
+        recorder.snapshot(),
+        sc.net.kernel.records.detections.clone(),
+        timers,
+    )
+}
+
+#[test]
+fn dedicated_detection_latency_matches_records_and_epoch_bound() {
+    // 3-node linear path (sender — S1 — S2 — receiver), seeded 1 % gray
+    // drop on a dedicated entry.
+    let victim = Prefix::from_addr(0x0A_00_07_00);
+    let (events, records, timers) = traced_linear(
+        victim,
+        true,
+        0.01,
+        SimTime(500_000_000),
+        SimTime(2_000_000_000),
+        20,
+    );
+    let report = TimelineReport::from_events(&events);
+
+    // The trace and the kernel agree on when the dedicated counter fired.
+    let rec = records
+        .iter()
+        .find(|r| r.detector == DetectorKind::DedicatedCounter)
+        .expect("dedicated counter detects a 1% failure");
+    let trace_detect = report
+        .detections
+        .iter()
+        .find(|d| d.detector == "dedicated")
+        .expect("trace carries the detection");
+    assert_eq!(trace_detect.t_ns, rec.time.as_nanos());
+
+    // Onset in the trace is the first *actual* gray drop, so the
+    // detection latency excludes the wait-for-first-loss term and is
+    // bounded by the counting epoch alone. One epoch is
+    //   session open (Start + StartAck = 2·delay)
+    // + counting interval
+    // + session close (Stop + twait + Report = 2·delay + twait),
+    // i.e. interval + 4·delay + twait. A drop landing during open/close
+    // (counters idle) is only caught one epoch later, hence the factor 2.
+    let delay_s = 0.010; // the builder's paper-default core link
+    let epoch_s = timers.dedicated_interval.as_nanos() as f64 / 1e9
+        + 4.0 * delay_s
+        + timers.twait.as_nanos() as f64 / 1e9;
+    let latency = report
+        .detection_latency_secs()
+        .expect("onset and detection are both in the trace");
+    assert!(latency > 0.0, "detection cannot precede onset");
+    assert!(
+        latency <= 2.0 * epoch_s,
+        "latency {latency:.4}s exceeds the 2-epoch bound {:.4}s",
+        2.0 * epoch_s
+    );
+    // And the closed-form expectation is inside the same bound, so model
+    // and measurement describe the same mechanism.
+    let model = speed::dedicated_secs(
+        timers.dedicated_interval.as_nanos() as f64 / 1e9,
+        delay_s,
+    );
+    assert!(model <= 2.0 * epoch_s);
+}
+
+#[test]
+fn zooming_trace_reproduces_speed_model_latency() {
+    // Figure 8 setup: the victim has no dedicated counter, so the hash
+    // tree must zoom down to a leaf — depth sessions at the zooming
+    // interval. High loss keeps every session mismatching.
+    let victim = Prefix::from_addr(0x0A_00_09_00);
+    let (events, records, timers) = traced_linear(
+        victim,
+        false,
+        0.5,
+        SimTime(400_000_000),
+        SimTime(4_000_000_000),
+        20,
+    );
+    let report = TimelineReport::from_events(&events);
+
+    let rec = records
+        .iter()
+        .find(|r| r.detector == DetectorKind::HashTree)
+        .expect("tree detects a 50% single-entry failure");
+    let trace_detect = report
+        .detections
+        .iter()
+        .find(|d| d.detector == "tree")
+        .expect("trace carries the tree detection");
+    assert_eq!(trace_detect.t_ns, rec.time.as_nanos());
+
+    // Zoom steps are the first-suspicion signal and precede detection.
+    let suspicion = report.first_suspicion_ns.expect("zooming leaves steps");
+    assert!(suspicion <= trace_detect.t_ns);
+
+    // The measured latency reproduces speed::tree_secs within a factor
+    // band (the model is an expectation; one run sits around it).
+    let delay_s = 0.010;
+    let depth = TreeParams::paper_default().depth;
+    let model = speed::tree_secs(
+        depth,
+        timers.zooming_interval.as_nanos() as f64 / 1e9,
+        delay_s,
+    );
+    let measured = report.detection_latency_secs().expect("chain complete");
+    assert!(
+        measured >= 0.5 * model && measured <= 1.5 * model,
+        "measured {measured:.3}s outside [{:.3}, {:.3}]s around the model",
+        0.5 * model,
+        1.5 * model
+    );
+}
