@@ -13,6 +13,14 @@ cargo test -q --workspace --release
 echo "== clippy (all targets, warnings are errors) =="
 cargo clippy --workspace --all-targets --release -- -D warnings
 
+echo "== benches compile =="
+cargo build --benches --release --workspace
+
+echo "== BENCH_sim.json refresh (kernel hot-path before/after numbers) =="
+# Also enforces the zero-allocation steady-state scheduler claim: the
+# bench asserts zero allocs per event and exits non-zero otherwise.
+cargo bench -p fancy-bench --bench sim_kernel | tail -n 4
+
 echo "== trace-report smoke (JSONL round-trip, fails on schema drift) =="
 cargo run -q --release --example trace_report
 

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use fancy_net::Prefix;
-use fancy_sim::{Kernel, Node, Packet, PacketKind, PortId, SimDuration, SimTime, TimerToken};
+use fancy_sim::{Kernel, Node, PacketKind, PacketRef, PortId, SimDuration, SimTime, TimerToken};
 
 use crate::blink::Blink;
 use crate::simple::{CountingBloom, LinkCounter, PerEntryCounters};
@@ -158,16 +158,16 @@ impl Node for BaselineTap {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: PacketRef) {
         let is_data = matches!(
-            pkt.kind,
+            ctx.pkt(pkt).kind,
             PacketKind::TcpData { .. } | PacketKind::Udp { .. }
         );
         // Only the host→receiver direction (entering the upstream tap on
         // port 0, the downstream tap on port 0) is monitored; ACKs flowing
         // back are forwarded untouched.
         if is_data && port == 0 {
-            let entry = pkt.entry();
+            let entry = ctx.pkt(pkt).entry();
             let mut st = self.state.borrow_mut();
             match self.side {
                 TapSide::Upstream => {
@@ -182,7 +182,7 @@ impl Node for BaselineTap {
                 }
             }
         }
-        ctx.send(1 - port, pkt);
+        ctx.forward(1 - port, pkt);
     }
 
     fn on_timer(&mut self, ctx: &mut Kernel, token: TimerToken) {
@@ -221,13 +221,14 @@ impl BlinkTap {
 }
 
 impl Node for BlinkTap {
-    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: Packet) {
-        if let PacketKind::TcpData { flow, retx, .. } = pkt.kind {
+    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: PacketRef) {
+        if let PacketKind::TcpData { flow, retx, .. } = &ctx.pkt(pkt).kind {
+            let (flow, retx) = (*flow, *retx);
             self.blink
                 .borrow_mut()
-                .observe(pkt.entry(), flow, retx, ctx.now());
+                .observe(ctx.pkt(pkt).entry(), flow, retx, ctx.now());
         }
-        ctx.send(1 - port, pkt);
+        ctx.forward(1 - port, pkt);
     }
 
     fn as_any(&self) -> &dyn Any {

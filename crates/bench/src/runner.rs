@@ -105,6 +105,8 @@ struct SharedStats {
     gray: AtomicU64,
     control: AtomicU64,
     congestion: AtomicU64,
+    pool_high_water: AtomicU64,
+    pool_recycled: AtomicU64,
     sim_nanos: AtomicU64,
     wall_nanos: AtomicU64,
     networks: AtomicU64,
@@ -125,6 +127,8 @@ impl SharedStats {
         self.gray.fetch_add(t.packets_gray_dropped, Ordering::Relaxed);
         self.control.fetch_add(t.control_drops, Ordering::Relaxed);
         self.congestion.fetch_add(t.congestion_drops, Ordering::Relaxed);
+        self.pool_high_water.fetch_max(t.pool_high_water, Ordering::Relaxed);
+        self.pool_recycled.fetch_add(t.pool_recycled, Ordering::Relaxed);
         let snap = net.kernel.telemetry_snapshot();
         self.sim_nanos.fetch_add(snap.sim_elapsed.as_nanos(), Ordering::Relaxed);
         self.wall_nanos.fetch_add(snap.wall_elapsed.as_nanos() as u64, Ordering::Relaxed);
@@ -142,6 +146,8 @@ impl SharedStats {
             packets_gray_dropped: self.gray.load(Ordering::Relaxed),
             control_drops: self.control.load(Ordering::Relaxed),
             congestion_drops: self.congestion.load(Ordering::Relaxed),
+            pool_high_water: self.pool_high_water.load(Ordering::Relaxed),
+            pool_recycled: self.pool_recycled.load(Ordering::Relaxed),
         }
     }
 }

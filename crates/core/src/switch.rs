@@ -19,8 +19,8 @@ use std::collections::{HashMap, HashSet};
 
 use fancy_net::{ControlBody, ControlMessage, FancyTag, Prefix, SessionKind};
 use fancy_sim::{
-    DetectionScope, DetectorKind, DropCause, Kernel, Node, Packet, PacketKind, PortId, TimerToken,
-    TraceEvent, UNIT_TREE,
+    DetectionScope, DetectorKind, DropCause, Kernel, Node, PacketKind, PacketRef, PortId,
+    TimerToken, TraceEvent, UNIT_TREE,
 };
 
 use crate::config::FancyLayout;
@@ -692,8 +692,8 @@ impl FancySwitch {
 
     /// Ingress counting: tagged packets are counted before this switch's TM
     /// and the (hop-local) tag is stripped.
-    fn ingress_count(&mut self, ctx: &mut Kernel, port: PortId, pkt: &mut Packet) {
-        let Some(tag) = pkt.tag.take() else { return };
+    fn ingress_count(&mut self, ctx: &mut Kernel, port: PortId, pkt: PacketRef) {
+        let Some(tag) = ctx.pkt_mut(pkt).tag.take() else { return };
         let Some(down) = self.downstream.get_mut(&port) else {
             return;
         };
@@ -728,8 +728,8 @@ impl FancySwitch {
     }
 
     /// Egress counting/tagging of an admitted packet.
-    fn egress_count(&mut self, out: PortId, pkt: &mut Packet) {
-        let entry = pkt.entry();
+    fn egress_count(&mut self, ctx: &mut Kernel, out: PortId, pkt: PacketRef) {
+        let entry = ctx.pkt(pkt).entry();
         let dedicated_id = self.dedicated_index.get(&entry).copied();
         let Some(up) = self.upstream.get_mut(&out) else {
             return;
@@ -738,11 +738,11 @@ impl FancySwitch {
             let d = &mut up.dedicated[usize::from(id)];
             if d.fsm.is_counting() {
                 d.count = d.count.wrapping_add(1);
-                pkt.tag = Some(FancyTag::Dedicated { counter_id: id });
+                ctx.pkt_mut(pkt).tag = Some(FancyTag::Dedicated { counter_id: id });
                 self.stats.tagged_packets += 1;
             }
         } else if up.tree_fsm.is_counting() {
-            pkt.tag = Some(up.zoom.tag_and_count(entry));
+            ctx.pkt_mut(pkt).tag = Some(up.zoom.tag_and_count(entry));
             self.stats.tagged_packets += 1;
         }
     }
@@ -779,37 +779,41 @@ impl Node for FancySwitch {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, mut pkt: Packet) {
-        if let PacketKind::FancyControl(msg) = pkt.kind {
+    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: PacketRef) {
+        if matches!(ctx.pkt(pkt).kind, PacketKind::FancyControl(_)) {
             // A FANcY switch consumes control messages addressed to it (or
             // link-local ones, dst 0); anything else is in transit to a
             // remote peer and is forwarded like data.
-            if pkt.dst == 0 || pkt.dst == self.addr || self.fib.lookup(pkt.dst).is_none() {
-                self.on_control(ctx, port, pkt.src, msg);
+            let (src, dst) = {
+                let p = ctx.pkt(pkt);
+                (p.src, p.dst)
+            };
+            if dst == 0 || dst == self.addr || self.fib.lookup(dst).is_none() {
+                let owned = ctx.take_packet(pkt);
+                let PacketKind::FancyControl(msg) = owned.kind else {
+                    unreachable!("checked above");
+                };
+                self.on_control(ctx, port, src, msg);
                 return;
             }
-            let out = self.fib.lookup(pkt.dst).expect("checked above");
-            let pkt = fancy_sim::Packet {
-                kind: PacketKind::FancyControl(msg),
-                ..pkt
-            };
-            if let Some(adm) = ctx.tm_admit(out, &pkt) {
-                ctx.wire_send(pkt, adm);
-            }
+            let out = self.fib.lookup(dst).expect("checked above");
+            ctx.forward(out, pkt);
             return;
         }
         // 1. Ingress (downstream) counting, before our TM.
-        self.ingress_count(ctx, port, &mut pkt);
+        self.ingress_count(ctx, port, pkt);
 
         // 2. FIB lookup.
-        let Some(mut out) = self.fib.lookup(pkt.dst) else {
+        let pkt_entry = ctx.pkt(pkt).entry();
+        let Some(mut out) = self.fib.lookup(ctx.pkt(pkt).dst) else {
             self.stats.no_route_drops += 1;
             if ctx.trace_enabled() {
                 let node = ctx.self_id() as u64;
-                let uid = pkt.uid;
-                let entry = u64::from(pkt.entry().0);
-                let flow = pkt.flow();
-                let size = u64::from(pkt.size);
+                let (uid, flow, size) = {
+                    let p = ctx.pkt(pkt);
+                    (p.uid, p.flow(), u64::from(p.size))
+                };
+                let entry = u64::from(pkt_entry.0);
                 ctx.trace(|t| TraceEvent::PacketDrop {
                     t,
                     cause: DropCause::NoRoute,
@@ -826,11 +830,11 @@ impl Node for FancySwitch {
         };
 
         // 3. Fast-reroute consultation (§6.1).
-        if self.is_rerouted(out, pkt.entry()) {
+        if self.is_rerouted(out, pkt_entry) {
             let backup = self.reroute.as_ref().unwrap().backup[&out];
-            if ctx.trace_enabled() && self.traced_reroutes.insert((out, pkt.entry())) {
+            if ctx.trace_enabled() && self.traced_reroutes.insert((out, pkt_entry)) {
                 let node = ctx.self_id() as u64;
-                let entry = u64::from(pkt.entry().0);
+                let entry = u64::from(pkt_entry.0);
                 ctx.trace(|t| TraceEvent::Reroute {
                     t,
                     node,
@@ -844,10 +848,11 @@ impl Node for FancySwitch {
         }
 
         // 4. TM admission (congestion drops are not counted), then egress
-        //    counting + tagging, then the wire.
-        if let Some(adm) = ctx.tm_admit(out, &pkt) {
-            self.egress_count(out, &mut pkt);
-            ctx.wire_send(pkt, adm);
+        //    counting + tagging, then the wire. The packet never leaves the
+        //    pool: it is re-tagged in place and rides the next arrival.
+        if let Some(adm) = ctx.tm_admit_ref(out, pkt) {
+            self.egress_count(ctx, out, pkt);
+            ctx.wire_forward(pkt, adm);
         }
     }
 

@@ -7,10 +7,11 @@ use fancy_trace::{DropCause, TraceEvent, TraceSink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::event::{Event, EventQueue, NodeId, PortId, TimerToken};
+use crate::event::{EventQueue, NodeId, PortId, TimerToken};
 use crate::failure::GrayFailure;
 use crate::link::{Admission, Link, LinkConfig};
 use crate::packet::{Packet, PacketKind};
+use crate::pool::{PacketPool, PacketRef};
 use crate::record::{DetectionRecord, DetectionScope, DetectorKind, Records};
 use crate::telemetry::{TelemetryCounters, TelemetrySink, TelemetrySnapshot};
 use crate::time::{SimDuration, SimTime};
@@ -22,6 +23,10 @@ pub type LinkId = usize;
 pub struct Kernel {
     now: SimTime,
     pub(crate) queue: EventQueue,
+    /// The slab of in-flight packets. Events reference slots by
+    /// [`PacketRef`]; the pool recycles storage as packets are
+    /// delivered, dropped or forwarded.
+    pub(crate) pool: PacketPool,
     pub(crate) links: Vec<Link>,
     /// `(node, port) → (link, direction)` attachment map.
     pub(crate) ports: Vec<Vec<(LinkId, usize)>>,
@@ -50,6 +55,7 @@ impl Kernel {
         Kernel {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
+            pool: PacketPool::new(),
             links: Vec::new(),
             ports: Vec::new(),
             current: 0,
@@ -148,23 +154,76 @@ impl Kernel {
     /// Schedule a timer for the *current* node after `delay`.
     pub fn schedule_timer(&mut self, delay: SimDuration, token: TimerToken) {
         let node = self.current;
-        self.queue.push(self.now + delay, Event::Timer { node, token });
+        self.queue.push_timer(self.now + delay, node, token);
     }
 
     /// Schedule a timer for an explicit node (used by experiment setup).
     pub fn schedule_timer_for(&mut self, node: NodeId, at: SimTime, token: TimerToken) {
-        self.queue.push(at, Event::Timer { node, token });
+        self.queue.push_timer(at, node, token);
+    }
+
+    /// Stamp a fresh packet (uid, creation time) and check it into the
+    /// pool. This is the *single* point where packets enter the network;
+    /// the pool rejects unstamped packets, so a `PacketBuilder::build`
+    /// result can no longer slip in with `uid: 0` through some side door.
+    fn check_in(&mut self, mut pkt: Packet, created: SimTime) -> PacketRef {
+        if pkt.uid == 0 {
+            pkt.uid = self.next_uid;
+            self.next_uid += 1;
+            pkt.created = created;
+        }
+        self.pool.insert(pkt)
     }
 
     /// Deliver a packet directly to a node, bypassing any link — used by
     /// experiment harnesses to inject traffic at a switch's ingress.
-    pub fn inject(&mut self, node: NodeId, port: PortId, mut pkt: Packet, at: SimTime) {
-        if pkt.uid == 0 {
-            pkt.uid = self.next_uid;
-            self.next_uid += 1;
-            pkt.created = at;
+    pub fn inject(&mut self, node: NodeId, port: PortId, pkt: Packet, at: SimTime) {
+        let r = self.check_in(pkt, at);
+        self.queue.push_arrival(at, node, port, r);
+    }
+
+    /// Borrow a pooled packet.
+    ///
+    /// # Panics
+    /// Panics if `r` is stale (already delivered, dropped or forwarded).
+    #[inline]
+    pub fn pkt(&self, r: PacketRef) -> &Packet {
+        self.pool.get(r)
+    }
+
+    /// Mutably borrow a pooled packet (tag rewriting in switch pipelines).
+    ///
+    /// # Panics
+    /// Panics if `r` is stale.
+    #[inline]
+    pub fn pkt_mut(&mut self, r: PacketRef) -> &mut Packet {
+        self.pool.get_mut(r)
+    }
+
+    /// Check a packet out of the pool, consuming the ref. For consumers
+    /// that need the packet by value (e.g. a switch absorbing a control
+    /// message addressed to it).
+    pub fn take_packet(&mut self, r: PacketRef) -> Packet {
+        self.pool.remove(r)
+    }
+
+    /// Explicitly drop a pooled packet, freeing its slot. Nodes that
+    /// simply *ignore* a delivered packet don't need this — the dispatch
+    /// loop reclaims unconsumed refs after `on_packet` returns.
+    pub fn release(&mut self, r: PacketRef) {
+        let _ = self.pool.remove(r);
+    }
+
+    /// Reclaim `r` if the node left it in the pool (delivery loop cleanup).
+    pub(crate) fn release_if_live(&mut self, r: PacketRef) {
+        if self.pool.is_live(r) {
+            let _ = self.pool.remove(r);
         }
-        self.queue.push(at, Event::Arrival { node, port, pkt });
+    }
+
+    /// The in-flight packet pool (observational: high-water, recycles).
+    pub fn pool(&self) -> &PacketPool {
+        &self.pool
     }
 
     /// Resolve the current node's `port` to its link attachment.
@@ -208,32 +267,86 @@ impl Kernel {
         }
     }
 
-    /// Phase 2 of sending: put an admitted packet on the wire. Applies gray
-    /// failures and, if the packet survives, schedules its arrival at the
-    /// peer after the propagation delay.
-    pub fn wire_send(&mut self, mut pkt: Packet, adm: Admission) {
-        if pkt.uid == 0 {
-            pkt.uid = self.next_uid;
-            self.next_uid += 1;
-            pkt.created = self.now;
+    /// [`Self::tm_admit`] for a packet already in the pool. Does *not*
+    /// consume the ref: on congestion the caller still holds the packet
+    /// (the dispatch loop reclaims it if the caller just returns).
+    pub fn tm_admit_ref(&mut self, port: PortId, r: PacketRef) -> Option<Admission> {
+        let size = u64::from(self.pool.get(r).size);
+        let (lid, dir) = self.resolve(port);
+        let now = self.now;
+        match self.links[lid].admit(lid, dir, size, now) {
+            Some(a) => Some(a),
+            None => {
+                self.records.congestion_drops += 1;
+                self.telemetry.congestion_drops += 1;
+                if self.trace_enabled() {
+                    let (uid, entry, flow) = {
+                        let p = self.pool.get(r);
+                        (p.uid, u64::from(p.entry().0), p.flow())
+                    };
+                    let node = self.current as u64;
+                    self.trace(|t| TraceEvent::PacketDrop {
+                        t,
+                        cause: DropCause::Congestion,
+                        node,
+                        link: Some(lid as u64),
+                        dir: Some(dir as u64),
+                        uid,
+                        entry,
+                        flow,
+                        size,
+                    });
+                }
+                None
+            }
         }
-        let link = &mut self.links[adm.link];
-        link.dirs[adm.dir].tx_packets += 1;
-        link.dirs[adm.dir].tx_bytes += u64::from(pkt.size);
-        self.records.wire_packets += 1;
-        self.records.wire_bytes += u64::from(pkt.size);
+    }
 
+    /// Phase 2 of sending: put an admitted packet on the wire. Stamps and
+    /// checks the packet into the pool; the wire itself operates on refs.
+    pub fn wire_send(&mut self, pkt: Packet, adm: Admission) {
+        let r = self.check_in(pkt, self.now);
+        self.wire_pooled(r, adm);
+    }
+
+    /// Phase 2 for a packet already in the pool (pairs with
+    /// [`Self::tm_admit_ref`]). Consumes the ref: the packet rides the
+    /// next arrival event under a fresh generation, without being moved.
+    pub fn wire_forward(&mut self, r: PacketRef, adm: Admission) {
+        let r = self.pool.rebrand(r);
+        self.wire_pooled(r, adm);
+    }
+
+    /// Put a pooled, admitted packet on the wire. Applies gray failures
+    /// and, if the packet survives, schedules its arrival at the peer
+    /// after the propagation delay — by ref; the packet never moves.
+    fn wire_pooled(&mut self, r: PacketRef, adm: Admission) {
         // Gray failures act on the wire, at the packet's departure time.
         let when = adm.departure_end;
         let mut dropped = false;
-        // Split borrows: failures need &mut rng and &link.dirs.
-        for f in &link.dirs[adm.dir].failures {
-            if f.drops(&pkt, when, &mut self.rng) {
-                dropped = true;
-                break;
+        // Split borrows: failures need &mut rng, &pool and &mut link.dirs.
+        let pkt = self.pool.get(r);
+        let size = u64::from(pkt.size);
+        let (peer, peer_port, delay);
+        {
+            let link = &mut self.links[adm.link];
+            let dir = &mut link.dirs[adm.dir];
+            dir.tx_packets += 1;
+            dir.tx_bytes += size;
+            for f in &dir.failures {
+                if f.drops(pkt, when, &mut self.rng) {
+                    dropped = true;
+                    break;
+                }
             }
+            (peer, peer_port) = link.peer(adm.dir);
+            delay = link.cfg.delay;
         }
+        self.records.wire_packets += 1;
+        self.records.wire_bytes += size;
         if dropped {
+            // The slot is recycled on the spot: drops free pool storage.
+            let pkt = self.pool.remove(r);
             let cause = match pkt.kind {
                 PacketKind::FancyControl(_) | PacketKind::NetSeerNack { .. } => {
                     self.control_drops += 1;
@@ -241,7 +354,6 @@ impl Kernel {
                     DropCause::Control
                 }
                 _ => {
-                    let size = u64::from(pkt.size);
                     let entry = pkt.entry();
                     self.records.gray_drop(entry, when, size);
                     self.telemetry.packets_gray_dropped += 1;
@@ -250,8 +362,7 @@ impl Kernel {
             };
             if self.trace_enabled() {
                 let node = self.current as u64;
-                let (uid, entry, flow, size) =
-                    (pkt.uid, u64::from(pkt.entry().0), pkt.flow(), u64::from(pkt.size));
+                let (uid, entry, flow) = (pkt.uid, u64::from(pkt.entry().0), pkt.flow());
                 // The wire acts at the packet's departure time, which may
                 // trail `now` by the serialization backlog.
                 self.trace(|_| TraceEvent::PacketDrop {
@@ -270,8 +381,10 @@ impl Kernel {
         }
         self.telemetry.packets_forwarded += 1;
         if self.trace_enabled() {
-            let (uid, entry, flow, size) =
-                (pkt.uid, u64::from(pkt.entry().0), pkt.flow(), u64::from(pkt.size));
+            let (uid, entry, flow) = {
+                let p = self.pool.get(r);
+                (p.uid, u64::from(p.entry().0), p.flow())
+            };
             self.trace(|_| TraceEvent::PacketForward {
                 t: when.as_nanos(),
                 link: adm.link as u64,
@@ -282,16 +395,8 @@ impl Kernel {
                 size,
             });
         }
-        let (peer, peer_port) = self.links[adm.link].peer(adm.dir);
-        let arrive = when + self.links[adm.link].cfg.delay;
-        self.queue.push(
-            arrive,
-            Event::Arrival {
-                node: peer,
-                port: peer_port,
-                pkt,
-            },
-        );
+        let arrive = when + delay;
+        self.queue.push_arrival(arrive, peer, peer_port, r);
     }
 
     /// Convenience: admit + wire-send in one call (hosts, simple switches).
@@ -303,6 +408,23 @@ impl Kernel {
                 true
             }
             None => false,
+        }
+    }
+
+    /// Forward a pooled packet out `port`: TM admission, then the wire.
+    /// Consumes the ref either way — on success the packet rides the next
+    /// arrival event under a fresh generation; on congestion its slot is
+    /// freed. Returns false on a congestion drop.
+    pub fn forward(&mut self, port: PortId, r: PacketRef) -> bool {
+        match self.tm_admit_ref(port, r) {
+            Some(adm) => {
+                self.wire_forward(r, adm);
+                true
+            }
+            None => {
+                let _ = self.pool.remove(r);
+                false
+            }
         }
     }
 

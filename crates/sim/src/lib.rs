@@ -58,6 +58,7 @@ pub mod link;
 pub mod network;
 pub mod node;
 pub mod packet;
+pub mod pool;
 pub mod record;
 pub mod switch;
 pub mod tap;
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use crate::network::Network;
     pub use crate::node::{Node, SinkNode};
     pub use crate::packet::{FlowId, Packet, PacketBuilder, PacketKind};
+    pub use crate::pool::{PacketPool, PacketRef};
     pub use crate::record::{DetectionRecord, DetectionScope, DetectorKind, Records};
     pub use crate::switch::{Bridge, Fib, PlainSwitch};
     pub use crate::tap::{Capture, TraceTap};

@@ -101,6 +101,11 @@ impl Link {
     /// Current backlog of direction `dir` in bytes, at time `now`.
     pub(crate) fn backlog_bytes(&self, dir: usize, now: SimTime) -> u64 {
         let backlog = self.dirs[dir].next_free.saturating_since(now);
+        if backlog.as_nanos() == 0 {
+            // Idle serializer — the common case on uncongested links;
+            // skip the wide multiply/divide below.
+            return 0;
+        }
         // bytes = ns * bps / 8e9, in u128 to avoid overflow on fat links.
         ((backlog.as_nanos() as u128 * self.cfg.bandwidth_bps as u128) / 8_000_000_000) as u64
     }

@@ -81,19 +81,18 @@ impl Network {
     pub fn run_until(&mut self, until: SimTime) {
         let wall_start = std::time::Instant::now();
         self.start_if_needed();
-        while let Some(t) = self.kernel.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            let depth = self.kernel.queue.len() as u64;
+        while let Some((t, event)) = self.kernel.queue.pop_until(until) {
+            // High-water marks are defined pre-pop: reconstruct the depth
+            // the queue had before this event was removed from it.
+            let depth = self.kernel.queue.len() as u64 + 1;
             if depth > self.kernel.telemetry.queue_high_water {
                 self.kernel.telemetry.queue_high_water = depth;
             }
-            let timers = self.kernel.queue.pending_timers() as u64;
+            let timers = self.kernel.queue.pending_timers() as u64
+                + u64::from(matches!(event, Event::Timer { .. }));
             if timers > self.kernel.telemetry.timer_high_water {
                 self.kernel.telemetry.timer_high_water = timers;
             }
-            let (t, event) = self.kernel.queue.pop().expect("peeked event vanished");
             self.kernel.set_now(t);
             self.kernel.telemetry.events_dispatched += 1;
             match event {
@@ -101,6 +100,10 @@ impl Network {
                     self.kernel.telemetry.packet_arrivals += 1;
                     self.kernel.current = node;
                     self.nodes[node].on_packet(&mut self.kernel, port, pkt);
+                    // A node that consumed the packet (forwarded it, took
+                    // it) left the ref stale; one that merely observed it
+                    // leaves it live, and the slot is reclaimed here.
+                    self.kernel.release_if_live(pkt);
                 }
                 Event::Timer { node, token } => {
                     self.kernel.telemetry.timers_fired += 1;
@@ -114,6 +117,11 @@ impl Network {
         if self.kernel.now() < until && until != SimTime::FAR_FUTURE {
             self.kernel.set_now(until);
         }
+        let pool_hw = self.kernel.pool.high_water() as u64;
+        if pool_hw > self.kernel.telemetry.pool_high_water {
+            self.kernel.telemetry.pool_high_water = pool_hw;
+        }
+        self.kernel.telemetry.pool_recycled = self.kernel.pool.recycled();
         self.kernel.wall_elapsed += wall_start.elapsed();
         if let Some(mut sink) = self.kernel.sink.take() {
             sink.record(&self.kernel.telemetry_snapshot());
@@ -164,7 +172,7 @@ mod tests {
                 }
             }
         }
-        fn on_packet(&mut self, _ctx: &mut Kernel, _port: usize, _pkt: Packet) {}
+        fn on_packet(&mut self, _ctx: &mut Kernel, _port: usize, _pkt: crate::pool::PacketRef) {}
         fn as_any(&self) -> &dyn Any {
             self
         }

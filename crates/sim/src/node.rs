@@ -8,7 +8,7 @@ use std::any::Any;
 
 use crate::event::{PortId, TimerToken};
 use crate::kernel::Kernel;
-use crate::packet::Packet;
+use crate::pool::PacketRef;
 
 /// A network element.
 pub trait Node {
@@ -17,8 +17,11 @@ pub trait Node {
     fn on_start(&mut self, _ctx: &mut Kernel) {}
 
     /// A packet arrived at `port` (at the ingress pipeline, i.e. before this
-    /// node's own traffic manager).
-    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: Packet);
+    /// node's own traffic manager). The ref resolves through `ctx`
+    /// ([`Kernel::pkt`], [`Kernel::pkt_mut`], [`Kernel::take_packet`]);
+    /// forward it with [`Kernel::forward`], or just return — unconsumed
+    /// refs are reclaimed by the dispatch loop.
+    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: PacketRef);
 
     /// A timer set via [`Kernel::schedule_timer`] fired.
     fn on_timer(&mut self, _ctx: &mut Kernel, _token: TimerToken) {}
@@ -43,9 +46,9 @@ pub struct SinkNode {
 }
 
 impl Node for SinkNode {
-    fn on_packet(&mut self, _ctx: &mut Kernel, _port: PortId, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Kernel, _port: PortId, pkt: PacketRef) {
         self.packets += 1;
-        self.bytes += u64::from(pkt.size);
+        self.bytes += u64::from(ctx.pkt(pkt).size);
     }
 
     fn as_any(&self) -> &dyn Any {

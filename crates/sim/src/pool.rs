@@ -1,0 +1,299 @@
+//! The packet slab: generational pooled storage for in-flight packets.
+//!
+//! Every packet that is on a wire or waiting in the event queue lives in
+//! one [`PacketPool`] slot owned by the kernel; events carry an 8-byte
+//! [`PacketRef`] instead of the ~100-byte [`Packet`] itself. That keeps
+//! [`crate::event::Event`] small and `Copy` (cheap to move through the
+//! scheduler) and recycles packet storage instead of allocating per hop.
+//!
+//! Slots are *generational*: each check-out bumps the slot's generation,
+//! so a stale ref — one held after its packet was delivered, dropped or
+//! forwarded — can never silently alias a newer packet. Using a stale
+//! ref panics with a precise message; double frees are caught the same
+//! way. This is the index-based event-core idiom of trace-driven
+//! simulators, hardened with generations.
+
+use crate::packet::Packet;
+
+/// A generational handle to a pooled [`Packet`]. 8 bytes, `Copy`.
+///
+/// Obtained from the kernel when a packet is checked into the network
+/// (send/inject) and handed to [`crate::node::Node::on_packet`] on
+/// delivery. A ref is *consumed* by forwarding or taking the packet;
+/// holding onto it afterwards makes it stale, and the pool will panic
+/// rather than let a stale ref touch another packet's storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketRef {
+    pub(crate) idx: u32,
+    pub(crate) gen: u32,
+}
+
+impl PacketRef {
+    /// Slot index (diagnostics only; slots are recycled freely).
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.idx
+    }
+
+    /// Slot generation this ref is valid for.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        self.gen
+    }
+}
+
+struct Slot {
+    gen: u32,
+    pkt: Option<Packet>,
+}
+
+/// A generational slab of in-flight packets.
+///
+/// All counters are observational; nothing here feeds back into
+/// simulation behavior, so pooling cannot change results.
+#[derive(Default)]
+pub struct PacketPool {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+    recycled: u64,
+    checked_in: u64,
+}
+
+impl PacketPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check a packet in, returning its ref.
+    ///
+    /// The kernel stamps `uid`/`created` *before* insertion — check-in is
+    /// the single point where packets enter the network, so an unstamped
+    /// packet here means a caller bypassed the kernel's stamping path.
+    #[inline]
+    pub fn insert(&mut self, pkt: Packet) -> PacketRef {
+        debug_assert!(
+            pkt.uid != 0,
+            "unstamped packet (uid 0) checked into the pool: packets must \
+             enter the network through the kernel, which stamps uid/created"
+        );
+        self.live += 1;
+        if self.live > self.high_water {
+            self.high_water = self.live;
+        }
+        self.checked_in += 1;
+        if let Some(idx) = self.free.pop() {
+            self.recycled += 1;
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.pkt.is_none(), "free-list slot still occupied");
+            slot.pkt = Some(pkt);
+            PacketRef { idx, gen: slot.gen }
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("packet pool exceeds u32 slots");
+            self.slots.push(Slot { gen: 0, pkt: Some(pkt) });
+            PacketRef { idx, gen: 0 }
+        }
+    }
+
+    #[inline]
+    fn slot(&self, r: PacketRef) -> &Slot {
+        let slot = &self.slots[r.idx as usize];
+        assert!(
+            slot.gen == r.gen && slot.pkt.is_some(),
+            "stale PacketRef {{idx: {}, gen: {}}} (slot gen {}): the packet was \
+             already delivered, dropped or forwarded",
+            r.idx,
+            r.gen,
+            slot.gen,
+        );
+        slot
+    }
+
+    /// Borrow the packet behind `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is stale (the generational check failed).
+    #[inline]
+    pub fn get(&self, r: PacketRef) -> &Packet {
+        self.slot(r).pkt.as_ref().expect("checked by slot()")
+    }
+
+    /// Mutably borrow the packet behind `r` (tag rewriting, header edits).
+    ///
+    /// # Panics
+    /// Panics if `r` is stale.
+    #[inline]
+    pub fn get_mut(&mut self, r: PacketRef) -> &mut Packet {
+        let _ = self.slot(r);
+        self.slots[r.idx as usize].pkt.as_mut().expect("checked by slot()")
+    }
+
+    /// Check the packet out, consuming the ref and freeing the slot.
+    ///
+    /// # Panics
+    /// Panics if `r` is stale (this is what catches double frees).
+    #[inline]
+    pub fn remove(&mut self, r: PacketRef) -> Packet {
+        let _ = self.slot(r);
+        let slot = &mut self.slots[r.idx as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        self.live -= 1;
+        self.free.push(r.idx);
+        slot.pkt.take().expect("checked by slot()")
+    }
+
+    /// Consume `r` and issue a fresh ref to the *same* slot, without
+    /// moving the packet. Used when a packet is forwarded: the old ref
+    /// (still held by the dispatch loop) goes stale, the new ref rides
+    /// the next arrival event. Counts as a recycle.
+    #[inline]
+    pub fn rebrand(&mut self, r: PacketRef) -> PacketRef {
+        let _ = self.slot(r);
+        let slot = &mut self.slots[r.idx as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        self.recycled += 1;
+        PacketRef { idx: r.idx, gen: slot.gen }
+    }
+
+    /// Is `r` still valid (its packet checked in and untouched since)?
+    #[inline]
+    pub fn is_live(&self, r: PacketRef) -> bool {
+        self.slots
+            .get(r.idx as usize)
+            .is_some_and(|s| s.gen == r.gen && s.pkt.is_some())
+    }
+
+    /// Packets currently checked in.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Most packets ever simultaneously checked in.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Slot reuses: check-ins that re-armed a freed slot plus in-place
+    /// forwards ([`PacketPool::rebrand`]). High recycle counts with a low
+    /// high-water mark are the steady state the pool exists for.
+    #[inline]
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    /// Total check-ins since the pool was created.
+    #[inline]
+    pub fn checked_in(&self) -> u64 {
+        self.checked_in
+    }
+
+    /// Allocated slot capacity (live + free).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketBuilder, PacketKind};
+    use crate::time::SimTime;
+
+    fn pkt(uid: u64) -> Packet {
+        let mut p = PacketBuilder::new(1, 2, 100, PacketKind::Udp { flow: 1, seq: 0 }).build();
+        p.uid = uid;
+        p.created = SimTime(1);
+        p
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut pool = PacketPool::new();
+        let r = pool.insert(pkt(7));
+        assert_eq!(pool.get(r).uid, 7);
+        assert_eq!(pool.live(), 1);
+        assert!(pool.is_live(r));
+        let p = pool.remove(r);
+        assert_eq!(p.uid, 7);
+        assert_eq!(pool.live(), 0);
+        assert!(!pool.is_live(r));
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo() {
+        let mut pool = PacketPool::new();
+        let a = pool.insert(pkt(1));
+        pool.remove(a);
+        let b = pool.insert(pkt(2));
+        assert_eq!(b.index(), a.index(), "freed slot reused");
+        assert_ne!(b.generation(), a.generation(), "generation bumped");
+        assert_eq!(pool.recycled(), 1);
+        assert_eq!(pool.capacity(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut pool = PacketPool::new();
+        let refs: Vec<_> = (1..=5).map(|i| pool.insert(pkt(i))).collect();
+        for r in refs {
+            pool.remove(r);
+        }
+        assert_eq!(pool.live(), 0);
+        assert_eq!(pool.high_water(), 5);
+        assert_eq!(pool.checked_in(), 5);
+    }
+
+    #[test]
+    fn rebrand_keeps_packet_and_invalidates_old_ref() {
+        let mut pool = PacketPool::new();
+        let r = pool.insert(pkt(9));
+        let r2 = pool.rebrand(r);
+        assert!(!pool.is_live(r));
+        assert!(pool.is_live(r2));
+        assert_eq!(pool.get(r2).uid, 9);
+        assert_eq!(pool.live(), 1, "rebrand does not change liveness");
+        assert_eq!(pool.recycled(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PacketRef")]
+    fn stale_ref_get_panics() {
+        let mut pool = PacketPool::new();
+        let r = pool.insert(pkt(1));
+        pool.remove(r);
+        let _ = pool.get(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PacketRef")]
+    fn double_free_panics() {
+        let mut pool = PacketPool::new();
+        let r = pool.insert(pkt(1));
+        pool.remove(r);
+        pool.remove(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PacketRef")]
+    fn ref_outliving_slot_reuse_panics() {
+        let mut pool = PacketPool::new();
+        let old = pool.insert(pkt(1));
+        pool.remove(old);
+        let _new = pool.insert(pkt(2)); // same slot, new generation
+        let _ = pool.get(old);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "unstamped packet")]
+    fn unstamped_packet_is_rejected_at_check_in() {
+        let mut pool = PacketPool::new();
+        let raw = PacketBuilder::new(1, 2, 100, PacketKind::Udp { flow: 1, seq: 0 }).build();
+        pool.insert(raw); // uid 0: the builder footgun, caught here
+    }
+}

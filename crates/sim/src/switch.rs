@@ -14,7 +14,7 @@ use fancy_net::Prefix;
 use crate::event::PortId;
 use crate::kernel::Kernel;
 use crate::node::Node;
-use crate::packet::Packet;
+use crate::pool::PacketRef;
 
 /// A destination-prefix forwarding table.
 #[derive(Debug, Clone, Default)]
@@ -83,10 +83,10 @@ impl PlainSwitch {
 }
 
 impl Node for PlainSwitch {
-    fn on_packet(&mut self, ctx: &mut Kernel, _port: PortId, pkt: Packet) {
-        match self.fib.lookup(pkt.dst) {
+    fn on_packet(&mut self, ctx: &mut Kernel, _port: PortId, pkt: PacketRef) {
+        match self.fib.lookup(ctx.pkt(pkt).dst) {
             Some(out) => {
-                ctx.send(out, pkt);
+                ctx.forward(out, pkt);
             }
             None => self.no_route_drops += 1,
         }
@@ -124,9 +124,9 @@ impl Bridge {
 }
 
 impl Node for Bridge {
-    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: PacketRef) {
         let out = self.pairs[port];
-        ctx.send(out, pkt);
+        ctx.forward(out, pkt);
     }
 
     fn as_any(&self) -> &dyn Any {

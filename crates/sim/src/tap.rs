@@ -11,7 +11,7 @@ use fancy_net::FancyTag;
 
 use crate::kernel::Kernel;
 use crate::node::Node;
-use crate::packet::{Packet, PacketKind};
+use crate::packet::PacketKind;
 use crate::time::SimTime;
 
 /// One captured packet (metadata only; the packet itself moves on).
@@ -104,20 +104,21 @@ impl TraceTap {
 }
 
 impl Node for TraceTap {
-    fn on_packet(&mut self, ctx: &mut Kernel, port: usize, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Kernel, port: usize, pkt: crate::pool::PacketRef) {
         if self.limit.is_none_or(|l| self.captures.len() < l) {
+            let p = ctx.pkt(pkt);
             self.captures.push(Capture {
                 time: ctx.now(),
                 port,
-                uid: pkt.uid,
-                src: pkt.src,
-                dst: pkt.dst,
-                size: pkt.size,
-                tag: pkt.tag,
-                kind: Self::kind_label(&pkt.kind),
+                uid: p.uid,
+                src: p.src,
+                dst: p.dst,
+                size: p.size,
+                tag: p.tag,
+                kind: Self::kind_label(&p.kind),
             });
         }
-        ctx.send(1 - port, pkt);
+        ctx.forward(1 - port, pkt);
     }
 
     fn as_any(&self) -> &dyn Any {

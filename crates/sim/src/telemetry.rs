@@ -34,9 +34,9 @@ pub struct TelemetryCounters {
     /// High-water mark of the pending-event queue length.
     pub queue_high_water: u64,
     /// High-water mark of pending *timer* events specifically. Timers
-    /// share the one event heap (there is no separate timer wheel), but
-    /// their backlog is tracked on its own: a protocol storm shows up
-    /// here long before it dominates the overall queue depth.
+    /// occupy their own lane of the timing wheel, so this is just that
+    /// lane's length: a protocol storm shows up here long before it
+    /// dominates the overall queue depth.
     pub timer_high_water: u64,
     /// Packets that survived the wire (scheduled to arrive at the peer).
     pub packets_forwarded: u64,
@@ -46,6 +46,13 @@ pub struct TelemetryCounters {
     pub control_drops: u64,
     /// Packets refused by a traffic-manager queue (congestion).
     pub congestion_drops: u64,
+    /// High-water mark of simultaneously in-flight packets in the
+    /// kernel's packet pool (its peak memory footprint, in slots).
+    pub pool_high_water: u64,
+    /// Packet-pool slot reuses: check-ins into previously freed slots
+    /// plus in-place forwards. High recycle counts against a low pool
+    /// high-water mark mean the hot path runs allocation-free.
+    pub pool_recycled: u64,
 }
 
 impl TelemetryCounters {
@@ -63,6 +70,8 @@ impl TelemetryCounters {
         self.packets_gray_dropped += other.packets_gray_dropped;
         self.control_drops += other.control_drops;
         self.congestion_drops += other.congestion_drops;
+        self.pool_high_water = self.pool_high_water.max(other.pool_high_water);
+        self.pool_recycled += other.pool_recycled;
     }
 }
 
@@ -100,7 +109,7 @@ impl TelemetrySnapshot {
     pub fn summary(&self) -> String {
         format!(
             "sim {:.2}s in wall {:.2}s ({:.3} wall-s/sim-s) | {} events ({} arrivals, {} timers), \
-             queue high-water {} (timers {}) | fwd {} gray {} ctrl {} cong {}",
+             queue high-water {} (timers {}) | fwd {} gray {} ctrl {} cong {} | pool hw {} recycled {}",
             self.sim_elapsed.as_secs_f64(),
             self.wall_elapsed.as_secs_f64(),
             self.wall_secs_per_sim_sec().unwrap_or(0.0),
@@ -113,6 +122,8 @@ impl TelemetrySnapshot {
             self.counters.packets_gray_dropped,
             self.counters.control_drops,
             self.counters.congestion_drops,
+            self.counters.pool_high_water,
+            self.counters.pool_recycled,
         )
     }
 }
@@ -186,6 +197,8 @@ mod tests {
             packets_gray_dropped: 1,
             control_drops: 0,
             congestion_drops: 2,
+            pool_high_water: 4,
+            pool_recycled: 100,
         };
         let b = TelemetryCounters {
             events_dispatched: 1,
@@ -197,6 +210,8 @@ mod tests {
             packets_gray_dropped: 0,
             control_drops: 3,
             congestion_drops: 0,
+            pool_high_water: 7,
+            pool_recycled: 11,
         };
         a.absorb(&b);
         assert_eq!(a.events_dispatched, 11);
@@ -204,6 +219,8 @@ mod tests {
         assert_eq!(a.timer_high_water, 2);
         assert_eq!(a.control_drops, 3);
         assert_eq!(a.congestion_drops, 2);
+        assert_eq!(a.pool_high_water, 7, "pool high-water maxes");
+        assert_eq!(a.pool_recycled, 111, "pool recycles sum");
     }
 
     #[test]

@@ -25,7 +25,7 @@ impl Node for Blaster {
             ctx.schedule_timer(t.duration_since(SimTime::ZERO), i as u64);
         }
     }
-    fn on_packet(&mut self, _ctx: &mut Kernel, _port: PortId, _pkt: Packet) {}
+    fn on_packet(&mut self, _ctx: &mut Kernel, _port: PortId, _pkt: PacketRef) {}
     fn on_timer(&mut self, ctx: &mut Kernel, token: u64) {
         let (_, dst, size) = self.schedule[token as usize];
         let pkt = PacketBuilder::new(1, dst, size, PacketKind::Udp { flow: 0, seq: token }).build();

@@ -25,7 +25,7 @@ impl Node for Blaster {
             ctx.schedule_timer(t.duration_since(SimTime::ZERO), i as u64);
         }
     }
-    fn on_packet(&mut self, _ctx: &mut Kernel, _port: PortId, _pkt: Packet) {}
+    fn on_packet(&mut self, _ctx: &mut Kernel, _port: PortId, _pkt: PacketRef) {}
     fn on_timer(&mut self, ctx: &mut Kernel, token: u64) {
         let (_, dst, size) = self.schedule[token as usize];
         let pkt = PacketBuilder::new(1, dst, size, PacketKind::Udp { flow: 0, seq: token }).build();
@@ -81,6 +81,20 @@ fn counters_match_hand_counted_events() {
     // scheduled in on_start), and never more than every event dispatched.
     assert!(t.queue_high_water >= n_a + n_b);
     assert!(t.queue_high_water <= t.events_dispatched);
+
+    // Pool accounting: every send checks one packet in (no multi-hop
+    // forwarding here), and each check-in either grew the pool to a new
+    // high-water mark or recycled a freed slot — the two must sum to the
+    // total number of sends.
+    assert_eq!(t.pool_high_water + t.pool_recycled, n_a + n_b);
+    // Packets live at most one link-delay; with these schedules only a
+    // handful of slots are ever needed for 65 packets.
+    assert!(
+        (1..=4).contains(&t.pool_high_water),
+        "pool high-water {}",
+        t.pool_high_water
+    );
+    assert_eq!(net.kernel.pool().live(), 0, "run drained: no packet leaked");
 
     // Telemetry agrees with the kernel's ground-truth records.
     assert_eq!(t.packets_gray_dropped, net.kernel.records.total_gray_drops());

@@ -12,7 +12,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use fancy_net::Prefix;
 use fancy_sim::{
-    FlowId, Kernel, Node, Packet, PacketBuilder, PacketKind, PortId, SimDuration, SimTime,
+    FlowId, Kernel, Node, PacketBuilder, PacketKind, PacketRef, PortId, SimDuration, SimTime,
     TimerToken, TraceEvent,
 };
 
@@ -168,9 +168,10 @@ impl Node for SenderHost {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Kernel, _port: PortId, pkt: Packet) {
-        let PacketKind::TcpAck { flow, ack } = pkt.kind else {
-            return; // hosts ignore anything that is not an ACK
+    fn on_packet(&mut self, ctx: &mut Kernel, _port: PortId, pkt: PacketRef) {
+        let (flow, ack) = match &ctx.pkt(pkt).kind {
+            PacketKind::TcpAck { flow, ack } => (*flow, *ack),
+            _ => return, // hosts ignore anything that is not an ACK
         };
         let Some(f) = self.flows.get_mut(&flow) else {
             return;
@@ -366,10 +367,14 @@ impl ReceiverHost {
 }
 
 impl Node for ReceiverHost {
-    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: Packet) {
-        match pkt.kind {
+    fn on_packet(&mut self, ctx: &mut Kernel, port: PortId, pkt: PacketRef) {
+        let (entry, size, src, dst, kind) = {
+            let p = ctx.pkt(pkt);
+            (p.entry(), u64::from(p.size), p.src, p.dst, p.kind.clone())
+        };
+        match kind {
             PacketKind::TcpData { flow, seq, .. } => {
-                self.note(ctx.now(), pkt.entry(), u64::from(pkt.size));
+                self.note(ctx.now(), entry, size);
                 let st = self.recv.entry(flow).or_default();
                 if seq == st.rcv_next {
                     st.rcv_next += 1;
@@ -380,8 +385,8 @@ impl Node for ReceiverHost {
                     st.out_of_order.insert(seq);
                 }
                 let ack = PacketBuilder::new(
-                    pkt.dst,
-                    pkt.src,
+                    dst,
+                    src,
                     ACK_SIZE,
                     PacketKind::TcpAck {
                         flow,
@@ -392,7 +397,7 @@ impl Node for ReceiverHost {
                 ctx.send(port, ack);
             }
             PacketKind::Udp { .. } => {
-                self.note(ctx.now(), pkt.entry(), u64::from(pkt.size));
+                self.note(ctx.now(), entry, size);
             }
             _ => {}
         }
@@ -452,7 +457,7 @@ impl Node for UdpSource {
         ctx.schedule_timer(SimDuration::ZERO, token(KIND_UDP, 0));
     }
 
-    fn on_packet(&mut self, _ctx: &mut Kernel, _port: PortId, _pkt: Packet) {}
+    fn on_packet(&mut self, _ctx: &mut Kernel, _port: PortId, _pkt: PacketRef) {}
 
     fn on_timer(&mut self, ctx: &mut Kernel, _t: TimerToken) {
         if ctx.now() >= self.until {
