@@ -21,6 +21,15 @@ echo "== BENCH_sim.json refresh (kernel hot-path before/after numbers) =="
 # bench asserts zero allocs per event and exits non-zero otherwise.
 cargo bench -p fancy-bench --bench sim_kernel | tail -n 4
 
+echo "== chaos gate (protocol soak + fault-injected determinism) =="
+# Protocol soak: sessions must survive 20% control loss, degrade to
+# port-level counting at 100%, and recover; plus the isolation check
+# that a panicking + hung cell cannot take down a sweep, and the check
+# that a fault-injected 32-cell sweep is bit-identical across 1 and 8
+# threads (chaos RNG is plan-owned, never scheduling-dependent).
+cargo test -q --release -p fancy-core --test chaos_soak --test fsm_chaos
+cargo test -q --release -p fancy-bench --test chaos_determinism --test sweep_isolation
+
 echo "== trace-report smoke (JSONL round-trip, fails on schema drift) =="
 cargo run -q --release --example trace_report
 

@@ -317,6 +317,17 @@ pub fn describe(ev: &TraceEvent) -> String {
         TraceEvent::IncidentClear { node, port, detections, .. } => {
             format!("incident n{node}:p{port} cleared ({detections} detections)")
         }
+        TraceEvent::ChaosInject { link, dir, action, uid, control, .. } => {
+            let what = if *control > 0 { "ctrl" } else { "data" };
+            format!("chaos  link {link}.{dir} {action} {what} uid {uid}")
+        }
+        TraceEvent::DegradedMode { node, port, on, .. } => {
+            if *on > 0 {
+                format!("DEGRADED n{node}:p{port} entering port-level counting")
+            } else {
+                format!("degraded n{node}:p{port} cleared (session completed)")
+            }
+        }
     }
 }
 

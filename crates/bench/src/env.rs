@@ -9,6 +9,9 @@
 //! * `FANCY_THREADS=<n>` — worker threads for [`crate::runner::Sweep`]
 //!   fan-out (default: the machine's parallelism, capped at 16). Results
 //!   are bit-identical at any value; this only trades wall-clock.
+//! * `FANCY_CELL_TIMEOUT=<secs>` — per-cell wall-clock watchdog for
+//!   [`crate::runner::Sweep::run_partial`] sweeps (default: none). A cell
+//!   exceeding it is retried once, then reported as failed.
 //!
 //! The defaults are scaled down so `cargo bench --workspace` finishes in
 //! tens of minutes while preserving every qualitative shape; the printed
@@ -26,6 +29,9 @@ pub struct BenchEnv {
     /// `FANCY_THREADS` (or the machine's parallelism, capped at 16).
     /// Always at least 1.
     pub threads: usize,
+    /// `FANCY_CELL_TIMEOUT`: per-cell watchdog in (fractional) seconds,
+    /// if set and valid.
+    pub cell_timeout: Option<std::time::Duration>,
 }
 
 impl BenchEnv {
@@ -47,7 +53,12 @@ impl BenchEnv {
                     .unwrap_or(4)
                     .min(16)
             });
-        BenchEnv { full, reps, threads }
+        let cell_timeout = std::env::var("FANCY_CELL_TIMEOUT")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .map(std::time::Duration::from_secs_f64);
+        BenchEnv { full, reps, threads, cell_timeout }
     }
 
     /// Resolve the experiment scale these knobs select.
@@ -154,6 +165,16 @@ mod tests {
         assert_eq!(e.reps, None);
         assert_eq!(e.threads, 1);
         assert_eq!(e.scale().reps, 10); // full still set
+
+        // Watchdog knob: fractional seconds, malformed → unset.
+        std::env::set_var("FANCY_CELL_TIMEOUT", "2.5");
+        assert_eq!(
+            BenchEnv::from_env().cell_timeout,
+            Some(std::time::Duration::from_millis(2500))
+        );
+        std::env::set_var("FANCY_CELL_TIMEOUT", "forever");
+        assert_eq!(BenchEnv::from_env().cell_timeout, None);
+        std::env::remove_var("FANCY_CELL_TIMEOUT");
 
         std::env::remove_var("FANCY_FULL");
         std::env::remove_var("FANCY_REPS");

@@ -32,5 +32,7 @@ pub mod uniform;
 /// engine.
 pub mod prelude {
     pub use crate::env::{BenchEnv, Scale};
-    pub use crate::runner::{CellCtx, Sweep, SweepReport};
+    pub use crate::runner::{
+        CellCtx, CellFailure, FailedCell, Sweep, SweepError, SweepReport,
+    };
 }

@@ -2,7 +2,7 @@
 //!
 //! A [`Sweep`] fans a list of independent simulation *cells* (one cell =
 //! one self-contained set of runs, e.g. a heatmap pixel) across worker
-//! threads. Three properties make it safe to use for paper results:
+//! threads. Four properties make it safe to use for paper results:
 //!
 //! 1. **Deterministic seeding.** Every cell's RNG seed is derived from
 //!    the sweep's base seed and the cell's *index* — never from the
@@ -14,13 +14,21 @@
 //! 3. **Observational telemetry.** Per-cell kernels count their own
 //!    events (see `fancy_sim::telemetry`); workers fold those counters
 //!    into shared atomics that only the final [`SweepReport`] reads.
+//! 4. **Crash isolation.** A panicking cell is caught, retried once,
+//!    and — under [`Sweep::run_partial`] — reported in
+//!    [`SweepReport::failed_cells`] without taking down the rest of the
+//!    grid. A wall-clock watchdog ([`Sweep::watchdog`] or
+//!    `FANCY_CELL_TIMEOUT`) applies the same policy to hung cells.
 //!
-//! Workers pull the next cell from an atomic cursor, so slow cells do
+//! Workers pull the next cell from a shared queue, so slow cells do
 //! not stall the rest of the grid (dynamic load balancing).
 
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use fancy_net::mix64;
@@ -28,21 +36,100 @@ use fancy_sim::{trace::Profiler, JsonlWriter, Network, TelemetryCounters, TraceS
 
 use crate::env::BenchEnv;
 
+/// An error raised by sweep infrastructure (as opposed to a cell's own
+/// experiment logic). Propagate it through [`Sweep::try_run`].
+#[derive(Debug)]
+pub enum SweepError {
+    /// The per-sweep trace directory could not be created.
+    TraceDir {
+        /// The directory that could not be created.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A cell's trace file could not be created.
+    TraceFile {
+        /// The file that could not be created.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::TraceDir { path, source } => {
+                write!(f, "cannot create trace dir {}: {source}", path.display())
+            }
+            SweepError::TraceFile { path, source } => {
+                write!(f, "cannot create trace file {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::TraceDir { source, .. } | SweepError::TraceFile { source, .. } => {
+                Some(source)
+            }
+        }
+    }
+}
+
+/// Why a cell failed to produce a result (after the one-retry policy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellFailure {
+    /// The cell panicked on every attempt; the payload's message.
+    Panicked(String),
+    /// The cell exceeded the per-cell watchdog on every attempt.
+    TimedOut(Duration),
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
+            CellFailure::TimedOut(limit) => {
+                write!(f, "timed out after {:.2}s", limit.as_secs_f64())
+            }
+        }
+    }
+}
+
+/// One cell the sweep could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedCell {
+    /// Index of the cell in the sweep's input order.
+    pub index: usize,
+    /// The deterministic seed the cell ran with — rerun
+    /// `f(&cells[index], &CellCtx::detached(seed))` to reproduce.
+    pub seed: u64,
+    /// What went wrong on the final attempt.
+    pub cause: CellFailure,
+    /// Attempts made (2 with the one-retry policy, unless the failure
+    /// raced a concurrent retry).
+    pub attempts: u32,
+}
+
 /// Per-cell context handed to the sweep's work function.
-pub struct CellCtx<'a> {
+#[derive(Clone)]
+pub struct CellCtx {
     /// Index of this cell in the sweep's input order.
     pub index: usize,
     /// Deterministic seed for this cell, independent of thread count
     /// and scheduling: `mix64(base_seed ^ index)`.
     pub seed: u64,
-    stats: Option<&'a SharedStats>,
-    trace_dir: Option<&'a Path>,
+    stats: Option<Arc<SharedStats>>,
+    trace_dir: Option<Arc<PathBuf>>,
 }
 
-impl CellCtx<'_> {
+impl CellCtx {
     /// A context outside any sweep (direct cell-function calls, unit
     /// tests): carries the seed, discards telemetry.
-    pub fn detached(seed: u64) -> CellCtx<'static> {
+    pub fn detached(seed: u64) -> CellCtx {
         CellCtx { index: 0, seed, stats: None, trace_dir: None }
     }
 
@@ -50,7 +137,7 @@ impl CellCtx<'_> {
     /// aggregate report. Call once per simulated network, after its
     /// last `run_until`. No-op on a detached context.
     pub fn absorb(&self, net: &Network) {
-        if let Some(stats) = self.stats {
+        if let Some(stats) = &self.stats {
             stats.absorb(net);
         }
     }
@@ -59,7 +146,7 @@ impl CellCtx<'_> {
     /// label across cells and surface in [`SweepReport::phases`]. On a
     /// detached context the closure still runs, untimed.
     pub fn time<R>(&self, label: &str, f: impl FnOnce() -> R) -> R {
-        let Some(stats) = self.stats else { return f() };
+        let Some(stats) = &self.stats else { return f() };
         let start = Instant::now();
         let r = f();
         stats
@@ -74,21 +161,31 @@ impl CellCtx<'_> {
     /// directory ([`Sweep::trace_dir`]): `<dir>/cell-<index>.jsonl`.
     pub fn trace_path(&self) -> Option<PathBuf> {
         self.trace_dir
+            .as_ref()
             .map(|d| d.join(format!("cell-{:04}.jsonl", self.index)))
     }
 
     /// A JSONL flight-recorder sink writing this cell's trace file, or
-    /// `None` when the sweep records no traces. Install it with
-    /// `net.kernel.set_tracer(...)` at the top of the cell.
-    ///
-    /// # Panics
-    /// Panics if the trace file cannot be created — a broken trace dir
-    /// should fail the experiment loudly, not drop data silently.
-    pub fn tracer(&self) -> Option<Box<dyn TraceSink>> {
-        let path = self.trace_path()?;
-        let w = JsonlWriter::create(&path)
-            .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
-        Some(Box::new(w))
+    /// `Ok(None)` when the sweep records no traces. Install it with
+    /// `net.kernel.set_tracer(...)` at the top of the cell. The trace
+    /// directory is created lazily here; an unwritable directory or
+    /// file surfaces as [`SweepError`] so fallible cells can propagate
+    /// it through [`Sweep::try_run`] instead of crashing the sweep.
+    pub fn tracer(&self) -> Result<Option<Box<dyn TraceSink>>, SweepError> {
+        let Some(path) = self.trace_path() else {
+            return Ok(None);
+        };
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|source| SweepError::TraceDir {
+                path: dir.to_path_buf(),
+                source,
+            })?;
+        }
+        let w = JsonlWriter::create(&path).map_err(|source| SweepError::TraceFile {
+            path: path.clone(),
+            source,
+        })?;
+        Ok(Some(Box::new(w)))
     }
 }
 
@@ -107,6 +204,11 @@ struct SharedStats {
     congestion: AtomicU64,
     pool_high_water: AtomicU64,
     pool_recycled: AtomicU64,
+    chaos_drops: AtomicU64,
+    chaos_dups: AtomicU64,
+    chaos_reorders: AtomicU64,
+    chaos_control_faults: AtomicU64,
+    degraded_entries: AtomicU64,
     sim_nanos: AtomicU64,
     wall_nanos: AtomicU64,
     networks: AtomicU64,
@@ -129,6 +231,11 @@ impl SharedStats {
         self.congestion.fetch_add(t.congestion_drops, Ordering::Relaxed);
         self.pool_high_water.fetch_max(t.pool_high_water, Ordering::Relaxed);
         self.pool_recycled.fetch_add(t.pool_recycled, Ordering::Relaxed);
+        self.chaos_drops.fetch_add(t.chaos_drops, Ordering::Relaxed);
+        self.chaos_dups.fetch_add(t.chaos_dups, Ordering::Relaxed);
+        self.chaos_reorders.fetch_add(t.chaos_reorders, Ordering::Relaxed);
+        self.chaos_control_faults.fetch_add(t.chaos_control_faults, Ordering::Relaxed);
+        self.degraded_entries.fetch_add(t.degraded_entries, Ordering::Relaxed);
         let snap = net.kernel.telemetry_snapshot();
         self.sim_nanos.fetch_add(snap.sim_elapsed.as_nanos(), Ordering::Relaxed);
         self.wall_nanos.fetch_add(snap.wall_elapsed.as_nanos() as u64, Ordering::Relaxed);
@@ -148,7 +255,24 @@ impl SharedStats {
             congestion_drops: self.congestion.load(Ordering::Relaxed),
             pool_high_water: self.pool_high_water.load(Ordering::Relaxed),
             pool_recycled: self.pool_recycled.load(Ordering::Relaxed),
+            chaos_drops: self.chaos_drops.load(Ordering::Relaxed),
+            chaos_dups: self.chaos_dups.load(Ordering::Relaxed),
+            chaos_reorders: self.chaos_reorders.load(Ordering::Relaxed),
+            chaos_control_faults: self.chaos_control_faults.load(Ordering::Relaxed),
+            degraded_entries: self.degraded_entries.load(Ordering::Relaxed),
         }
+    }
+
+    fn report_fields(
+        &self,
+    ) -> (TelemetryCounters, f64, Duration, u64, Vec<(String, Duration)>) {
+        (
+            self.counters(),
+            self.sim_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
+            self.networks.load(Ordering::Relaxed),
+            std::mem::take(&mut *self.phases.lock().expect("profiler poisoned")).into_spans(),
+        )
     }
 }
 
@@ -177,6 +301,11 @@ pub struct SweepReport {
     /// Wall-clock spans recorded via [`CellCtx::time`], merged by label
     /// in first-seen order. Empty when cells never time anything.
     pub phases: Vec<(String, Duration)>,
+    /// Cells that produced no result despite the one-retry policy,
+    /// sorted by index. Always empty for a report returned by
+    /// [`Sweep::run`] (which panics instead); [`Sweep::run_partial`]
+    /// reports them here alongside the surviving results.
+    pub failed_cells: Vec<FailedCell>,
 }
 
 impl SweepReport {
@@ -214,6 +343,14 @@ impl SweepReport {
                 self.telemetry.control_drops,
                 self.telemetry.congestion_drops,
             ));
+            s.push_str(&format!(
+                "\n  chaos: {} drops, {} dups, {} reorders ({} on control), {} degraded entries",
+                self.telemetry.chaos_drops,
+                self.telemetry.chaos_dups,
+                self.telemetry.chaos_reorders,
+                self.telemetry.chaos_control_faults,
+                self.telemetry.degraded_entries,
+            ));
         }
         if !self.phases.is_empty() {
             s.push_str("\n  phases:");
@@ -221,7 +358,176 @@ impl SweepReport {
                 s.push_str(&format!(" {label} {:.2}s", d.as_secs_f64()));
             }
         }
+        for c in &self.failed_cells {
+            s.push_str(&format!(
+                "\n  FAILED cell {:04} (seed {:#018x}) after {} attempt(s): {}",
+                c.index, c.seed, c.attempts, c.cause,
+            ));
+        }
         s
+    }
+}
+
+/// Extract a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn failure_diagnosis(label: &str, failed: &[FailedCell], total: usize) -> String {
+    let mut s = format!(
+        "sweep '{label}': {} of {total} cell(s) failed after retry \
+         (use Sweep::run_partial to keep the surviving results):",
+        failed.len(),
+    );
+    for c in failed {
+        s.push_str(&format!(
+            "\n  cell {:04} (seed {:#018x}) after {} attempt(s): {}",
+            c.index, c.seed, c.attempts, c.cause,
+        ));
+    }
+    s
+}
+
+// Per-cell lifecycle word for `run_partial`: the low 2 bits are the
+// state, the rest a run token bumped on every claim so a superseded
+// (timed-out, later-requeued) run can never complete or fail the cell
+// out from under its replacement — every transition is a CAS on the
+// full (state, token) word.
+const ST_PENDING: u64 = 0;
+const ST_RUNNING: u64 = 1;
+const ST_DONE: u64 = 2;
+const ST_FAILED: u64 = 3;
+
+fn pack(state: u64, token: u64) -> u64 {
+    (token << 2) | state
+}
+
+fn state_of(word: u64) -> u64 {
+    word & 3
+}
+
+fn token_of(word: u64) -> u64 {
+    word >> 2
+}
+
+/// Shared state of a `run_partial` sweep. Lives behind an `Arc` because
+/// a hung worker thread may outlive the sweep (it is leaked, on
+/// purpose: there is no safe way to kill a thread).
+struct PartialInner<C, R, F> {
+    cells: Vec<C>,
+    f: F,
+    base_seed: u64,
+    stats: Arc<SharedStats>,
+    trace_dir: Option<Arc<PathBuf>>,
+    states: Vec<AtomicU64>,
+    attempts: Vec<AtomicU32>,
+    started: Vec<Mutex<Option<Instant>>>,
+    slots: Vec<Mutex<Option<R>>>,
+    failures: Mutex<Vec<FailedCell>>,
+    queue: Mutex<VecDeque<usize>>,
+}
+
+impl<C, R, F> PartialInner<C, R, F>
+where
+    C: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(&C, &CellCtx) -> R + Send + Sync + 'static,
+{
+    fn worker(self: &Arc<Self>) {
+        loop {
+            let index = { self.queue.lock().expect("queue poisoned").pop_front() };
+            let Some(index) = index else { return };
+            // Claim the cell, bumping its run token.
+            let Some(token) = self.claim(index) else { continue };
+            let attempt = self.attempts[index].fetch_add(1, Ordering::Relaxed) + 1;
+            *self.started[index].lock().expect("start stamp poisoned") = Some(Instant::now());
+            let seed = mix64(self.base_seed ^ index as u64);
+            let ctx = CellCtx {
+                index,
+                seed,
+                stats: Some(self.stats.clone()),
+                trace_dir: self.trace_dir.clone(),
+            };
+            let running = pack(ST_RUNNING, token);
+            match catch_unwind(AssertUnwindSafe(|| (self.f)(&self.cells[index], &ctx))) {
+                Ok(r) => {
+                    // Publish the result before the state flip so a DONE
+                    // state always has a filled slot. If the CAS fails the
+                    // watchdog superseded this run; its replacement owns
+                    // the cell now (and, cells being deterministic, will
+                    // write the identical value).
+                    *self.slots[index].lock().expect("result slot poisoned") = Some(r);
+                    let _ = self.states[index].compare_exchange(
+                        running,
+                        pack(ST_DONE, token),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                }
+                Err(_) if attempt < 2 => {
+                    // One retry: hand the cell back to the queue.
+                    if self.states[index]
+                        .compare_exchange(
+                            running,
+                            pack(ST_PENDING, token),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.queue.lock().expect("queue poisoned").push_back(index);
+                    }
+                }
+                Err(payload) => {
+                    if self.states[index]
+                        .compare_exchange(
+                            running,
+                            pack(ST_FAILED, token),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.failures.lock().expect("failure list poisoned").push(FailedCell {
+                            index,
+                            seed,
+                            cause: CellFailure::Panicked(panic_message(payload.as_ref())),
+                            attempts: attempt,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// CAS the cell from PENDING to RUNNING with a fresh token. `None`
+    /// on a stale queue entry (the cell already reached a terminal
+    /// state or another run claimed it).
+    fn claim(&self, index: usize) -> Option<u64> {
+        loop {
+            let cur = self.states[index].load(Ordering::Acquire);
+            if state_of(cur) != ST_PENDING {
+                return None;
+            }
+            let token = token_of(cur) + 1;
+            if self.states[index]
+                .compare_exchange(
+                    cur,
+                    pack(ST_RUNNING, token),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return Some(token);
+            }
+        }
     }
 }
 
@@ -242,18 +548,22 @@ pub struct Sweep<C> {
     threads: usize,
     base_seed: u64,
     trace_dir: Option<PathBuf>,
+    cell_timeout: Option<Duration>,
 }
 
 impl<C: Sync> Sweep<C> {
     /// A sweep over `cells`, using `FANCY_THREADS` (or the machine's
-    /// parallelism) workers and the default base seed.
+    /// parallelism) workers, the default base seed, and the
+    /// `FANCY_CELL_TIMEOUT` watchdog (none by default).
     pub fn new(label: impl Into<String>, cells: Vec<C>) -> Self {
+        let env = BenchEnv::from_env();
         Sweep {
             label: label.into(),
             cells,
-            threads: BenchEnv::from_env().threads,
+            threads: env.threads,
             base_seed: 0xFA9C,
             trace_dir: None,
+            cell_timeout: env.cell_timeout,
         }
     }
 
@@ -269,12 +579,21 @@ impl<C: Sync> Sweep<C> {
         self
     }
 
-    /// Persist per-cell flight-recorder traces under `dir` (created at
-    /// run time): cells obtain a sink with [`CellCtx::tracer`] and each
-    /// writes `cell-<index>.jsonl`. Trace file names are index-keyed,
-    /// so the directory layout is thread-count invariant too.
+    /// Persist per-cell flight-recorder traces under `dir` (created
+    /// lazily by [`CellCtx::tracer`]): each cell writes
+    /// `cell-<index>.jsonl`. Trace file names are index-keyed, so the
+    /// directory layout is thread-count invariant too.
     pub fn trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the per-cell wall-clock watchdog used by
+    /// [`Sweep::run_partial`] (overriding `FANCY_CELL_TIMEOUT`). A cell
+    /// exceeding it is retried once on a fresh thread, then reported in
+    /// [`SweepReport::failed_cells`]; the hung thread is abandoned.
+    pub fn watchdog(mut self, timeout: Duration) -> Self {
+        self.cell_timeout = Some(timeout);
         self
     }
 
@@ -287,36 +606,57 @@ impl<C: Sync> Sweep<C> {
     /// plus the aggregate report. Results are identical for every
     /// thread count because seeds and result slots are keyed by cell
     /// index, not by worker.
+    ///
+    /// A panicking cell is caught and retried once; if it panics again
+    /// the whole sweep panics *at the end* with a diagnosis naming
+    /// every failed cell and its seed (all other cells still run to
+    /// completion first). Use [`Sweep::run_partial`] to receive the
+    /// surviving results instead of a panic.
     pub fn run<R, F>(&self, f: F) -> (Vec<R>, SweepReport)
     where
         R: Send,
         F: Fn(&C, &CellCtx) -> R + Sync,
     {
         let start = Instant::now();
-        let stats = SharedStats::default();
+        let stats = Arc::new(SharedStats::default());
         let n = self.cells.len();
-        let trace_dir = self.trace_dir.as_deref();
-        if let Some(dir) = trace_dir {
-            std::fs::create_dir_all(dir)
-                .unwrap_or_else(|e| panic!("cannot create trace dir {}: {e}", dir.display()));
-        }
+        let trace_dir = self.trace_dir.clone().map(Arc::new);
+        let failures: Mutex<Vec<FailedCell>> = Mutex::new(Vec::new());
 
-        let results: Vec<R> = if self.threads <= 1 || n <= 1 {
+        let guarded = |index: usize, cell: &C| -> Option<R> {
+            let ctx = CellCtx {
+                index,
+                seed: self.cell_seed(index),
+                stats: Some(stats.clone()),
+                trace_dir: trace_dir.clone(),
+            };
+            let mut attempts = 0u32;
+            loop {
+                attempts += 1;
+                match catch_unwind(AssertUnwindSafe(|| f(cell, &ctx))) {
+                    Ok(r) => return Some(r),
+                    Err(_) if attempts < 2 => {} // one retry
+                    Err(payload) => {
+                        failures.lock().expect("failure list poisoned").push(FailedCell {
+                            index,
+                            seed: ctx.seed,
+                            cause: CellFailure::Panicked(panic_message(payload.as_ref())),
+                            attempts,
+                        });
+                        return None;
+                    }
+                }
+            }
+        };
+
+        let results: Vec<Option<R>> = if self.threads <= 1 || n <= 1 {
             self.cells
                 .iter()
                 .enumerate()
-                .map(|(index, cell)| {
-                    let ctx = CellCtx {
-                        index,
-                        seed: self.cell_seed(index),
-                        stats: Some(&stats),
-                        trace_dir,
-                    };
-                    f(cell, &ctx)
-                })
+                .map(|(index, cell)| guarded(index, cell))
                 .collect()
         } else {
-            let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(n);
+            let mut slots: Vec<Mutex<Option<Option<R>>>> = Vec::with_capacity(n);
             slots.resize_with(n, || Mutex::new(None));
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
@@ -326,13 +666,7 @@ impl<C: Sync> Sweep<C> {
                         let Some(cell) = self.cells.get(index) else {
                             break;
                         };
-                        let ctx = CellCtx {
-                            index,
-                            seed: self.cell_seed(index),
-                            stats: Some(&stats),
-                            trace_dir,
-                        };
-                        let r = f(cell, &ctx);
+                        let r = guarded(index, cell);
                         *slots[index].lock().expect("result slot poisoned") = Some(r);
                     });
                 }
@@ -347,18 +681,30 @@ impl<C: Sync> Sweep<C> {
                 .collect()
         };
 
+        let mut failed = failures.into_inner().expect("failure list poisoned");
+        failed.sort_by_key(|c| c.index);
+        if !failed.is_empty() {
+            panic!("{}", failure_diagnosis(&self.label, &failed, n));
+        }
+
+        let (telemetry, sim_seconds, kernel_wall, networks, phases) =
+            stats.report_fields();
         let report = SweepReport {
             label: self.label.clone(),
             cells: n,
             threads: self.threads.min(n.max(1)),
             wall: start.elapsed(),
-            telemetry: stats.counters(),
-            sim_seconds: stats.sim_nanos.load(Ordering::Relaxed) as f64 / 1e9,
-            kernel_wall: Duration::from_nanos(stats.wall_nanos.load(Ordering::Relaxed)),
-            networks: stats.networks.load(Ordering::Relaxed),
-            phases: std::mem::take(&mut *stats.phases.lock().expect("profiler poisoned"))
-                .into_spans(),
+            telemetry,
+            sim_seconds,
+            kernel_wall,
+            networks,
+            phases,
+            failed_cells: Vec::new(),
         };
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("cell produced neither result nor failure record"))
+            .collect();
         (results, report)
     }
 
@@ -380,6 +726,167 @@ impl<C: Sync> Sweep<C> {
     }
 }
 
+impl<C: Send + Sync + 'static> Sweep<C> {
+    /// Crash-isolated sweep: execute `f` once per cell and return
+    /// whatever results survive, `None`-filling the cells that did not.
+    ///
+    /// Unlike [`Sweep::run`] this never panics on cell failure and —
+    /// when a watchdog is set via [`Sweep::watchdog`] or
+    /// `FANCY_CELL_TIMEOUT` — also survives cells that *hang*: a cell
+    /// exceeding the timeout is abandoned on its (leaked) thread and
+    /// retried once on a fresh one, so one wedged pixel cannot stall a
+    /// whole heatmap. Every unrecoverable cell is listed in
+    /// [`SweepReport::failed_cells`] with its deterministic seed for
+    /// offline reproduction. Without a watchdog, a hung cell hangs the
+    /// sweep (there is no safe way to preempt arbitrary code).
+    ///
+    /// Workers run on detached threads (hence the `'static` bounds and
+    /// the consuming `self`); determinism guarantees are unchanged —
+    /// seeds and result slots stay index-keyed.
+    ///
+    /// ```
+    /// use fancy_bench::runner::{CellFailure, Sweep};
+    ///
+    /// let (results, report) = Sweep::new("partial", vec![1u64, 2, 3])
+    ///     .threads(2)
+    ///     .run_partial(|&cell, _ctx| {
+    ///         if cell == 2 {
+    ///             panic!("cell two always crashes");
+    ///         }
+    ///         cell * 10
+    ///     });
+    /// assert_eq!(results, vec![Some(10), None, Some(30)]);
+    /// assert_eq!(report.failed_cells.len(), 1);
+    /// assert_eq!(report.failed_cells[0].index, 1);
+    /// assert!(matches!(report.failed_cells[0].cause, CellFailure::Panicked(_)));
+    /// ```
+    pub fn run_partial<R, F>(self, f: F) -> (Vec<Option<R>>, SweepReport)
+    where
+        R: Send + 'static,
+        F: Fn(&C, &CellCtx) -> R + Send + Sync + 'static,
+    {
+        let start = Instant::now();
+        let n = self.cells.len();
+        let label = self.label.clone();
+        let threads = self.threads.min(n.max(1));
+        let timeout = self.cell_timeout;
+        let base_seed = self.base_seed;
+
+        let inner = Arc::new(PartialInner {
+            cells: self.cells,
+            f,
+            base_seed,
+            stats: Arc::new(SharedStats::default()),
+            trace_dir: self.trace_dir.map(Arc::new),
+            states: (0..n).map(|_| AtomicU64::new(pack(ST_PENDING, 0))).collect(),
+            attempts: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            started: (0..n).map(|_| Mutex::new(None)).collect(),
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            failures: Mutex::new(Vec::new()),
+            queue: Mutex::new((0..n).collect()),
+        });
+
+        for _ in 0..threads.min(n) {
+            let w = Arc::clone(&inner);
+            std::thread::spawn(move || w.worker());
+        }
+
+        // Watchdog loop: poll cell states until every cell reaches a
+        // terminal state, expiring runs that exceed the timeout. Each
+        // expiry spawns a replacement worker because the thread stuck
+        // on the expired cell is lost to the pool.
+        loop {
+            if n == 0 {
+                break;
+            }
+            let mut terminal = 0;
+            for (index, state) in inner.states.iter().enumerate() {
+                let cur = state.load(Ordering::Acquire);
+                match state_of(cur) {
+                    ST_DONE | ST_FAILED => terminal += 1,
+                    ST_RUNNING => {
+                        let Some(limit) = timeout else { continue };
+                        let started = *inner.started[index].lock().expect("start stamp poisoned");
+                        if started.is_none_or(|s| s.elapsed() < limit) {
+                            continue;
+                        }
+                        let token = token_of(cur);
+                        let attempts = inner.attempts[index].load(Ordering::Relaxed);
+                        let (next_state, requeue) = if attempts < 2 {
+                            (ST_PENDING, true)
+                        } else {
+                            (ST_FAILED, false)
+                        };
+                        if state
+                            .compare_exchange(
+                                cur,
+                                pack(next_state, token),
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_err()
+                        {
+                            continue; // the run finished just in time
+                        }
+                        if requeue {
+                            inner.queue.lock().expect("queue poisoned").push_back(index);
+                        } else {
+                            inner
+                                .failures
+                                .lock()
+                                .expect("failure list poisoned")
+                                .push(FailedCell {
+                                    index,
+                                    seed: mix64(base_seed ^ index as u64),
+                                    cause: CellFailure::TimedOut(limit),
+                                    attempts,
+                                });
+                        }
+                        let w = Arc::clone(&inner);
+                        std::thread::spawn(move || w.worker());
+                    }
+                    _ => {}
+                }
+            }
+            if terminal == n {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let results: Vec<Option<R>> = inner
+            .states
+            .iter()
+            .zip(&inner.slots)
+            .map(|(state, slot)| {
+                if state_of(state.load(Ordering::Acquire)) == ST_DONE {
+                    slot.lock().expect("result slot poisoned").take()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut failed = inner.failures.lock().expect("failure list poisoned").clone();
+        failed.sort_by_key(|c| c.index);
+
+        let (telemetry, sim_seconds, kernel_wall, networks, phases) =
+            inner.stats.report_fields();
+        let report = SweepReport {
+            label,
+            cells: n,
+            threads,
+            wall: start.elapsed(),
+            telemetry,
+            sim_seconds,
+            kernel_wall,
+            networks,
+            phases,
+            failed_cells: failed,
+        };
+        (results, report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +904,7 @@ mod tests {
                 });
             assert_eq!(out, (0..37).map(|c| c * 10).collect::<Vec<_>>());
             assert_eq!(report.cells, 37);
+            assert!(report.failed_cells.is_empty());
         }
     }
 
@@ -450,5 +958,104 @@ mod tests {
                 .threads(4)
                 .try_run(|&c, _| if c % 4 == 3 { Err(format!("cell {c}")) } else { Ok(c) });
         assert_eq!(r.err(), Some("cell 3".to_string()));
+    }
+
+    #[test]
+    fn run_retries_a_flaky_cell_once() {
+        use std::sync::atomic::AtomicU32;
+        // Cell 2 panics on its first attempt only; the retry succeeds,
+        // so the sweep completes with no failure on record.
+        let first_attempt = AtomicU32::new(0);
+        let (out, report) = Sweep::new("flaky", (0..8usize).collect::<Vec<_>>())
+            .threads(4)
+            .run(|&c, _| {
+                if c == 2 && first_attempt.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("transient failure");
+                }
+                c
+            });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert!(report.failed_cells.is_empty());
+        assert_eq!(first_attempt.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn run_panics_at_end_with_per_cell_diagnosis() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            Sweep::new("doomed", (0..6usize).collect::<Vec<_>>())
+                .threads(2)
+                .seed(7)
+                .run(|&c, _| {
+                    if c == 3 {
+                        panic!("cell three is cursed");
+                    }
+                    c
+                })
+        }));
+        let msg = panic_message(caught.expect_err("sweep must propagate the failure").as_ref());
+        assert!(msg.contains("sweep 'doomed': 1 of 6 cell(s) failed"), "{msg}");
+        assert!(msg.contains("cell 0003"), "{msg}");
+        assert!(msg.contains("cell three is cursed"), "{msg}");
+        assert!(msg.contains(&format!("{:#018x}", mix64(7u64 ^ 3))), "{msg}");
+    }
+
+    #[test]
+    fn run_partial_returns_survivors_and_failed_cells() {
+        let (out, report) = Sweep::new("partial", (0..10usize).collect::<Vec<_>>())
+            .threads(3)
+            .run_partial(|&c, ctx| {
+                assert_eq!(c, ctx.index);
+                if c == 4 {
+                    panic!("boom {c}");
+                }
+                c * 2
+            });
+        let expect: Vec<Option<usize>> =
+            (0..10).map(|c| if c == 4 { None } else { Some(c * 2) }).collect();
+        assert_eq!(out, expect);
+        assert_eq!(report.failed_cells.len(), 1);
+        let fc = &report.failed_cells[0];
+        assert_eq!(fc.index, 4);
+        assert_eq!(fc.attempts, 2);
+        assert_eq!(fc.cause, CellFailure::Panicked("boom 4".into()));
+        assert!(report.summary().contains("FAILED cell 0004"));
+    }
+
+    #[test]
+    fn run_partial_watchdog_expires_hung_cells() {
+        // Cell 1 sleeps far past the watchdog on both attempts; the
+        // other cells complete and the sweep returns promptly.
+        let t0 = Instant::now();
+        let (out, report) = Sweep::new("hung", (0..4usize).collect::<Vec<_>>())
+            .threads(2)
+            .watchdog(Duration::from_millis(60))
+            .run_partial(|&c, _| {
+                if c == 1 {
+                    std::thread::sleep(Duration::from_secs(600));
+                }
+                c
+            });
+        assert!(t0.elapsed() < Duration::from_secs(30), "watchdog failed to fire");
+        assert_eq!(out, vec![Some(0), None, Some(2), Some(3)]);
+        assert_eq!(report.failed_cells.len(), 1);
+        assert_eq!(report.failed_cells[0].index, 1);
+        assert_eq!(
+            report.failed_cells[0].cause,
+            CellFailure::TimedOut(Duration::from_millis(60))
+        );
+    }
+
+    #[test]
+    fn run_partial_matches_run_results_when_nothing_fails() {
+        let (plain, _) = Sweep::new("ok", (0..16u64).collect::<Vec<_>>())
+            .seed(0xAB)
+            .threads(4)
+            .run(|&c, ctx| c.wrapping_mul(ctx.seed));
+        let (partial, report) = Sweep::new("ok", (0..16u64).collect::<Vec<_>>())
+            .seed(0xAB)
+            .threads(4)
+            .run_partial(|&c, ctx| c.wrapping_mul(ctx.seed));
+        assert_eq!(partial, plain.into_iter().map(Some).collect::<Vec<_>>());
+        assert!(report.failed_cells.is_empty());
     }
 }

@@ -1,0 +1,129 @@
+//! Fault injection must not cost determinism (ISSUE 4 acceptance): a
+//! 32-cell sweep where every cell runs a full packet-level scenario
+//! under a seeded `FaultPlan` (bursty loss, control-plane drops, wire
+//! duplication and reordering) produces bit-identical traces and
+//! telemetry across a hand-rolled serial loop, a 1-thread sweep and an
+//! 8-thread sweep. The chaos RNG lives inside the plan, seeded from the
+//! cell seed — never from scheduling.
+
+use fancy_apps::{linear, LinearConfig, ScenarioError};
+use fancy_bench::runner::{CellCtx, Sweep};
+use fancy_net::Prefix;
+use fancy_sim::{
+    FaultPlan, FaultStage, FaultTarget, GrayFailure, SharedRecorder, SimDuration, SimTime,
+};
+use fancy_tcp::{FlowConfig, ScheduledFlow};
+
+const CELLS: usize = 32;
+const BASE_SEED: u64 = 0xC4A0_5FA7;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Signature {
+    chaos_drops: u64,
+    chaos_dups: u64,
+    chaos_reorders: u64,
+    chaos_control_faults: u64,
+    gray_drops: u64,
+    detections: usize,
+    events_dispatched: u64,
+    trace: String,
+}
+
+/// One cell: a linear scenario with a gray failure *and* a per-cell
+/// chaos cocktail whose every parameter derives from the cell seed.
+fn run_cell(ctx: &CellCtx) -> Result<Signature, ScenarioError> {
+    let entry = Prefix(0x0A_60_00 + (ctx.seed % 64) as u32);
+    let flows: Vec<ScheduledFlow> = (0..5u64)
+        .map(|i| ScheduledFlow {
+            start: SimTime(i * 300_000_000),
+            dst: entry.host(1),
+            cfg: FlowConfig::for_rate(2_000_000, 1.0),
+        })
+        .collect();
+    let mut sc = linear(
+        LinearConfig::builder()
+            .seed(ctx.seed)
+            .flows(flows)
+            .high_priority(vec![entry])
+            .build(),
+    )?;
+    let recorder = SharedRecorder::new(1 << 17);
+    sc.net.kernel.set_tracer(Box::new(recorder.clone()));
+
+    // Gray failure under test.
+    let fail_at = SimTime(700_000_000 + (ctx.seed % 4) * 150_000_000);
+    sc.net.kernel.add_failure(
+        sc.monitored_link,
+        sc.s1,
+        GrayFailure::single_entry(entry, 0.5, fail_at),
+    );
+
+    // Chaos on top: bursty data loss + light control loss forward,
+    // duplication + reordering on the return path.
+    let p_ctl = 0.02 + (ctx.seed % 5) as f64 * 0.01;
+    sc.net.kernel.add_fault_plan(
+        sc.monitored_link,
+        sc.s1,
+        FaultPlan::new(ctx.seed ^ 0xF0F0)
+            .stage(FaultStage::new(FaultTarget::Data).gilbert_elliott(0.01, 0.3, 0.0, 0.8))
+            .stage(FaultStage::new(FaultTarget::Control(None)).bernoulli(p_ctl)),
+    );
+    sc.net.kernel.add_fault_plan(
+        sc.monitored_link,
+        sc.s2,
+        FaultPlan::new(ctx.seed ^ 0x0F0F).stage(
+            FaultStage::new(FaultTarget::All)
+                .duplicate(0.05)
+                .reorder(0.05, SimDuration::from_micros(30), SimDuration::from_millis(1)),
+        ),
+    );
+
+    sc.net.run_until(SimTime(3_000_000_000));
+    ctx.absorb(&sc.net);
+    assert_eq!(recorder.dropped(), 0, "ring must hold the full trace");
+    let t = &sc.net.kernel.telemetry;
+    Ok(Signature {
+        chaos_drops: t.chaos_drops,
+        chaos_dups: t.chaos_dups,
+        chaos_reorders: t.chaos_reorders,
+        chaos_control_faults: t.chaos_control_faults,
+        gray_drops: sc.net.kernel.records.total_gray_drops(),
+        detections: sc.net.kernel.records.detections.len(),
+        events_dispatched: t.events_dispatched,
+        trace: recorder.to_jsonl(),
+    })
+}
+
+#[test]
+fn fault_injected_sweep_is_bit_identical_across_thread_counts() -> Result<(), ScenarioError> {
+    let sweep = Sweep::new("chaos-determinism", (0..CELLS).collect::<Vec<usize>>())
+        .seed(BASE_SEED);
+
+    let mut reference = Vec::with_capacity(CELLS);
+    for index in 0..CELLS {
+        reference.push(run_cell(&CellCtx::detached(sweep.cell_seed(index)))?);
+    }
+
+    let (one_thread, report1) = sweep.threads(1).try_run(|_, ctx| run_cell(ctx))?;
+    assert_eq!(reference, one_thread, "1-thread chaos sweep must match the serial loop");
+
+    let sweep = Sweep::new("chaos-determinism", (0..CELLS).collect::<Vec<usize>>())
+        .seed(BASE_SEED);
+    let (eight_threads, report8) = sweep.threads(8).try_run(|_, ctx| run_cell(ctx))?;
+    assert_eq!(reference, eight_threads, "8-thread chaos sweep must match the serial loop");
+
+    // The chaos layer really fired in this workload — bit-identity over
+    // all-zero counters would prove nothing.
+    assert!(reference.iter().any(|s| s.chaos_drops > 0), "no chaos drops anywhere");
+    assert!(reference.iter().any(|s| s.chaos_dups > 0), "no duplications anywhere");
+    assert!(reference.iter().any(|s| s.chaos_reorders > 0), "no reorders anywhere");
+    assert!(reference.iter().any(|s| s.chaos_control_faults > 0), "no control faults");
+    assert!(reference.iter().any(|s| s.detections > 0), "nothing was detected");
+    assert!(reference.iter().all(|s| s.trace.contains("\"ev\":\"chaos\"")));
+
+    // Aggregated chaos telemetry is scheduling-independent too.
+    assert_eq!(report1.telemetry, report8.telemetry);
+    assert!(report1.telemetry.chaos_drops > 0);
+    assert!(report1.summary().contains("chaos"));
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! ISSUE 4 acceptance: a sweep containing a deliberately panicking cell
+//! *and* a deliberately hung cell completes, returns the results of all
+//! other cells, and lists both casualties in `SweepReport::failed_cells`
+//! with the right causes — while real simulation cells around them keep
+//! their deterministic results.
+
+use std::time::{Duration, Instant};
+
+use fancy_apps::{linear, LinearConfig};
+use fancy_bench::runner::{CellCtx, CellFailure, Sweep};
+use fancy_net::Prefix;
+use fancy_sim::{GrayFailure, SimTime};
+use fancy_tcp::{FlowConfig, ScheduledFlow};
+
+const CELLS: usize = 16;
+const PANICKING: usize = 3;
+const HUNG: usize = 7;
+const WATCHDOG: Duration = Duration::from_millis(300);
+
+/// A real (small) simulation cell: gray-drop count of a linear scenario.
+fn simulate(ctx: &CellCtx) -> u64 {
+    let entry = Prefix(0x0A_70_00 + (ctx.seed % 32) as u32);
+    let mut sc = linear(
+        LinearConfig::builder()
+            .seed(ctx.seed)
+            .flows(vec![ScheduledFlow {
+                start: SimTime(0),
+                dst: entry.host(1),
+                cfg: FlowConfig::for_rate(2_000_000, 1.0),
+            }])
+            .high_priority(vec![entry])
+            .build(),
+    )
+    .expect("scenario must build");
+    sc.net.kernel.add_failure(
+        sc.monitored_link,
+        sc.s1,
+        GrayFailure::single_entry(entry, 0.4, SimTime(200_000_000)),
+    );
+    sc.net.run_until(SimTime(1_000_000_000));
+    ctx.absorb(&sc.net);
+    sc.net.kernel.records.total_gray_drops()
+}
+
+#[test]
+fn crashing_and_hanging_cells_do_not_take_down_the_sweep() {
+    let t0 = Instant::now();
+    let (results, report) = Sweep::new("isolation", (0..CELLS).collect::<Vec<usize>>())
+        .seed(0x150_1A7E)
+        .threads(4)
+        .watchdog(WATCHDOG)
+        .run_partial(|&cell, ctx| {
+            match cell {
+                PANICKING => panic!("deliberate panic in cell {cell}"),
+                HUNG => std::thread::sleep(Duration::from_secs(3600)),
+                _ => {}
+            }
+            simulate(ctx)
+        });
+    assert!(
+        t0.elapsed() < Duration::from_secs(60),
+        "the hung cell stalled the sweep for {:?}",
+        t0.elapsed()
+    );
+
+    // Every healthy cell has a result; exactly the two casualties don't.
+    assert_eq!(results.len(), CELLS);
+    for (index, r) in results.iter().enumerate() {
+        if index == PANICKING || index == HUNG {
+            assert!(r.is_none(), "cell {index} should have failed");
+        } else {
+            assert!(r.is_some(), "healthy cell {index} lost its result");
+        }
+    }
+
+    // Both casualties are reported, in index order, with correct causes
+    // and reproduction seeds.
+    assert_eq!(report.failed_cells.len(), 2);
+    let panicked = &report.failed_cells[0];
+    assert_eq!(panicked.index, PANICKING);
+    assert_eq!(panicked.seed, Sweep::new("x", vec![(); CELLS]).seed(0x150_1A7E).cell_seed(PANICKING));
+    assert_eq!(panicked.attempts, 2, "the one-retry policy must have re-run it");
+    let CellFailure::Panicked(msg) = &panicked.cause else {
+        panic!("cell {PANICKING} should be a panic, got {:?}", panicked.cause);
+    };
+    assert!(msg.contains("deliberate panic in cell 3"), "payload lost: {msg}");
+
+    let hung = &report.failed_cells[1];
+    assert_eq!(hung.index, HUNG);
+    assert_eq!(hung.cause, CellFailure::TimedOut(WATCHDOG));
+
+    // The survivors' results are the same ones a clean serial run
+    // produces — crash isolation must not perturb determinism.
+    let sweep = Sweep::new("reference", (0..CELLS).collect::<Vec<usize>>()).seed(0x150_1A7E);
+    for (index, r) in results.iter().enumerate() {
+        if let Some(drops) = r {
+            let expect = simulate(&CellCtx::detached(sweep.cell_seed(index)));
+            assert_eq!(*drops, expect, "cell {index} diverged from the serial reference");
+        }
+    }
+
+    // The failure summary names both cells.
+    let summary = report.summary();
+    assert!(summary.contains("FAILED cell 0003"), "{summary}");
+    assert!(summary.contains("FAILED cell 0007"), "{summary}");
+    assert!(summary.contains("timed out"), "{summary}");
+}

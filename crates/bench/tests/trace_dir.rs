@@ -39,7 +39,7 @@ fn run_sweep(dir: &Path, threads: usize) -> Result<(), ScenarioError> {
                 .high_priority(vec![entry])
                 .build(),
         )?;
-        if let Some(tracer) = ctx.tracer() {
+        if let Some(tracer) = ctx.tracer().expect("trace sink must be creatable") {
             sc.net.kernel.set_tracer(tracer);
         }
         sc.net.kernel.add_failure(

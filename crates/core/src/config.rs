@@ -38,6 +38,12 @@ pub struct TimerConfig {
     /// Start/Stop retransmission attempts before declaring a link failure
     /// (`X = 5` by default, §4.1).
     pub max_retx: u32,
+    /// Cap on exponential backoff: retransmission delays and post-failure
+    /// session-reopen delays grow as `base << min(n, max_backoff_shift)`,
+    /// so a link that eats every control message costs at most
+    /// `2^max_backoff_shift` times the base interval per attempt instead
+    /// of an unbounded retry storm.
+    pub max_backoff_shift: u32,
 }
 
 impl TimerConfig {
@@ -50,6 +56,7 @@ impl TimerConfig {
             trtx: SimDuration::from_millis(25),
             twait: SimDuration::from_millis(2),
             max_retx: 5,
+            max_backoff_shift: 3,
         }
     }
 

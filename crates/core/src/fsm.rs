@@ -85,6 +85,11 @@ pub struct SenderFsm {
     pub sessions_completed: u64,
     /// Link-failure declarations made.
     pub link_failures: u64,
+    /// Link failures declared since the last completed session. Drives
+    /// the exponential reopen backoff: a link that never answers is
+    /// retried at `interval << min(n, max_backoff_shift)` instead of
+    /// hammering at the base rate forever.
+    pub consecutive_failures: u32,
 }
 
 impl SenderFsm {
@@ -99,6 +104,7 @@ impl SenderFsm {
             epoch: 0,
             sessions_completed: 0,
             link_failures: 0,
+            consecutive_failures: 0,
         }
     }
 
@@ -143,6 +149,7 @@ impl SenderFsm {
             (SenderState::WaitReport, ControlBody::Report(counters)) => {
                 self.state = SenderState::Idle;
                 self.sessions_completed += 1;
+                self.consecutive_failures = 0;
                 vec![SenderAction::Deliver(counters.clone())]
             }
             _ => Vec::new(),
@@ -183,11 +190,28 @@ impl SenderFsm {
             self.state = SenderState::Idle;
             self.retx = 0;
             self.link_failures += 1;
-            vec![SenderAction::LinkFailure, self.arm(self.interval)]
+            self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+            // Back the reopen delay off exponentially with consecutive
+            // failures — a dead control plane is probed ever more gently
+            // (capped) rather than at full session rate.
+            let delay = backoff(
+                self.interval,
+                self.consecutive_failures,
+                self.timers.max_backoff_shift,
+            );
+            vec![SenderAction::LinkFailure, self.arm(delay)]
         } else {
-            vec![SenderAction::Send(msg), self.arm(self.timers.trtx)]
+            // Retransmissions within a session back off too: the k-th
+            // resend waits trtx << min(k, cap).
+            let delay = backoff(self.timers.trtx, self.retx, self.timers.max_backoff_shift);
+            vec![SenderAction::Send(msg), self.arm(delay)]
         }
     }
+}
+
+/// `base << min(n, cap)`, saturating — the shared exponential-backoff law.
+fn backoff(base: SimDuration, n: u32, cap: u32) -> SimDuration {
+    SimDuration::from_nanos(base.as_nanos().saturating_mul(1u64 << n.min(cap).min(63)))
 }
 
 /// Receiver-side protocol states (Fig. 3, right).
@@ -294,8 +318,15 @@ impl ReceiverFsm {
                     }
                     actions.push(ReceiverAction::Send(ControlBody::StartAck));
                     actions
+                } else if self.session_id != 0 && !session_newer(session_id, self.session_id) {
+                    // Stale Start: a wire-duplicated or long-delayed Start
+                    // of the current or an *older* session. Adopting it
+                    // would resurrect a dead session — the receiver would
+                    // reset its counters, re-ACK, and later report counts
+                    // for traffic the sender never tagged under that id.
+                    Vec::new()
                 } else {
-                    // New session (or a Start that supersedes anything else).
+                    // Genuinely new session: supersedes anything in flight.
                     self.session_id = session_id;
                     self.state = ReceiverState::Ready;
                     vec![
@@ -344,6 +375,12 @@ impl ReceiverFsm {
         self.last_reported = Some(self.session_id);
         vec![ReceiverAction::EmitReport]
     }
+}
+
+/// Is session id `a` newer than `b` under wrapping u32 arithmetic?
+/// (Session ids increment by one per session and may wrap.)
+fn session_newer(a: u32, b: u32) -> bool {
+    a != b && a.wrapping_sub(b) < u32::MAX / 2
 }
 
 #[cfg(test)]
@@ -542,6 +579,104 @@ mod tests {
         let a2 = s.on_timer(epoch_of(&a));
         assert!(!s.is_counting());
         assert!(a2.contains(&SenderAction::EndCounting));
+    }
+
+    fn delay_of(actions: &[SenderAction]) -> SimDuration {
+        actions
+            .iter()
+            .find_map(|a| match a {
+                SenderAction::ArmTimer { delay, .. } => Some(*delay),
+                _ => None,
+            })
+            .expect("no timer armed")
+    }
+
+    #[test]
+    fn retransmissions_back_off_exponentially() {
+        let mut s = sender();
+        let trtx = timers().trtx;
+        let a = s.open();
+        assert_eq!(delay_of(&a), trtx, "first Start waits one trtx");
+        let a = s.on_timer(epoch_of(&a)); // retx 1
+        assert_eq!(delay_of(&a), trtx * 2);
+        let a = s.on_timer(epoch_of(&a)); // retx 2
+        assert_eq!(delay_of(&a), trtx * 4);
+        let a = s.on_timer(epoch_of(&a)); // retx 3
+        assert_eq!(delay_of(&a), trtx * 8);
+        // max_backoff_shift = 3: the next retransmission stays at 8×.
+        let a = s.on_timer(epoch_of(&a)); // retx 4
+        assert_eq!(delay_of(&a), trtx * 8);
+    }
+
+    #[test]
+    fn reopen_delay_grows_with_consecutive_failures() {
+        let mut s = sender();
+        let interval = s.interval;
+        let mut a = s.open();
+        let mut reopen_delays = Vec::new();
+        // Drive three full failure cycles without ever answering.
+        for _ in 0..3 {
+            loop {
+                a = s.on_timer(epoch_of(&a));
+                if a.contains(&SenderAction::LinkFailure) {
+                    reopen_delays.push(delay_of(&a));
+                    // Reopen timer fires, next session starts.
+                    a = s.on_timer(epoch_of(&a));
+                    break;
+                }
+            }
+        }
+        assert_eq!(reopen_delays, vec![interval * 2, interval * 4, interval * 8]);
+        assert_eq!(s.consecutive_failures, 3);
+        // A completed session resets the backoff.
+        let sid = s.session_id;
+        a = s.on_message(sid, &ControlBody::StartAck);
+        let _ = s.on_timer(epoch_of(&a)); // counting over → Stop
+        s.on_message(sid, &ControlBody::Report(vec![1]));
+        assert_eq!(s.consecutive_failures, 0);
+    }
+
+    #[test]
+    fn stale_duplicate_start_ignored_after_report() {
+        let mut r = receiver();
+        // Serve session 5 to completion.
+        r.on_message(5, &ControlBody::Start);
+        r.on_tagged_packet();
+        let ra = r.on_message(5, &ControlBody::Stop);
+        let _ = r.on_timer(r_epoch_of(&ra));
+        assert_eq!(r.state, ReceiverState::Idle);
+        // A wire-duplicated Start for the dead session 5 drifts in. The
+        // old FSM re-adopted it (reset + ACK) and would later report
+        // near-zero counts for a session the sender finished long ago.
+        assert!(r.on_message(5, &ControlBody::Start).is_empty());
+        assert_eq!(r.state, ReceiverState::Idle);
+        // The sender's genuinely-new session 6 still gets served.
+        let ra = r.on_message(6, &ControlBody::Start);
+        assert!(ra.contains(&ReceiverAction::Send(ControlBody::StartAck)));
+        assert_eq!(r.session_id, 6);
+    }
+
+    #[test]
+    fn older_start_does_not_supersede_live_session() {
+        let mut r = receiver();
+        r.on_message(9, &ControlBody::Start);
+        r.on_tagged_packet();
+        assert_eq!(r.state, ReceiverState::Counting);
+        // A delayed Start from the long-dead session 7 must not clobber
+        // the live session 9.
+        assert!(r.on_message(7, &ControlBody::Start).is_empty());
+        assert_eq!(r.session_id, 9);
+        assert_eq!(r.state, ReceiverState::Counting);
+    }
+
+    #[test]
+    fn session_ids_compare_across_wrap() {
+        assert!(session_newer(1, 0));
+        assert!(!session_newer(0, 1));
+        assert!(!session_newer(4, 4));
+        // Wrap-around: 3 follows u32::MAX - 2.
+        assert!(session_newer(3, u32::MAX - 2));
+        assert!(!session_newer(u32::MAX - 2, 3));
     }
 
     #[test]

@@ -164,6 +164,14 @@ struct UpstreamPort {
     /// when any session on the port completes again. Keeps LinkDown
     /// reports rising-edge like the other output registers.
     link_down: bool,
+    /// Degraded port-level counting: entered when a sender FSM exhausts
+    /// its retries (the control plane across this link is unusable), left
+    /// when any session completes again. While degraded the switch stops
+    /// tagging and instead keeps one aggregate egress counter for the
+    /// port — the coarsest signal that still notices a blackhole.
+    degraded: bool,
+    /// Egress packets counted while in degraded mode.
+    port_level_count: u64,
 }
 
 struct DedicatedDown {
@@ -270,6 +278,8 @@ impl FancySwitch {
             bloom: OutputBloom::tofino_default(self.seed ^ 0xB100),
             last_congested: None,
             link_down: false,
+            degraded: false,
+            port_level_count: 0,
         }
     }
 
@@ -308,6 +318,17 @@ impl FancySwitch {
     /// completed session since)?
     pub fn is_link_down(&self, port: PortId) -> bool {
         self.upstream.get(&port).is_some_and(|u| u.link_down)
+    }
+
+    /// Is the port in degraded port-level counting (protocol retries
+    /// exhausted, no completed session since)?
+    pub fn is_degraded(&self, port: PortId) -> bool {
+        self.upstream.get(&port).is_some_and(|u| u.degraded)
+    }
+
+    /// Egress packets counted at port level while `port` was degraded.
+    pub fn port_level_count(&self, port: PortId) -> u64 {
+        self.upstream.get(&port).map_or(0, |u| u.port_level_count)
     }
 
     /// Would this packet be steered to a backup port? (Outcome of the
@@ -403,6 +424,16 @@ impl FancySwitch {
                     // A completed session proves the link answers again.
                     if let Some(up) = self.upstream.get_mut(&port) {
                         up.link_down = false;
+                        if up.degraded {
+                            up.degraded = false;
+                            let node = ctx.self_id() as u64;
+                            ctx.trace(|t| fancy_sim::TraceEvent::DegradedMode {
+                                t,
+                                node,
+                                port: port as u64,
+                                on: 0,
+                            });
+                        }
                     }
                     self.deliver_report(ctx, port, kind, &counters);
                     // "immediately after, starts a new session" (§3).
@@ -425,6 +456,19 @@ impl FancySwitch {
                     if !up.link_down {
                         up.link_down = true;
                         ctx.report(port, DetectionScope::LinkDown, DetectorKind::ProtocolTimeout);
+                    }
+                    if !up.degraded {
+                        // Retry exhaustion: fall back to port-level
+                        // counting until a session completes again.
+                        up.degraded = true;
+                        ctx.telemetry.degraded_entries += 1;
+                        let node = ctx.self_id() as u64;
+                        ctx.trace(|t| fancy_sim::TraceEvent::DegradedMode {
+                            t,
+                            node,
+                            port: port as u64,
+                            on: 1,
+                        });
                     }
                 }
                 SenderAction::ArmTimer { delay, epoch } => {
@@ -734,6 +778,12 @@ impl FancySwitch {
         let Some(up) = self.upstream.get_mut(&out) else {
             return;
         };
+        if up.degraded {
+            // Degraded mode: no tagging or per-entry state, just one
+            // aggregate per-port count.
+            up.port_level_count = up.port_level_count.wrapping_add(1);
+            return;
+        }
         if let Some(id) = dedicated_id {
             let d = &mut up.dedicated[usize::from(id)];
             if d.fsm.is_counting() {

@@ -1,0 +1,201 @@
+//! Protocol soak tests under adversarial control-plane faults (ISSUE 4).
+//!
+//! The §5 experiment pair (`sender host — S1 — S2 — receiver host`,
+//! FANcY on the S1↔S2 link) runs with a `FaultPlan` chewing on the
+//! control plane in both directions:
+//!
+//! * at 20 % control loss, retransmission + exponential backoff must
+//!   still establish counting sessions and detect a gray failure;
+//! * at 100 % control loss, retry exhaustion must degrade the switch to
+//!   port-level counting — visibly, via a `DegradedMode` trace event —
+//!   and recover once the control plane heals.
+
+use fancy_core::prelude::*;
+use fancy_net::Prefix;
+use fancy_sim::{
+    DetectorKind, FaultPlan, FaultStage, FaultTarget, GrayFailure, LinkConfig, Network,
+    SharedRecorder, SimDuration, SimTime, TraceEvent,
+};
+use fancy_tcp::{FlowConfig, ReceiverHost, ScheduledFlow, SenderHost};
+
+/// The §5 pair with FANcY monitoring S1's port 1 (the S1→S2 link).
+/// Returns `(net, s1, s2, link)`.
+fn fancy_pair(high_priority: Vec<Prefix>, flows: Vec<ScheduledFlow>, seed: u64) -> (Network, usize, usize, usize) {
+    let mut input = FancyInput {
+        high_priority,
+        memory_bytes_per_port: 1 << 20,
+        tree: TreeParams::paper_default(),
+        timers: TimerConfig::paper_default(),
+    };
+    input.timers = input.timers.for_link_delay(SimDuration::from_millis(10));
+    let layout = input.translate().expect("layout");
+
+    let mut net = Network::new(seed);
+    let host = net.add_node(Box::new(SenderHost::new(0x01_00_00_01, flows)));
+    let mut fib1 = fancy_sim::Fib::new();
+    fib1.default_route(1);
+    fib1.route(Prefix::from_addr(0x01_00_00_01), 0);
+    let s1 = net.add_node(Box::new(FancySwitch::new(fib1, layout.clone(), vec![1], seed)));
+    let mut fib2 = fancy_sim::Fib::new();
+    fib2.default_route(1);
+    fib2.route(Prefix::from_addr(0x01_00_00_01), 0);
+    let s2 = net.add_node(Box::new(FancySwitch::new(fib2, layout, Vec::new(), seed + 1)));
+    let rx = net.add_node(Box::new(ReceiverHost::new()));
+
+    let edge = LinkConfig::new(10_000_000_000, SimDuration::from_micros(10));
+    let core = LinkConfig::new(10_000_000_000, SimDuration::from_millis(10));
+    net.connect(host, s1, edge);
+    let link = net.connect(s1, s2, core);
+    net.connect(s2, rx, edge);
+    (net, s1, s2, link)
+}
+
+fn steady_flows(dst: u32, rate: u64, n: usize, spacing_ms: u64) -> Vec<ScheduledFlow> {
+    (0..n)
+        .map(|i| ScheduledFlow {
+            start: SimTime(i as u64 * spacing_ms * 1_000_000),
+            dst,
+            cfg: FlowConfig::for_rate(rate, 1.0),
+        })
+        .collect()
+}
+
+/// Drop control-plane packets with probability `p` in *both* directions
+/// of `link` (Start/Stop go S1→S2, StartAck/Report come back).
+fn lossy_control_plane(net: &mut Network, link: usize, s1: usize, s2: usize, p: f64, seed: u64) {
+    net.kernel.add_fault_plan(link, s1, FaultPlan::control_loss(seed, None, p));
+    net.kernel.add_fault_plan(link, s2, FaultPlan::control_loss(seed ^ 0x5A5A, None, p));
+}
+
+#[test]
+fn sessions_establish_and_detect_under_20pct_control_loss() {
+    let entry = Prefix::from_addr(0x0A_00_00_05);
+    let flows = steady_flows(0x0A_00_00_05, 1_000_000, 30, 150);
+    let (mut net, s1, s2, link) = fancy_pair(vec![entry], flows, 41);
+    lossy_control_plane(&mut net, link, s1, s2, 0.20, 0xC0A5);
+
+    let fail_at = SimTime::ZERO + SimDuration::from_secs(1);
+    net.kernel
+        .add_failure(link, s1, GrayFailure::single_entry(entry, 1.0, fail_at));
+    net.run_until(SimTime::ZERO + SimDuration::from_secs(8));
+
+    // The counting protocol still makes progress: sessions complete
+    // (slower — every fifth control message vanishes) and the blackhole
+    // is still caught by the dedicated counter.
+    let sw: &FancySwitch = net.node(s1);
+    let (ded_sessions, _) = sw.sessions_completed(1);
+    assert!(ded_sessions > 10, "only {ded_sessions} dedicated sessions under 20% control loss");
+    assert!(!sw.is_degraded(1), "20% loss must not exhaust the retry budget");
+    let det = net
+        .kernel
+        .records
+        .first_entry_detection(entry)
+        .expect("gray failure must still be detected at 20% control loss");
+    assert_eq!(det.detector, DetectorKind::DedicatedCounter);
+    let latency = det.time.duration_since(fail_at);
+    assert!(
+        latency < SimDuration::from_secs(3),
+        "detection took {latency} under 20% control loss"
+    );
+    // The chaos layer really was active.
+    assert!(net.kernel.telemetry.chaos_control_faults > 0);
+}
+
+#[test]
+fn total_control_blackhole_degrades_then_recovers() {
+    let entry = Prefix::from_addr(0x0A_00_00_05);
+    let flows = steady_flows(0x0A_00_00_05, 1_000_000, 40, 100);
+    let (mut net, s1, s2, link) = fancy_pair(vec![entry], flows, 42);
+    let recorder = SharedRecorder::new(1 << 16);
+    net.kernel.set_tracer(Box::new(recorder.clone()));
+
+    // Control plane dead from t=0 to t=4s, in both directions.
+    let heal_at = SimTime::ZERO + SimDuration::from_secs(4);
+    let blackhole = |seed| {
+        FaultPlan::new(seed).stage(
+            FaultStage::new(FaultTarget::Control(None))
+                .bernoulli(1.0)
+                .window(SimTime::ZERO, heal_at),
+        )
+    };
+    net.kernel.add_fault_plan(link, s1, blackhole(0xDEAD));
+    net.kernel.add_fault_plan(link, s2, blackhole(0xBEEF));
+
+    net.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+    {
+        // X = 5 retransmissions (with backoff) exhaust well within 3 s:
+        // the switch has latched link-down and fallen back to port-level
+        // counting, which keeps counting packets without tagging them.
+        let sw: &FancySwitch = net.node(s1);
+        assert!(sw.is_link_down(1), "retry exhaustion must latch link-down");
+        assert!(sw.is_degraded(1), "switch must degrade to port-level counting");
+        assert!(
+            sw.port_level_count(1) > 0,
+            "degraded mode must still count forwarded packets"
+        );
+    }
+    assert!(net.kernel.telemetry.degraded_entries >= 1);
+    let entered = recorder
+        .snapshot()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::DegradedMode { on: 1, .. }))
+        .count();
+    assert!(entered >= 1, "degraded-mode entry must be traced");
+
+    // Heal the control plane; the next successful session clears
+    // degraded mode.
+    net.run_until(SimTime::ZERO + SimDuration::from_secs(8));
+    let sw: &FancySwitch = net.node(s1);
+    assert!(!sw.is_degraded(1), "degraded mode must clear after the control plane heals");
+    let cleared = recorder
+        .snapshot()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::DegradedMode { on: 0, .. }))
+        .count();
+    assert!(cleared >= 1, "degraded-mode exit must be traced");
+    let (ded_sessions, _) = sw.sessions_completed(1);
+    assert!(ded_sessions > 0, "sessions must complete after healing");
+}
+
+#[test]
+fn soak_under_mixed_control_chaos_is_deterministic_and_live() {
+    // Bursty loss + duplication + reordering on the control plane for
+    // the whole run: the protocol must neither deadlock nor corrupt
+    // session state (stale-session rejection), and the run must be
+    // bit-reproducible.
+    let run = || {
+        let entry = Prefix::from_addr(0x0A_00_00_05);
+        let flows = steady_flows(0x0A_00_00_05, 1_000_000, 30, 150);
+        let (mut net, s1, s2, link) = fancy_pair(vec![entry], flows, 43);
+        let chaos = |seed| {
+            FaultPlan::new(seed)
+                .stage(
+                    FaultStage::new(FaultTarget::Control(None))
+                        .gilbert_elliott(0.02, 0.2, 0.0, 0.9),
+                )
+                .stage(
+                    FaultStage::new(FaultTarget::Control(None))
+                        .duplicate(0.10)
+                        .reorder(0.10, SimDuration::from_micros(50), SimDuration::from_millis(2)),
+                )
+        };
+        net.kernel.add_fault_plan(link, s1, chaos(0x51CC));
+        net.kernel.add_fault_plan(link, s2, chaos(0x52CC));
+        let recorder = SharedRecorder::new(1 << 16);
+        net.kernel.set_tracer(Box::new(recorder.clone()));
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(6));
+
+        let sw: &FancySwitch = net.node(s1);
+        let (ded, tree) = sw.sessions_completed(1);
+        // Liveness: despite bursts, dups and reorder the protocol keeps
+        // completing sessions on a healthy data plane.
+        assert!(ded > 5, "dedicated sessions stalled: {ded}");
+        assert!(tree > 2, "tree sessions stalled: {tree}");
+        assert!(net.kernel.records.detections.is_empty(), "no failure was injected");
+        (recorder.to_jsonl(), net.kernel.telemetry)
+    };
+    let (trace_a, tel_a) = run();
+    let (trace_b, tel_b) = run();
+    assert_eq!(tel_a, tel_b, "chaos soak telemetry must be reproducible");
+    assert_eq!(trace_a, trace_b, "chaos soak traces must be bit-identical");
+}

@@ -78,7 +78,32 @@ pub enum ControlBody {
     Report(Vec<u32>),
 }
 
+/// Payload-free discriminator of a [`ControlBody`]. Chaos matchers and
+/// statistics key on this when the message *type* matters but its
+/// counters do not (e.g. "drop every Report on this link").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlKind {
+    /// A session-opening `Start`.
+    Start,
+    /// The downstream's `StartAck`.
+    StartAck,
+    /// A session-closing `Stop`.
+    Stop,
+    /// The downstream's counter `Report`.
+    Report,
+}
+
 impl ControlBody {
+    /// This body's payload-free discriminator.
+    pub fn kind(&self) -> ControlKind {
+        match self {
+            ControlBody::Start => ControlKind::Start,
+            ControlBody::StartAck => ControlKind::StartAck,
+            ControlBody::Stop => ControlKind::Stop,
+            ControlBody::Report(_) => ControlKind::Report,
+        }
+    }
+
     fn wire_type(&self) -> u8 {
         match self {
             ControlBody::Start => 1,

@@ -26,7 +26,7 @@ pub mod prefix;
 pub mod segment;
 pub mod tag;
 
-pub use control::{ControlBody, ControlMessage, SessionKind};
+pub use control::{ControlBody, ControlKind, ControlMessage, SessionKind};
 pub use error::ParseError;
 pub use ipv4::Ipv4Header;
 pub use prefix::Prefix;

@@ -8,7 +8,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::event::{EventQueue, NodeId, PortId, TimerToken};
-use crate::failure::GrayFailure;
+use crate::failure::{FaultPlan, FaultVerdict, GrayFailure};
 use crate::link::{Admission, Link, LinkConfig};
 use crate::packet::{Packet, PacketKind};
 use crate::pool::{PacketPool, PacketRef};
@@ -324,9 +324,16 @@ impl Kernel {
         // Gray failures act on the wire, at the packet's departure time.
         let when = adm.departure_end;
         let mut dropped = false;
+        // The chaos layer's combined verdict across installed fault plans:
+        // first drop wins, duplication/reordering compose.
+        let mut verdict = FaultVerdict::default();
         // Split borrows: failures need &mut rng, &pool and &mut link.dirs.
         let pkt = self.pool.get(r);
         let size = u64::from(pkt.size);
+        let is_control = matches!(
+            pkt.kind,
+            PacketKind::FancyControl(_) | PacketKind::NetSeerNack { .. }
+        );
         let (peer, peer_port, delay);
         {
             let link = &mut self.links[adm.link];
@@ -339,11 +346,49 @@ impl Kernel {
                     break;
                 }
             }
+            if !dropped {
+                // Chaos plans draw from their own RNGs, never the kernel's,
+                // so installing one cannot shift unrelated randomness.
+                for plan in &mut dir.chaos {
+                    let v = plan.apply(pkt, when);
+                    if v.drop {
+                        verdict.drop = true;
+                        break;
+                    }
+                    verdict.duplicate |= v.duplicate;
+                    if verdict.extra_delay.is_none() {
+                        verdict.extra_delay = v.extra_delay;
+                    }
+                }
+                if verdict.duplicate {
+                    // The wire copy is real transmitted traffic.
+                    dir.tx_packets += 1;
+                    dir.tx_bytes += size;
+                }
+            }
             (peer, peer_port) = link.peer(adm.dir);
             delay = link.cfg.delay;
         }
         self.records.wire_packets += 1;
         self.records.wire_bytes += size;
+        if verdict.drop {
+            self.telemetry.chaos_drops += 1;
+            if is_control {
+                self.telemetry.chaos_control_faults += 1;
+            }
+            if self.trace_enabled() {
+                let uid = self.pool.get(r).uid;
+                self.trace(|_| TraceEvent::ChaosInject {
+                    t: when.as_nanos(),
+                    link: adm.link as u64,
+                    dir: adm.dir as u64,
+                    action: "drop".to_owned(),
+                    uid,
+                    control: u64::from(is_control),
+                });
+            }
+            dropped = true;
+        }
         if dropped {
             // The slot is recycled on the spot: drops free pool storage.
             let pkt = self.pool.remove(r);
@@ -396,6 +441,51 @@ impl Kernel {
             });
         }
         let arrive = when + delay;
+        if verdict.duplicate {
+            // A wire duplicate: the copy keeps the original's uid (it is
+            // the same packet twice, as a downstream dedup would see it)
+            // and arrives undelayed even if the original is reordered.
+            let copy = self.pool.get(r).clone();
+            let uid = copy.uid;
+            let r2 = self.pool.insert(copy);
+            self.queue.push_arrival(arrive, peer, peer_port, r2);
+            self.telemetry.packets_forwarded += 1;
+            self.telemetry.chaos_dups += 1;
+            if is_control {
+                self.telemetry.chaos_control_faults += 1;
+            }
+            if self.trace_enabled() {
+                self.trace(|_| TraceEvent::ChaosInject {
+                    t: when.as_nanos(),
+                    link: adm.link as u64,
+                    dir: adm.dir as u64,
+                    action: "dup".to_owned(),
+                    uid,
+                    control: u64::from(is_control),
+                });
+            }
+        }
+        let arrive = match verdict.extra_delay {
+            Some(extra) => {
+                self.telemetry.chaos_reorders += 1;
+                if is_control {
+                    self.telemetry.chaos_control_faults += 1;
+                }
+                if self.trace_enabled() {
+                    let uid = self.pool.get(r).uid;
+                    self.trace(|_| TraceEvent::ChaosInject {
+                        t: when.as_nanos(),
+                        link: adm.link as u64,
+                        dir: adm.dir as u64,
+                        action: "reorder".to_owned(),
+                        uid,
+                        control: u64::from(is_control),
+                    });
+                }
+                arrive + extra
+            }
+            None => arrive,
+        };
         self.queue.push_arrival(arrive, peer, peer_port, r);
     }
 
@@ -481,11 +571,30 @@ impl Kernel {
         l.dirs[dir].failures.push(failure);
     }
 
-    /// Remove all failures from every link (used by repair scenarios).
+    /// Install an adversarial [`FaultPlan`] on a link direction. `from`
+    /// names the node whose *egress* traffic the plan acts on — installing
+    /// different plans per direction gives asymmetric loss. Plans apply
+    /// after gray failures, at the packet's departure time.
+    pub fn add_fault_plan(&mut self, link: LinkId, from: NodeId, plan: FaultPlan) {
+        let l = &mut self.links[link];
+        let dir = if l.ends[0].0 == from {
+            0
+        } else if l.ends[1].0 == from {
+            1
+        } else {
+            panic!("node {from} is not an endpoint of link {link}");
+        };
+        l.dirs[dir].chaos.push(plan);
+    }
+
+    /// Remove all failures and fault plans from every link (used by
+    /// repair scenarios).
     pub fn clear_failures(&mut self) {
         for l in &mut self.links {
-            l.dirs[0].failures.clear();
-            l.dirs[1].failures.clear();
+            for d in &mut l.dirs {
+                d.failures.clear();
+                d.chaos.clear();
+            }
         }
     }
 

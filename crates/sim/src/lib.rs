@@ -72,7 +72,10 @@ pub use fancy_trace as trace;
 /// Convenient re-exports for building simulations.
 pub mod prelude {
     pub use crate::event::{NodeId, PortId, TimerToken};
-    pub use crate::failure::{FailureMatcher, GrayFailure};
+    pub use crate::failure::{
+        FailureMatcher, FaultPlan, FaultStage, FaultTarget, FaultVerdict, GrayFailure,
+        LossProcess,
+    };
     pub use crate::kernel::{Kernel, LinkId};
     pub use crate::link::{Admission, LinkConfig};
     pub use crate::network::Network;

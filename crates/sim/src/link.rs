@@ -10,7 +10,7 @@
 //! TM, before the downstream one).
 
 use crate::event::{NodeId, PortId};
-use crate::failure::GrayFailure;
+use crate::failure::{FaultPlan, GrayFailure};
 use crate::time::{transmission_time, SimDuration, SimTime};
 
 /// Static link parameters.
@@ -58,6 +58,9 @@ pub(crate) struct LinkDir {
     pub next_free: SimTime,
     /// Gray failures installed on this direction.
     pub failures: Vec<GrayFailure>,
+    /// Adversarial fault plans (chaos layer) installed on this direction.
+    /// Evaluated after `failures`, each with its own seeded RNG.
+    pub chaos: Vec<FaultPlan>,
     /// Packets put on the wire on this direction.
     pub tx_packets: u64,
     /// Bytes put on the wire on this direction.

@@ -53,6 +53,18 @@ pub struct TelemetryCounters {
     /// plus in-place forwards. High recycle counts against a low pool
     /// high-water mark mean the hot path runs allocation-free.
     pub pool_recycled: u64,
+    /// Packets dropped by the chaos layer ([`crate::failure::FaultPlan`]).
+    pub chaos_drops: u64,
+    /// Wire duplicates injected by the chaos layer.
+    pub chaos_dups: u64,
+    /// Packets delayed past later traffic (reordered) by the chaos layer.
+    pub chaos_reorders: u64,
+    /// Chaos actions (drop/dup/reorder) that hit control messages —
+    /// the §4.1 robustness scenario's primary dial.
+    pub chaos_control_faults: u64,
+    /// Times a switch port fell back to degraded port-level counting
+    /// after exhausting protocol retries.
+    pub degraded_entries: u64,
 }
 
 impl TelemetryCounters {
@@ -72,6 +84,11 @@ impl TelemetryCounters {
         self.congestion_drops += other.congestion_drops;
         self.pool_high_water = self.pool_high_water.max(other.pool_high_water);
         self.pool_recycled += other.pool_recycled;
+        self.chaos_drops += other.chaos_drops;
+        self.chaos_dups += other.chaos_dups;
+        self.chaos_reorders += other.chaos_reorders;
+        self.chaos_control_faults += other.chaos_control_faults;
+        self.degraded_entries += other.degraded_entries;
     }
 }
 
@@ -109,7 +126,8 @@ impl TelemetrySnapshot {
     pub fn summary(&self) -> String {
         format!(
             "sim {:.2}s in wall {:.2}s ({:.3} wall-s/sim-s) | {} events ({} arrivals, {} timers), \
-             queue high-water {} (timers {}) | fwd {} gray {} ctrl {} cong {} | pool hw {} recycled {}",
+             queue high-water {} (timers {}) | fwd {} gray {} ctrl {} cong {} | pool hw {} recycled {} \
+             | chaos drop {} dup {} reord {} ctl {} degraded {}",
             self.sim_elapsed.as_secs_f64(),
             self.wall_elapsed.as_secs_f64(),
             self.wall_secs_per_sim_sec().unwrap_or(0.0),
@@ -124,6 +142,11 @@ impl TelemetrySnapshot {
             self.counters.congestion_drops,
             self.counters.pool_high_water,
             self.counters.pool_recycled,
+            self.counters.chaos_drops,
+            self.counters.chaos_dups,
+            self.counters.chaos_reorders,
+            self.counters.chaos_control_faults,
+            self.counters.degraded_entries,
         )
     }
 }
@@ -199,6 +222,11 @@ mod tests {
             congestion_drops: 2,
             pool_high_water: 4,
             pool_recycled: 100,
+            chaos_drops: 2,
+            chaos_dups: 1,
+            chaos_reorders: 0,
+            chaos_control_faults: 1,
+            degraded_entries: 0,
         };
         let b = TelemetryCounters {
             events_dispatched: 1,
@@ -212,6 +240,11 @@ mod tests {
             congestion_drops: 0,
             pool_high_water: 7,
             pool_recycled: 11,
+            chaos_drops: 3,
+            chaos_dups: 0,
+            chaos_reorders: 4,
+            chaos_control_faults: 2,
+            degraded_entries: 1,
         };
         a.absorb(&b);
         assert_eq!(a.events_dispatched, 11);
@@ -221,6 +254,11 @@ mod tests {
         assert_eq!(a.congestion_drops, 2);
         assert_eq!(a.pool_high_water, 7, "pool high-water maxes");
         assert_eq!(a.pool_recycled, 111, "pool recycles sum");
+        assert_eq!(a.chaos_drops, 5);
+        assert_eq!(a.chaos_dups, 1);
+        assert_eq!(a.chaos_reorders, 4);
+        assert_eq!(a.chaos_control_faults, 3);
+        assert_eq!(a.degraded_entries, 1);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Hand-counted chaos-layer telemetry (ISSUE 4 satellite).
+//!
+//! A fixed schedule of data and control packets crosses one link under
+//! fault plans whose probabilities are all 0 or 1 inside exact windows,
+//! so every counter — injected drops, duplicates, reorders, control
+//! faults — is known by hand before the run. Also pins down that chaos
+//! traces are seed-deterministic end to end.
+
+use std::any::Any;
+
+use fancy_net::{ControlBody, ControlMessage, SessionKind};
+use fancy_sim::prelude::*;
+
+/// Sends a fixed schedule of packets; `schedule[i]` fires at timer `i`.
+struct ChaosBlaster {
+    schedule: Vec<(SimTime, PacketKind)>,
+    sent: u64,
+}
+
+impl ChaosBlaster {
+    fn new(schedule: Vec<(SimTime, PacketKind)>) -> Self {
+        ChaosBlaster { schedule, sent: 0 }
+    }
+}
+
+impl Node for ChaosBlaster {
+    fn on_start(&mut self, ctx: &mut Kernel) {
+        for (i, &(t, _)) in self.schedule.iter().enumerate() {
+            ctx.schedule_timer(t.duration_since(SimTime::ZERO), i as u64);
+        }
+    }
+    fn on_packet(&mut self, _ctx: &mut Kernel, _port: PortId, _pkt: PacketRef) {}
+    fn on_timer(&mut self, ctx: &mut Kernel, token: u64) {
+        let (_, kind) = self.schedule[token as usize].clone();
+        let pkt = PacketBuilder::new(1, 0x0A_00_00_01, 200, kind).build();
+        if ctx.send(0, pkt) {
+            self.sent += 1;
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn udp(seq: u64) -> PacketKind {
+    PacketKind::Udp { flow: 0, seq }
+}
+
+fn start_msg(session_id: u32) -> PacketKind {
+    PacketKind::FancyControl(ControlMessage {
+        kind: SessionKind::Tree,
+        session_id,
+        body: ControlBody::Start,
+    })
+}
+
+fn ms(v: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(v)
+}
+
+/// Build and run the hand-counted scenario, returning (net, recorder).
+fn run_scenario(seed: u64) -> (Network, SharedRecorder) {
+    // 10 UDP packets at t = 0..10 ms (one per ms), 5 Starts at 20..25 ms.
+    let mut schedule: Vec<(SimTime, PacketKind)> =
+        (0..10).map(|i| (ms(i), udp(i))).collect();
+    schedule.extend((0..5u64).map(|i| (ms(20 + i), start_msg(i as u32 + 1))));
+
+    let mut net = Network::new(seed);
+    let tx = net.add_node(Box::new(ChaosBlaster::new(schedule)));
+    let rx = net.add_node(Box::new(SinkNode::default()));
+    // 100 Gbps: a 200 B packet serializes in 16 ns, so departure times sit
+    // a hair after the send instants and window arithmetic stays exact.
+    let cfg = LinkConfig::new(100_000_000_000, SimDuration::from_millis(1));
+    let link = net.connect(tx, rx, cfg);
+
+    // Window [2ms, 5ms): drops the UDP packets sent at 2, 3, 4 ms → 3 drops.
+    net.kernel.add_fault_plan(
+        link,
+        tx,
+        FaultPlan::new(11).stage(
+            FaultStage::new(FaultTarget::Data)
+                .bernoulli(1.0)
+                .window(ms(2), ms(5)),
+        ),
+    );
+    // Window [6ms, 8ms): duplicates the UDP packets at 6, 7 ms → 2 dups.
+    net.kernel.add_fault_plan(
+        link,
+        tx,
+        FaultPlan::new(12).stage(
+            FaultStage::new(FaultTarget::Data)
+                .duplicate(1.0)
+                .window(ms(6), ms(8)),
+        ),
+    );
+    // Window [8ms, 10ms): reorders the UDP packets at 8, 9 ms → 2 reorders.
+    net.kernel.add_fault_plan(
+        link,
+        tx,
+        FaultPlan::new(13).stage(
+            FaultStage::new(FaultTarget::Data)
+                .reorder(1.0, SimDuration::from_micros(100), SimDuration::from_micros(100))
+                .window(ms(8), ms(10)),
+        ),
+    );
+    // Window [20ms, 22ms): drops the Starts at 20, 21 ms → 2 control faults.
+    net.kernel.add_fault_plan(
+        link,
+        tx,
+        FaultPlan::new(14).stage(
+            FaultStage::new(FaultTarget::Control(None))
+                .bernoulli(1.0)
+                .window(ms(20), ms(22)),
+        ),
+    );
+
+    let recorder = SharedRecorder::new(4096);
+    net.kernel.set_tracer(Box::new(recorder.clone()));
+    net.run_to_end();
+    (net, recorder)
+}
+
+#[test]
+fn hand_counted_chaos_telemetry() {
+    let (net, recorder) = run_scenario(7);
+    let t = &net.kernel.telemetry;
+
+    // 3 data drops + 2 control drops.
+    assert_eq!(t.chaos_drops, 5, "chaos drops");
+    assert_eq!(t.chaos_dups, 2, "chaos dups");
+    assert_eq!(t.chaos_reorders, 2, "chaos reorders");
+    assert_eq!(t.chaos_control_faults, 2, "control faults");
+    // Chaos data drops land in the gray ground truth; control drops in
+    // the control tally — existing accounting must keep balancing.
+    assert_eq!(t.packets_gray_dropped, 3);
+    assert_eq!(t.control_drops, 2);
+    // Survivors: 7 UDP + 2 duplicate copies + 3 Starts.
+    assert_eq!(t.packets_forwarded, 12);
+    assert_eq!(net.node::<ChaosBlaster>(0).sent, 15);
+
+    // The same counts must be visible as ChaosInject trace events.
+    let events = recorder.snapshot();
+    let count = |action: &str| {
+        events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ChaosInject { action: a, .. } if a == action))
+            .count() as u64
+    };
+    assert_eq!(count("drop"), 5);
+    assert_eq!(count("dup"), 2);
+    assert_eq!(count("reorder"), 2);
+    let control_flagged = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ChaosInject { control: 1, .. }))
+        .count();
+    assert_eq!(control_flagged, 2);
+}
+
+#[test]
+fn chaos_traces_are_seed_deterministic() {
+    let (_, a) = run_scenario(7);
+    let (_, b) = run_scenario(7);
+    assert_eq!(a.to_jsonl(), b.to_jsonl());
+    assert!(!a.to_jsonl().is_empty());
+}
+
+#[test]
+fn duplicate_keeps_uid_and_reorder_shifts_arrival() {
+    let (_, recorder) = run_scenario(7);
+    let events = recorder.snapshot();
+    // Each dup ChaosInject shares its uid with a PacketForward of the
+    // original — the wire carries the same packet twice.
+    let dup_uids: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::ChaosInject { action, uid, .. } if action == "dup" => Some(*uid),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(dup_uids.len(), 2);
+    for uid in dup_uids {
+        let forwarded = events.iter().any(|e| {
+            matches!(e, TraceEvent::PacketForward { uid: u, .. } if *u == uid)
+        });
+        assert!(forwarded, "duplicate uid {uid} has no PacketForward");
+    }
+}

@@ -240,6 +240,35 @@ pub enum TraceEvent {
         /// Detections folded into the incident over its lifetime.
         detections: u64,
     },
+    /// The chaos layer acted on a wire packet (adversarial fault
+    /// injection). Drops additionally ride [`TraceEvent::PacketDrop`]
+    /// with their usual cause, so timeline analyses keep working.
+    ChaosInject {
+        /// Departure time on the wire.
+        t: u64,
+        /// Link id.
+        link: u64,
+        /// Direction on the link.
+        dir: u64,
+        /// `"drop"`, `"dup"`, or `"reorder"`.
+        action: String,
+        /// Kernel-unique packet id.
+        uid: u64,
+        /// 1 when the packet is control traffic (FANcY/NetSeer), else 0.
+        control: u64,
+    },
+    /// A switch port entered (`on = 1`) or left (`on = 0`) degraded
+    /// port-level counting after counting-protocol retry exhaustion.
+    DegradedMode {
+        /// Transition time.
+        t: u64,
+        /// Switch node id.
+        node: u64,
+        /// Degraded port.
+        port: u64,
+        /// 1 entering degraded mode, 0 recovering from it.
+        on: u64,
+    },
 }
 
 /// The `unit` value marking the shared hash-tree (vs a dedicated counter).
@@ -331,6 +360,8 @@ impl TraceEvent {
             TraceEvent::TcpCwnd { .. } => "tcp_cwnd",
             TraceEvent::IncidentOpen { .. } => "incident_open",
             TraceEvent::IncidentClear { .. } => "incident_clear",
+            TraceEvent::ChaosInject { .. } => "chaos",
+            TraceEvent::DegradedMode { .. } => "degraded",
         }
     }
 
@@ -348,7 +379,9 @@ impl TraceEvent {
             | TraceEvent::TcpFastRetx { t, .. }
             | TraceEvent::TcpCwnd { t, .. }
             | TraceEvent::IncidentOpen { t, .. }
-            | TraceEvent::IncidentClear { t, .. } => *t,
+            | TraceEvent::IncidentClear { t, .. }
+            | TraceEvent::ChaosInject { t, .. }
+            | TraceEvent::DegradedMode { t, .. } => *t,
         }
     }
 
@@ -507,6 +540,20 @@ impl TraceEvent {
                 w.u64("node", *node).u64("port", *port);
                 w.u64("detections", *detections);
             }
+            TraceEvent::ChaosInject {
+                link,
+                dir,
+                action,
+                uid,
+                control,
+                ..
+            } => {
+                w.u64("link", *link).u64("dir", *dir).str("action", action);
+                w.u64("uid", *uid).u64("control", *control);
+            }
+            TraceEvent::DegradedMode { node, port, on, .. } => {
+                w.u64("node", *node).u64("port", *port).u64("on", *on);
+            }
         }
         w.finish()
     }
@@ -533,6 +580,8 @@ impl TraceEvent {
             "tcp_cwnd" => "tcp_cwnd",
             "incident_open" => "incident_open",
             "incident_clear" => "incident_clear",
+            "chaos" => "chaos",
+            "degraded" => "degraded",
             _ => return Err(ParseError::UnknownEvent(ev_name)),
         };
         let f = Fields {
@@ -640,6 +689,20 @@ impl TraceEvent {
                 node: f.u64("node")?,
                 port: f.u64("port")?,
                 detections: f.u64("detections")?,
+            },
+            "chaos" => TraceEvent::ChaosInject {
+                t,
+                link: f.u64("link")?,
+                dir: f.u64("dir")?,
+                action: f.str("action")?,
+                uid: f.u64("uid")?,
+                control: f.u64("control")?,
+            },
+            "degraded" => TraceEvent::DegradedMode {
+                t,
+                node: f.u64("node")?,
+                port: f.u64("port")?,
+                on: f.u64("on")?,
             },
             _ => unreachable!("kind validated above"),
         })
@@ -790,6 +853,20 @@ mod tests {
                 node: 1,
                 port: 2,
                 detections: 6,
+            },
+            TraceEvent::ChaosInject {
+                t: 16,
+                link: 2,
+                dir: 0,
+                action: "dup".into(),
+                uid: 103,
+                control: 1,
+            },
+            TraceEvent::DegradedMode {
+                t: 17,
+                node: 1,
+                port: 2,
+                on: 1,
             },
         ]
     }
