@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== rustfmt (check only) =="
+cargo fmt --all --check
+
 echo "== build (release, all targets) =="
 cargo build --release --workspace --all-targets
 
@@ -29,6 +32,12 @@ echo "== chaos gate (protocol soak + fault-injected determinism) =="
 # threads (chaos RNG is plan-owned, never scheduling-dependent).
 cargo test -q --release -p fancy-core --test chaos_soak --test fsm_chaos
 cargo test -q --release -p fancy-bench --test chaos_determinism --test sweep_isolation
+
+echo "== cache gate (cold -> warm round-trip, warm run executes 0 cells) =="
+# A 32-cell sweep run twice against one FANCY_CACHE_DIR must execute
+# zero cells the second time and reproduce the cold report bit-for-bit
+# at 1 and 8 threads; corrupt records must degrade to silent misses.
+cargo test -q --release -p fancy-bench --test cache_roundtrip
 
 echo "== trace-report smoke (JSONL round-trip, fails on schema drift) =="
 cargo run -q --release --example trace_report

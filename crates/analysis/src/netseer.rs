@@ -81,11 +81,7 @@ mod tests {
         // latency is on the order of milliseconds."
         for &(bps, ports) in &[(100e9, 64u32), (200e9, 64), (400e9, 64)] {
             let brk = breaking_latency_s(bps, ports);
-            assert!(
-                brk < 5e-3,
-                "{bps}×{ports}: breaks only at {} ms",
-                brk * 1e3
-            );
+            assert!(brk < 5e-3, "{bps}×{ports}: breaks only at {} ms", brk * 1e3);
         }
         // But data-center-scale latency (≈10 µs) is fine on 100 G:
         assert!(required_memory_bytes(100e9, 64, 10e-6) < AVAILABLE_APP_MEMORY_BYTES);

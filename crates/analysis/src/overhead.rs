@@ -74,10 +74,7 @@ mod tests {
         // 200 ms", report of 5320 B.
         let f = tree_control_fraction(7, 190, 0.200, 0.010, 100e9);
         let pct = f * 100.0;
-        assert!(
-            (0.00015..0.00021).contains(&pct),
-            "tree overhead {pct} %"
-        );
+        assert!((0.00015..0.00021).contains(&pct), "tree overhead {pct} %");
     }
 
     #[test]

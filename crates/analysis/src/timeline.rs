@@ -76,6 +76,9 @@ pub struct TimelineReport {
     pub event_counts: Vec<(String, u64)>,
     /// Total events consumed.
     pub total_events: u64,
+    /// Sweep cells served from the result cache instead of executing
+    /// (count of [`TraceEvent::CacheHit`] stubs in the stream).
+    pub cached_cells: u64,
 }
 
 impl TimelineReport {
@@ -123,7 +126,14 @@ impl TimelineReport {
                 {
                     report.first_suspicion_ns.get_or_insert(*t);
                 }
-                TraceEvent::Detection { t, node, port, detector, scope, .. } => {
+                TraceEvent::Detection {
+                    t,
+                    node,
+                    port,
+                    detector,
+                    scope,
+                    ..
+                } => {
                     report.detections.push(TimelineDetection {
                         t_ns: *t,
                         node: *node,
@@ -134,6 +144,9 @@ impl TimelineReport {
                 }
                 TraceEvent::Reroute { t, .. } => {
                     report.first_reroute_ns.get_or_insert(*t);
+                }
+                TraceEvent::CacheHit { .. } => {
+                    report.cached_cells += 1;
                 }
                 _ => {}
             }
@@ -150,15 +163,9 @@ impl TimelineReport {
         report.loss_episodes.append(&mut episodes);
         report.loss_episodes.sort_by_key(|e| (e.start_ns, e.flow));
 
-        report.drops_by_cause = drops
-            .into_iter()
-            .map(|(k, v)| (k.to_owned(), v))
-            .collect();
+        report.drops_by_cause = drops.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
         report.drops_by_cause.sort();
-        report.event_counts = counts
-            .into_iter()
-            .map(|(k, v)| (k.to_owned(), v))
-            .collect();
+        report.event_counts = counts.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
         report.event_counts.sort();
         report
     }
@@ -228,6 +235,9 @@ impl TimelineReport {
                 self.flow_gray_drops()
             ));
         }
+        if self.cached_cells > 0 {
+            out.push_str(&format!("cached cells      {}\n", self.cached_cells));
+        }
         out
     }
 }
@@ -258,10 +268,23 @@ fn fmt_path(path: &[u64]) -> String {
 /// prefixes the offset column).
 pub fn describe(ev: &TraceEvent) -> String {
     match ev {
-        TraceEvent::PacketForward { link, dir, entry, size, .. } => {
+        TraceEvent::PacketForward {
+            link,
+            dir,
+            entry,
+            size,
+            ..
+        } => {
             format!("fwd    link {link}.{dir} entry {entry} ({size} B)")
         }
-        TraceEvent::PacketDrop { cause, node, link, entry, flow, .. } => {
+        TraceEvent::PacketDrop {
+            cause,
+            node,
+            link,
+            entry,
+            flow,
+            ..
+        } => {
             let at = match link {
                 Some(l) => format!("link {l}"),
                 None => format!("node {node}"),
@@ -269,13 +292,37 @@ pub fn describe(ev: &TraceEvent) -> String {
             let flow = flow.map_or(String::new(), |f| format!(" flow {f}"));
             format!("drop   {} at {at} entry {entry}{flow}", cause.name())
         }
-        TraceEvent::FsmTransition { node, port, role, unit, from, to, .. } => {
+        TraceEvent::FsmTransition {
+            node,
+            port,
+            role,
+            unit,
+            from,
+            to,
+            ..
+        } => {
             format!("fsm    n{node}:p{port} {role} unit {unit}: {from} → {to}")
         }
-        TraceEvent::CounterExchange { node, port, unit, session, body, dir, len, .. } => {
+        TraceEvent::CounterExchange {
+            node,
+            port,
+            unit,
+            session,
+            body,
+            dir,
+            len,
+            ..
+        } => {
             format!("ctrl   n{node}:p{port} {dir} {body} unit {unit} session {session} ({len} B)")
         }
-        TraceEvent::ZoomStep { node, port, step, path, lost, .. } => {
+        TraceEvent::ZoomStep {
+            node,
+            port,
+            step,
+            path,
+            lost,
+            ..
+        } => {
             let lost = if *lost > 0 {
                 format!(" (lost {lost})")
             } else {
@@ -283,7 +330,15 @@ pub fn describe(ev: &TraceEvent) -> String {
             };
             format!("zoom   n{node}:p{port} {step} {}{lost}", fmt_path(path))
         }
-        TraceEvent::Detection { node, port, detector, scope, entry, path, .. } => {
+        TraceEvent::Detection {
+            node,
+            port,
+            detector,
+            scope,
+            entry,
+            path,
+            ..
+        } => {
             let what = match entry {
                 Some(e) => format!(" entry {e}"),
                 None if !path.is_empty() => format!(" path {}", fmt_path(path)),
@@ -291,33 +346,71 @@ pub fn describe(ev: &TraceEvent) -> String {
             };
             format!("DETECT n{node}:p{port} {scope}{what} via {detector}")
         }
-        TraceEvent::Reroute { node, entry, primary, backup, .. } => {
+        TraceEvent::Reroute {
+            node,
+            entry,
+            primary,
+            backup,
+            ..
+        } => {
             format!("REROUTE n{node} entry {entry}: port {primary} → {backup}")
         }
-        TraceEvent::TcpRto { node, flow, seq, rto_ns, cwnd_mpkt, .. } => {
+        TraceEvent::TcpRto {
+            node,
+            flow,
+            seq,
+            rto_ns,
+            cwnd_mpkt,
+            ..
+        } => {
             format!(
                 "rto    n{node} flow {flow} seq {seq} (rto {:.3}s, cwnd {:.3} pkt)",
                 *rto_ns as f64 / 1e9,
                 *cwnd_mpkt as f64 / 1e3
             )
         }
-        TraceEvent::TcpFastRetx { node, flow, seq, .. } => {
+        TraceEvent::TcpFastRetx {
+            node, flow, seq, ..
+        } => {
             format!("retx   n{node} flow {flow} seq {seq} (fast retransmit)")
         }
-        TraceEvent::TcpCwnd { node, flow, from_mpkt, to_mpkt, .. } => {
+        TraceEvent::TcpCwnd {
+            node,
+            flow,
+            from_mpkt,
+            to_mpkt,
+            ..
+        } => {
             format!(
                 "cwnd   n{node} flow {flow}: {:.3} → {:.3} pkt",
                 *from_mpkt as f64 / 1e3,
                 *to_mpkt as f64 / 1e3
             )
         }
-        TraceEvent::IncidentOpen { node, port, severity, .. } => {
+        TraceEvent::IncidentOpen {
+            node,
+            port,
+            severity,
+            ..
+        } => {
             format!("INCIDENT n{node}:p{port} opened ({severity})")
         }
-        TraceEvent::IncidentClear { node, port, detections, .. } => {
+        TraceEvent::IncidentClear {
+            node,
+            port,
+            detections,
+            ..
+        } => {
             format!("incident n{node}:p{port} cleared ({detections} detections)")
         }
-        TraceEvent::ChaosInject { link, dir, action, uid, control, .. } => {
+        TraceEvent::ChaosInject {
+            link,
+            dir,
+            action,
+            uid,
+            control,
+            ..
+        } => {
             let what = if *control > 0 { "ctrl" } else { "data" };
             format!("chaos  link {link}.{dir} {action} {what} uid {uid}")
         }
@@ -327,6 +420,17 @@ pub fn describe(ev: &TraceEvent) -> String {
             } else {
                 format!("degraded n{node}:p{port} cleared (session completed)")
             }
+        }
+        TraceEvent::CacheHit {
+            cell,
+            key_hi,
+            key_lo,
+            saved_events,
+            ..
+        } => {
+            format!(
+                "cached cell {cell:04} key {key_hi:016x}{key_lo:016x} ({saved_events} events reused)"
+            )
         }
     }
 }
@@ -460,6 +564,30 @@ mod tests {
         assert!(s.contains("detection"), "{s}");
         assert!(s.contains("reroute"), "{s}");
         assert!(s.contains("loss episodes"), "{s}");
+    }
+
+    #[test]
+    fn cache_hits_are_counted_and_rendered() {
+        let mut events = sample();
+        events.push(TraceEvent::CacheHit {
+            t: 1,
+            cell: 12,
+            key_hi: 0xAB,
+            key_lo: 0xCD,
+            saved_events: 9_000,
+        });
+        let r = TimelineReport::from_events(&events);
+        assert_eq!(r.cached_cells, 1);
+        let s = r.render();
+        assert!(s.contains("cached cells      1"), "{s}");
+        let line = render_timeline(&events, false);
+        assert!(line.contains("cached cell 0012"), "{line}");
+        assert!(line.contains("9000 events reused"), "{line}");
+
+        // Streams without hits don't grow a noise line.
+        let quiet = TimelineReport::from_events(&sample());
+        assert_eq!(quiet.cached_cells, 0);
+        assert!(!quiet.render().contains("cached cells"));
     }
 
     #[test]

@@ -130,7 +130,10 @@ impl IncidentTracker {
     }
 
     fn observe_with(&mut self, rec: &DetectionRecord, mut sink: Option<&mut dyn TraceSink>) {
-        self.expire_with(rec.time, sink.as_mut().map(|s| &mut **s as &mut dyn TraceSink));
+        self.expire_with(
+            rec.time,
+            sink.as_mut().map(|s| &mut **s as &mut dyn TraceSink),
+        );
         let key = (rec.node, rec.port);
         let created = !self.active.contains_key(&key);
         if created {
@@ -158,14 +161,12 @@ impl IncidentTracker {
         inc.detections += 1;
         inc.severity = inc.severity.max(Self::severity_of(rec));
         match &rec.scope {
-            DetectionScope::Entry(p)
-                if !inc.entries.contains(p) => {
-                    inc.entries.push(*p);
-                }
-            DetectionScope::HashPath(path)
-                if !inc.hash_paths.contains(path) => {
-                    inc.hash_paths.push(path.clone());
-                }
+            DetectionScope::Entry(p) if !inc.entries.contains(p) => {
+                inc.entries.push(*p);
+            }
+            DetectionScope::HashPath(path) if !inc.hash_paths.contains(path) => {
+                inc.hash_paths.push(path.clone());
+            }
             _ => {}
         }
     }
@@ -250,7 +251,13 @@ impl IncidentTracker {
 mod tests {
     use super::*;
 
-    fn rec(t_ms: u64, node: NodeId, port: PortId, scope: DetectionScope, d: DetectorKind) -> DetectionRecord {
+    fn rec(
+        t_ms: u64,
+        node: NodeId,
+        port: PortId,
+        scope: DetectionScope,
+        d: DetectorKind,
+    ) -> DetectionRecord {
         DetectionRecord {
             time: SimTime(t_ms * 1_000_000),
             node,
@@ -264,9 +271,27 @@ mod tests {
     fn detections_on_one_link_merge_into_one_incident() {
         let mut t = IncidentTracker::new(IncidentConfig::default());
         let recs = vec![
-            rec(1000, 1, 2, DetectionScope::Entry(Prefix(7)), DetectorKind::DedicatedCounter),
-            rec(1200, 1, 2, DetectionScope::HashPath(vec![3, 4, 5]), DetectorKind::HashTree),
-            rec(1900, 1, 2, DetectionScope::Entry(Prefix(9)), DetectorKind::DedicatedCounter),
+            rec(
+                1000,
+                1,
+                2,
+                DetectionScope::Entry(Prefix(7)),
+                DetectorKind::DedicatedCounter,
+            ),
+            rec(
+                1200,
+                1,
+                2,
+                DetectionScope::HashPath(vec![3, 4, 5]),
+                DetectorKind::HashTree,
+            ),
+            rec(
+                1900,
+                1,
+                2,
+                DetectionScope::Entry(Prefix(9)),
+                DetectorKind::DedicatedCounter,
+            ),
         ];
         let incidents = t.ingest_all(&recs, SimTime(60_000_000_000));
         assert_eq!(incidents.len(), 1);
@@ -282,8 +307,20 @@ mod tests {
     fn different_links_are_different_incidents() {
         let mut t = IncidentTracker::new(IncidentConfig::default());
         let recs = vec![
-            rec(1000, 1, 2, DetectionScope::Entry(Prefix(7)), DetectorKind::DedicatedCounter),
-            rec(1000, 3, 0, DetectionScope::Entry(Prefix(7)), DetectorKind::DedicatedCounter),
+            rec(
+                1000,
+                1,
+                2,
+                DetectionScope::Entry(Prefix(7)),
+                DetectorKind::DedicatedCounter,
+            ),
+            rec(
+                1000,
+                3,
+                0,
+                DetectionScope::Entry(Prefix(7)),
+                DetectorKind::DedicatedCounter,
+            ),
         ];
         let incidents = t.ingest_all(&recs, SimTime(60_000_000_000));
         assert_eq!(incidents.len(), 2);
@@ -296,9 +333,21 @@ mod tests {
             clear_after: SimDuration::from_secs(10),
         });
         let recs = vec![
-            rec(1_000, 1, 2, DetectionScope::Entry(Prefix(7)), DetectorKind::DedicatedCounter),
+            rec(
+                1_000,
+                1,
+                2,
+                DetectionScope::Entry(Prefix(7)),
+                DetectorKind::DedicatedCounter,
+            ),
             // 60 s later: a new episode on the same link.
-            rec(61_000, 1, 2, DetectionScope::Entry(Prefix(7)), DetectorKind::DedicatedCounter),
+            rec(
+                61_000,
+                1,
+                2,
+                DetectionScope::Entry(Prefix(7)),
+                DetectorKind::DedicatedCounter,
+            ),
         ];
         let incidents = t.ingest_all(&recs, SimTime(120_000_000_000));
         assert_eq!(incidents.len(), 2, "two distinct episodes");
@@ -309,17 +358,47 @@ mod tests {
     fn severity_escalates_and_never_downgrades() {
         let mut t = IncidentTracker::new(IncidentConfig::default());
         let recs = vec![
-            rec(1000, 1, 2, DetectionScope::Entry(Prefix(7)), DetectorKind::DedicatedCounter),
-            rec(1100, 1, 2, DetectionScope::Uniform, DetectorKind::UniformCheck),
-            rec(1200, 1, 2, DetectionScope::Entry(Prefix(8)), DetectorKind::DedicatedCounter),
+            rec(
+                1000,
+                1,
+                2,
+                DetectionScope::Entry(Prefix(7)),
+                DetectorKind::DedicatedCounter,
+            ),
+            rec(
+                1100,
+                1,
+                2,
+                DetectionScope::Uniform,
+                DetectorKind::UniformCheck,
+            ),
+            rec(
+                1200,
+                1,
+                2,
+                DetectionScope::Entry(Prefix(8)),
+                DetectorKind::DedicatedCounter,
+            ),
         ];
         let incidents = t.ingest_all(&recs, SimTime(60_000_000_000));
         assert_eq!(incidents[0].severity, Severity::UniformLoss);
         // Link-down beats everything.
         let mut t = IncidentTracker::new(IncidentConfig::default());
         let recs = vec![
-            rec(1000, 1, 2, DetectionScope::Uniform, DetectorKind::UniformCheck),
-            rec(1100, 1, 2, DetectionScope::LinkDown, DetectorKind::ProtocolTimeout),
+            rec(
+                1000,
+                1,
+                2,
+                DetectionScope::Uniform,
+                DetectorKind::UniformCheck,
+            ),
+            rec(
+                1100,
+                1,
+                2,
+                DetectionScope::LinkDown,
+                DetectorKind::ProtocolTimeout,
+            ),
         ];
         let incidents = t.ingest_all(&recs, SimTime(60_000_000_000));
         assert_eq!(incidents[0].severity, Severity::LinkDown);
@@ -330,8 +409,20 @@ mod tests {
         use fancy_sim::RingRecorder;
         let mut t = IncidentTracker::new(IncidentConfig::default());
         let recs = vec![
-            rec(1000, 1, 2, DetectionScope::Uniform, DetectorKind::UniformCheck),
-            rec(1200, 1, 2, DetectionScope::Entry(Prefix(7)), DetectorKind::DedicatedCounter),
+            rec(
+                1000,
+                1,
+                2,
+                DetectionScope::Uniform,
+                DetectorKind::UniformCheck,
+            ),
+            rec(
+                1200,
+                1,
+                2,
+                DetectionScope::Entry(Prefix(7)),
+                DetectorKind::DedicatedCounter,
+            ),
         ];
         let mut ring = RingRecorder::new(16);
         let incidents = t.ingest_all_traced(&recs, SimTime(60_000_000_000), &mut ring);
@@ -339,14 +430,24 @@ mod tests {
         let events = ring.take();
         assert_eq!(events.len(), 2);
         match &events[0] {
-            TraceEvent::IncidentOpen { t, node, port, severity } => {
+            TraceEvent::IncidentOpen {
+                t,
+                node,
+                port,
+                severity,
+            } => {
                 assert_eq!((*t, *node, *port), (1_000_000_000, 1, 2));
                 assert_eq!(severity, "uniform_loss");
             }
             other => panic!("expected incident_open, got {other:?}"),
         }
         match &events[1] {
-            TraceEvent::IncidentClear { node, port, detections, .. } => {
+            TraceEvent::IncidentClear {
+                node,
+                port,
+                detections,
+                ..
+            } => {
                 assert_eq!((*node, *port, *detections), (1, 2, 2));
             }
             other => panic!("expected incident_clear, got {other:?}"),

@@ -81,7 +81,11 @@ pub fn format_report(
         let mut line = format_detection(switch_name, r, hasher, universe);
         if let DetectionScope::Entry(p) = &r.scope {
             if let Some(stats) = records.gray_drops.get(p) {
-                let _ = write!(line, " ({} pkts / {} B lost so far)", stats.count, stats.bytes);
+                let _ = write!(
+                    line,
+                    " ({} pkts / {} B lost so far)",
+                    stats.count, stats.bytes
+                );
             }
         }
         let _ = writeln!(out, "{line}");
@@ -161,10 +165,7 @@ mod tests {
             DetectorKind::DedicatedCounter,
         ));
         // Simulate some ground-truth drops via the public surface.
-        records
-            .gray_drops
-            .entry(p)
-            .or_default();
+        records.gray_drops.entry(p).or_default();
         let text = format_report("s1", &records, None, None);
         assert!(text.contains("1 detection(s)"));
         assert!(text.contains("10.0.0.0/24"));

@@ -467,13 +467,19 @@ mod tests {
     #[test]
     fn builder_scales_timers_to_core_delay() {
         let slow = LinearConfig::builder()
-            .core_link(LinkConfig::new(10_000_000_000, SimDuration::from_millis(40)))
+            .core_link(LinkConfig::new(
+                10_000_000_000,
+                SimDuration::from_millis(40),
+            ))
             .build();
         let expected = TimerConfig::paper_default().for_link_delay(SimDuration::from_millis(40));
         assert_eq!(slow.timers, expected);
         // An explicit timer config wins over derivation.
         let explicit = LinearConfig::builder()
-            .core_link(LinkConfig::new(10_000_000_000, SimDuration::from_millis(40)))
+            .core_link(LinkConfig::new(
+                10_000_000_000,
+                SimDuration::from_millis(40),
+            ))
             .timers(TimerConfig::paper_default())
             .build();
         assert_eq!(explicit.timers, TimerConfig::paper_default());
@@ -482,7 +488,9 @@ mod tests {
     #[test]
     fn oversized_layout_is_an_error_not_a_panic() {
         let dup = Prefix::from_addr(0x0A_00_00_01);
-        let cfg = LinearConfig::builder().high_priority(vec![dup, dup]).build();
+        let cfg = LinearConfig::builder()
+            .high_priority(vec![dup, dup])
+            .build();
         match linear(cfg) {
             Err(ScenarioError::Layout(ConfigError::DuplicateHighPriority(p))) => {
                 assert_eq!(p, dup);
@@ -563,7 +571,11 @@ mod tests {
         // non-empty.
         let rx: &ReceiverHost = cs.net.node(cs.receiver);
         let series = &rx.probes[0].series;
-        assert!(series.len() >= 40, "probe covered the run: {}", series.len());
+        assert!(
+            series.len() >= 40,
+            "probe covered the run: {}",
+            series.len()
+        );
         let tail: u64 = series[series.len() - 5..].iter().sum();
         assert!(tail > 0, "traffic must resume after reroute");
         Ok(())

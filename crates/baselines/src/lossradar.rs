@@ -164,7 +164,10 @@ impl LossRadarMeter {
         self.batches += 1;
         let seed = self.seed ^ (self.batches << 32);
         let mut up = std::mem::replace(&mut self.upstream, Ibf::new(self.cells, self.hashes, seed));
-        let down = std::mem::replace(&mut self.downstream, Ibf::new(self.cells, self.hashes, seed));
+        let down = std::mem::replace(
+            &mut self.downstream,
+            Ibf::new(self.cells, self.hashes, seed),
+        );
         up.subtract(&down);
         up.decode()
     }

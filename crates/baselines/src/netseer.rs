@@ -184,8 +184,14 @@ mod tests {
         assert_eq!(
             u.resolved,
             vec![
-                PacketDigest { seq: 3, entry: Prefix(3) },
-                PacketDigest { seq: 4, entry: Prefix(4) },
+                PacketDigest {
+                    seq: 3,
+                    entry: Prefix(3)
+                },
+                PacketDigest {
+                    seq: 4,
+                    entry: Prefix(4)
+                },
             ]
         );
         assert_eq!(u.operational_fraction(), 1.0);

@@ -226,7 +226,10 @@ impl CountingBloom {
 
     /// All entries of `universe` the filter implicates.
     pub fn implicated<'a>(&'a self, universe: &'a [Prefix]) -> impl Iterator<Item = Prefix> + 'a {
-        universe.iter().copied().filter(move |&e| self.implicates(e))
+        universe
+            .iter()
+            .copied()
+            .filter(move |&e| self.implicates(e))
     }
 
     /// Reset all cells.

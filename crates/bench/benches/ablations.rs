@@ -45,13 +45,21 @@ fn main() {
     }
     fmt::table(
         "zoom selection policy (8 simultaneous failures, Zipf traffic, split 1)",
-        &["policy", "sessions to heaviest entry", "byte-weighted sessions", "TPR"],
+        &[
+            "policy",
+            "sessions to heaviest entry",
+            "byte-weighted sessions",
+            "TPR",
+        ],
         &rows,
     );
 
     // 2. Pipelined vs non-pipelined zooming.
     let mut rows = Vec::new();
-    for (name, pipelined) in [("pipelined (paper)", true), ("non-pipelined (Tofino)", false)] {
+    for (name, pipelined) in [
+        ("pipelined (paper)", true),
+        ("non-pipelined (Tofino)", false),
+    ] {
         let r = ablations::run_pipeline_ablation(pipelined, 8, 30, 3);
         rows.push(vec![
             name.to_string(),
@@ -62,7 +70,12 @@ fn main() {
     }
     fmt::table(
         "pipelining (8 simultaneous blackholes)",
-        &["mode", "node slots (memory)", "mean sessions to detect", "TPR"],
+        &[
+            "mode",
+            "node slots (memory)",
+            "mean sessions to detect",
+            "TPR",
+        ],
         &rows,
     );
 
@@ -81,7 +94,12 @@ fn main() {
     }
     fmt::table(
         "measurement reliability under reverse-path loss (memory in counter sets)",
-        &["reverse loss", "stop-and-wait (paper)", "strawman k=1", "strawman k=4"],
+        &[
+            "reverse loss",
+            "stop-and-wait (paper)",
+            "strawman k=1",
+            "strawman k=4",
+        ],
         &rows,
     );
     println!(

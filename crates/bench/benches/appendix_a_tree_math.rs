@@ -59,7 +59,14 @@ fn main() {
     }
     fmt::table(
         "collision probability and expected FPs",
-        &["tree", "faulty n", "entries x", "p (Eq.1)", "E[FP] (Eq.2)", "Monte-Carlo"],
+        &[
+            "tree",
+            "faulty n",
+            "entries x",
+            "p (Eq.1)",
+            "E[FP] (Eq.2)",
+            "Monte-Carlo",
+        ],
         &rows,
     );
 
@@ -72,9 +79,19 @@ fn main() {
         (1, 3, false),
     ] {
         rows.push(vec![
-            format!("k={k} d={d} {}", if pipelined { "pipelined" } else { "non-pipelined" }),
+            format!(
+                "k={k} d={d} {}",
+                if pipelined {
+                    "pipelined"
+                } else {
+                    "non-pipelined"
+                }
+            ),
             format!("{}", tree_math::nodes(k, d, pipelined)),
-            format!("{:.2} KB", tree_math::memory_bits(190, k, d, pipelined) as f64 / 8.0 / 1024.0),
+            format!(
+                "{:.2} KB",
+                tree_math::memory_bits(190, k, d, pipelined) as f64 / 8.0 / 1024.0
+            ),
         ]);
     }
     fmt::table(

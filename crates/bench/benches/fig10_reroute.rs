@@ -38,7 +38,10 @@ fn main() -> Result<(), ScenarioError> {
         for i in 0..len {
             let mut row = vec![format!("{:.1}", i as f64 * 0.1)];
             for r in &runs {
-                row.push(format!("{:.3}", r.gbps_series.get(i).copied().unwrap_or(0.0)));
+                row.push(format!(
+                    "{:.3}",
+                    r.gbps_series.get(i).copied().unwrap_or(0.0)
+                ));
             }
             series_rows.push(row);
         }

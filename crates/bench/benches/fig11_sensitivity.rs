@@ -26,7 +26,10 @@ fn main() -> Result<(), ScenarioError> {
             .zip(&points)
             .map(|(cfg, p)| {
                 vec![
-                    format!("{}/{}/{} ({})", cfg.depth, cfg.split, cfg.width, cfg.memory_label),
+                    format!(
+                        "{}/{}/{} ({})",
+                        cfg.depth, cfg.split, cfg.width, cfg.memory_label
+                    ),
                     format!("{:.3}", p.tpr),
                     format!("{:.2}", p.median_detection_s),
                     format!("{:.3}", p.detected_bytes),

@@ -7,7 +7,7 @@
 
 use fancy_analysis::speed;
 use fancy_apps::ScenarioError;
-use fancy_bench::{cells, env::Scale, fmt};
+use fancy_bench::{cache::Fingerprint, cells, env::Scale, fmt};
 use fancy_traffic::{paper_grid, paper_loss_rates};
 
 fn main() -> Result<(), ScenarioError> {
@@ -20,9 +20,15 @@ fn main() -> Result<(), ScenarioError> {
 
     let grid = paper_grid();
     let losses = paper_loss_rates();
-    let (results, report) = cells::sweep_grid("fig7", 0xF1607, grid.len(), losses.len(), |r, c, ctx| {
-        cells::run_dedicated_cell(grid[r], losses[c], &scale, ctx)
-    })?;
+    let salt = Fingerprint::new().with(&scale).with(&grid).with(&losses);
+    let (results, report) = cells::sweep_grid(
+        "fig7",
+        0xF1607,
+        grid.len(),
+        losses.len(),
+        salt,
+        |r, c, ctx| cells::run_dedicated_cell(grid[r], losses[c], &scale, ctx),
+    )?;
 
     let row_labels: Vec<String> = grid.iter().map(|e| e.label()).collect();
     let col_labels: Vec<String> = losses.iter().map(|l| format!("{l}%")).collect();

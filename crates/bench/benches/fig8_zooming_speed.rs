@@ -7,7 +7,7 @@
 //! to zooming speeds between 50 and 200 ms.
 
 use fancy_apps::ScenarioError;
-use fancy_bench::{cells, env::Scale, fmt};
+use fancy_bench::{cache::Fingerprint, cells, env::Scale, fmt};
 use fancy_sim::SimDuration;
 use fancy_traffic::paper_grid;
 
@@ -23,8 +23,18 @@ fn main() -> Result<(), ScenarioError> {
     let losses = [100.0, 50.0, 10.0, 1.0, 0.1];
 
     // All (loss, zoom) searches are independent: run them in parallel.
-    let (results, report) =
-        cells::sweep_grid("fig8", 0xF18, losses.len(), zooms.len(), |r, c, ctx| {
+    let salt = Fingerprint::new()
+        .with(&scale)
+        .with(&grid)
+        .with(&zooms[..])
+        .with(&losses[..]);
+    let (results, report) = cells::sweep_grid(
+        "fig8",
+        0xF18,
+        losses.len(),
+        zooms.len(),
+        salt,
+        |r, c, ctx| {
             let rank = cells::min_rank_for_tpr(
                 &grid,
                 losses[r],
@@ -38,7 +48,8 @@ fn main() -> Result<(), ScenarioError> {
                 avg_detection_s: 0.0,
                 reps: scale.reps,
             })
-        })?;
+        },
+    )?;
     let mut rows = Vec::new();
     for (r, &loss) in losses.iter().enumerate() {
         let mut row = vec![format!("{loss}%")];
@@ -54,7 +65,13 @@ fn main() -> Result<(), ScenarioError> {
     }
     fmt::table(
         "Smallest entry reaching 95% TPR (rank 1 = 4Kbps/1)",
-        &["loss rate", "zoom 10ms", "zoom 50ms", "zoom 100ms", "zoom 200ms"],
+        &[
+            "loss rate",
+            "zoom 10ms",
+            "zoom 50ms",
+            "zoom 100ms",
+            "zoom 200ms",
+        ],
         &rows,
     );
     println!(

@@ -8,7 +8,7 @@
 
 use fancy_analysis::speed;
 use fancy_apps::ScenarioError;
-use fancy_bench::{cells, env::Scale, fmt};
+use fancy_bench::{cache::Fingerprint, cells, env::Scale, fmt};
 use fancy_sim::SimDuration;
 use fancy_traffic::{paper_grid, paper_loss_rates, EntrySize};
 
@@ -23,7 +23,12 @@ fn heatmaps(title: &str, grid: &[EntrySize], losses: &[f64], results: &[Vec<cell
         .iter()
         .map(|row| row.iter().map(|c| c.avg_detection_s).collect())
         .collect();
-    fmt::heatmap(&format!("{title} — Avg TPR"), &row_labels, &col_labels, &tpr);
+    fmt::heatmap(
+        &format!("{title} — Avg TPR"),
+        &row_labels,
+        &col_labels,
+        &tpr,
+    );
     fmt::heatmap(
         &format!("{title} — Avg detection time (s)"),
         &row_labels,
@@ -44,13 +49,27 @@ fn main() -> Result<(), ScenarioError> {
 
     // (a) single-entry failures, full grid.
     let grid = paper_grid();
-    let (single, report_a) =
-        cells::sweep_grid("fig9a", 0xF190A, grid.len(), losses.len(), |r, c, ctx| {
-            cells::run_tree_cell(grid[r], losses[c], 1, zoom, &scale, ctx)
-        })?;
+    let salt_a = Fingerprint::new()
+        .with(&scale)
+        .with(&grid)
+        .with(&losses)
+        .with(&zoom);
+    let (single, report_a) = cells::sweep_grid(
+        "fig9a",
+        0xF190A,
+        grid.len(),
+        losses.len(),
+        salt_a,
+        |r, c, ctx| cells::run_tree_cell(grid[r], losses[c], 1, zoom, &scale, ctx),
+    )?;
     heatmaps("(a) single-entry failures", &grid, &losses, &single);
     let expect = speed::tree_secs(3, 0.2, 0.01);
-    fmt::compare("single-entry high-traffic detection", 0.68, single[0][0].avg_detection_s, "s");
+    fmt::compare(
+        "single-entry high-traffic detection",
+        0.68,
+        single[0][0].avg_detection_s,
+        "s",
+    );
     println!("  analytical expectation (3 sessions x (200 ms + handshakes)): {expect:.2} s");
 
     // (b) multi-entry failures. The paper's 9b grid starts at 200 Mbps per
@@ -76,10 +95,21 @@ fn main() -> Result<(), ScenarioError> {
         scale.multi_entries,
         cap / 1_000_000
     );
-    let (multi, report_b) =
-        cells::sweep_grid("fig9b", 0xF190B, grid_b.len(), losses.len(), |r, c, ctx| {
+    let salt_b = Fingerprint::new()
+        .with(&scale)
+        .with(&grid_b)
+        .with(&losses)
+        .with(&zoom);
+    let (multi, report_b) = cells::sweep_grid(
+        "fig9b",
+        0xF190B,
+        grid_b.len(),
+        losses.len(),
+        salt_b,
+        |r, c, ctx| {
             cells::run_tree_cell(grid_b[r], losses[c], scale.multi_entries, zoom, &scale, ctx)
-        })?;
+        },
+    )?;
     heatmaps("(b) multi-entry failures", &grid_b, &losses, &multi);
     println!(
         "\nShape checks vs the paper: (a) detection ≈ 0.68 s at high traffic/loss, TPR \

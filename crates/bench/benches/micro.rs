@@ -122,7 +122,9 @@ fn bench_wire(c: &mut Criterion) {
         body: ControlBody::Report(vec![0u32; 7 * 190]),
     };
     let bytes = msg.to_bytes();
-    g.bench_function("report_emit_5330B", |b| b.iter(|| black_box(msg.to_bytes())));
+    g.bench_function("report_emit_5330B", |b| {
+        b.iter(|| black_box(msg.to_bytes()))
+    });
     g.bench_function("report_parse_5330B", |b| {
         b.iter(|| black_box(ControlMessage::parse(&bytes).unwrap()))
     });

@@ -48,8 +48,18 @@ fn duel(loss: f64, seed: u64) -> (Option<f64>, bool) {
         fib.default_route(1);
         fib
     };
-    let s1 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout.clone(), vec![1], seed)));
-    let s2 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout, Vec::new(), seed + 1)));
+    let s1 = net.add_node(Box::new(FancySwitch::new(
+        mk_fib(),
+        layout.clone(),
+        vec![1],
+        seed,
+    )));
+    let s2 = net.add_node(Box::new(FancySwitch::new(
+        mk_fib(),
+        layout,
+        Vec::new(),
+        seed + 1,
+    )));
     let rx = net.add_node(Box::new(ReceiverHost::new()));
     let edge = LinkConfig::new(10_000_000_000, SimDuration::from_micros(10));
     let core = LinkConfig::new(10_000_000_000, SimDuration::from_millis(10));
@@ -58,11 +68,8 @@ fn duel(loss: f64, seed: u64) -> (Option<f64>, bool) {
     let link = net.connect(s1, s2, core);
     net.connect(s2, rx, edge);
     let fail_at = SimTime(2_000_000_000);
-    net.kernel.add_failure(
-        link,
-        s1,
-        GrayFailure::single_entry(victim, loss, fail_at),
-    );
+    net.kernel
+        .add_failure(link, s1, GrayFailure::single_entry(victim, loss, fail_at));
     net.run_until(SimTime(10_000_000_000));
     let fancy = net
         .kernel
@@ -92,12 +99,20 @@ fn main() {
         rows.push(vec![
             label.to_string(),
             fancy.map_or("missed".into(), |t| format!("{t:.2}s")),
-            if blink { "fires".into() } else { "silent".into() },
+            if blink {
+                "fires".into()
+            } else {
+                "silent".into()
+            },
         ]);
     }
     fmt::table(
         "40 TCP flows on one prefix, failure at t = 2 s",
-        &["failure", "FANcY detection", "Blink (64 flows, 800ms window)"],
+        &[
+            "failure",
+            "FANcY detection",
+            "Blink (64 flows, 800ms window)",
+        ],
         &rows,
     );
 
@@ -107,7 +122,11 @@ fn main() {
         ("data-center link (10 Gbps, 50 us)", 833_000.0, 100_000usize),
         ("ISP link (100 Gbps, 10 ms)", 8_300_000.0, 100_000),
     ] {
-        let rtt = if label.starts_with("data") { 0.0001 } else { 0.02 };
+        let rtt = if label.starts_with("data") {
+            0.0001
+        } else {
+            0.02
+        };
         let f = simulate_operational_fraction(pps / 10.0, rtt, buffer / 10, 1000, 1.0);
         println!("  {label:<38} operational fraction {:.0}%", f * 100.0);
     }

@@ -57,8 +57,8 @@ const BEFORE_QUEUE_MICRO_NS: f64 = 28.4;
 /// A stamped packet for direct pool use (outside the kernel, which
 /// normally stamps uids at check-in).
 fn stamped_packet(uid: u64) -> fancy_sim::Packet {
-    let mut p = PacketBuilder::new(1, 0x0A000001, 1500, PacketKind::Udp { flow: 0, seq: uid })
-        .build();
+    let mut p =
+        PacketBuilder::new(1, 0x0A000001, 1500, PacketKind::Udp { flow: 0, seq: uid }).build();
     p.uid = uid + 1;
     p
 }
@@ -207,15 +207,29 @@ fn bench_pool(c: &mut Criterion) -> f64 {
 fn forwarding_cell(seed: u64) -> u64 {
     let mut net = Network::new(seed);
     let until = SimTime::ZERO + SimDuration::from_millis(200);
-    let src = net.add_node(Box::new(UdpSource::new(1, 0x0A000001, 1_000_000_000, 1500, until)));
+    let src = net.add_node(Box::new(UdpSource::new(
+        1,
+        0x0A000001,
+        1_000_000_000,
+        1500,
+        until,
+    )));
     let mut prev = src;
     for _ in 0..6 {
         let b = net.add_node(Box::new(Bridge::two_port()));
-        net.connect(prev, b, LinkConfig::new(2_000_000_000, SimDuration::from_micros(10)));
+        net.connect(
+            prev,
+            b,
+            LinkConfig::new(2_000_000_000, SimDuration::from_micros(10)),
+        );
         prev = b;
     }
     let sink = net.add_node(Box::new(SinkNode::default()));
-    net.connect(prev, sink, LinkConfig::new(2_000_000_000, SimDuration::from_micros(10)));
+    net.connect(
+        prev,
+        sink,
+        LinkConfig::new(2_000_000_000, SimDuration::from_micros(10)),
+    );
     net.run_to_end();
     net.kernel.telemetry.events_dispatched
 }

@@ -21,7 +21,11 @@ fn main() -> Result<(), ScenarioError> {
             vec![
                 d.class.to_string(),
                 d.bug.to_string(),
-                if d.detected { "yes".into() } else { "no".into() },
+                if d.detected {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
                 d.detection_s.map_or("-".into(), |t| format!("{t:.2}s")),
                 d.mechanism.unwrap_or("-").to_string(),
             ]
@@ -29,7 +33,13 @@ fn main() -> Result<(), ScenarioError> {
         .collect();
     fmt::table(
         "per-class outcome",
-        &["failure class", "modelled bug", "detected", "latency", "mechanism"],
+        &[
+            "failure class",
+            "modelled bug",
+            "detected",
+            "latency",
+            "mechanism",
+        ],
         &rows,
     );
     println!(

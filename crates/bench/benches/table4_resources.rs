@@ -43,13 +43,26 @@ fn main() {
     rows.push(row("switch.p4 (published)", &switch_p4_published()));
     fmt::table(
         "utilization per resource",
-        &["program", "SRAM", "SALU", "VLIW", "TCAM", "hash bits", "tern xbar", "exact xbar"],
+        &[
+            "program",
+            "SRAM",
+            "SALU",
+            "VLIW",
+            "TCAM",
+            "hash bits",
+            "tern xbar",
+            "exact xbar",
+        ],
         &rows,
     );
 
     println!("\nAppendix B.2 register memory (computed):");
     for p in &programs {
-        println!("  {:<22} {:.1} KB of registers", p.name, p.raw_sram_bytes() / 1024.0);
+        println!(
+            "  {:<22} {:.1} KB of registers",
+            p.name,
+            p.raw_sram_bytes() / 1024.0
+        );
     }
     println!(
         "\nHeadline reproduced: stateful ALUs are the only resource FANcY uses more \

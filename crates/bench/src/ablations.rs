@@ -46,7 +46,9 @@ pub fn run_zoom_policy(
     let mut engine = ZoomEngine::new(params, seed).with_policy(policy);
     let zipf = Zipf::new(n_entries, 1.1);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xAB1A);
-    let entries: Vec<Prefix> = (0..n_entries as u32).map(|i| Prefix(0x0D_00_00 + i)).collect();
+    let entries: Vec<Prefix> = (0..n_entries as u32)
+        .map(|i| Prefix(0x0D_00_00 + i))
+        .collect();
     // Failed set: stratified over ranks so both heavy and light entries fail.
     let failed: Vec<usize> = (0..n_failed)
         .map(|i| {
@@ -139,7 +141,9 @@ pub fn run_pipeline_ablation(
     };
     let mut engine = ZoomEngine::new(params, seed);
     let n_entries = 600usize;
-    let entries: Vec<Prefix> = (0..n_entries as u32).map(|i| Prefix(0x0E_00_00 + i)).collect();
+    let entries: Vec<Prefix> = (0..n_entries as u32)
+        .map(|i| Prefix(0x0E_00_00 + i))
+        .collect();
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut failed = std::collections::HashSet::new();
     while failed.len() < n_failed {
@@ -314,12 +318,14 @@ mod tests {
         let mut max_sum = 0.0;
         let mut idx_sum = 0.0;
         for seed in 0..6u64 {
-            max_sum +=
-                f64::from(run_zoom_policy(SelectionPolicy::MaxLoss, params, 400, 8, 40, seed)
-                    .sessions_to_heaviest);
-            idx_sum +=
-                f64::from(run_zoom_policy(SelectionPolicy::FirstIndex, params, 400, 8, 40, seed)
-                    .sessions_to_heaviest);
+            max_sum += f64::from(
+                run_zoom_policy(SelectionPolicy::MaxLoss, params, 400, 8, 40, seed)
+                    .sessions_to_heaviest,
+            );
+            idx_sum += f64::from(
+                run_zoom_policy(SelectionPolicy::FirstIndex, params, 400, 8, 40, seed)
+                    .sessions_to_heaviest,
+            );
         }
         assert!(
             max_sum <= idx_sum,

@@ -185,7 +185,10 @@ fn aggregate(loss_pct: f64, outcomes: &[FailureOutcome], duration: SimDuration) 
         tpr_dedicated: frac(&|o| o.dedicated),
         tpr_tree: frac(&|o| !o.dedicated),
         detection_s,
-        false_positives: outcomes.iter().map(|o| o.false_positives as f64).sum::<f64>()
+        false_positives: outcomes
+            .iter()
+            .map(|o| o.false_positives as f64)
+            .sum::<f64>()
             / outcomes.len().max(1) as f64,
     }
 }
@@ -197,7 +200,14 @@ pub fn run_table3(scale: &Scale, seed: u64) -> Result<Vec<Table3Row>, ScenarioEr
     let traces: Vec<SyntheticTrace> = paper_traces()
         .iter()
         .take(if scale.full { 4 } else { 2 })
-        .map(|spec| synthesize(*spec, scale.duration, scale.trace_scale, seed ^ u64::from(spec.id)))
+        .map(|spec| {
+            synthesize(
+                *spec,
+                scale.duration,
+                scale.trace_scale,
+                seed ^ u64::from(spec.id),
+            )
+        })
         .collect();
 
     TABLE3_LOSS_RATES
@@ -207,9 +217,14 @@ pub fn run_table3(scale: &Scale, seed: u64) -> Result<Vec<Table3Row>, ScenarioEr
                 .iter()
                 .enumerate()
                 .flat_map(|(ti, t)| {
-                    sample_failures(t, 0.04, scale.trace_failures / traces.len().max(1), seed ^ ti as u64)
-                        .into_iter()
-                        .map(move |r| (ti, r))
+                    sample_failures(
+                        t,
+                        0.04,
+                        scale.trace_failures / traces.len().max(1),
+                        seed ^ ti as u64,
+                    )
+                    .into_iter()
+                    .map(move |r| (ti, r))
                 })
                 .collect();
             let (outcomes, _report) = Sweep::new(format!("table3 {loss}%"), jobs)
@@ -246,7 +261,9 @@ pub fn run_baseline_comparison(scale: &Scale, loss_pct: f64, seed: u64) -> Vec<B
     let universe = trace.prefixes_by_rank.clone();
     // The budget-constrained per-entry design covers the top 1024 of 250 K;
     // scale that fraction.
-    let covered_n = ((universe.len() as f64) * (1024.0 / 250_000.0)).round().max(3.0) as usize;
+    let covered_n = ((universe.len() as f64) * (1024.0 / 250_000.0))
+        .round()
+        .max(3.0) as usize;
     let covered: Vec<Prefix> = trace.top_prefixes(covered_n);
     let failures = sample_failures(&trace, 0.04, scale.trace_failures.min(24), seed ^ 9);
 
@@ -293,7 +310,9 @@ pub fn run_baseline_comparison(scale: &Scale, loss_pct: f64, seed: u64) -> Vec<B
             net.connect(down_all, rx, fast);
             let mut rng = SmallRng::seed_from_u64(rs ^ 2);
             let fail_at = SimTime::ZERO
-                + SimDuration::from_secs_f64(rng.gen_range(1.0..scale.duration.as_secs_f64() * 0.4));
+                + SimDuration::from_secs_f64(
+                    rng.gen_range(1.0..scale.duration.as_secs_f64() * 0.4),
+                );
             net.kernel.add_failure(
                 link,
                 up_all,
@@ -309,9 +328,10 @@ pub fn run_baseline_comparison(scale: &Scale, loss_pct: f64, seed: u64) -> Vec<B
                 all_det,
                 // The budget variant detects iff it covers the prefix.
                 cov_det: all_det && covered.contains(&failed),
-                cbf_fps: st.cbf_detected_at(failed).is_some().then(|| {
-                    (st.cbf_implicated(&universe).len().saturating_sub(1)) as f64
-                }),
+                cbf_fps: st
+                    .cbf_detected_at(failed)
+                    .is_some()
+                    .then(|| (st.cbf_implicated(&universe).len().saturating_sub(1)) as f64),
             }
         });
 
@@ -389,14 +409,54 @@ pub struct Fig11Config {
 /// The eight configurations of Figure 11's legend.
 pub fn fig11_configs() -> [Fig11Config; 8] {
     [
-        Fig11Config { depth: 3, split: 3, width: 205, memory_label: "1MB" },
-        Fig11Config { depth: 3, split: 2, width: 190, memory_label: "500KB" },
-        Fig11Config { depth: 3, split: 3, width: 100, memory_label: "500KB" },
-        Fig11Config { depth: 4, split: 3, width: 32, memory_label: "500KB" },
-        Fig11Config { depth: 3, split: 2, width: 100, memory_label: "250KB" },
-        Fig11Config { depth: 4, split: 2, width: 44, memory_label: "250KB" },
-        Fig11Config { depth: 3, split: 1, width: 110, memory_label: "125KB" },
-        Fig11Config { depth: 4, split: 2, width: 28, memory_label: "125KB" },
+        Fig11Config {
+            depth: 3,
+            split: 3,
+            width: 205,
+            memory_label: "1MB",
+        },
+        Fig11Config {
+            depth: 3,
+            split: 2,
+            width: 190,
+            memory_label: "500KB",
+        },
+        Fig11Config {
+            depth: 3,
+            split: 3,
+            width: 100,
+            memory_label: "500KB",
+        },
+        Fig11Config {
+            depth: 4,
+            split: 3,
+            width: 32,
+            memory_label: "500KB",
+        },
+        Fig11Config {
+            depth: 3,
+            split: 2,
+            width: 100,
+            memory_label: "250KB",
+        },
+        Fig11Config {
+            depth: 4,
+            split: 2,
+            width: 44,
+            memory_label: "250KB",
+        },
+        Fig11Config {
+            depth: 3,
+            split: 1,
+            width: 110,
+            memory_label: "125KB",
+        },
+        Fig11Config {
+            depth: 4,
+            split: 2,
+            width: 28,
+            memory_label: "125KB",
+        },
     ]
 }
 

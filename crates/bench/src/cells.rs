@@ -15,6 +15,7 @@ use fancy_net::{mix64, Prefix};
 use fancy_sim::{DetectionScope, DetectorKind, GrayFailure, SimDuration, SimTime};
 use fancy_traffic::{generate, EntrySize};
 
+use crate::cache::{CacheCodec, Fingerprint, Record};
 use crate::env::Scale;
 use crate::runner::{CellCtx, Sweep, SweepReport};
 
@@ -28,6 +29,22 @@ pub struct CellResult {
     pub avg_detection_s: f64,
     /// Repetitions run.
     pub reps: u64,
+}
+
+impl CacheCodec for CellResult {
+    fn encode(&self, rec: &mut Record) {
+        rec.put_f64("tpr", self.tpr);
+        rec.put_f64("avg_detection_s", self.avg_detection_s);
+        rec.put_u64("reps", self.reps);
+    }
+
+    fn decode(rec: &Record) -> Option<Self> {
+        Some(CellResult {
+            tpr: rec.f64("tpr")?,
+            avg_detection_s: rec.f64("avg_detection_s")?,
+            reps: rec.u64("reps")?,
+        })
+    }
 }
 
 /// Entries used by cell experiments: scattered /24s far from host prefixes.
@@ -159,21 +176,31 @@ pub fn run_tree_cell(
 /// `f(row, col, ctx)` computes one cell from its deterministic context;
 /// cells are indexed row-major, so seeds depend only on the position in
 /// the grid, never on scheduling.
+///
+/// When `FANCY_CACHE_DIR` is set, cells are served from the
+/// content-addressed result store keyed by `salt` plus the cell's grid
+/// position and seed. `salt` must therefore fold in everything the
+/// closure captures that shapes a cell's work — the grid's entry
+/// sizes, loss rates, and the [`Scale`] — or stale results will be
+/// served after a parameter change.
 pub fn sweep_grid<F>(
     label: &str,
     base_seed: u64,
     rows: usize,
     cols: usize,
+    salt: Fingerprint,
     f: F,
 ) -> Result<(Vec<Vec<CellResult>>, SweepReport), ScenarioError>
 where
     F: Fn(usize, usize, &CellCtx) -> Result<CellResult, ScenarioError> + Sync,
 {
-    let jobs: Vec<(usize, usize)> =
-        (0..rows).flat_map(|r| (0..cols).map(move |c| (r, c))).collect();
+    let jobs: Vec<(usize, usize)> = (0..rows)
+        .flat_map(|r| (0..cols).map(move |c| (r, c)))
+        .collect();
     let (flat, report) = Sweep::new(label, jobs)
         .seed(base_seed)
-        .try_run(|&(r, c), ctx| f(r, c, ctx))?;
+        .cache_from_env(salt.with(label))
+        .try_run_cached(|&(r, c), ctx| f(r, c, ctx))?;
     let mut grid = Vec::with_capacity(rows);
     let mut it = flat.into_iter();
     for _ in 0..rows {
@@ -253,7 +280,7 @@ mod tests {
 
     #[test]
     fn sweep_grid_keeps_row_major_order() -> Result<(), ScenarioError> {
-        let (a, report) = sweep_grid("test grid", 1, 2, 3, |r, c, _| {
+        let (a, report) = sweep_grid("test grid", 1, 2, 3, Fingerprint::new(), |r, c, _| {
             Ok(CellResult {
                 tpr: (r * 10 + c) as f64,
                 avg_detection_s: 0.0,

@@ -12,6 +12,10 @@
 //! * `FANCY_CELL_TIMEOUT=<secs>` — per-cell wall-clock watchdog for
 //!   [`crate::runner::Sweep::run_partial`] sweeps (default: none). A cell
 //!   exceeding it is retried once, then reported as failed.
+//! * `FANCY_CACHE_DIR=<dir>` — content-addressed cell-result cache for
+//!   sweeps run through the `*_cached` entry points (default: caching
+//!   off). Warm cells are served from disk; see EXPERIMENTS.md
+//!   ("Resumable sweeps") for the invalidation rules.
 //!
 //! The defaults are scaled down so `cargo bench --workspace` finishes in
 //! tens of minutes while preserving every qualitative shape; the printed
@@ -20,7 +24,7 @@
 use fancy_sim::SimDuration;
 
 /// Typed view of the `FANCY_*` environment variables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchEnv {
     /// `FANCY_FULL=1`: run at paper scale.
     pub full: bool,
@@ -32,6 +36,9 @@ pub struct BenchEnv {
     /// `FANCY_CELL_TIMEOUT`: per-cell watchdog in (fractional) seconds,
     /// if set and valid.
     pub cell_timeout: Option<std::time::Duration>,
+    /// `FANCY_CACHE_DIR`: directory of the content-addressed cell-result
+    /// cache, if set and non-empty.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl BenchEnv {
@@ -58,7 +65,17 @@ impl BenchEnv {
             .and_then(|v| v.parse::<f64>().ok())
             .filter(|s| s.is_finite() && *s > 0.0)
             .map(std::time::Duration::from_secs_f64);
-        BenchEnv { full, reps, threads, cell_timeout }
+        let cache_dir = std::env::var("FANCY_CACHE_DIR")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(std::path::PathBuf::from);
+        BenchEnv {
+            full,
+            reps,
+            threads,
+            cell_timeout,
+            cache_dir,
+        }
     }
 
     /// Resolve the experiment scale these knobs select.
@@ -175,6 +192,17 @@ mod tests {
         std::env::set_var("FANCY_CELL_TIMEOUT", "forever");
         assert_eq!(BenchEnv::from_env().cell_timeout, None);
         std::env::remove_var("FANCY_CELL_TIMEOUT");
+
+        // Cache knob: empty means unset.
+        std::env::set_var("FANCY_CACHE_DIR", "/tmp/fancy-cache-test");
+        assert_eq!(
+            BenchEnv::from_env().cache_dir,
+            Some(std::path::PathBuf::from("/tmp/fancy-cache-test"))
+        );
+        std::env::set_var("FANCY_CACHE_DIR", "");
+        assert_eq!(BenchEnv::from_env().cache_dir, None);
+        std::env::remove_var("FANCY_CACHE_DIR");
+        assert_eq!(BenchEnv::from_env().cache_dir, None);
 
         std::env::remove_var("FANCY_FULL");
         std::env::remove_var("FANCY_REPS");

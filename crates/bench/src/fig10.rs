@@ -165,7 +165,10 @@ mod tests {
         // Throughput in the last second is back above half the pre-failure
         // average (TCP needs a moment to ramp back up after rerouting).
         let pre: f64 = r.gbps_series[10..19].iter().sum::<f64>() / 9.0;
-        let post: f64 = r.gbps_series[r.gbps_series.len() - 10..].iter().sum::<f64>() / 10.0;
+        let post: f64 = r.gbps_series[r.gbps_series.len() - 10..]
+            .iter()
+            .sum::<f64>()
+            / 10.0;
         assert!(
             post > pre * 0.5,
             "throughput must recover: pre {pre:.3} post {post:.3}"

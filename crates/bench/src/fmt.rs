@@ -72,7 +72,11 @@ pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 
 /// A paper-vs-measured comparison line.
 pub fn compare(name: &str, paper: f64, measured: f64, unit: &str) {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     println!(
         "  {name:<44} paper {paper:>10.4} {unit:<4} | measured {measured:>10.4} {unit:<4} | ratio {ratio:>6.2}"
     );

@@ -19,6 +19,7 @@
 //! `fancy-analysis` / `fancy-hw`.
 
 pub mod ablations;
+pub mod cache;
 pub mod caida_exp;
 pub mod cells;
 pub mod env;
@@ -31,8 +32,7 @@ pub mod uniform;
 /// The names every bench target needs: environment knobs and the sweep
 /// engine.
 pub mod prelude {
+    pub use crate::cache::{CacheCodec, CacheKeyed, CellCache, Fingerprint, Record};
     pub use crate::env::{BenchEnv, Scale};
-    pub use crate::runner::{
-        CellCtx, CellFailure, FailedCell, Sweep, SweepError, SweepReport,
-    };
+    pub use crate::runner::{CellCtx, CellFailure, FailedCell, Sweep, SweepError, SweepReport};
 }

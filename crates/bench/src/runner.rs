@@ -12,13 +12,22 @@
 //!    slot owned by the cell index, so the output order is the input
 //!    order regardless of completion order.
 //! 3. **Observational telemetry.** Per-cell kernels count their own
-//!    events (see `fancy_sim::telemetry`); workers fold those counters
-//!    into shared atomics that only the final [`SweepReport`] reads.
+//!    events (see `fancy_sim::telemetry`); each attempt buffers its
+//!    counters privately and only the attempt that *completes the cell*
+//!    commits them to the shared aggregate the final [`SweepReport`]
+//!    reads — a panicked, superseded, or watchdog-abandoned attempt
+//!    contributes nothing (no double counting).
 //! 4. **Crash isolation.** A panicking cell is caught, retried once,
 //!    and — under [`Sweep::run_partial`] — reported in
 //!    [`SweepReport::failed_cells`] without taking down the rest of the
 //!    grid. A wall-clock watchdog ([`Sweep::watchdog`] or
 //!    `FANCY_CELL_TIMEOUT`) applies the same policy to hung cells.
+//! 5. **Resumable runs.** The `*_cached` entry points consult the
+//!    content-addressed result store ([`crate::cache`], usually rooted
+//!    at `FANCY_CACHE_DIR`): warm cells return instantly with their
+//!    stored result *and* stored telemetry, cold cells execute and are
+//!    stored on success, so an interrupted or edited sweep re-runs only
+//!    what changed.
 //!
 //! Workers pull the next cell from a shared queue, so slow cells do
 //! not stall the rest of the grid (dynamic load balancing).
@@ -33,7 +42,11 @@ use std::time::{Duration, Instant};
 
 use fancy_net::mix64;
 use fancy_sim::{trace::Profiler, JsonlWriter, Network, TelemetryCounters, TraceSink};
+use fancy_trace::TraceEvent;
 
+use crate::cache::{
+    self, CacheCodec, CacheKey, CacheKeyed, CachedCell, CellCache, Fingerprint, Record,
+};
 use crate::env::BenchEnv;
 
 /// An error raised by sweep infrastructure (as opposed to a cell's own
@@ -122,7 +135,7 @@ pub struct CellCtx {
     /// Deterministic seed for this cell, independent of thread count
     /// and scheduling: `mix64(base_seed ^ index)`.
     pub seed: u64,
-    stats: Option<Arc<SharedStats>>,
+    pending: Option<Arc<Mutex<PendingStats>>>,
     trace_dir: Option<Arc<PathBuf>>,
 }
 
@@ -130,30 +143,46 @@ impl CellCtx {
     /// A context outside any sweep (direct cell-function calls, unit
     /// tests): carries the seed, discards telemetry.
     pub fn detached(seed: u64) -> CellCtx {
-        CellCtx { index: 0, seed, stats: None, trace_dir: None }
-    }
-
-    /// Fold a finished network's kernel telemetry into the sweep's
-    /// aggregate report. Call once per simulated network, after its
-    /// last `run_until`. No-op on a detached context.
-    pub fn absorb(&self, net: &Network) {
-        if let Some(stats) = &self.stats {
-            stats.absorb(net);
+        CellCtx {
+            index: 0,
+            seed,
+            pending: None,
+            trace_dir: None,
         }
     }
 
+    /// Fold a finished network's kernel telemetry into this attempt's
+    /// private buffer. Call once per simulated network, after its last
+    /// `run_until`. The buffer reaches the sweep's aggregate report
+    /// only if this attempt completes its cell — a panicked or
+    /// watchdog-abandoned attempt's absorbs are dropped with it.
+    /// No-op on a detached context.
+    pub fn absorb(&self, net: &Network) {
+        let Some(pending) = &self.pending else { return };
+        let snap = net.kernel.telemetry_snapshot();
+        let mut p = pending.lock().expect("pending stats poisoned");
+        p.telemetry.absorb(&net.kernel.telemetry);
+        p.sim_nanos += snap.sim_elapsed.as_nanos();
+        p.wall_nanos += snap.wall_elapsed.as_nanos() as u64;
+        p.networks += 1;
+    }
+
     /// Wall-clock a span of cell work under `label`; spans merge by
-    /// label across cells and surface in [`SweepReport::phases`]. On a
-    /// detached context the closure still runs, untimed.
+    /// label across cells and surface in [`SweepReport::phases`]. Like
+    /// [`CellCtx::absorb`], spans are buffered per attempt and only
+    /// committed when the attempt completes its cell. On a detached
+    /// context the closure still runs, untimed.
     pub fn time<R>(&self, label: &str, f: impl FnOnce() -> R) -> R {
-        let Some(stats) = &self.stats else { return f() };
+        let Some(pending) = &self.pending else {
+            return f();
+        };
         let start = Instant::now();
         let r = f();
-        stats
-            .phases
+        pending
             .lock()
-            .expect("profiler poisoned")
-            .add(label, start.elapsed());
+            .expect("pending stats poisoned")
+            .phases
+            .push((label.to_string(), start.elapsed()));
         r
     }
 
@@ -187,10 +216,51 @@ impl CellCtx {
         })?;
         Ok(Some(Box::new(w)))
     }
+
+    /// Leave a one-line `cache_hit` marker trace for a warm cell — but
+    /// only when the cell has no trace file yet: a cold run's full
+    /// trace is strictly more useful than the marker, so it is never
+    /// clobbered. Best effort; trace I/O can never fail a warm hit.
+    fn write_cache_hit_stub(&self, key: CacheKey, hit: &CachedCell) {
+        let Some(path) = self.trace_path() else {
+            return;
+        };
+        if path.exists() {
+            return;
+        }
+        let ev = TraceEvent::CacheHit {
+            t: 0,
+            cell: self.index as u64,
+            key_hi: key.hi,
+            key_lo: key.lo,
+            saved_events: hit.telemetry.events_dispatched,
+        };
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = std::fs::write(&path, format!("{}\n", ev.to_jsonl()));
+    }
 }
 
-/// Lock-free aggregate the workers fold per-cell telemetry into (the
-/// span profiler is the one mutex, touched once per `CellCtx::time`).
+/// One attempt's privately buffered accounting: kernel telemetry,
+/// cache lookup outcomes, and timed spans. Committed to
+/// [`SharedStats`] only by the attempt that completes its cell;
+/// dropped (never committed) for panicked, superseded, or
+/// watchdog-abandoned attempts.
+#[derive(Debug, Default)]
+struct PendingStats {
+    telemetry: TelemetryCounters,
+    sim_nanos: u64,
+    wall_nanos: u64,
+    networks: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    phases: Vec<(String, Duration)>,
+}
+
+/// Lock-free aggregate the workers commit completed attempts into (the
+/// span profiler is the one mutex, touched once per committed attempt
+/// with timed spans).
 #[derive(Default)]
 struct SharedStats {
     events: AtomicU64,
@@ -212,34 +282,62 @@ struct SharedStats {
     sim_nanos: AtomicU64,
     wall_nanos: AtomicU64,
     networks: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
     phases: Mutex<Profiler>,
 }
 
 impl SharedStats {
-    fn absorb(&self, net: &Network) {
-        let t = &net.kernel.telemetry;
-        // Relaxed is enough: values are only read after scope join, and
-        // every counter is an independent monotone sum (or max).
-        self.events.fetch_add(t.events_dispatched, Ordering::Relaxed);
-        self.arrivals.fetch_add(t.packet_arrivals, Ordering::Relaxed);
+    /// Fold one attempt's buffered accounting into the aggregate.
+    /// Callers gate this on the attempt actually completing its cell
+    /// (winning the state CAS under `run_partial`), which is what keeps
+    /// a watchdog-abandoned run that finishes late from double-counting
+    /// alongside its replacement.
+    fn commit(&self, p: &PendingStats) {
+        let t = &p.telemetry;
+        // Relaxed is enough: values are only read after every cell is
+        // terminal, and every counter is an independent monotone sum
+        // (or max).
+        self.events
+            .fetch_add(t.events_dispatched, Ordering::Relaxed);
+        self.arrivals
+            .fetch_add(t.packet_arrivals, Ordering::Relaxed);
         self.timers.fetch_add(t.timers_fired, Ordering::Relaxed);
-        self.queue_high_water.fetch_max(t.queue_high_water, Ordering::Relaxed);
-        self.timer_high_water.fetch_max(t.timer_high_water, Ordering::Relaxed);
-        self.forwarded.fetch_add(t.packets_forwarded, Ordering::Relaxed);
-        self.gray.fetch_add(t.packets_gray_dropped, Ordering::Relaxed);
+        self.queue_high_water
+            .fetch_max(t.queue_high_water, Ordering::Relaxed);
+        self.timer_high_water
+            .fetch_max(t.timer_high_water, Ordering::Relaxed);
+        self.forwarded
+            .fetch_add(t.packets_forwarded, Ordering::Relaxed);
+        self.gray
+            .fetch_add(t.packets_gray_dropped, Ordering::Relaxed);
         self.control.fetch_add(t.control_drops, Ordering::Relaxed);
-        self.congestion.fetch_add(t.congestion_drops, Ordering::Relaxed);
-        self.pool_high_water.fetch_max(t.pool_high_water, Ordering::Relaxed);
-        self.pool_recycled.fetch_add(t.pool_recycled, Ordering::Relaxed);
+        self.congestion
+            .fetch_add(t.congestion_drops, Ordering::Relaxed);
+        self.pool_high_water
+            .fetch_max(t.pool_high_water, Ordering::Relaxed);
+        self.pool_recycled
+            .fetch_add(t.pool_recycled, Ordering::Relaxed);
         self.chaos_drops.fetch_add(t.chaos_drops, Ordering::Relaxed);
         self.chaos_dups.fetch_add(t.chaos_dups, Ordering::Relaxed);
-        self.chaos_reorders.fetch_add(t.chaos_reorders, Ordering::Relaxed);
-        self.chaos_control_faults.fetch_add(t.chaos_control_faults, Ordering::Relaxed);
-        self.degraded_entries.fetch_add(t.degraded_entries, Ordering::Relaxed);
-        let snap = net.kernel.telemetry_snapshot();
-        self.sim_nanos.fetch_add(snap.sim_elapsed.as_nanos(), Ordering::Relaxed);
-        self.wall_nanos.fetch_add(snap.wall_elapsed.as_nanos() as u64, Ordering::Relaxed);
-        self.networks.fetch_add(1, Ordering::Relaxed);
+        self.chaos_reorders
+            .fetch_add(t.chaos_reorders, Ordering::Relaxed);
+        self.chaos_control_faults
+            .fetch_add(t.chaos_control_faults, Ordering::Relaxed);
+        self.degraded_entries
+            .fetch_add(t.degraded_entries, Ordering::Relaxed);
+        self.sim_nanos.fetch_add(p.sim_nanos, Ordering::Relaxed);
+        self.wall_nanos.fetch_add(p.wall_nanos, Ordering::Relaxed);
+        self.networks.fetch_add(p.networks, Ordering::Relaxed);
+        self.cache_hits.fetch_add(p.cache_hits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(p.cache_misses, Ordering::Relaxed);
+        if !p.phases.is_empty() {
+            let mut prof = self.phases.lock().expect("profiler poisoned");
+            for (label, d) in &p.phases {
+                prof.add(label, *d);
+            }
+        }
     }
 
     fn counters(&self) -> TelemetryCounters {
@@ -263,17 +361,29 @@ impl SharedStats {
         }
     }
 
-    fn report_fields(
-        &self,
-    ) -> (TelemetryCounters, f64, Duration, u64, Vec<(String, Duration)>) {
-        (
-            self.counters(),
-            self.sim_nanos.load(Ordering::Relaxed) as f64 / 1e9,
-            Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
-            self.networks.load(Ordering::Relaxed),
-            std::mem::take(&mut *self.phases.lock().expect("profiler poisoned")).into_spans(),
-        )
+    fn aggregated(&self) -> Aggregated {
+        Aggregated {
+            telemetry: self.counters(),
+            sim_seconds: self.sim_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            kernel_wall: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
+            networks: self.networks.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            phases: std::mem::take(&mut *self.phases.lock().expect("profiler poisoned"))
+                .into_spans(),
+        }
     }
+}
+
+/// Snapshot of [`SharedStats`] in report units.
+struct Aggregated {
+    telemetry: TelemetryCounters,
+    sim_seconds: f64,
+    kernel_wall: Duration,
+    networks: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    phases: Vec<(String, Duration)>,
 }
 
 /// Aggregate progress/throughput report of one sweep.
@@ -297,7 +407,16 @@ pub struct SweepReport {
     pub kernel_wall: Duration,
     /// Networks folded in via [`CellCtx::absorb`] (0 when the work
     /// function never absorbs — telemetry fields are then all zero).
+    /// Warm cache hits restore the network count they saved with, so
+    /// this matches the cold run.
     pub networks: u64,
+    /// Cells served warm from the content-addressed result cache.
+    /// Always 0 for the plain `run`/`try_run`/`run_partial` entry
+    /// points and for `*_cached` sweeps with no cache attached.
+    pub cache_hits: u64,
+    /// Cells that executed under a `*_cached` entry point because the
+    /// cache held no usable record for them.
+    pub cache_misses: u64,
     /// Wall-clock spans recorded via [`CellCtx::time`], merged by label
     /// in first-seen order. Empty when cells never time anything.
     pub phases: Vec<(String, Duration)>,
@@ -350,6 +469,15 @@ impl SweepReport {
                 self.telemetry.chaos_reorders,
                 self.telemetry.chaos_control_faults,
                 self.telemetry.degraded_entries,
+            ));
+        }
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups > 0 {
+            s.push_str(&format!(
+                "\n  cache: {} warm, {} cold ({:.0}% hit rate)",
+                self.cache_hits,
+                self.cache_misses,
+                100.0 * self.cache_hits as f64 / lookups as f64,
             ));
         }
         if !self.phases.is_empty() {
@@ -428,7 +556,11 @@ struct PartialInner<C, R, F> {
     states: Vec<AtomicU64>,
     attempts: Vec<AtomicU32>,
     started: Vec<Mutex<Option<Instant>>>,
-    slots: Vec<Mutex<Option<R>>>,
+    // Each slot carries the result *and* the producing attempt's
+    // buffered telemetry; the sweep commits exactly one buffer per
+    // DONE cell after every cell is terminal, so an abandoned run that
+    // finishes late can never double-count alongside its replacement.
+    slots: Vec<Mutex<Option<(R, PendingStats)>>>,
     failures: Mutex<Vec<FailedCell>>,
     queue: Mutex<VecDeque<usize>>,
 }
@@ -444,25 +576,31 @@ where
             let index = { self.queue.lock().expect("queue poisoned").pop_front() };
             let Some(index) = index else { return };
             // Claim the cell, bumping its run token.
-            let Some(token) = self.claim(index) else { continue };
+            let Some(token) = self.claim(index) else {
+                continue;
+            };
             let attempt = self.attempts[index].fetch_add(1, Ordering::Relaxed) + 1;
             *self.started[index].lock().expect("start stamp poisoned") = Some(Instant::now());
             let seed = mix64(self.base_seed ^ index as u64);
+            let pending = Arc::new(Mutex::new(PendingStats::default()));
             let ctx = CellCtx {
                 index,
                 seed,
-                stats: Some(self.stats.clone()),
+                pending: Some(pending.clone()),
                 trace_dir: self.trace_dir.clone(),
             };
             let running = pack(ST_RUNNING, token);
             match catch_unwind(AssertUnwindSafe(|| (self.f)(&self.cells[index], &ctx))) {
                 Ok(r) => {
-                    // Publish the result before the state flip so a DONE
-                    // state always has a filled slot. If the CAS fails the
+                    // Publish the result (with this attempt's buffered
+                    // telemetry) before the state flip so a DONE state
+                    // always has a filled slot. If the CAS fails the
                     // watchdog superseded this run; its replacement owns
                     // the cell now (and, cells being deterministic, will
                     // write the identical value).
-                    *self.slots[index].lock().expect("result slot poisoned") = Some(r);
+                    let buffered =
+                        std::mem::take(&mut *pending.lock().expect("pending stats poisoned"));
+                    *self.slots[index].lock().expect("result slot poisoned") = Some((r, buffered));
                     let _ = self.states[index].compare_exchange(
                         running,
                         pack(ST_DONE, token),
@@ -494,12 +632,15 @@ where
                         )
                         .is_ok()
                     {
-                        self.failures.lock().expect("failure list poisoned").push(FailedCell {
-                            index,
-                            seed,
-                            cause: CellFailure::Panicked(panic_message(payload.as_ref())),
-                            attempts: attempt,
-                        });
+                        self.failures
+                            .lock()
+                            .expect("failure list poisoned")
+                            .push(FailedCell {
+                                index,
+                                seed,
+                                cause: CellFailure::Panicked(panic_message(payload.as_ref())),
+                                attempts: attempt,
+                            });
                     }
                 }
             }
@@ -549,6 +690,16 @@ pub struct Sweep<C> {
     base_seed: u64,
     trace_dir: Option<PathBuf>,
     cell_timeout: Option<Duration>,
+    cache: Option<SweepCache>,
+}
+
+/// A sweep-attached handle on the content-addressed result store: the
+/// store itself plus the sweep-level salt (label, scale, grid shape —
+/// everything that shapes a cell's work besides the cell value and
+/// seed) folded into every cell's cache key.
+struct SweepCache {
+    store: CellCache,
+    salt: Fingerprint,
 }
 
 impl<C: Sync> Sweep<C> {
@@ -564,6 +715,7 @@ impl<C: Sync> Sweep<C> {
             base_seed: 0xFA9C,
             trace_dir: None,
             cell_timeout: env.cell_timeout,
+            cache: None,
         }
     }
 
@@ -597,6 +749,28 @@ impl<C: Sync> Sweep<C> {
         self
     }
 
+    /// Attach a content-addressed result store: the `*_cached` entry
+    /// points serve warm cells from `store` and persist cold ones on
+    /// success. `salt` is the sweep-level key material — fold in the
+    /// label, scale, grid shape, and anything else that shapes a
+    /// cell's work besides the cell value and its seed (see
+    /// [`crate::cache`] for the full key recipe and invalidation
+    /// rules). The plain entry points ignore the cache entirely.
+    pub fn cache(mut self, store: CellCache, salt: Fingerprint) -> Self {
+        self.cache = Some(SweepCache { store, salt });
+        self
+    }
+
+    /// Attach the store selected by `FANCY_CACHE_DIR`, if that
+    /// variable is set and non-empty; a no-op (the sweep stays
+    /// uncached) otherwise.
+    pub fn cache_from_env(self, salt: Fingerprint) -> Self {
+        match CellCache::from_env() {
+            Some(store) => self.cache(store, salt),
+            None => self,
+        }
+    }
+
     /// The deterministic seed cell `index` will receive.
     pub fn cell_seed(&self, index: usize) -> u64 {
         mix64(self.base_seed ^ index as u64)
@@ -624,25 +798,36 @@ impl<C: Sync> Sweep<C> {
         let failures: Mutex<Vec<FailedCell>> = Mutex::new(Vec::new());
 
         let guarded = |index: usize, cell: &C| -> Option<R> {
-            let ctx = CellCtx {
-                index,
-                seed: self.cell_seed(index),
-                stats: Some(stats.clone()),
-                trace_dir: trace_dir.clone(),
-            };
+            let seed = self.cell_seed(index);
             let mut attempts = 0u32;
             loop {
                 attempts += 1;
+                // Fresh buffer per attempt: only the attempt that
+                // returns commits, so a panicked attempt's partial
+                // absorbs never reach the aggregate.
+                let pending = Arc::new(Mutex::new(PendingStats::default()));
+                let ctx = CellCtx {
+                    index,
+                    seed,
+                    pending: Some(pending.clone()),
+                    trace_dir: trace_dir.clone(),
+                };
                 match catch_unwind(AssertUnwindSafe(|| f(cell, &ctx))) {
-                    Ok(r) => return Some(r),
+                    Ok(r) => {
+                        stats.commit(&pending.lock().expect("pending stats poisoned"));
+                        return Some(r);
+                    }
                     Err(_) if attempts < 2 => {} // one retry
                     Err(payload) => {
-                        failures.lock().expect("failure list poisoned").push(FailedCell {
-                            index,
-                            seed: ctx.seed,
-                            cause: CellFailure::Panicked(panic_message(payload.as_ref())),
-                            attempts,
-                        });
+                        failures
+                            .lock()
+                            .expect("failure list poisoned")
+                            .push(FailedCell {
+                                index,
+                                seed,
+                                cause: CellFailure::Panicked(panic_message(payload.as_ref())),
+                                attempts,
+                            });
                         return None;
                     }
                 }
@@ -687,18 +872,19 @@ impl<C: Sync> Sweep<C> {
             panic!("{}", failure_diagnosis(&self.label, &failed, n));
         }
 
-        let (telemetry, sim_seconds, kernel_wall, networks, phases) =
-            stats.report_fields();
+        let agg = stats.aggregated();
         let report = SweepReport {
             label: self.label.clone(),
             cells: n,
             threads: self.threads.min(n.max(1)),
             wall: start.elapsed(),
-            telemetry,
-            sim_seconds,
-            kernel_wall,
-            networks,
-            phases,
+            telemetry: agg.telemetry,
+            sim_seconds: agg.sim_seconds,
+            kernel_wall: agg.kernel_wall,
+            networks: agg.networks,
+            cache_hits: agg.cache_hits,
+            cache_misses: agg.cache_misses,
+            phases: agg.phases,
             failed_cells: Vec::new(),
         };
         let results = results
@@ -723,6 +909,124 @@ impl<C: Sync> Sweep<C> {
             ok.push(r?);
         }
         Ok((ok, report))
+    }
+
+    /// [`Sweep::run`] with the attached cache consulted per cell: warm
+    /// cells return their stored result and stored telemetry without
+    /// executing, cold cells execute and are stored on success. The
+    /// report's [`SweepReport::cache_hits`] / `cache_misses` count the
+    /// lookup outcomes. With no cache attached this is exactly `run`.
+    ///
+    /// ```
+    /// use fancy_bench::cache::Fingerprint;
+    /// use fancy_bench::runner::Sweep;
+    ///
+    /// // Cold everywhere unless FANCY_CACHE_DIR is set; with it set,
+    /// // the second identical invocation executes zero cells.
+    /// let salt = Fingerprint::new().with("squares");
+    /// let (squares, _report) = Sweep::new("squares", (0..8u64).collect::<Vec<_>>())
+    ///     .cache_from_env(salt)
+    ///     .run_cached(|&cell, _ctx| cell * cell);
+    /// assert_eq!(squares[5], 25);
+    /// ```
+    pub fn run_cached<R, F>(&self, f: F) -> (Vec<R>, SweepReport)
+    where
+        C: CacheKeyed,
+        R: Send + CacheCodec,
+        F: Fn(&C, &CellCtx) -> R + Sync,
+    {
+        let cache = self.cache.as_ref();
+        self.run(|cell, ctx| run_cell_cached_infallible(cache, cell, ctx, &f))
+    }
+
+    /// [`Sweep::try_run`] with the attached cache consulted per cell.
+    /// `Err` results are never stored, so an errored cell re-runs on
+    /// the next sweep instead of caching its failure.
+    pub fn try_run_cached<R, E, F>(&self, f: F) -> Result<(Vec<R>, SweepReport), E>
+    where
+        C: CacheKeyed,
+        R: Send + CacheCodec,
+        E: Send,
+        F: Fn(&C, &CellCtx) -> Result<R, E> + Sync,
+    {
+        let cache = self.cache.as_ref();
+        self.try_run(|cell, ctx| run_cell_cached(cache, cell, ctx, &f))
+    }
+}
+
+/// Run one cell through the cache: serve a warm hit (folding its
+/// stored telemetry and a `cache_hits` tick into the attempt's
+/// buffer), or execute `f` and persist the result on success.
+/// Detached contexts and uncached sweeps fall straight through to `f`.
+fn run_cell_cached<C, R, E, F>(
+    cache: Option<&SweepCache>,
+    cell: &C,
+    ctx: &CellCtx,
+    f: &F,
+) -> Result<R, E>
+where
+    C: CacheKeyed + ?Sized,
+    R: CacheCodec,
+    F: Fn(&C, &CellCtx) -> Result<R, E>,
+{
+    let (Some(cache), Some(pending)) = (cache, &ctx.pending) else {
+        return f(cell, ctx);
+    };
+    let key = cache::cell_key(&cache.salt, cell, ctx.seed);
+    if let Some(hit) = cache.store.load(key) {
+        // A record whose result no longer decodes as `R` degrades to a
+        // miss, exactly like a corrupt record.
+        if let Some(r) = R::decode(&hit.result) {
+            {
+                let mut p = pending.lock().expect("pending stats poisoned");
+                p.telemetry.absorb(&hit.telemetry);
+                p.sim_nanos += hit.sim_nanos;
+                p.networks += hit.networks;
+                p.cache_hits += 1;
+            }
+            ctx.write_cache_hit_stub(key, &hit);
+            return Ok(r);
+        }
+    }
+    pending.lock().expect("pending stats poisoned").cache_misses += 1;
+    let r = f(cell, ctx)?;
+    // The attempt buffer holds exactly this attempt's absorbs, so it
+    // doubles as the per-cell record. Kernel wall-clock is deliberately
+    // not stored: a warm run honestly reports its own (near-zero) wall.
+    let (telemetry, sim_nanos, networks) = {
+        let p = pending.lock().expect("pending stats poisoned");
+        (p.telemetry, p.sim_nanos, p.networks)
+    };
+    let mut result = Record::default();
+    r.encode(&mut result);
+    let _ = cache.store.store(
+        key,
+        &CachedCell {
+            telemetry,
+            sim_nanos,
+            networks,
+            result,
+        },
+    );
+    Ok(r)
+}
+
+/// [`run_cell_cached`] for infallible cell functions.
+fn run_cell_cached_infallible<C, R, F>(
+    cache: Option<&SweepCache>,
+    cell: &C,
+    ctx: &CellCtx,
+    f: &F,
+) -> R
+where
+    C: CacheKeyed + ?Sized,
+    R: CacheCodec,
+    F: Fn(&C, &CellCtx) -> R,
+{
+    let wrapped = |c: &C, x: &CellCtx| -> Result<R, std::convert::Infallible> { Ok(f(c, x)) };
+    match run_cell_cached(cache, cell, ctx, &wrapped) {
+        Ok(r) => r,
+        Err(e) => match e {},
     }
 }
 
@@ -778,7 +1082,9 @@ impl<C: Send + Sync + 'static> Sweep<C> {
             base_seed,
             stats: Arc::new(SharedStats::default()),
             trace_dir: self.trace_dir.map(Arc::new),
-            states: (0..n).map(|_| AtomicU64::new(pack(ST_PENDING, 0))).collect(),
+            states: (0..n)
+                .map(|_| AtomicU64::new(pack(ST_PENDING, 0)))
+                .collect(),
             attempts: (0..n).map(|_| AtomicU32::new(0)).collect(),
             started: (0..n).map(|_| Mutex::new(None)).collect(),
             slots: (0..n).map(|_| Mutex::new(None)).collect(),
@@ -831,16 +1137,14 @@ impl<C: Send + Sync + 'static> Sweep<C> {
                         if requeue {
                             inner.queue.lock().expect("queue poisoned").push_back(index);
                         } else {
-                            inner
-                                .failures
-                                .lock()
-                                .expect("failure list poisoned")
-                                .push(FailedCell {
+                            inner.failures.lock().expect("failure list poisoned").push(
+                                FailedCell {
                                     index,
                                     seed: mix64(base_seed ^ index as u64),
                                     cause: CellFailure::TimedOut(limit),
                                     attempts,
-                                });
+                                },
+                            );
                         }
                         let w = Arc::clone(&inner);
                         std::thread::spawn(move || w.worker());
@@ -860,30 +1164,59 @@ impl<C: Send + Sync + 'static> Sweep<C> {
             .zip(&inner.slots)
             .map(|(state, slot)| {
                 if state_of(state.load(Ordering::Acquire)) == ST_DONE {
-                    slot.lock().expect("result slot poisoned").take()
+                    // Taking the slot consumes whichever attempt's
+                    // publication survived there, so exactly one
+                    // buffered attempt is committed per completed cell.
+                    slot.lock()
+                        .expect("result slot poisoned")
+                        .take()
+                        .map(|(r, buffered)| {
+                            inner.stats.commit(&buffered);
+                            r
+                        })
                 } else {
                     None
                 }
             })
             .collect();
-        let mut failed = inner.failures.lock().expect("failure list poisoned").clone();
+        let mut failed = inner
+            .failures
+            .lock()
+            .expect("failure list poisoned")
+            .clone();
         failed.sort_by_key(|c| c.index);
 
-        let (telemetry, sim_seconds, kernel_wall, networks, phases) =
-            inner.stats.report_fields();
+        let agg = inner.stats.aggregated();
         let report = SweepReport {
             label,
             cells: n,
             threads,
             wall: start.elapsed(),
-            telemetry,
-            sim_seconds,
-            kernel_wall,
-            networks,
-            phases,
+            telemetry: agg.telemetry,
+            sim_seconds: agg.sim_seconds,
+            kernel_wall: agg.kernel_wall,
+            networks: agg.networks,
+            cache_hits: agg.cache_hits,
+            cache_misses: agg.cache_misses,
+            phases: agg.phases,
             failed_cells: failed,
         };
         (results, report)
+    }
+
+    /// [`Sweep::run_partial`] with the attached cache consulted per
+    /// cell: on a resumed run, previously completed cells are warm hits
+    /// and only never-completed cells (including the prior run's
+    /// [`SweepReport::failed_cells`]) execute. Failed and timed-out
+    /// cells are never stored, so they always re-run.
+    pub fn run_partial_cached<R, F>(mut self, f: F) -> (Vec<Option<R>>, SweepReport)
+    where
+        C: CacheKeyed,
+        R: Send + CacheCodec + 'static,
+        F: Fn(&C, &CellCtx) -> R + Send + Sync + 'static,
+    {
+        let cache = self.cache.take();
+        self.run_partial(move |cell, ctx| run_cell_cached_infallible(cache.as_ref(), cell, ctx, &f))
     }
 }
 
@@ -896,12 +1229,13 @@ mod tests {
     fn results_keep_input_order_at_any_thread_count() {
         let cells: Vec<usize> = (0..37).collect();
         for threads in [1, 2, 8] {
-            let (out, report) = Sweep::new("order", cells.clone())
-                .threads(threads)
-                .run(|&c, ctx| {
-                    assert_eq!(c, ctx.index);
-                    c * 10
-                });
+            let (out, report) =
+                Sweep::new("order", cells.clone())
+                    .threads(threads)
+                    .run(|&c, ctx| {
+                        assert_eq!(c, ctx.index);
+                        c * 10
+                    });
             assert_eq!(out, (0..37).map(|c| c * 10).collect::<Vec<_>>());
             assert_eq!(report.cells, 37);
             assert!(report.failed_cells.is_empty());
@@ -925,25 +1259,34 @@ mod tests {
         assert_eq!(set.len(), 64);
     }
 
+    /// A tiny 2-node network that dispatches exactly one event over
+    /// one simulated second — cheap deterministic telemetry for tests.
+    fn one_packet_net(seed: u64) -> Network {
+        let mut net = Network::new(seed);
+        let a = net.add_node(Box::new(SinkNode::default()));
+        let b = net.add_node(Box::new(SinkNode::default()));
+        net.connect(a, b, LinkConfig::default());
+        let pkt = fancy_sim::PacketBuilder::new(
+            1,
+            2,
+            100,
+            fancy_sim::PacketKind::Udp { flow: 0, seq: 0 },
+        )
+        .build();
+        net.kernel.inject(a, 0, pkt, SimTime::ZERO);
+        net.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        net
+    }
+
     #[test]
     fn telemetry_aggregates_across_cells() {
         // Each cell runs a tiny 2-node network pushing one packet.
-        let (_, report) = Sweep::new("telemetry", vec![(); 5]).threads(2).run(|_, ctx| {
-            let mut net = Network::new(ctx.seed);
-            let a = net.add_node(Box::new(SinkNode::default()));
-            let b = net.add_node(Box::new(SinkNode::default()));
-            net.connect(a, b, LinkConfig::default());
-            let pkt = fancy_sim::PacketBuilder::new(
-                1,
-                2,
-                100,
-                fancy_sim::PacketKind::Udp { flow: 0, seq: 0 },
-            )
-            .build();
-            net.kernel.inject(a, 0, pkt, SimTime::ZERO);
-            net.run_until(SimTime::ZERO + SimDuration::from_secs(1));
-            ctx.absorb(&net);
-        });
+        let (_, report) = Sweep::new("telemetry", vec![(); 5])
+            .threads(2)
+            .run(|_, ctx| {
+                let net = one_packet_net(ctx.seed);
+                ctx.absorb(&net);
+            });
         assert_eq!(report.networks, 5);
         // One injected arrival per cell (the packet sinks at `a`).
         assert_eq!(report.telemetry.events_dispatched, 5);
@@ -952,11 +1295,53 @@ mod tests {
     }
 
     #[test]
+    fn failed_attempts_do_not_commit_telemetry() {
+        use std::sync::atomic::AtomicU32;
+        // Cell 1 absorbs a network and *then* panics on its first
+        // attempt; only the successful retry's absorb may reach the
+        // aggregate — the aborted attempt's buffer must be dropped.
+        let first_attempt = AtomicU32::new(0);
+        let (_, report) = Sweep::new("buffered", vec![(); 3])
+            .threads(1)
+            .run(|_, ctx| {
+                let net = one_packet_net(ctx.seed);
+                ctx.absorb(&net);
+                if ctx.index == 1 && first_attempt.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("post-absorb transient");
+                }
+            });
+        assert_eq!(
+            report.networks, 3,
+            "panicked attempt's absorb must not count"
+        );
+        assert_eq!(report.telemetry.events_dispatched, 3);
+        assert_eq!(report.sim_seconds, 3.0);
+    }
+
+    #[test]
+    fn uncached_sweeps_report_zero_cache_counters() {
+        // `run_cached` without an attached cache is exactly `run`: no
+        // lookups, no counters, no summary line.
+        let (out, report) = Sweep::new("plain", (0..4u64).collect::<Vec<_>>())
+            .threads(2)
+            .run_cached(|&c, _| c + 1);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert_eq!((report.cache_hits, report.cache_misses), (0, 0));
+        assert!(!report.summary().contains("cache:"));
+    }
+
+    #[test]
     fn try_run_surfaces_first_error_by_cell_order() {
         let r: Result<(Vec<usize>, SweepReport), String> =
             Sweep::new("fallible", (0..10usize).collect::<Vec<_>>())
                 .threads(4)
-                .try_run(|&c, _| if c % 4 == 3 { Err(format!("cell {c}")) } else { Ok(c) });
+                .try_run(|&c, _| {
+                    if c % 4 == 3 {
+                        Err(format!("cell {c}"))
+                    } else {
+                        Ok(c)
+                    }
+                });
         assert_eq!(r.err(), Some("cell 3".to_string()));
     }
 
@@ -992,8 +1377,15 @@ mod tests {
                     c
                 })
         }));
-        let msg = panic_message(caught.expect_err("sweep must propagate the failure").as_ref());
-        assert!(msg.contains("sweep 'doomed': 1 of 6 cell(s) failed"), "{msg}");
+        let msg = panic_message(
+            caught
+                .expect_err("sweep must propagate the failure")
+                .as_ref(),
+        );
+        assert!(
+            msg.contains("sweep 'doomed': 1 of 6 cell(s) failed"),
+            "{msg}"
+        );
         assert!(msg.contains("cell 0003"), "{msg}");
         assert!(msg.contains("cell three is cursed"), "{msg}");
         assert!(msg.contains(&format!("{:#018x}", mix64(7u64 ^ 3))), "{msg}");
@@ -1010,8 +1402,9 @@ mod tests {
                 }
                 c * 2
             });
-        let expect: Vec<Option<usize>> =
-            (0..10).map(|c| if c == 4 { None } else { Some(c * 2) }).collect();
+        let expect: Vec<Option<usize>> = (0..10)
+            .map(|c| if c == 4 { None } else { Some(c * 2) })
+            .collect();
         assert_eq!(out, expect);
         assert_eq!(report.failed_cells.len(), 1);
         let fc = &report.failed_cells[0];
@@ -1035,7 +1428,10 @@ mod tests {
                 }
                 c
             });
-        assert!(t0.elapsed() < Duration::from_secs(30), "watchdog failed to fire");
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "watchdog failed to fire"
+        );
         assert_eq!(out, vec![Some(0), None, Some(2), Some(3)]);
         assert_eq!(report.failed_cells.len(), 1);
         assert_eq!(report.failed_cells[0].index, 1);

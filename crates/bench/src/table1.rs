@@ -7,9 +7,7 @@
 
 use fancy_apps::{linear, LinearConfig, ScenarioError};
 use fancy_net::Prefix;
-use fancy_sim::{
-    DetectorKind, FailureMatcher, GrayFailure, SimDuration, SimTime,
-};
+use fancy_sim::{DetectorKind, FailureMatcher, GrayFailure, SimDuration, SimTime};
 use fancy_tcp::{FlowConfig, ScheduledFlow};
 
 use crate::env::Scale;
@@ -138,7 +136,10 @@ pub fn run_all(scale: &Scale, seed: u64) -> Result<Vec<ClassDemo>, ScenarioError
             bug: "Cisco CSCtc33158: drops random sized packets",
             // Our 2 Mbps flows use 1500 B segments and 64 B ACKs; dropping
             // the 1400–1500 B range hits every entry's data packets.
-            matcher: FailureMatcher::PacketSize { min: 1400, max: 1500 },
+            matcher: FailureMatcher::PacketSize {
+                min: 1400,
+                max: 1500,
+            },
             drop_prob: 1.0,
             entries: some_entries.clone(),
             high_priority: vec![e(0)],

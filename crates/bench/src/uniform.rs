@@ -15,6 +15,7 @@ use fancy_sim::{DetectorKind, GrayFailure, SimDuration, SimTime};
 use fancy_tcp::{FlowConfig, ScheduledFlow};
 use fancy_traffic::Zipf;
 
+use crate::cache::{CacheCodec, Fingerprint, Record};
 use crate::env::Scale;
 use crate::runner::Sweep;
 
@@ -76,10 +77,32 @@ struct RepOutcome {
     miscls: u64,
 }
 
+impl CacheCodec for RepOutcome {
+    fn encode(&self, rec: &mut Record) {
+        rec.put_u64("classified", self.classified as u64);
+        rec.put_u64("linkfail", self.linkfail as u64);
+        rec.put_f64("det_s", self.det_s);
+        rec.put_u64("miscls", self.miscls);
+    }
+
+    fn decode(rec: &Record) -> Option<Self> {
+        Some(RepOutcome {
+            classified: rec.u64("classified")? != 0,
+            linkfail: rec.u64("linkfail")? != 0,
+            det_s: rec.f64("det_s")?,
+            miscls: rec.u64("miscls")?,
+        })
+    }
+}
+
 /// Run the uniform-failure experiment at one loss rate. Repetitions are
 /// independent runs and fan out through [`Sweep`]; seeds stay keyed by
 /// repetition index, so the result is thread-count invariant.
-pub fn run_uniform(loss_pct: f64, scale: &Scale, seed: u64) -> Result<UniformResult, ScenarioError> {
+pub fn run_uniform(
+    loss_pct: f64,
+    scale: &Scale,
+    seed: u64,
+) -> Result<UniformResult, ScenarioError> {
     // Scaled stand-in for a loaded 100 Gbps link: enough entries that most
     // root counters carry traffic.
     let (entries_n, total_bps) = if scale.full {
@@ -88,9 +111,17 @@ pub fn run_uniform(loss_pct: f64, scale: &Scale, seed: u64) -> Result<UniformRes
         (600, 300_000_000)
     };
     let reps: Vec<u64> = (0..scale.reps).collect();
+    // Everything the repetition closure captures that shapes its work
+    // must feed the cache salt (see `crate::cache` invalidation rules).
+    let salt = Fingerprint::new()
+        .with("uniform")
+        .with(&loss_pct)
+        .with(scale)
+        .with(&(entries_n, total_bps));
     let (outcomes, _report) = Sweep::new(format!("uniform {loss_pct}%"), reps)
         .seed(seed)
-        .try_run(|&rep, ctx| -> Result<RepOutcome, ScenarioError> {
+        .cache_from_env(salt)
+        .try_run_cached(|&rep, ctx| -> Result<RepOutcome, ScenarioError> {
             let s = mix64(seed ^ rep ^ 0x04F1);
             let entries: Vec<Prefix> = (0..entries_n as u32)
                 .map(|i| Prefix(0x0C_00_00 + i * 7 % 0x01_00_00))
@@ -138,7 +169,12 @@ pub fn run_uniform(loss_pct: f64, scale: &Scale, seed: u64) -> Result<UniformRes
                     .filter(|d| d.time < u.time && d.time >= fail_at)
                     .count() as u64
             });
-            Ok(RepOutcome { classified, linkfail, det_s, miscls })
+            Ok(RepOutcome {
+                classified,
+                linkfail,
+                det_s,
+                miscls,
+            })
         })?;
 
     Ok(UniformResult {

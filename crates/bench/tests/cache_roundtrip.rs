@@ -1,0 +1,245 @@
+//! ISSUE 5 acceptance: the content-addressed cell cache makes sweeps
+//! resumable. A 32-cell sweep run twice against the same cache executes
+//! zero cells the second time and reproduces the first run's results
+//! and report (counters and per-cell results byte-identical) at 1 and
+//! 8 threads; any change to the key inputs re-executes; corrupt or
+//! truncated records degrade to silent misses that self-heal.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use fancy_bench::cache::{CellCache, Fingerprint};
+use fancy_bench::runner::{CellCtx, Sweep};
+use fancy_sim::{LinkConfig, Network, PacketBuilder, PacketKind, SimDuration, SimTime, SinkNode};
+
+/// A private scratch directory, wiped at the start of each test so a
+/// previous run's records can't leak in.
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fancy-cache-rt-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A tiny deterministic cell: `cell % 3 + 1` packets through a 2-node
+/// network over one simulated second, so every cell contributes real,
+/// distinct telemetry. The result folds in the seed to catch a cache
+/// that serves a record across seeds.
+fn run_cell(cell: usize, ctx: &CellCtx) -> u64 {
+    let mut net = Network::new(ctx.seed);
+    let a = net.add_node(Box::new(SinkNode::default()));
+    let b = net.add_node(Box::new(SinkNode::default()));
+    net.connect(a, b, LinkConfig::default());
+    for seq in 0..(cell % 3 + 1) as u64 {
+        let pkt = PacketBuilder::new(1, 2, 100, PacketKind::Udp { flow: 0, seq }).build();
+        net.kernel.inject(a, 0, pkt, SimTime::ZERO);
+    }
+    net.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+    ctx.absorb(&net);
+    (cell as u64) * 31 + ctx.seed % 7
+}
+
+/// The acceptance criterion verbatim: cold at 1 thread, then warm at 1
+/// and 8 threads — the warm runs execute zero cells and their reports
+/// match the cold run bit-for-bit on results, telemetry, simulated
+/// time, and network counts.
+#[test]
+fn warm_sweep_executes_zero_cells_and_reproduces_the_report() {
+    let dir = fresh_dir("acceptance");
+    let executed = AtomicU32::new(0);
+    let run = |threads: usize| {
+        Sweep::new("roundtrip", (0..32usize).collect::<Vec<_>>())
+            .seed(0xCAC4E)
+            .threads(threads)
+            .cache(CellCache::new(&dir), Fingerprint::new().with("acceptance"))
+            .run_cached(|&cell, ctx| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                run_cell(cell, ctx)
+            })
+    };
+
+    let (cold, cold_report) = run(1);
+    assert_eq!(executed.swap(0, Ordering::SeqCst), 32);
+    assert_eq!(cold_report.cache_hits, 0);
+    assert_eq!(cold_report.cache_misses, 32);
+
+    for threads in [1usize, 8] {
+        let (warm, warm_report) = run(threads);
+        assert_eq!(
+            executed.swap(0, Ordering::SeqCst),
+            0,
+            "warm run at {threads} threads executed cells"
+        );
+        assert_eq!(warm, cold, "warm results diverged at {threads} threads");
+        assert_eq!(warm_report.cache_hits, 32);
+        assert_eq!(warm_report.cache_misses, 0);
+        assert_eq!(warm_report.telemetry, cold_report.telemetry);
+        assert_eq!(
+            warm_report.sim_seconds.to_bits(),
+            cold_report.sim_seconds.to_bits()
+        );
+        assert_eq!(warm_report.networks, cold_report.networks);
+        let summary = warm_report.summary();
+        assert!(
+            summary.contains("cache: 32 warm, 0 cold (100% hit rate)"),
+            "{summary}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `FANCY_CACHE_DIR` + `cache_from_env` warm the crash-isolated
+/// `run_partial_cached` path too.
+#[test]
+fn fancy_cache_dir_env_warms_partial_sweeps() {
+    let dir = fresh_dir("env");
+    std::env::set_var("FANCY_CACHE_DIR", &dir);
+    let run = || {
+        let executed = Arc::new(AtomicU32::new(0));
+        let counter = executed.clone();
+        let (results, report) = Sweep::new("env-partial", (0..8usize).collect::<Vec<_>>())
+            .seed(0xE4B)
+            .threads(2)
+            .cache_from_env(Fingerprint::new().with("env-partial"))
+            .run_partial_cached(move |&cell, ctx| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                run_cell(cell, ctx)
+            });
+        (results, report, executed.load(Ordering::SeqCst))
+    };
+
+    let (cold, cold_report, cold_executed) = run();
+    let (warm, warm_report, warm_executed) = run();
+    std::env::remove_var("FANCY_CACHE_DIR");
+
+    assert_eq!(cold_executed, 8);
+    assert_eq!(cold_report.cache_misses, 8);
+    assert_eq!(warm_executed, 0, "warm partial sweep executed cells");
+    assert_eq!(warm_report.cache_hits, 8);
+    assert_eq!(warm, cold);
+    assert!(cold.iter().all(Option::is_some));
+    assert_eq!(warm_report.telemetry, cold_report.telemetry);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every component of the key — sweep seed, salt (standing in for
+/// captured config), and the cell value itself — invalidates on change.
+/// (Schema-version drift is pinned by the cache module's unit tests.)
+#[test]
+fn any_key_component_change_re_executes() {
+    let dir = fresh_dir("invalidation");
+    let store = CellCache::new(&dir);
+    let executed = AtomicU32::new(0);
+    let run = |seed: u64, salt: Fingerprint, cells: Vec<usize>| {
+        Sweep::new("invalidation", cells)
+            .seed(seed)
+            .threads(1)
+            .cache(store.clone(), salt)
+            .run_cached(|&cell, ctx| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                run_cell(cell, ctx)
+            })
+    };
+    let salt = || Fingerprint::new().with("invalidation");
+
+    run(1, salt(), vec![0, 1, 2, 3]);
+    assert_eq!(executed.swap(0, Ordering::SeqCst), 4);
+
+    // Identical inputs: fully warm.
+    let (_, report) = run(1, salt(), vec![0, 1, 2, 3]);
+    assert_eq!(executed.swap(0, Ordering::SeqCst), 0);
+    assert_eq!(report.cache_hits, 4);
+
+    // A different sweep seed changes every cell seed: fully cold.
+    run(2, salt(), vec![0, 1, 2, 3]);
+    assert_eq!(
+        executed.swap(0, Ordering::SeqCst),
+        4,
+        "seed change must miss"
+    );
+
+    // A different salt (changed captured config): fully cold.
+    run(1, salt().with(&7u64), vec![0, 1, 2, 3]);
+    assert_eq!(
+        executed.swap(0, Ordering::SeqCst),
+        4,
+        "salt change must miss"
+    );
+
+    // One changed cell value at an existing index: exactly one miss.
+    let (_, report) = run(1, salt(), vec![0, 1, 2, 9]);
+    assert_eq!(
+        executed.swap(0, Ordering::SeqCst),
+        1,
+        "cell change must miss only itself"
+    );
+    assert_eq!(report.cache_hits, 3);
+    assert_eq!(report.cache_misses, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Damaged records never panic and never serve wrong data: a bit flip,
+/// a truncation, and a zero-length file all degrade to silent misses
+/// (counted in `cache_misses`), the cells re-execute and re-store, and
+/// the following run is fully warm again.
+#[test]
+fn corrupt_records_degrade_to_silent_misses() {
+    let dir = fresh_dir("corruption");
+    let store = CellCache::new(&dir);
+    let executed = AtomicU32::new(0);
+    let run = || {
+        Sweep::new("corruption", vec![0usize, 1, 2, 3])
+            .seed(0xBADF00D)
+            .threads(1)
+            .cache(store.clone(), Fingerprint::new().with("corruption"))
+            .run_cached(|&cell, ctx| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                run_cell(cell, ctx)
+            })
+    };
+
+    let (cold, _) = run();
+    assert_eq!(executed.swap(0, Ordering::SeqCst), 4);
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("cache dir must exist after a cold run")
+        .map(|e| e.expect("readable dir entry").path())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 4, "one record per cell");
+
+    // Flip one payload bit — the checksum must reject it.
+    let mut bytes = std::fs::read(&files[0]).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&files[0], &bytes).unwrap();
+    // Truncate another mid-payload — the length must reject it.
+    let bytes = std::fs::read(&files[1]).unwrap();
+    std::fs::write(&files[1], &bytes[..bytes.len() / 2]).unwrap();
+    // And empty a third outright.
+    std::fs::write(&files[2], b"").unwrap();
+
+    let (repaired, report) = run();
+    assert_eq!(
+        executed.swap(0, Ordering::SeqCst),
+        3,
+        "three damaged records must re-execute"
+    );
+    assert_eq!(report.cache_hits, 1);
+    assert_eq!(report.cache_misses, 3);
+    assert_eq!(
+        repaired, cold,
+        "re-executed cells must reproduce the originals"
+    );
+
+    // The re-stores healed the cache: third run is fully warm.
+    let (warm, report) = run();
+    assert_eq!(executed.swap(0, Ordering::SeqCst), 0);
+    assert_eq!(report.cache_hits, 4);
+    assert_eq!(warm, cold);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

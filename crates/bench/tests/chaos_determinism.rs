@@ -72,9 +72,11 @@ fn run_cell(ctx: &CellCtx) -> Result<Signature, ScenarioError> {
         sc.monitored_link,
         sc.s2,
         FaultPlan::new(ctx.seed ^ 0x0F0F).stage(
-            FaultStage::new(FaultTarget::All)
-                .duplicate(0.05)
-                .reorder(0.05, SimDuration::from_micros(30), SimDuration::from_millis(1)),
+            FaultStage::new(FaultTarget::All).duplicate(0.05).reorder(
+                0.05,
+                SimDuration::from_micros(30),
+                SimDuration::from_millis(1),
+            ),
         ),
     );
 
@@ -96,8 +98,7 @@ fn run_cell(ctx: &CellCtx) -> Result<Signature, ScenarioError> {
 
 #[test]
 fn fault_injected_sweep_is_bit_identical_across_thread_counts() -> Result<(), ScenarioError> {
-    let sweep = Sweep::new("chaos-determinism", (0..CELLS).collect::<Vec<usize>>())
-        .seed(BASE_SEED);
+    let sweep = Sweep::new("chaos-determinism", (0..CELLS).collect::<Vec<usize>>()).seed(BASE_SEED);
 
     let mut reference = Vec::with_capacity(CELLS);
     for index in 0..CELLS {
@@ -105,21 +106,43 @@ fn fault_injected_sweep_is_bit_identical_across_thread_counts() -> Result<(), Sc
     }
 
     let (one_thread, report1) = sweep.threads(1).try_run(|_, ctx| run_cell(ctx))?;
-    assert_eq!(reference, one_thread, "1-thread chaos sweep must match the serial loop");
+    assert_eq!(
+        reference, one_thread,
+        "1-thread chaos sweep must match the serial loop"
+    );
 
-    let sweep = Sweep::new("chaos-determinism", (0..CELLS).collect::<Vec<usize>>())
-        .seed(BASE_SEED);
+    let sweep = Sweep::new("chaos-determinism", (0..CELLS).collect::<Vec<usize>>()).seed(BASE_SEED);
     let (eight_threads, report8) = sweep.threads(8).try_run(|_, ctx| run_cell(ctx))?;
-    assert_eq!(reference, eight_threads, "8-thread chaos sweep must match the serial loop");
+    assert_eq!(
+        reference, eight_threads,
+        "8-thread chaos sweep must match the serial loop"
+    );
 
     // The chaos layer really fired in this workload — bit-identity over
     // all-zero counters would prove nothing.
-    assert!(reference.iter().any(|s| s.chaos_drops > 0), "no chaos drops anywhere");
-    assert!(reference.iter().any(|s| s.chaos_dups > 0), "no duplications anywhere");
-    assert!(reference.iter().any(|s| s.chaos_reorders > 0), "no reorders anywhere");
-    assert!(reference.iter().any(|s| s.chaos_control_faults > 0), "no control faults");
-    assert!(reference.iter().any(|s| s.detections > 0), "nothing was detected");
-    assert!(reference.iter().all(|s| s.trace.contains("\"ev\":\"chaos\"")));
+    assert!(
+        reference.iter().any(|s| s.chaos_drops > 0),
+        "no chaos drops anywhere"
+    );
+    assert!(
+        reference.iter().any(|s| s.chaos_dups > 0),
+        "no duplications anywhere"
+    );
+    assert!(
+        reference.iter().any(|s| s.chaos_reorders > 0),
+        "no reorders anywhere"
+    );
+    assert!(
+        reference.iter().any(|s| s.chaos_control_faults > 0),
+        "no control faults"
+    );
+    assert!(
+        reference.iter().any(|s| s.detections > 0),
+        "nothing was detected"
+    );
+    assert!(reference
+        .iter()
+        .all(|s| s.trace.contains("\"ev\":\"chaos\"")));
 
     // Aggregated chaos telemetry is scheduling-independent too.
     assert_eq!(report1.telemetry, report8.telemetry);

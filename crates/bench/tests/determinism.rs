@@ -61,11 +61,20 @@ fn run_cell(ctx: &CellCtx) -> Result<Signature, ScenarioError> {
     sc.net.run_until(SimTime(3_000_000_000));
     ctx.absorb(&sc.net);
     let t = sc.net.kernel.telemetry;
-    assert_eq!(recorder.dropped(), 0, "ring must be large enough for the full trace");
+    assert_eq!(
+        recorder.dropped(),
+        0,
+        "ring must be large enough for the full trace"
+    );
     Ok(Signature {
         gray_drops: sc.net.kernel.records.total_gray_drops(),
         detections: sc.net.kernel.records.detections.len(),
-        first_detection: sc.net.kernel.records.first_entry_detection(entry).map(|d| d.time),
+        first_detection: sc
+            .net
+            .kernel
+            .records
+            .first_entry_detection(entry)
+            .map(|d| d.time),
         events_dispatched: t.events_dispatched,
         packets_forwarded: t.packets_forwarded,
         control_drops: t.control_drops,
@@ -85,11 +94,17 @@ fn sweep_results_are_identical_serial_and_at_any_thread_count() -> Result<(), Sc
     }
 
     let (one_thread, report1) = sweep.threads(1).try_run(|_, ctx| run_cell(ctx))?;
-    assert_eq!(reference, one_thread, "1-thread sweep must match the serial loop");
+    assert_eq!(
+        reference, one_thread,
+        "1-thread sweep must match the serial loop"
+    );
 
     let sweep = Sweep::new("determinism", (0..CELLS).collect::<Vec<usize>>()).seed(BASE_SEED);
     let (eight_threads, report8) = sweep.threads(8).try_run(|_, ctx| run_cell(ctx))?;
-    assert_eq!(reference, eight_threads, "8-thread sweep must match the serial loop");
+    assert_eq!(
+        reference, eight_threads,
+        "8-thread sweep must match the serial loop"
+    );
 
     // The failures and detections actually exercised the scenarios, and
     // the traces are non-trivial (so the bit-identity above means
@@ -97,7 +112,9 @@ fn sweep_results_are_identical_serial_and_at_any_thread_count() -> Result<(), Sc
     assert!(reference.iter().any(|s| s.gray_drops > 0));
     assert!(reference.iter().any(|s| s.detections > 0));
     assert!(reference.iter().all(|s| !s.trace.is_empty()));
-    assert!(reference.iter().any(|s| s.trace.contains("\"ev\":\"detect\"")));
+    assert!(reference
+        .iter()
+        .any(|s| s.trace.contains("\"ev\":\"detect\"")));
 
     // Aggregated telemetry is scheduling-independent too (sums and maxes
     // of per-cell counters commute).

@@ -154,8 +154,14 @@ fn traces_match_pre_refactor_golden_run() -> Result<(), ScenarioError> {
     // Thread-count invariance of the full fingerprint, before any golden
     // comparison: the 8-thread run must reproduce the 1-thread traces.
     for (i, (a, b)) in cells1.iter().zip(&cells8).enumerate() {
-        assert_eq!(a.trace_len, b.trace_len, "cell {i} trace length differs by thread count");
-        assert_eq!(a.trace_fnv, b.trace_fnv, "cell {i} trace bytes differ by thread count");
+        assert_eq!(
+            a.trace_len, b.trace_len,
+            "cell {i} trace length differs by thread count"
+        );
+        assert_eq!(
+            a.trace_fnv, b.trace_fnv,
+            "cell {i} trace bytes differ by thread count"
+        );
     }
 
     let rendered = render(&cells1, &report1, &report8);

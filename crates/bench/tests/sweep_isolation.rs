@@ -4,12 +4,14 @@
 //! with the right causes — while real simulation cells around them keep
 //! their deterministic results.
 
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fancy_apps::{linear, LinearConfig};
 use fancy_bench::runner::{CellCtx, CellFailure, Sweep};
 use fancy_net::Prefix;
-use fancy_sim::{GrayFailure, SimTime};
+use fancy_sim::{GrayFailure, LinkConfig, Network, SimDuration, SimTime, SinkNode};
 use fancy_tcp::{FlowConfig, ScheduledFlow};
 
 const CELLS: usize = 16;
@@ -78,12 +80,26 @@ fn crashing_and_hanging_cells_do_not_take_down_the_sweep() {
     assert_eq!(report.failed_cells.len(), 2);
     let panicked = &report.failed_cells[0];
     assert_eq!(panicked.index, PANICKING);
-    assert_eq!(panicked.seed, Sweep::new("x", vec![(); CELLS]).seed(0x150_1A7E).cell_seed(PANICKING));
-    assert_eq!(panicked.attempts, 2, "the one-retry policy must have re-run it");
+    assert_eq!(
+        panicked.seed,
+        Sweep::new("x", vec![(); CELLS])
+            .seed(0x150_1A7E)
+            .cell_seed(PANICKING)
+    );
+    assert_eq!(
+        panicked.attempts, 2,
+        "the one-retry policy must have re-run it"
+    );
     let CellFailure::Panicked(msg) = &panicked.cause else {
-        panic!("cell {PANICKING} should be a panic, got {:?}", panicked.cause);
+        panic!(
+            "cell {PANICKING} should be a panic, got {:?}",
+            panicked.cause
+        );
     };
-    assert!(msg.contains("deliberate panic in cell 3"), "payload lost: {msg}");
+    assert!(
+        msg.contains("deliberate panic in cell 3"),
+        "payload lost: {msg}"
+    );
 
     let hung = &report.failed_cells[1];
     assert_eq!(hung.index, HUNG);
@@ -95,7 +111,10 @@ fn crashing_and_hanging_cells_do_not_take_down_the_sweep() {
     for (index, r) in results.iter().enumerate() {
         if let Some(drops) = r {
             let expect = simulate(&CellCtx::detached(sweep.cell_seed(index)));
-            assert_eq!(*drops, expect, "cell {index} diverged from the serial reference");
+            assert_eq!(
+                *drops, expect,
+                "cell {index} diverged from the serial reference"
+            );
         }
     }
 
@@ -104,4 +123,73 @@ fn crashing_and_hanging_cells_do_not_take_down_the_sweep() {
     assert!(summary.contains("FAILED cell 0003"), "{summary}");
     assert!(summary.contains("FAILED cell 0007"), "{summary}");
     assert!(summary.contains("timed out"), "{summary}");
+}
+
+/// A 2-node network that dispatches exactly one event over one
+/// simulated second — cheap, deterministic telemetry.
+fn one_packet_net(seed: u64) -> Network {
+    let mut net = Network::new(seed);
+    let a = net.add_node(Box::new(SinkNode::default()));
+    let b = net.add_node(Box::new(SinkNode::default()));
+    net.connect(a, b, LinkConfig::default());
+    let pkt =
+        fancy_sim::PacketBuilder::new(1, 2, 100, fancy_sim::PacketKind::Udp { flow: 0, seq: 0 })
+            .build();
+    net.kernel.inject(a, 0, pkt, SimTime::ZERO);
+    net.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+    net
+}
+
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Regression: a watchdog-abandoned run that eventually finishes must
+/// not fold its telemetry into the sweep aggregate on top of its
+/// replacement's. Before absorption was gated on winning the cell's
+/// completion CAS, both runs' counters reached the shared atomics and
+/// every metric of the recovered cell was double-counted.
+#[test]
+fn abandoned_run_does_not_double_count_telemetry() {
+    let claims = Arc::new(AtomicU32::new(0));
+    let abandoned_absorbed = Arc::new(AtomicBool::new(false));
+    let (results, report) = {
+        let claims = claims.clone();
+        let flag = abandoned_absorbed.clone();
+        Sweep::new("double-count", vec![()])
+            .threads(1)
+            .watchdog(Duration::from_millis(100))
+            .run_partial(move |_, ctx| {
+                let net = one_packet_net(ctx.seed);
+                if claims.fetch_add(1, Ordering::SeqCst) == 0 {
+                    // First run: overstay the watchdog until the
+                    // replacement has claimed the cell, then absorb and
+                    // finish anyway — a hung thread coming back to life
+                    // after being abandoned.
+                    wait_until("replacement claim", || claims.load(Ordering::SeqCst) >= 2);
+                    ctx.absorb(&net);
+                    flag.store(true, Ordering::SeqCst);
+                } else {
+                    // Replacement: absorb, then finish only once the
+                    // abandoned run has absorbed too, so both buffers
+                    // exist before the cell completes.
+                    ctx.absorb(&net);
+                    wait_until("abandoned absorb", || flag.load(Ordering::SeqCst));
+                }
+                7u64
+            })
+    };
+    assert_eq!(results, vec![Some(7)]);
+    assert!(report.failed_cells.is_empty(), "{:?}", report.failed_cells);
+    // Exactly one run's telemetry may be committed for the one cell.
+    assert_eq!(
+        report.networks, 1,
+        "abandoned run's absorb was double-counted"
+    );
+    assert_eq!(report.telemetry.events_dispatched, 1);
+    assert_eq!(report.sim_seconds, 1.0);
 }

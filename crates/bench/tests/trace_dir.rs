@@ -67,7 +67,10 @@ fn sweep_persists_one_parseable_trace_per_cell() -> Result<(), ScenarioError> {
             .unwrap_or_else(|(line, e)| panic!("{}:{line}: {e:?}", path.display()));
         assert!(!events.is_empty(), "cell {index} traced nothing");
         // Every cell suffers a gray failure, so every trace records it.
-        assert!(text.contains("\"cause\":\"gray\""), "cell {index} has no gray drop");
+        assert!(
+            text.contains("\"cause\":\"gray\""),
+            "cell {index} has no gray drop"
+        );
     }
     Ok(())
 }

@@ -100,7 +100,9 @@ impl FancyInput {
     /// memory budget.
     pub fn translate(&self) -> Result<FancyLayout, ConfigError> {
         if self.high_priority.len() > MAX_DEDICATED_ENTRIES {
-            return Err(ConfigError::TooManyDedicatedEntries(self.high_priority.len()));
+            return Err(ConfigError::TooManyDedicatedEntries(
+                self.high_priority.len(),
+            ));
         }
         // Reject duplicate high-priority entries: they would silently share
         // a counter ID and mis-attribute mismatches.
@@ -124,7 +126,10 @@ impl FancyInput {
         let tree = if self.tree.width == 0 {
             // Derive the widest tree that fits: memory is linear in width,
             // so solve nodes·(64·w + 88) ≤ remaining for w.
-            let probe = TreeParams { width: 2, ..self.tree };
+            let probe = TreeParams {
+                width: 2,
+                ..self.tree
+            };
             probe.validate()?;
             let nodes = probe.slot_count() as u64;
             let per_width = nodes * 64;

@@ -521,7 +521,7 @@ mod tests {
         r.on_tagged_packet();
         let ra = r.on_message(7, &ControlBody::Stop);
         let _ = r.on_timer(r_epoch_of(&ra)); // Report emitted (and lost).
-        // Upstream retransmits Stop for session 7.
+                                             // Upstream retransmits Stop for session 7.
         let ra = r.on_message(7, &ControlBody::Stop);
         assert_eq!(ra, vec![ReceiverAction::ResendReport]);
     }
@@ -532,7 +532,9 @@ mod tests {
         let a = s.open();
         let sid = s.session_id;
         // Report for an old session: ignored.
-        assert!(s.on_message(sid.wrapping_sub(1), &ControlBody::Report(vec![])).is_empty());
+        assert!(s
+            .on_message(sid.wrapping_sub(1), &ControlBody::Report(vec![]))
+            .is_empty());
         // Report in WaitAck: ignored.
         assert!(s.on_message(sid, &ControlBody::Report(vec![])).is_empty());
         // Stale timer epoch: ignored.
@@ -626,7 +628,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(reopen_delays, vec![interval * 2, interval * 4, interval * 8]);
+        assert_eq!(
+            reopen_delays,
+            vec![interval * 2, interval * 4, interval * 8]
+        );
         assert_eq!(s.consecutive_failures, 3);
         // A completed session resets the backoff.
         let sid = s.session_id;

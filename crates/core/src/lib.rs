@@ -48,9 +48,9 @@ pub mod prelude {
     pub use crate::error::ConfigError;
     pub use crate::fsm::{ReceiverFsm, ReceiverState, SenderFsm, SenderState};
     pub use crate::output::{FlagArray, OutputBloom};
+    pub use crate::strawman::{StrawmanReceiver, StrawmanSender};
     pub use crate::switch::{CongestionGuard, FancySwitch, Reroute, SwitchStats};
     pub use crate::tree::{format_path, TreeHasher, TreeParams};
-    pub use crate::strawman::{StrawmanReceiver, StrawmanSender};
     pub use crate::zoom::{SelectionPolicy, ZoomEngine, ZoomOutcome, ZoomStep};
 }
 

@@ -76,7 +76,10 @@ impl StrawmanSender {
     /// count. Returns `Some(lost_packets)` if the session was still
     /// buffered.
     pub fn on_report(&mut self, session_id: u32, remote: u32) -> Option<i64> {
-        let idx = self.pending.iter().position(|&(sid, _)| sid == session_id)?;
+        let idx = self
+            .pending
+            .iter()
+            .position(|&(sid, _)| sid == session_id)?;
         let (_, local) = self.pending.remove(idx);
         self.compared_sessions += 1;
         let lost = i64::from(local) - i64::from(remote);

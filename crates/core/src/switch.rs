@@ -231,7 +231,12 @@ impl FancySwitch {
     /// egress ports on which this switch acts as the counting upstream
     /// (FANcY is "deployed at every switch, so that it can monitor all
     /// links, one by one" in full deployments, §4.3).
-    pub fn new(fib: fancy_sim::Fib, layout: FancyLayout, monitored: Vec<PortId>, seed: u64) -> Self {
+    pub fn new(
+        fib: fancy_sim::Fib,
+        layout: FancyLayout,
+        monitored: Vec<PortId>,
+        seed: u64,
+    ) -> Self {
         let dedicated_index = layout
             .high_priority
             .iter()
@@ -392,7 +397,13 @@ impl FancySwitch {
     }
 
     /// Execute the actions emitted by the sender FSM of (`port`, `kind`).
-    fn drive_sender(&mut self, ctx: &mut Kernel, port: PortId, kind: u16, actions: Vec<SenderAction>) {
+    fn drive_sender(
+        &mut self,
+        ctx: &mut Kernel,
+        port: PortId,
+        kind: u16,
+        actions: Vec<SenderAction>,
+    ) {
         let mut queue: std::collections::VecDeque<SenderAction> = actions.into();
         while let Some(action) = queue.pop_front() {
             match action {
@@ -455,7 +466,11 @@ impl FancySwitch {
                     let up = self.upstream.get_mut(&port).unwrap();
                     if !up.link_down {
                         up.link_down = true;
-                        ctx.report(port, DetectionScope::LinkDown, DetectorKind::ProtocolTimeout);
+                        ctx.report(
+                            port,
+                            DetectionScope::LinkDown,
+                            DetectorKind::ProtocolTimeout,
+                        );
                     }
                     if !up.degraded {
                         // Retry exhaustion: fall back to port-level
@@ -516,7 +531,12 @@ impl FancySwitch {
                 // Drain the zooming steps before emitting detections so a
                 // timeline reader sees first-suspicion before detect at
                 // equal timestamps.
-                let steps = self.upstream.get_mut(&port).unwrap().zoom.take_session_log();
+                let steps = self
+                    .upstream
+                    .get_mut(&port)
+                    .unwrap()
+                    .zoom
+                    .take_session_log();
                 let node = ctx.self_id() as u64;
                 for step in steps {
                     let (label, path, lost): (&str, &[u8], u32) = match &step {
@@ -582,7 +602,13 @@ impl FancySwitch {
     // Receiver-side machinery.
     // ------------------------------------------------------------------
 
-    fn drive_receiver(&mut self, ctx: &mut Kernel, port: PortId, kind: u16, actions: Vec<ReceiverAction>) {
+    fn drive_receiver(
+        &mut self,
+        ctx: &mut Kernel,
+        port: PortId,
+        kind: u16,
+        actions: Vec<ReceiverAction>,
+    ) {
         for action in actions {
             match action {
                 ReceiverAction::Send(body) => {
@@ -600,10 +626,7 @@ impl FancySwitch {
                             )
                         }
                     };
-                    let dst = self
-                        .downstream
-                        .get(&port)
-                        .map_or(0, |d| d.reply_to);
+                    let dst = self.downstream.get(&port).map_or(0, |d| d.reply_to);
                     self.send_control(ctx, port, dst, skind, sid, body);
                 }
                 ReceiverAction::ResetCounters => {
@@ -637,10 +660,7 @@ impl FancySwitch {
                             )
                         }
                     };
-                    let dst = self
-                        .downstream
-                        .get(&port)
-                        .map_or(0, |d| d.reply_to);
+                    let dst = self.downstream.get(&port).map_or(0, |d| d.reply_to);
                     self.send_control(ctx, port, dst, skind, sid, ControlBody::Report(report));
                 }
                 ReceiverAction::ArmTimer { delay, epoch } => {
@@ -737,7 +757,9 @@ impl FancySwitch {
     /// Ingress counting: tagged packets are counted before this switch's TM
     /// and the (hop-local) tag is stripped.
     fn ingress_count(&mut self, ctx: &mut Kernel, port: PortId, pkt: PacketRef) {
-        let Some(tag) = ctx.pkt_mut(pkt).tag.take() else { return };
+        let Some(tag) = ctx.pkt_mut(pkt).tag.take() else {
+            return;
+        };
         let Some(down) = self.downstream.get_mut(&port) else {
             return;
         };
@@ -1030,7 +1052,12 @@ mod tests {
         let mut fib2 = fancy_sim::Fib::new();
         fib2.default_route(1);
         fib2.route(Prefix::from_addr(0x01_00_00_01), 0);
-        let s2 = net.add_node(Box::new(FancySwitch::new(fib2, layout, Vec::new(), seed + 1)));
+        let s2 = net.add_node(Box::new(FancySwitch::new(
+            fib2,
+            layout,
+            Vec::new(),
+            seed + 1,
+        )));
         let rx = net.add_node(Box::new(ReceiverHost::new()));
 
         let edge = LinkConfig::new(10_000_000_000, SimDuration::from_micros(10));
@@ -1180,14 +1207,22 @@ mod tests {
         fib2.route(Prefix::from_addr(0x01_00_00_01), 0);
         let s2 = net.add_node(Box::new(FancySwitch::new(fib2, layout, Vec::new(), 2)));
         let rx = net.add_node(Box::new(ReceiverHost::new()));
-        net.connect(host, s1, LinkConfig::new(1_000_000_000, SimDuration::from_micros(10)));
+        net.connect(
+            host,
+            s1,
+            LinkConfig::new(1_000_000_000, SimDuration::from_micros(10)),
+        );
         // Bottleneck: 10 Mbps with a tiny TM queue → heavy congestion.
         net.connect(
             s1,
             s2,
             LinkConfig::new(10_000_000, SimDuration::from_millis(10)).with_tm_capacity(10_000),
         );
-        net.connect(s2, rx, LinkConfig::new(1_000_000_000, SimDuration::from_micros(10)));
+        net.connect(
+            s2,
+            rx,
+            LinkConfig::new(1_000_000_000, SimDuration::from_micros(10)),
+        );
         net.run_until(SimTime::ZERO + SimDuration::from_secs(5));
 
         assert!(

@@ -148,7 +148,9 @@ impl TreeHasher {
 
     /// The full hash path of `entry`, root to leaf.
     pub fn hash_path(&self, entry: Prefix) -> Vec<u8> {
-        (0..self.params.depth).map(|l| self.index(l, entry)).collect()
+        (0..self.params.depth)
+            .map(|l| self.index(l, entry))
+            .collect()
     }
 
     /// `format_path` plus a completeness marker: partial paths (still
@@ -163,10 +165,9 @@ impl TreeHasher {
 
     /// Does `entry`'s hash path start with `prefix`?
     pub fn matches_prefix(&self, entry: Prefix, prefix: &[u8]) -> bool {
-        prefix
-            .iter()
-            .enumerate()
-            .all(|(l, &idx)| l < usize::from(self.params.depth) && self.index(l as u8, entry) == idx)
+        prefix.iter().enumerate().all(|(l, &idx)| {
+            l < usize::from(self.params.depth) && self.index(l as u8, entry) == idx
+        })
     }
 
     /// All entries of `universe` whose hash path starts with `path`.
@@ -192,10 +193,7 @@ pub fn format_path(path: &[u8]) -> String {
     if path.is_empty() {
         return "·".to_owned();
     }
-    path.iter()
-        .map(u8::to_string)
-        .collect::<Vec<_>>()
-        .join("/")
+    path.iter().map(u8::to_string).collect::<Vec<_>>().join("/")
 }
 
 #[cfg(test)]
@@ -301,7 +299,11 @@ mod tests {
         assert!(matched.contains(&target));
         // With 190^3 ≈ 6.9M hash paths and 10k entries, collisions on a full
         // path are rare: expect very few extra entries.
-        assert!(matched.len() <= 3, "unexpectedly many collisions: {}", matched.len());
+        assert!(
+            matched.len() <= 3,
+            "unexpectedly many collisions: {}",
+            matched.len()
+        );
         // A one-level path matches roughly universe/width entries.
         let rough: Vec<Prefix> = h
             .entries_matching(&path[..1], universe.iter().copied())

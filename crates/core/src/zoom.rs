@@ -294,9 +294,7 @@ impl ZoomEngine {
                 })
                 .collect();
             match self.policy {
-                SelectionPolicy::MaxLoss => {
-                    mism.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)))
-                }
+                SelectionPolicy::MaxLoss => mism.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0))),
                 SelectionPolicy::FirstIndex => mism.sort_by_key(|&(i, _)| i),
             }
             let at_leaf = p.path.len() + 1 == depth;
@@ -353,16 +351,16 @@ impl ZoomEngine {
             })
             .collect();
         match self.policy {
-            SelectionPolicy::MaxLoss => {
-                root_mism.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)))
-            }
+            SelectionPolicy::MaxLoss => root_mism.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0))),
             SelectionPolicy::FirstIndex => root_mism.sort_by_key(|&(i, _)| i),
         }
         for (i, _) in root_mism.into_iter().take(split) {
             if self.paths_at_level(1) >= self.params().path_capacity(1) {
                 break;
             }
-            let Some(slot) = self.free_slots.pop() else { break };
+            let Some(slot) = self.free_slots.pop() else {
+                break;
+            };
             self.zoom_steps += 1;
             self.session_log.push(ZoomStep::Adopt {
                 path: vec![i as u8],
@@ -513,7 +511,11 @@ mod tests {
         // Two failed entries in different root counters.
         let f1 = Prefix(100);
         let f2 = Prefix(200);
-        assert_ne!(e.hasher().index(0, f1), e.hasher().index(0, f2), "test setup");
+        assert_ne!(
+            e.hasher().index(0, f1),
+            e.hasher().index(0, f2),
+            "test setup"
+        );
         let loss = |p: Prefix| if p == f1 || p == f2 { 10 } else { 0 };
         let mut reported = std::collections::HashSet::new();
         for s in 0..4 {

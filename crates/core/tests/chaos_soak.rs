@@ -20,7 +20,11 @@ use fancy_tcp::{FlowConfig, ReceiverHost, ScheduledFlow, SenderHost};
 
 /// The §5 pair with FANcY monitoring S1's port 1 (the S1→S2 link).
 /// Returns `(net, s1, s2, link)`.
-fn fancy_pair(high_priority: Vec<Prefix>, flows: Vec<ScheduledFlow>, seed: u64) -> (Network, usize, usize, usize) {
+fn fancy_pair(
+    high_priority: Vec<Prefix>,
+    flows: Vec<ScheduledFlow>,
+    seed: u64,
+) -> (Network, usize, usize, usize) {
     let mut input = FancyInput {
         high_priority,
         memory_bytes_per_port: 1 << 20,
@@ -35,11 +39,21 @@ fn fancy_pair(high_priority: Vec<Prefix>, flows: Vec<ScheduledFlow>, seed: u64) 
     let mut fib1 = fancy_sim::Fib::new();
     fib1.default_route(1);
     fib1.route(Prefix::from_addr(0x01_00_00_01), 0);
-    let s1 = net.add_node(Box::new(FancySwitch::new(fib1, layout.clone(), vec![1], seed)));
+    let s1 = net.add_node(Box::new(FancySwitch::new(
+        fib1,
+        layout.clone(),
+        vec![1],
+        seed,
+    )));
     let mut fib2 = fancy_sim::Fib::new();
     fib2.default_route(1);
     fib2.route(Prefix::from_addr(0x01_00_00_01), 0);
-    let s2 = net.add_node(Box::new(FancySwitch::new(fib2, layout, Vec::new(), seed + 1)));
+    let s2 = net.add_node(Box::new(FancySwitch::new(
+        fib2,
+        layout,
+        Vec::new(),
+        seed + 1,
+    )));
     let rx = net.add_node(Box::new(ReceiverHost::new()));
 
     let edge = LinkConfig::new(10_000_000_000, SimDuration::from_micros(10));
@@ -63,8 +77,10 @@ fn steady_flows(dst: u32, rate: u64, n: usize, spacing_ms: u64) -> Vec<Scheduled
 /// Drop control-plane packets with probability `p` in *both* directions
 /// of `link` (Start/Stop go S1→S2, StartAck/Report come back).
 fn lossy_control_plane(net: &mut Network, link: usize, s1: usize, s2: usize, p: f64, seed: u64) {
-    net.kernel.add_fault_plan(link, s1, FaultPlan::control_loss(seed, None, p));
-    net.kernel.add_fault_plan(link, s2, FaultPlan::control_loss(seed ^ 0x5A5A, None, p));
+    net.kernel
+        .add_fault_plan(link, s1, FaultPlan::control_loss(seed, None, p));
+    net.kernel
+        .add_fault_plan(link, s2, FaultPlan::control_loss(seed ^ 0x5A5A, None, p));
 }
 
 #[test]
@@ -84,8 +100,14 @@ fn sessions_establish_and_detect_under_20pct_control_loss() {
     // is still caught by the dedicated counter.
     let sw: &FancySwitch = net.node(s1);
     let (ded_sessions, _) = sw.sessions_completed(1);
-    assert!(ded_sessions > 10, "only {ded_sessions} dedicated sessions under 20% control loss");
-    assert!(!sw.is_degraded(1), "20% loss must not exhaust the retry budget");
+    assert!(
+        ded_sessions > 10,
+        "only {ded_sessions} dedicated sessions under 20% control loss"
+    );
+    assert!(
+        !sw.is_degraded(1),
+        "20% loss must not exhaust the retry budget"
+    );
     let det = net
         .kernel
         .records
@@ -128,7 +150,10 @@ fn total_control_blackhole_degrades_then_recovers() {
         // counting, which keeps counting packets without tagging them.
         let sw: &FancySwitch = net.node(s1);
         assert!(sw.is_link_down(1), "retry exhaustion must latch link-down");
-        assert!(sw.is_degraded(1), "switch must degrade to port-level counting");
+        assert!(
+            sw.is_degraded(1),
+            "switch must degrade to port-level counting"
+        );
         assert!(
             sw.port_level_count(1) > 0,
             "degraded mode must still count forwarded packets"
@@ -146,7 +171,10 @@ fn total_control_blackhole_degrades_then_recovers() {
     // degraded mode.
     net.run_until(SimTime::ZERO + SimDuration::from_secs(8));
     let sw: &FancySwitch = net.node(s1);
-    assert!(!sw.is_degraded(1), "degraded mode must clear after the control plane heals");
+    assert!(
+        !sw.is_degraded(1),
+        "degraded mode must clear after the control plane heals"
+    );
     let cleared = recorder
         .snapshot()
         .iter()
@@ -176,7 +204,11 @@ fn soak_under_mixed_control_chaos_is_deterministic_and_live() {
                 .stage(
                     FaultStage::new(FaultTarget::Control(None))
                         .duplicate(0.10)
-                        .reorder(0.10, SimDuration::from_micros(50), SimDuration::from_millis(2)),
+                        .reorder(
+                            0.10,
+                            SimDuration::from_micros(50),
+                            SimDuration::from_millis(2),
+                        ),
                 )
         };
         net.kernel.add_fault_plan(link, s1, chaos(0x51CC));
@@ -191,7 +223,10 @@ fn soak_under_mixed_control_chaos_is_deterministic_and_live() {
         // completing sessions on a healthy data plane.
         assert!(ded > 5, "dedicated sessions stalled: {ded}");
         assert!(tree > 2, "tree sessions stalled: {tree}");
-        assert!(net.kernel.records.detections.is_empty(), "no failure was injected");
+        assert!(
+            net.kernel.records.detections.is_empty(),
+            "no failure was injected"
+        );
         (recorder.to_jsonl(), net.kernel.telemetry)
     };
     let (trace_a, tel_a) = run();

@@ -98,7 +98,8 @@ impl Harness {
                 ReceiverAction::ResendReport => {
                     // The cached report answers the *stale* Stop's session.
                     if self.r2s.len() < CHANNEL_CAP {
-                        self.r2s.push((reply_session, ControlBody::Report(vec![0, 1, 2])));
+                        self.r2s
+                            .push((reply_session, ControlBody::Report(vec![0, 1, 2])));
                     }
                 }
                 ReceiverAction::ArmTimer { epoch, .. } => self.receiver_timer = Some(epoch),

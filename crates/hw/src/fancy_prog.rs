@@ -237,10 +237,30 @@ mod tests {
             assert_eq!(program.name, name);
             let u = program.utilization(&profile);
             let close = |a: f64, b: f64, tol: f64| (a - b).abs() <= tol;
-            assert!(close(u.salu, paper.salu, 0.1), "{name} salu {} vs {}", u.salu, paper.salu);
-            assert!(close(u.sram, paper.sram, 0.6), "{name} sram {} vs {}", u.sram, paper.sram);
-            assert!(close(u.vliw, paper.vliw, 0.5), "{name} vliw {} vs {}", u.vliw, paper.vliw);
-            assert!(close(u.tcam, paper.tcam, 0.3), "{name} tcam {} vs {}", u.tcam, paper.tcam);
+            assert!(
+                close(u.salu, paper.salu, 0.1),
+                "{name} salu {} vs {}",
+                u.salu,
+                paper.salu
+            );
+            assert!(
+                close(u.sram, paper.sram, 0.6),
+                "{name} sram {} vs {}",
+                u.sram,
+                paper.sram
+            );
+            assert!(
+                close(u.vliw, paper.vliw, 0.5),
+                "{name} vliw {} vs {}",
+                u.vliw,
+                paper.vliw
+            );
+            assert!(
+                close(u.tcam, paper.tcam, 0.3),
+                "{name} tcam {} vs {}",
+                u.tcam,
+                paper.tcam
+            );
             assert!(
                 close(u.hash_bits, paper.hash_bits, 0.5),
                 "{name} hash {} vs {}",

@@ -113,14 +113,16 @@ impl P4Program {
     /// Percent-of-pipeline utilization (a Table 4 column).
     pub fn utilization(&self, profile: &TofinoProfile) -> Utilization {
         let t = self.totals(profile);
-        let sram_blocks =
-            t.sram_bits / profile.sram_block_bits + u64::from(t.sram_overhead_blocks);
+        let sram_blocks = t.sram_bits / profile.sram_block_bits + u64::from(t.sram_overhead_blocks);
         let pct = |used: f64, avail: f64| 100.0 * used / avail;
         Utilization {
             sram: pct(sram_blocks as f64, f64::from(profile.total_sram_blocks())),
             salu: pct(f64::from(t.salus), f64::from(profile.total_salus())),
             vliw: pct(f64::from(t.vliw_slots), f64::from(profile.total_vliw())),
-            tcam: pct(f64::from(t.tcam_blocks), f64::from(profile.total_tcam_blocks())),
+            tcam: pct(
+                f64::from(t.tcam_blocks),
+                f64::from(profile.total_tcam_blocks()),
+            ),
             hash_bits: pct(f64::from(t.hash_bits), f64::from(profile.total_hash_bits())),
             ternary_xbar: pct(
                 f64::from(t.ternary_xbar_bits),

@@ -217,7 +217,10 @@ mod tests {
 
     #[test]
     fn all_bodies_roundtrip() {
-        for kind in [SessionKind::Dedicated { counter_id: 499 }, SessionKind::Tree] {
+        for kind in [
+            SessionKind::Dedicated { counter_id: 499 },
+            SessionKind::Tree,
+        ] {
             for body in [
                 ControlBody::Start,
                 ControlBody::StartAck,
@@ -273,7 +276,10 @@ mod tests {
         );
         bytes[1] = 1;
         bytes[0] = 77;
-        assert_eq!(ControlMessage::parse(&bytes), Err(ParseError::UnknownType(77)));
+        assert_eq!(
+            ControlMessage::parse(&bytes),
+            Err(ParseError::UnknownType(77))
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn display_formats_dotted_quad() {
-        assert_eq!(Prefix::from_addr(0xC0_A8_01_05).to_string(), "192.168.1.0/24");
+        assert_eq!(
+            Prefix::from_addr(0xC0_A8_01_05).to_string(),
+            "192.168.1.0/24"
+        );
     }
 
     #[test]

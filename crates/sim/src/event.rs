@@ -267,7 +267,15 @@ impl EventQueue {
         debug_assert!(node <= u32::MAX as usize && port <= u32::MAX as usize);
         let seq = self.seq;
         self.seq += 1;
-        self.arrivals.push(at, seq, ArrivalItem { node: node as u32, port: port as u32, pkt });
+        self.arrivals.push(
+            at,
+            seq,
+            ArrivalItem {
+                node: node as u32,
+                port: port as u32,
+                pkt,
+            },
+        );
     }
 
     /// Schedule a timer at absolute time `at`.
@@ -276,7 +284,14 @@ impl EventQueue {
         debug_assert!(node <= u32::MAX as usize);
         let seq = self.seq;
         self.seq += 1;
-        self.timers.push(at, seq, TimerItem { node: node as u32, token });
+        self.timers.push(
+            at,
+            seq,
+            TimerItem {
+                node: node as u32,
+                token,
+            },
+        );
     }
 
     /// Pop the earliest event, if any. Lane heads are compared by
@@ -346,9 +361,7 @@ impl EventQueue {
         match (self.arrivals.peek_key(), self.timers.peek_key()) {
             (None, None) => None,
             (Some((t, _)), None) | (None, Some((t, _))) => Some(t),
-            (Some((ta, sa)), Some((tt, st))) => {
-                Some(if (ta, sa) < (tt, st) { ta } else { tt })
-            }
+            (Some((ta, sa)), Some((tt, st))) => Some(if (ta, sa) < (tt, st) { ta } else { tt }),
         }
     }
 
@@ -449,6 +462,26 @@ mod tests {
         q.push_arrival(SimTime(50_000_000), 0, 0, dummy_ref(2));
         assert_eq!(q.peek_time(), Some(SimTime(10_000)));
         assert_eq!(drain_tokens(&mut q), vec![1, 2, 42]);
+    }
+
+    #[test]
+    fn timers_at_the_exact_horizon_land_in_overflow_in_order() {
+        // The near wheel covers slots [cursor, cursor + WHEEL_SLOTS);
+        // a timer at exactly WHEEL_SLOTS << SLOT_BITS (the horizon,
+        // with cursor 0) is the first instant *outside* the window and
+        // must go to the overflow heap — bucketing it would alias onto
+        // slot 0 and fire 33 ms early.
+        const HORIZON_NS: u64 = (WHEEL_SLOTS as u64) << SLOT_BITS;
+        let mut q = EventQueue::new();
+        q.push_timer(SimTime(HORIZON_NS), 0, 2);
+        q.push_timer(SimTime(HORIZON_NS - 1), 0, 1); // last wheel slot
+        q.push_timer(SimTime(HORIZON_NS), 0, 3); // same-time tie
+        q.push_timer(SimTime(HORIZON_NS + 1), 0, 4);
+        assert_eq!(q.timers.near, 1, "horizon-1 must stay in the wheel");
+        assert_eq!(q.timers.overflow.len(), 3, "horizon+ must overflow");
+        // (time, seq) order is preserved across the boundary: the tie
+        // at the horizon pops in insertion order.
+        assert_eq!(drain_tokens(&mut q), vec![1, 2, 3, 4]);
     }
 
     #[test]

@@ -104,7 +104,10 @@ pub struct GrayFailure {
 impl GrayFailure {
     /// A permanent failure starting at `start`.
     pub fn new(matcher: FailureMatcher, drop_prob: f64, start: SimTime) -> Self {
-        assert!((0.0..=1.0).contains(&drop_prob), "drop_prob must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&drop_prob),
+            "drop_prob must be in [0,1]"
+        );
         GrayFailure {
             matcher,
             drop_prob,
@@ -280,7 +283,10 @@ impl FaultStage {
 
     /// Memoryless loss with probability `p`.
     pub fn bernoulli(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         self.loss = LossProcess::Bernoulli(p);
         self
     }
@@ -294,7 +300,10 @@ impl FaultStage {
         loss_bad: f64,
     ) -> Self {
         for p in [p_enter_bad, p_exit_bad, loss_good, loss_bad] {
-            assert!((0.0..=1.0).contains(&p), "GE probabilities must be in [0,1]");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "GE probabilities must be in [0,1]"
+            );
         }
         self.loss = LossProcess::GilbertElliott {
             p_enter_bad,
@@ -311,7 +320,10 @@ impl FaultStage {
         on: (SimDuration, SimDuration),
         off: (SimDuration, SimDuration),
     ) -> Self {
-        assert!(on.0 <= on.1 && off.0 <= off.1, "flap ranges must be min <= max");
+        assert!(
+            on.0 <= on.1 && off.0 <= off.1,
+            "flap ranges must be min <= max"
+        );
         assert!(on.1.as_nanos() > 0, "on-window max must be positive");
         self.loss = LossProcess::RandomFlap { on, off };
         self
@@ -327,7 +339,10 @@ impl FaultStage {
     /// Reorder surviving matched packets with probability `p`, holding
     /// them back by an extra delay uniform in `[min, max]`.
     pub fn reorder(mut self, p: f64, min: SimDuration, max: SimDuration) -> Self {
-        assert!((0.0..=1.0).contains(&p), "reorder probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "reorder probability must be in [0,1]"
+        );
         assert!(min <= max, "reorder delay range must be min <= max");
         self.reorder_prob = p;
         self.reorder_delay = (min, max);
@@ -362,7 +377,11 @@ impl FaultStage {
                 loss_good,
                 loss_bad,
             } => {
-                let flip = if self.ge_bad { *p_exit_bad } else { *p_enter_bad };
+                let flip = if self.ge_bad {
+                    *p_exit_bad
+                } else {
+                    *p_enter_bad
+                };
                 let (flip, loss_good, loss_bad) = (flip, *loss_good, *loss_bad);
                 if rng.gen_bool(flip) {
                     self.ge_bad = !self.ge_bad;
@@ -467,9 +486,12 @@ impl FaultPlan {
 
     /// Convenience: a Gilbert–Elliott bursty-loss plan over data packets.
     pub fn bursty_loss(seed: u64, p_enter_bad: f64, p_exit_bad: f64, loss_bad: f64) -> Self {
-        FaultPlan::new(seed).stage(
-            FaultStage::new(FaultTarget::Data).gilbert_elliott(p_enter_bad, p_exit_bad, 0.0, loss_bad),
-        )
+        FaultPlan::new(seed).stage(FaultStage::new(FaultTarget::Data).gilbert_elliott(
+            p_enter_bad,
+            p_exit_bad,
+            0.0,
+            loss_bad,
+        ))
     }
 
     /// The plan's stages (inspection, reports).
@@ -657,14 +679,12 @@ mod tests {
 
     #[test]
     fn bernoulli_one_drops_everything_and_zero_nothing() {
-        let mut plan =
-            FaultPlan::new(3).stage(FaultStage::new(FaultTarget::All).bernoulli(1.0));
+        let mut plan = FaultPlan::new(3).stage(FaultStage::new(FaultTarget::All).bernoulli(1.0));
         let p = pkt(1, 100, 0);
         for i in 0..64 {
             assert!(plan.apply(&p, SimTime(i)).drop);
         }
-        let mut quiet =
-            FaultPlan::new(3).stage(FaultStage::new(FaultTarget::All).bernoulli(0.0));
+        let mut quiet = FaultPlan::new(3).stage(FaultStage::new(FaultTarget::All).bernoulli(0.0));
         for i in 0..64 {
             assert!(!quiet.apply(&p, SimTime(i)).acted());
         }
@@ -700,7 +720,11 @@ mod tests {
                 FaultStage::new(FaultTarget::All)
                     .gilbert_elliott(0.05, 0.2, 0.01, 0.9)
                     .duplicate(0.1)
-                    .reorder(0.1, SimDuration::from_micros(1), SimDuration::from_micros(50)),
+                    .reorder(
+                        0.1,
+                        SimDuration::from_micros(1),
+                        SimDuration::from_micros(50),
+                    ),
             )
         };
         let (mut a, mut b) = (build(), build());
@@ -713,7 +737,11 @@ mod tests {
             FaultStage::new(FaultTarget::All)
                 .gilbert_elliott(0.05, 0.2, 0.01, 0.9)
                 .duplicate(0.1)
-                .reorder(0.1, SimDuration::from_micros(1), SimDuration::from_micros(50)),
+                .reorder(
+                    0.1,
+                    SimDuration::from_micros(1),
+                    SimDuration::from_micros(50),
+                ),
         );
         let mut d = build();
         let diverged = (0..5_000).any(|i| c.apply(&p, SimTime(i)) != d.apply(&p, SimTime(i)));
@@ -727,8 +755,11 @@ mod tests {
         let on = (SimDuration::from_millis(5), SimDuration::from_millis(5));
         let off = (SimDuration::from_millis(10), SimDuration::from_millis(10));
         let start = SimTime(2_000_000_000);
-        let mut plan = FaultPlan::new(1)
-            .stage(FaultStage::new(FaultTarget::All).random_flap(on, off).starting(start));
+        let mut plan = FaultPlan::new(1).stage(
+            FaultStage::new(FaultTarget::All)
+                .random_flap(on, off)
+                .starting(start),
+        );
         let p = pkt(1, 100, 0);
         let at = |ms: u64| start + SimDuration::from_millis(ms);
         assert!(!plan.apply(&p, at(1)).drop); // first off-gap
@@ -740,17 +771,21 @@ mod tests {
     #[test]
     fn control_loss_plan_spares_data() {
         let mut plan = FaultPlan::control_loss(5, None, 1.0);
-        assert!(plan.apply(&control_pkt(ControlBody::Start), SimTime(1)).drop);
+        assert!(
+            plan.apply(&control_pkt(ControlBody::Start), SimTime(1))
+                .drop
+        );
         assert!(!plan.apply(&pkt(1, 100, 0), SimTime(2)).acted());
     }
 
     #[test]
     fn duplication_and_reordering_verdicts() {
-        let mut plan = FaultPlan::new(9).stage(
-            FaultStage::new(FaultTarget::All)
-                .duplicate(1.0)
-                .reorder(1.0, SimDuration::from_micros(3), SimDuration::from_micros(3)),
-        );
+        let mut plan =
+            FaultPlan::new(9).stage(FaultStage::new(FaultTarget::All).duplicate(1.0).reorder(
+                1.0,
+                SimDuration::from_micros(3),
+                SimDuration::from_micros(3),
+            ));
         let v = plan.apply(&pkt(1, 100, 0), SimTime(1));
         assert!(!v.drop);
         assert!(v.duplicate);
@@ -782,7 +817,10 @@ mod tests {
                     .bernoulli(1.0),
             )
             .stage(FaultStage::new(FaultTarget::All).bernoulli(1.0));
-        assert!(plan.apply(&control_pkt(ControlBody::Report(vec![])), SimTime(1)).drop);
+        assert!(
+            plan.apply(&control_pkt(ControlBody::Report(vec![])), SimTime(1))
+                .drop
+        );
         assert!(plan.apply(&pkt(1, 100, 0), SimTime(2)).drop);
         assert_eq!(plan.stages().len(), 2);
     }

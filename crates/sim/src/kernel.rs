@@ -248,8 +248,12 @@ impl Kernel {
                 self.telemetry.congestion_drops += 1;
                 if self.trace_enabled() {
                     let node = self.current as u64;
-                    let (uid, entry, flow, size) =
-                        (pkt.uid, u64::from(pkt.entry().0), pkt.flow(), u64::from(pkt.size));
+                    let (uid, entry, flow, size) = (
+                        pkt.uid,
+                        u64::from(pkt.entry().0),
+                        pkt.flow(),
+                        u64::from(pkt.size),
+                    );
                     self.trace(|t| TraceEvent::PacketDrop {
                         t,
                         cause: DropCause::Congestion,

@@ -73,8 +73,7 @@ pub use fancy_trace as trace;
 pub mod prelude {
     pub use crate::event::{NodeId, PortId, TimerToken};
     pub use crate::failure::{
-        FailureMatcher, FaultPlan, FaultStage, FaultTarget, FaultVerdict, GrayFailure,
-        LossProcess,
+        FailureMatcher, FaultPlan, FaultStage, FaultTarget, FaultVerdict, GrayFailure, LossProcess,
     };
     pub use crate::kernel::{Kernel, LinkId};
     pub use crate::link::{Admission, LinkConfig};

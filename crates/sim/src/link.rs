@@ -168,8 +168,7 @@ mod tests {
 
     fn link() -> Link {
         // 8 Mbps link so that 1000 bytes take exactly 1 ms to serialize.
-        let cfg = LinkConfig::new(8_000_000, SimDuration::from_millis(10))
-            .with_tm_capacity(3000);
+        let cfg = LinkConfig::new(8_000_000, SimDuration::from_millis(10)).with_tm_capacity(3000);
         Link::new(cfg, (0, 0), (1, 0))
     }
 

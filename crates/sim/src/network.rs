@@ -192,7 +192,8 @@ mod tests {
             congestion_dropped: 0,
         }));
         let rx = net.add_node(Box::new(SinkNode::default()));
-        let cfg = LinkConfig::new(8_000_000, SimDuration::from_millis(5)).with_tm_capacity(1_000_000);
+        let cfg =
+            LinkConfig::new(8_000_000, SimDuration::from_millis(5)).with_tm_capacity(1_000_000);
         let link = net.connect(tx, rx, cfg);
         if let Some(f) = failure {
             net.kernel.add_failure(link, tx, f);

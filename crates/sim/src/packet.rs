@@ -161,13 +161,8 @@ mod tests {
 
     #[test]
     fn entry_is_destination_slash24() {
-        let p = PacketBuilder::new(
-            1,
-            0x0A_01_02_03,
-            1500,
-            PacketKind::Udp { flow: 1, seq: 0 },
-        )
-        .build();
+        let p =
+            PacketBuilder::new(1, 0x0A_01_02_03, 1500, PacketKind::Udp { flow: 1, seq: 0 }).build();
         assert_eq!(p.entry(), Prefix::from_addr(0x0A_01_02_FF));
     }
 

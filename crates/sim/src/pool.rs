@@ -92,7 +92,10 @@ impl PacketPool {
             PacketRef { idx, gen: slot.gen }
         } else {
             let idx = u32::try_from(self.slots.len()).expect("packet pool exceeds u32 slots");
-            self.slots.push(Slot { gen: 0, pkt: Some(pkt) });
+            self.slots.push(Slot {
+                gen: 0,
+                pkt: Some(pkt),
+            });
             PacketRef { idx, gen: 0 }
         }
     }
@@ -127,7 +130,10 @@ impl PacketPool {
     #[inline]
     pub fn get_mut(&mut self, r: PacketRef) -> &mut Packet {
         let _ = self.slot(r);
-        self.slots[r.idx as usize].pkt.as_mut().expect("checked by slot()")
+        self.slots[r.idx as usize]
+            .pkt
+            .as_mut()
+            .expect("checked by slot()")
     }
 
     /// Check the packet out, consuming the ref and freeing the slot.
@@ -154,7 +160,10 @@ impl PacketPool {
         let slot = &mut self.slots[r.idx as usize];
         slot.gen = slot.gen.wrapping_add(1);
         self.recycled += 1;
-        PacketRef { idx: r.idx, gen: slot.gen }
+        PacketRef {
+            idx: r.idx,
+            gen: slot.gen,
+        }
     }
 
     /// Is `r` still valid (its packet checked in and untouched since)?

@@ -110,7 +110,10 @@ pub struct Records {
 impl Records {
     /// Record a gray drop for `entry` at `now`.
     pub(crate) fn gray_drop(&mut self, entry: Prefix, now: SimTime, bytes: u64) {
-        self.gray_drops.entry(entry).or_default().observe(now, bytes);
+        self.gray_drops
+            .entry(entry)
+            .or_default()
+            .observe(now, bytes);
         if self.log_drop_times {
             self.drop_times.entry(entry).or_default().push(now);
         }

@@ -148,8 +148,7 @@ mod tests {
         net.connect(tap, a, cfg); // tap port 0 ↔ a
         net.connect(tap, b, cfg); // tap port 1 ↔ b
         for seq in 0..5u64 {
-            let pkt =
-                PacketBuilder::new(0x11, 0x22, 100, PacketKind::Udp { flow: 1, seq }).build();
+            let pkt = PacketBuilder::new(0x11, 0x22, 100, PacketKind::Udp { flow: 1, seq }).build();
             net.kernel.inject(tap, 0, pkt, SimTime(seq * 1000));
         }
         net.run_to_end();
@@ -174,8 +173,7 @@ mod tests {
         net.connect(tap, a, cfg);
         net.connect(tap, b, cfg);
         for seq in 0..10u64 {
-            let pkt =
-                PacketBuilder::new(1, 2, 100, PacketKind::Udp { flow: 1, seq }).build();
+            let pkt = PacketBuilder::new(1, 2, 100, PacketKind::Udp { flow: 1, seq }).build();
             net.kernel.inject(tap, 0, pkt, SimTime(seq));
         }
         net.run_to_end();

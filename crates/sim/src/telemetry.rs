@@ -90,6 +90,57 @@ impl TelemetryCounters {
         self.chaos_control_faults += other.chaos_control_faults;
         self.degraded_entries += other.degraded_entries;
     }
+
+    /// Every counter as a stable `(name, value)` list, in declaration
+    /// order. The names are a wire format: `fancy-bench`'s result cache
+    /// persists counters through them, so renaming a field here without
+    /// bumping the cache schema version invalidates nothing and decodes
+    /// garbage — keep them in sync with [`TelemetryCounters::from_pairs`].
+    pub fn to_pairs(&self) -> [(&'static str, u64); 16] {
+        [
+            ("events_dispatched", self.events_dispatched),
+            ("packet_arrivals", self.packet_arrivals),
+            ("timers_fired", self.timers_fired),
+            ("queue_high_water", self.queue_high_water),
+            ("timer_high_water", self.timer_high_water),
+            ("packets_forwarded", self.packets_forwarded),
+            ("packets_gray_dropped", self.packets_gray_dropped),
+            ("control_drops", self.control_drops),
+            ("congestion_drops", self.congestion_drops),
+            ("pool_high_water", self.pool_high_water),
+            ("pool_recycled", self.pool_recycled),
+            ("chaos_drops", self.chaos_drops),
+            ("chaos_dups", self.chaos_dups),
+            ("chaos_reorders", self.chaos_reorders),
+            ("chaos_control_faults", self.chaos_control_faults),
+            ("degraded_entries", self.degraded_entries),
+        ]
+    }
+
+    /// Rebuild counters from a name-keyed lookup (the inverse of
+    /// [`TelemetryCounters::to_pairs`]). `None` as soon as any field is
+    /// missing, so a decoder over a partial record fails whole rather
+    /// than zero-filling silently.
+    pub fn from_pairs(mut get: impl FnMut(&str) -> Option<u64>) -> Option<Self> {
+        Some(TelemetryCounters {
+            events_dispatched: get("events_dispatched")?,
+            packet_arrivals: get("packet_arrivals")?,
+            timers_fired: get("timers_fired")?,
+            queue_high_water: get("queue_high_water")?,
+            timer_high_water: get("timer_high_water")?,
+            packets_forwarded: get("packets_forwarded")?,
+            packets_gray_dropped: get("packets_gray_dropped")?,
+            control_drops: get("control_drops")?,
+            congestion_drops: get("congestion_drops")?,
+            pool_high_water: get("pool_high_water")?,
+            pool_recycled: get("pool_recycled")?,
+            chaos_drops: get("chaos_drops")?,
+            chaos_dups: get("chaos_dups")?,
+            chaos_reorders: get("chaos_reorders")?,
+            chaos_control_faults: get("chaos_control_faults")?,
+            degraded_entries: get("degraded_entries")?,
+        })
+    }
 }
 
 /// A point-in-time view of a kernel's telemetry, as delivered to sinks.
@@ -180,7 +231,9 @@ pub struct PrintSink {
 impl PrintSink {
     /// A sink printing with the given label.
     pub fn new(label: impl Into<String>) -> Self {
-        PrintSink { label: label.into() }
+        PrintSink {
+            label: label.into(),
+        }
     }
 }
 
@@ -264,9 +317,21 @@ mod tests {
     #[test]
     fn absorb_is_order_independent() {
         let sets = [
-            TelemetryCounters { events_dispatched: 5, queue_high_water: 2, ..Default::default() },
-            TelemetryCounters { events_dispatched: 7, queue_high_water: 8, ..Default::default() },
-            TelemetryCounters { events_dispatched: 1, queue_high_water: 4, ..Default::default() },
+            TelemetryCounters {
+                events_dispatched: 5,
+                queue_high_water: 2,
+                ..Default::default()
+            },
+            TelemetryCounters {
+                events_dispatched: 7,
+                queue_high_water: 8,
+                ..Default::default()
+            },
+            TelemetryCounters {
+                events_dispatched: 1,
+                queue_high_water: 4,
+                ..Default::default()
+            },
         ];
         let mut fwd = TelemetryCounters::default();
         let mut rev = TelemetryCounters::default();
@@ -282,7 +347,10 @@ mod tests {
     #[test]
     fn snapshot_rates() {
         let snap = TelemetrySnapshot {
-            counters: TelemetryCounters { events_dispatched: 1000, ..Default::default() },
+            counters: TelemetryCounters {
+                events_dispatched: 1000,
+                ..Default::default()
+            },
             sim_elapsed: SimDuration::from_secs(4),
             wall_elapsed: Duration::from_secs(2),
         };
@@ -297,6 +365,35 @@ mod tests {
         };
         assert_eq!(empty.wall_secs_per_sim_sec(), None);
         assert_eq!(empty.events_per_wall_sec(), 0.0);
+    }
+
+    #[test]
+    fn pairs_round_trip_every_field() {
+        // Distinct values per field so a swapped name in either
+        // direction can't cancel out.
+        let pairs: Vec<(&'static str, u64)> = TelemetryCounters::default()
+            .to_pairs()
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| (*name, 1000 + i as u64))
+            .collect();
+        let back = TelemetryCounters::from_pairs(|name| {
+            pairs.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+        })
+        .expect("all fields present");
+        assert_eq!(back.to_pairs().to_vec(), pairs);
+
+        // A single missing field fails the whole decode.
+        for missing in 0..pairs.len() {
+            let partial = TelemetryCounters::from_pairs(|name| {
+                pairs
+                    .iter()
+                    .enumerate()
+                    .find(|(i, (n, _))| *n == name && *i != missing)
+                    .map(|(_, (_, v))| *v)
+            });
+            assert_eq!(partial, None, "field {} missing", pairs[missing].0);
+        }
     }
 
     #[test]

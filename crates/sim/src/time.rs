@@ -204,18 +204,27 @@ mod tests {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
-        assert_eq!(SimDuration::from_secs_f64(0.05), SimDuration::from_millis(50));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.05),
+            SimDuration::from_millis(50)
+        );
     }
 
     #[test]
     fn arithmetic() {
         let t = SimTime::ZERO + SimDuration::from_millis(10);
-        assert_eq!(t.duration_since(SimTime::ZERO), SimDuration::from_millis(10));
+        assert_eq!(
+            t.duration_since(SimTime::ZERO),
+            SimDuration::from_millis(10)
+        );
         assert_eq!(
             SimDuration::from_millis(10) * 3,
             SimDuration::from_millis(30)
         );
-        assert_eq!(SimDuration::from_millis(30) / 3, SimDuration::from_millis(10));
+        assert_eq!(
+            SimDuration::from_millis(30) / 3,
+            SimDuration::from_millis(10)
+        );
         assert_eq!(
             SimDuration::from_millis(5).saturating_sub(SimDuration::from_millis(9)),
             SimDuration::ZERO

@@ -64,8 +64,7 @@ fn ms(v: u64) -> SimTime {
 /// Build and run the hand-counted scenario, returning (net, recorder).
 fn run_scenario(seed: u64) -> (Network, SharedRecorder) {
     // 10 UDP packets at t = 0..10 ms (one per ms), 5 Starts at 20..25 ms.
-    let mut schedule: Vec<(SimTime, PacketKind)> =
-        (0..10).map(|i| (ms(i), udp(i))).collect();
+    let mut schedule: Vec<(SimTime, PacketKind)> = (0..10).map(|i| (ms(i), udp(i))).collect();
     schedule.extend((0..5u64).map(|i| (ms(20 + i), start_msg(i as u32 + 1))));
 
     let mut net = Network::new(seed);
@@ -102,7 +101,11 @@ fn run_scenario(seed: u64) -> (Network, SharedRecorder) {
         tx,
         FaultPlan::new(13).stage(
             FaultStage::new(FaultTarget::Data)
-                .reorder(1.0, SimDuration::from_micros(100), SimDuration::from_micros(100))
+                .reorder(
+                    1.0,
+                    SimDuration::from_micros(100),
+                    SimDuration::from_micros(100),
+                )
                 .window(ms(8), ms(10)),
         ),
     );
@@ -182,9 +185,9 @@ fn duplicate_keeps_uid_and_reorder_shifts_arrival() {
         .collect();
     assert_eq!(dup_uids.len(), 2);
     for uid in dup_uids {
-        let forwarded = events.iter().any(|e| {
-            matches!(e, TraceEvent::PacketForward { uid: u, .. } if *u == uid)
-        });
+        let forwarded = events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::PacketForward { uid: u, .. } if *u == uid));
         assert!(forwarded, "duplicate uid {uid} has no PacketForward");
     }
 }

@@ -28,7 +28,16 @@ impl Node for Blaster {
     fn on_packet(&mut self, _ctx: &mut Kernel, _port: PortId, _pkt: PacketRef) {}
     fn on_timer(&mut self, ctx: &mut Kernel, token: u64) {
         let (_, dst, size) = self.schedule[token as usize];
-        let pkt = PacketBuilder::new(1, dst, size, PacketKind::Udp { flow: 0, seq: token }).build();
+        let pkt = PacketBuilder::new(
+            1,
+            dst,
+            size,
+            PacketKind::Udp {
+                flow: 0,
+                seq: token,
+            },
+        )
+        .build();
         if ctx.send(0, pkt) {
             self.sent += 1;
         } else {

@@ -27,9 +27,16 @@ impl Node for Flood {
     }
     fn on_packet(&mut self, _ctx: &mut Kernel, _port: PortId, _pkt: PacketRef) {}
     fn on_timer(&mut self, ctx: &mut Kernel, token: u64) {
-        let pkt =
-            PacketBuilder::new(1, 0x0A_00_00_01, 1000, PacketKind::Udp { flow: 0, seq: token })
-                .build();
+        let pkt = PacketBuilder::new(
+            1,
+            0x0A_00_00_01,
+            1000,
+            PacketKind::Udp {
+                flow: 0,
+                seq: token,
+            },
+        )
+        .build();
         if !ctx.send(0, pkt) {
             self.congestion_dropped += 1;
         }
@@ -55,7 +62,8 @@ fn ten_thousand_gray_drops_leak_nothing() {
     // Plenty of bandwidth: congestion never interferes with the count.
     let cfg = LinkConfig::new(10_000_000_000, SimDuration::from_micros(50));
     let link = net.connect(tx, rx, cfg);
-    net.kernel.add_failure(link, tx, GrayFailure::uniform(0.5, SimTime::ZERO));
+    net.kernel
+        .add_failure(link, tx, GrayFailure::uniform(0.5, SimTime::ZERO));
     net.run_to_end();
 
     let gray = net.kernel.records.total_gray_drops();
@@ -84,6 +92,9 @@ fn ten_thousand_gray_drops_leak_nothing() {
         "recycle accounting out of balance"
     );
     // Telemetry mirrors the pool's own counters.
-    assert_eq!(net.kernel.telemetry.pool_high_water, pool.high_water() as u64);
+    assert_eq!(
+        net.kernel.telemetry.pool_high_water,
+        pool.high_water() as u64
+    );
     assert_eq!(net.kernel.telemetry.pool_recycled, pool.recycled());
 }

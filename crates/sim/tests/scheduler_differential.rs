@@ -32,14 +32,21 @@ enum Op {
     Pop,
 }
 
+/// The near wheel covers `[now, now + WHEEL_SLOTS << SLOT_BITS)`; a push
+/// at exactly this offset is the first one that must take the overflow
+/// path (2048 slots × 16.384 µs ≈ 33.6 ms).
+const HORIZON_NS: u64 = 2048 << 14;
+
 /// Times deliberately collide (tiny range), span several wheel slots,
-/// or land far enough out to cross the overflow heap (a 16.4 µs slot ×
-/// 2048 slots ≈ 33.6 ms horizon; 200 ms is an RTO-scale timer).
+/// land far enough out to cross the overflow heap (200 ms is an
+/// RTO-scale timer), or straddle the near-wheel horizon where the
+/// wheel/overflow routing decision flips.
 fn time_strategy() -> impl Strategy<Value = u64> {
     prop_oneof![
-        0u64..50,                          // heavy duplicates
-        0u64..5_000_000,                   // within the near wheel
-        190_000_000u64..210_000_000,       // overflow (RTO scale)
+        0u64..50,                         // heavy duplicates
+        0u64..5_000_000,                  // within the near wheel
+        190_000_000u64..210_000_000,      // overflow (RTO scale)
+        HORIZON_NS - 40..HORIZON_NS + 40, // horizon boundary
     ]
 }
 
@@ -152,4 +159,28 @@ proptest! {
         }
         run_script(&ops)?;
     }
+
+    /// Schedules concentrated within ±2 ns of the near-wheel horizon —
+    /// including exactly `HORIZON_NS`, which must land in the overflow
+    /// heap — preserve (time, insertion seq) order. A classic off-by-one
+    /// here silently reorders same-slot entries rather than crashing, so
+    /// only a differential check catches it.
+    #[test]
+    fn horizon_boundary_preserves_time_seq_order(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                boundary_time().prop_map(Op::Timer),
+                boundary_time().prop_map(Op::Arrival),
+                Just(Op::Pop),
+            ],
+            1..300,
+        )
+    ) {
+        run_script(&ops)?;
+    }
+}
+
+/// Times within ±2 ns of the horizon, with the exact edge over-weighted.
+fn boundary_time() -> impl Strategy<Value = u64> {
+    prop_oneof![HORIZON_NS - 2..HORIZON_NS + 3, Just(HORIZON_NS),]
 }

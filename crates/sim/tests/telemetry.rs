@@ -28,7 +28,16 @@ impl Node for Blaster {
     fn on_packet(&mut self, _ctx: &mut Kernel, _port: PortId, _pkt: PacketRef) {}
     fn on_timer(&mut self, ctx: &mut Kernel, token: u64) {
         let (_, dst, size) = self.schedule[token as usize];
-        let pkt = PacketBuilder::new(1, dst, size, PacketKind::Udp { flow: 0, seq: token }).build();
+        let pkt = PacketBuilder::new(
+            1,
+            dst,
+            size,
+            PacketKind::Udp {
+                flow: 0,
+                seq: token,
+            },
+        )
+        .build();
         ctx.send(0, pkt);
     }
     fn as_any(&self) -> &dyn Any {
@@ -40,7 +49,9 @@ impl Node for Blaster {
 }
 
 fn schedule(n: u64, dst: u32, spacing_us: u64) -> Vec<(SimTime, u32, u32)> {
-    (0..n).map(|i| (SimTime(i * spacing_us * 1_000), dst, 400)).collect()
+    (0..n)
+        .map(|i| (SimTime(i * spacing_us * 1_000), dst, 400))
+        .collect()
 }
 
 /// Build the 3-node scenario: blasters `a` (victim traffic, blackholed)
@@ -48,14 +59,22 @@ fn schedule(n: u64, dst: u32, spacing_us: u64) -> Vec<(SimTime, u32, u32)> {
 fn three_node(n_a: u64, n_b: u64) -> (Network, NodeId) {
     let victim = Prefix(0x0A_11_22);
     let mut net = Network::new(7);
-    let a = net.add_node(Box::new(Blaster { schedule: schedule(n_a, victim.host(1), 500) }));
-    let b = net.add_node(Box::new(Blaster { schedule: schedule(n_b, 0x0B_00_00_01, 700) }));
+    let a = net.add_node(Box::new(Blaster {
+        schedule: schedule(n_a, victim.host(1), 500),
+    }));
+    let b = net.add_node(Box::new(Blaster {
+        schedule: schedule(n_b, 0x0B_00_00_01, 700),
+    }));
     let c = net.add_node(Box::new(SinkNode::default()));
     let wide = LinkConfig::new(1_000_000_000, SimDuration::from_millis(1));
     let link_a = net.connect(a, c, wide);
     net.connect(b, c, wide);
     // Blackhole every one of a's packets from the start.
-    net.kernel.add_failure(link_a, a, GrayFailure::single_entry(victim, 1.0, SimTime::ZERO));
+    net.kernel.add_failure(
+        link_a,
+        a,
+        GrayFailure::single_entry(victim, 1.0, SimTime::ZERO),
+    );
     (net, c)
 }
 
@@ -97,7 +116,10 @@ fn counters_match_hand_counted_events() {
     assert_eq!(net.kernel.pool().live(), 0, "run drained: no packet leaked");
 
     // Telemetry agrees with the kernel's ground-truth records.
-    assert_eq!(t.packets_gray_dropped, net.kernel.records.total_gray_drops());
+    assert_eq!(
+        t.packets_gray_dropped,
+        net.kernel.records.total_gray_drops()
+    );
     assert_eq!(t.congestion_drops, net.kernel.records.congestion_drops);
     assert_eq!(net.node::<SinkNode>(c).packets, n_b);
 
@@ -123,12 +145,15 @@ fn sink_gets_one_snapshot_per_run_and_changes_nothing() {
 
     let log = Arc::new(Mutex::new(Vec::new()));
     let (mut sunk, _) = three_node(40, 25);
-    sunk.kernel.set_telemetry_sink(Box::new(SharedSink(Arc::clone(&log))));
+    sunk.kernel
+        .set_telemetry_sink(Box::new(SharedSink(Arc::clone(&log))));
     // Three run_until calls → three cumulative snapshots.
     for horizon_ms in [200u64, 600, 1000] {
         sunk.run_until(SimTime::ZERO + SimDuration::from_millis(horizon_ms));
     }
-    sunk.kernel.take_telemetry_sink().expect("sink still attached");
+    sunk.kernel
+        .take_telemetry_sink()
+        .expect("sink still attached");
 
     let log = log.lock().unwrap();
     assert_eq!(log.len(), 3);

@@ -43,19 +43,30 @@ impl FlowConfig {
     /// Packet size is chosen so small flows still emit a few packets per
     /// second (very low-rate entries would otherwise send one maximum-size
     /// packet every several seconds and the experiment would measure the
-    /// packetization artifact, not the detector).
+    /// packetization artifact, not the detector). All divisions round to
+    /// nearest: truncation systematically undercounted packets for
+    /// low-rate flows (a 7.9 kbps flow lost most of a packet per second),
+    /// skewing the very entries whose detectability is under study.
     pub fn for_rate(rate_bps: u64, duration_s: f64) -> Self {
-        let bytes_per_sec = (rate_bps / 8).max(1);
+        let bytes_per_sec = ((rate_bps + 4) / 8).max(1);
         // Aim for >= 4 packets per second, within Ethernet frame bounds.
         let pkt_size = (bytes_per_sec / 4).clamp(64, 1500) as u32;
-        let total_bytes = (bytes_per_sec as f64 * duration_s).max(1.0) as u64;
-        let total_packets = (total_bytes / u64::from(pkt_size)).max(1);
+        let total_bytes = (bytes_per_sec as f64 * duration_s).round().max(1.0) as u64;
         FlowConfig {
             rate_bps,
-            total_packets,
+            total_packets: Self::packets_for(total_bytes, pkt_size),
             pkt_size,
             initial_rto: DEFAULT_RTO,
         }
+    }
+
+    /// Packets needed to carry `total_bytes` in `pkt_size` segments,
+    /// rounded to nearest and never zero. Shared by every synthesizer
+    /// that turns byte budgets into packet counts, so they all agree on
+    /// the rounding policy.
+    pub fn packets_for(total_bytes: u64, pkt_size: u32) -> u64 {
+        let pkt = u64::from(pkt_size).max(1);
+        ((total_bytes + pkt / 2) / pkt).max(1)
     }
 
     /// Inter-packet pacing interval at the application rate.
@@ -198,9 +209,8 @@ impl TcpFlow {
             Some(deadline) if now >= deadline && self.inflight() > 0 => {
                 self.ssthresh = (self.cwnd / 2.0).max(2.0);
                 self.cwnd = 1.0;
-                self.rto = SimDuration::from_nanos(
-                    (self.rto.as_nanos() * 2).min(MAX_RTO.as_nanos()),
-                );
+                self.rto =
+                    SimDuration::from_nanos((self.rto.as_nanos() * 2).min(MAX_RTO.as_nanos()));
                 self.rto_deadline = Some(now + self.rto);
                 self.dup_acks = 0;
                 self.retransmissions += 1;
@@ -244,6 +254,30 @@ mod tests {
             initial_rto: DEFAULT_RTO,
         };
         assert_eq!(c.pace_interval(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn for_rate_rounds_instead_of_truncating() {
+        // 2 Mbps for 1 s = 250 000 B = 166.67 full-size packets; round
+        // to nearest gives 167 (truncation lost most of a packet).
+        assert_eq!(FlowConfig::for_rate(2_000_000, 1.0).total_packets, 167);
+        // Sub-8 kbps rates: 4 kbps over 1.7 s is 850 B in 125 B
+        // segments = 6.8 packets → 7. Truncating every division
+        // yielded 6, a ~12% undercount for exactly the low-rate
+        // entries whose detectability the grid experiments measure.
+        let c = FlowConfig::for_rate(4_000, 1.7);
+        assert_eq!((c.pkt_size, c.total_packets), (125, 7));
+        // 7.9 kbps: the byte rate itself rounds to 988 B/s (pkt 247)
+        // instead of truncating to 987.
+        assert_eq!(FlowConfig::for_rate(7_900, 1.0).pkt_size, 247);
+        // Degenerate floors: never zero packets, never a zero divisor.
+        let c = FlowConfig::for_rate(1, 0.001);
+        assert_eq!((c.pkt_size, c.total_packets), (64, 1));
+        // The shared helper rounds to nearest with a 1-packet floor.
+        assert_eq!(FlowConfig::packets_for(750, 1500), 1);
+        assert_eq!(FlowConfig::packets_for(749, 1500), 1);
+        assert_eq!(FlowConfig::packets_for(2250, 1500), 2);
+        assert_eq!(FlowConfig::packets_for(0, 0), 1);
     }
 
     #[test]
@@ -310,13 +344,7 @@ mod tests {
         assert_eq!(f.on_ack(0, SimTime(1)), FlowAction::Idle);
         assert_eq!(f.on_ack(0, SimTime(2)), FlowAction::Idle);
         let a = f.on_ack(0, SimTime(3));
-        assert_eq!(
-            a,
-            FlowAction::Send {
-                seq: 0,
-                retx: true
-            }
-        );
+        assert_eq!(a, FlowAction::Send { seq: 0, retx: true });
         assert!(f.cwnd < 10.0);
     }
 

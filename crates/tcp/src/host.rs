@@ -97,9 +97,14 @@ impl SenderHost {
         let dst = self.dsts[&flow];
         let size = self.flows[&flow].cfg.pkt_size;
         self.ip_id = self.ip_id.wrapping_add(1);
-        let pkt = PacketBuilder::new(self.addr, dst, size, PacketKind::TcpData { flow, seq, retx })
-            .ip_id(self.ip_id)
-            .build();
+        let pkt = PacketBuilder::new(
+            self.addr,
+            dst,
+            size,
+            PacketKind::TcpData { flow, seq, retx },
+        )
+        .ip_id(self.ip_id)
+        .build();
         self.stats.data_packets += 1;
         if retx {
             self.stats.retransmissions += 1;
@@ -530,10 +535,7 @@ mod tests {
         assert_eq!(tx.stats.completed_flows, 1);
         assert_eq!(tx.stats.retransmissions, 0);
         let rx: &ReceiverHost = net.node(b);
-        assert_eq!(
-            rx.entry_packets[&Prefix::from_addr(0x0A000005)],
-            50
-        );
+        assert_eq!(rx.entry_packets[&Prefix::from_addr(0x0A000005)], 50);
     }
 
     #[test]
@@ -544,13 +546,19 @@ mod tests {
             dst: 0x0A000005,
             cfg: flow_cfg(10_000_000, 50),
         }];
-        let (mut net, a, _b) = setup(flows, Some(GrayFailure::single_entry(entry, 1.0, SimTime::ZERO)));
+        let (mut net, a, _b) = setup(
+            flows,
+            Some(GrayFailure::single_entry(entry, 1.0, SimTime::ZERO)),
+        );
         net.run_until(SimTime::ZERO + SimDuration::from_secs(10));
         let tx: &SenderHost = net.node(a);
         assert_eq!(tx.stats.completed_flows, 0);
         // RTO at 200,400,800,1600,3200,6400 ms → ~6 retransmissions in 10 s.
-        assert!(tx.stats.retransmissions >= 4 && tx.stats.retransmissions <= 8,
-            "retx = {}", tx.stats.retransmissions);
+        assert!(
+            tx.stats.retransmissions >= 4 && tx.stats.retransmissions <= 8,
+            "retx = {}",
+            tx.stats.retransmissions
+        );
     }
 
     #[test]
@@ -561,11 +569,16 @@ mod tests {
             dst: 0x0A000005,
             cfg: flow_cfg(10_000_000, 200),
         }];
-        let (mut net, a, _b) =
-            setup(flows, Some(GrayFailure::single_entry(entry, 0.05, SimTime::ZERO)));
+        let (mut net, a, _b) = setup(
+            flows,
+            Some(GrayFailure::single_entry(entry, 0.05, SimTime::ZERO)),
+        );
         net.run_until(SimTime::ZERO + SimDuration::from_secs(30));
         let tx: &SenderHost = net.node(a);
-        assert_eq!(tx.stats.completed_flows, 1, "flow should recover from 5% loss");
+        assert_eq!(
+            tx.stats.completed_flows, 1,
+            "flow should recover from 5% loss"
+        );
         assert!(tx.stats.retransmissions > 0);
     }
 
@@ -595,11 +608,8 @@ mod tests {
 
     #[test]
     fn entry_probe_filters() {
-        let mut probe = ThroughputProbe::for_entries(
-            "one",
-            vec![Prefix(1)],
-            SimDuration::from_millis(100),
-        );
+        let mut probe =
+            ThroughputProbe::for_entries("one", vec![Prefix(1)], SimDuration::from_millis(100));
         probe.observe(SimTime(0), Prefix(1), 100);
         probe.observe(SimTime(0), Prefix(2), 100);
         assert_eq!(probe.series, vec![100]);

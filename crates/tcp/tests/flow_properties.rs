@@ -9,7 +9,12 @@ use fancy_tcp::{FlowAction, FlowConfig, ReceiverHost, ScheduledFlow, SenderHost,
 /// Drive one pure flow through an arbitrary interleaving of events and
 /// check its state invariants at every step.
 fn check_invariants(f: &TcpFlow) {
-    assert!(f.send_una <= f.next_seq, "una {} > next {}", f.send_una, f.next_seq);
+    assert!(
+        f.send_una <= f.next_seq,
+        "una {} > next {}",
+        f.send_una,
+        f.next_seq
+    );
     assert!(f.next_seq <= f.cfg.total_packets);
     assert!(f.cwnd >= 1.0, "cwnd collapsed: {}", f.cwnd);
     assert!(f.rto >= f.cfg.initial_rto);

@@ -18,7 +18,7 @@
 //! by the `trace-report` CI smoke step), which is what makes "fails on
 //! schema drift" enforceable.
 
-use crate::json::{JsonError, JsonValue, ObjectWriter, parse_object};
+use crate::json::{parse_object, JsonError, JsonValue, ObjectWriter};
 
 /// Why a packet died.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -269,6 +269,22 @@ pub enum TraceEvent {
         /// 1 entering degraded mode, 0 recovering from it.
         on: u64,
     },
+    /// A sweep cell was served from the content-addressed result cache
+    /// (`fancy-bench`'s `FANCY_CACHE_DIR` store) instead of executing.
+    CacheHit {
+        /// Stamp time (cache hits happen before any simulation; sweep
+        /// stubs write 0).
+        t: u64,
+        /// Sweep cell index.
+        cell: u64,
+        /// High half of the 128-bit cache key.
+        key_hi: u64,
+        /// Low half of the 128-bit cache key.
+        key_lo: u64,
+        /// Events the cached run dispatched when it originally executed
+        /// — the work the hit avoided.
+        saved_events: u64,
+    },
 }
 
 /// The `unit` value marking the shared hash-tree (vs a dedicated counter).
@@ -362,6 +378,7 @@ impl TraceEvent {
             TraceEvent::IncidentClear { .. } => "incident_clear",
             TraceEvent::ChaosInject { .. } => "chaos",
             TraceEvent::DegradedMode { .. } => "degraded",
+            TraceEvent::CacheHit { .. } => "cache_hit",
         }
     }
 
@@ -381,7 +398,8 @@ impl TraceEvent {
             | TraceEvent::IncidentOpen { t, .. }
             | TraceEvent::IncidentClear { t, .. }
             | TraceEvent::ChaosInject { t, .. }
-            | TraceEvent::DegradedMode { t, .. } => *t,
+            | TraceEvent::DegradedMode { t, .. }
+            | TraceEvent::CacheHit { t, .. } => *t,
         }
     }
 
@@ -554,6 +572,16 @@ impl TraceEvent {
             TraceEvent::DegradedMode { node, port, on, .. } => {
                 w.u64("node", *node).u64("port", *port).u64("on", *on);
             }
+            TraceEvent::CacheHit {
+                cell,
+                key_hi,
+                key_lo,
+                saved_events,
+                ..
+            } => {
+                w.u64("cell", *cell).u64("key_hi", *key_hi);
+                w.u64("key_lo", *key_lo).u64("saved_events", *saved_events);
+            }
         }
         w.finish()
     }
@@ -582,6 +610,7 @@ impl TraceEvent {
             "incident_clear" => "incident_clear",
             "chaos" => "chaos",
             "degraded" => "degraded",
+            "cache_hit" => "cache_hit",
             _ => return Err(ParseError::UnknownEvent(ev_name)),
         };
         let f = Fields {
@@ -703,6 +732,13 @@ impl TraceEvent {
                 node: f.u64("node")?,
                 port: f.u64("port")?,
                 on: f.u64("on")?,
+            },
+            "cache_hit" => TraceEvent::CacheHit {
+                t,
+                cell: f.u64("cell")?,
+                key_hi: f.u64("key_hi")?,
+                key_lo: f.u64("key_lo")?,
+                saved_events: f.u64("saved_events")?,
             },
             _ => unreachable!("kind validated above"),
         })
@@ -868,6 +904,13 @@ mod tests {
                 port: 2,
                 on: 1,
             },
+            TraceEvent::CacheHit {
+                t: 18,
+                cell: 5,
+                key_hi: 0xDEAD_BEEF_0BAD_F00D,
+                key_lo: 0x0123_4567_89AB_CDEF,
+                saved_events: 42_000,
+            },
         ]
     }
 
@@ -884,10 +927,7 @@ mod tests {
 
     #[test]
     fn document_round_trips_with_blank_lines() {
-        let text: String = samples()
-            .iter()
-            .map(|e| e.to_jsonl() + "\n\n")
-            .collect();
+        let text: String = samples().iter().map(|e| e.to_jsonl() + "\n\n").collect();
         let back = parse_jsonl(&text).unwrap();
         assert_eq!(back, samples());
     }

@@ -28,6 +28,6 @@ pub mod json;
 pub mod profile;
 pub mod sink;
 
-pub use event::{DropCause, ParseError, TraceEvent, UNIT_TREE, parse_jsonl};
+pub use event::{parse_jsonl, DropCause, ParseError, TraceEvent, UNIT_TREE};
 pub use profile::Profiler;
 pub use sink::{JsonlWriter, NullTraceSink, RingRecorder, SharedRecorder, TraceSink};

@@ -109,7 +109,12 @@ impl SharedRecorder {
 
     /// Copy out the currently held events, oldest first.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.0.lock().expect("recorder poisoned").events().cloned().collect()
+        self.0
+            .lock()
+            .expect("recorder poisoned")
+            .events()
+            .cloned()
+            .collect()
     }
 
     /// Serialize the held events as JSONL.

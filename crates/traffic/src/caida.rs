@@ -191,7 +191,9 @@ pub fn synthesize(spec: CaidaSpec, duration: SimDuration, scale: f64, seed: u64)
             let start = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen::<f64>() * secs);
             let mut cfg = FlowConfig::for_rate(per_flow_bps, 1.0);
             cfg.pkt_size = pkt_size;
-            cfg.total_packets = ((per_flow_bps / 8) / u64::from(pkt_size)).max(1);
+            // Rounded, not truncated: low-rate flows otherwise lose up
+            // to a packet per second against the trace's byte budget.
+            cfg.total_packets = FlowConfig::packets_for((per_flow_bps + 4) / 8, pkt_size);
             flows.push(ScheduledFlow {
                 start,
                 dst: prefix.host(rng.gen_range(1..=254)),
@@ -274,6 +276,37 @@ mod tests {
         assert_eq!(a.prefixes_by_rank, b.prefixes_by_rank);
         let set: std::collections::HashSet<_> = a.prefixes_by_rank.iter().collect();
         assert_eq!(set.len(), a.prefixes_by_rank.len(), "duplicate prefixes");
+    }
+
+    #[test]
+    fn flow_packet_counts_round_to_nearest() {
+        // Every synthesized flow's packet count must agree with the
+        // shared rounding helper on its own byte budget — truncating
+        // here undercounted low-rate flows by up to a packet a second.
+        let spec = paper_traces()[2];
+        let trace = synthesize(spec, SimDuration::from_secs(5), 0.01, 4);
+        assert!(!trace.flows.is_empty());
+        for f in &trace.flows {
+            let bytes_per_sec = (f.cfg.rate_bps + 4) / 8;
+            assert_eq!(
+                f.cfg.total_packets,
+                FlowConfig::packets_for(bytes_per_sec, f.cfg.pkt_size),
+                "flow at {} bps disagrees with the shared rounding",
+                f.cfg.rate_bps
+            );
+            // Rounding to nearest keeps the carried bytes within half
+            // a packet of the budget (when the budget fits one packet
+            // or more).
+            let carried = f.cfg.total_packets * u64::from(f.cfg.pkt_size);
+            if bytes_per_sec >= u64::from(f.cfg.pkt_size) {
+                let err = carried.abs_diff(bytes_per_sec);
+                assert!(
+                    err * 2 <= u64::from(f.cfg.pkt_size),
+                    "flow at {} bps carries {carried} B for a {bytes_per_sec} B budget",
+                    f.cfg.rate_bps
+                );
+            }
+        }
     }
 
     #[test]

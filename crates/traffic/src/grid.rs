@@ -89,12 +89,7 @@ pub struct Workload {
 /// of intensity `size` for `duration`, with Poisson flow arrivals
 /// (the paper randomizes flow start times across repetitions — the `seed`
 /// plays that role here).
-pub fn generate(
-    entries: &[Prefix],
-    size: EntrySize,
-    duration: SimDuration,
-    seed: u64,
-) -> Workload {
+pub fn generate(entries: &[Prefix], size: EntrySize, duration: SimDuration, seed: u64) -> Workload {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut flows = Vec::new();
     let horizon = duration.as_secs_f64();

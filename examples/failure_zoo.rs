@@ -33,7 +33,10 @@ fn main() -> Result<(), ScenarioError> {
         },
         Zoo {
             name: "size-dependent drops (Cisco CSCtc33158)",
-            matcher: FailureMatcher::PacketSize { min: 1400, max: 1500 },
+            matcher: FailureMatcher::PacketSize {
+                min: 1400,
+                max: 1500,
+            },
             drop_prob: 1.0,
         },
         Zoo {
@@ -59,7 +62,10 @@ fn main() -> Result<(), ScenarioError> {
         },
     ];
 
-    println!("{:<52} {:>9} {:>10}  mechanism", "failure", "detected", "latency");
+    println!(
+        "{:<52} {:>9} {:>10}  mechanism",
+        "failure", "detected", "latency"
+    );
     for (i, z) in zoo.iter().enumerate() {
         // Fresh network per specimen: ≈300 entries of light traffic.
         let mut flows = Vec::new();

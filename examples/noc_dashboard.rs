@@ -46,8 +46,18 @@ fn main() {
         fib.default_route(1);
         fib
     };
-    let s1 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout.clone(), vec![1], 1)));
-    let s2 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout.clone(), vec![1], 2)));
+    let s1 = net.add_node(Box::new(FancySwitch::new(
+        mk_fib(),
+        layout.clone(),
+        vec![1],
+        1,
+    )));
+    let s2 = net.add_node(Box::new(FancySwitch::new(
+        mk_fib(),
+        layout.clone(),
+        vec![1],
+        2,
+    )));
     let s3 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout, Vec::new(), 3)));
     let rx = net.add_node(Box::new(ReceiverHost::new()));
     let edge = LinkConfig::new(10_000_000_000, SimDuration::from_micros(10));
@@ -129,7 +139,9 @@ fn main() {
     // Sanity for the example itself.
     assert!(incidents.len() >= 2, "both gray failures become incidents");
     assert!(
-        incidents.iter().any(|i| i.severity >= Severity::UniformLoss),
+        incidents
+            .iter()
+            .any(|i| i.severity >= Severity::UniformLoss),
         "the blackhole episode escalates severity"
     );
 }

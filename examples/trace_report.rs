@@ -16,7 +16,7 @@ use std::process::ExitCode;
 
 use fancy::analysis::timeline::{render_timeline, TimelineReport};
 use fancy::prelude::*;
-use fancy::sim::trace::{parse_jsonl, JsonlWriter, Profiler};
+use fancy::sim::trace::{parse_jsonl, JsonlWriter, Profiler, TraceEvent};
 
 /// Timeline lines to show before truncating (self-test mode prints a
 /// preview; explicit-file mode prints everything).
@@ -88,7 +88,10 @@ fn selftest() -> ExitCode {
 
     let events = recorder.snapshot();
     if recorder.dropped() > 0 {
-        eprintln!("trace-report: ring overflowed ({} dropped)", recorder.dropped());
+        eprintln!(
+            "trace-report: ring overflowed ({} dropped)",
+            recorder.dropped()
+        );
         return ExitCode::FAILURE;
     }
     if events.is_empty() {
@@ -129,6 +132,28 @@ fn selftest() -> ExitCode {
         }
     }
 
+    // `cache_hit` stubs are written by warm sweeps, never by a live
+    // kernel, so a simulation can't exercise them — round-trip a
+    // synthetic one so schema drift in that variant also fails here.
+    let cache_hit = TraceEvent::CacheHit {
+        t: 0,
+        cell: 12,
+        key_hi: 0xDEAD_BEEF_0BAD_CAFE,
+        key_lo: 0x0123_4567_89AB_CDEF,
+        saved_events: 987_654,
+    };
+    match parse_jsonl(&format!("{}\n", cache_hit.to_jsonl())) {
+        Ok(evs) if evs == [cache_hit.clone()] => {}
+        Ok(evs) => {
+            eprintln!("trace-report: cache_hit changed in flight: {evs:?}");
+            return ExitCode::FAILURE;
+        }
+        Err((_, e)) => {
+            eprintln!("trace-report: synthetic cache_hit failed to parse: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     // A gray failure on a dedicated entry must leave a complete causal
     // chain in the trace.
     let report = TimelineReport::from_events(&events);
@@ -149,6 +174,9 @@ fn selftest() -> ExitCode {
     print!("{}", report.render());
     println!();
     print!("{}", profiler.report());
-    println!("\ntrace-report self-test: {} events round-tripped exactly", events.len());
+    println!(
+        "\ntrace-report self-test: {} events round-tripped exactly",
+        events.len()
+    );
     ExitCode::SUCCESS
 }

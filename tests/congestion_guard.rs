@@ -68,8 +68,11 @@ fn remote_pair(
     let bn = net.connect(legacy, f2, bottleneck);
     net.connect(f2, rx, edge);
     if let Some(p) = gray {
-        net.kernel
-            .add_failure(l_f1, f1, GrayFailure::single_entry(victim, p, SimTime(2_000_000_000)));
+        net.kernel.add_failure(
+            l_f1,
+            f1,
+            GrayFailure::single_entry(victim, p, SimTime(2_000_000_000)),
+        );
     }
 
     if with_guard {
@@ -101,7 +104,11 @@ fn unguarded_remote_pair_misreads_middle_hop_congestion() {
         !net.kernel.records.detections.is_empty(),
         "without the guard, middle-hop congestion is (mis)flagged"
     );
-    assert_eq!(net.kernel.records.total_gray_drops(), 0, "no real gray failure");
+    assert_eq!(
+        net.kernel.records.total_gray_drops(),
+        0,
+        "no real gray failure"
+    );
 }
 
 #[test]
@@ -118,10 +125,16 @@ fn guard_discards_congestion_tainted_measurements() {
         .records
         .detections
         .iter()
-        .filter(|d| matches!(d.scope, DetectionScope::Entry(_) | DetectionScope::HashPath(_)))
+        .filter(|d| {
+            matches!(
+                d.scope,
+                DetectionScope::Entry(_) | DetectionScope::HashPath(_)
+            )
+        })
         .count();
     assert_eq!(
-        false_positives, 0,
+        false_positives,
+        0,
         "guarded pair must not flag congestion: {:?}",
         net.kernel.records.detections.first()
     );

@@ -44,8 +44,18 @@ fn chain(failure_on_second_hop: bool) -> (Network, usize, usize, Vec<Prefix>) {
         fib.default_route(1);
         fib
     };
-    let s1 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout.clone(), vec![1], 1)));
-    let s2 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout.clone(), vec![1], 2)));
+    let s1 = net.add_node(Box::new(FancySwitch::new(
+        mk_fib(),
+        layout.clone(),
+        vec![1],
+        1,
+    )));
+    let s2 = net.add_node(Box::new(FancySwitch::new(
+        mk_fib(),
+        layout.clone(),
+        vec![1],
+        2,
+    )));
     let s3 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout, Vec::new(), 3)));
     let rx = net.add_node(Box::new(ReceiverHost::new()));
 
@@ -56,7 +66,11 @@ fn chain(failure_on_second_hop: bool) -> (Network, usize, usize, Vec<Prefix>) {
     let l23 = net.connect(s2, s3, hop);
     net.connect(s3, rx, edge);
 
-    let (link, from) = if failure_on_second_hop { (l23, s2) } else { (l12, s1) };
+    let (link, from) = if failure_on_second_hop {
+        (l23, s2)
+    } else {
+        (l12, s1)
+    };
     net.kernel.add_failure(
         link,
         from,
@@ -141,8 +155,18 @@ fn two_simultaneous_failures_on_different_links_both_localized() {
         fib.default_route(1);
         fib
     };
-    let s1 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout.clone(), vec![1], 1)));
-    let s2 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout.clone(), vec![1], 2)));
+    let s1 = net.add_node(Box::new(FancySwitch::new(
+        mk_fib(),
+        layout.clone(),
+        vec![1],
+        1,
+    )));
+    let s2 = net.add_node(Box::new(FancySwitch::new(
+        mk_fib(),
+        layout.clone(),
+        vec![1],
+        2,
+    )));
     let s3 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout, Vec::new(), 3)));
     let rx = net.add_node(Box::new(ReceiverHost::new()));
     let edge = LinkConfig::new(10_000_000_000, SimDuration::from_micros(10));

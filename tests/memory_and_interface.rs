@@ -102,7 +102,8 @@ fn hw_model_and_core_agree_on_output_structure_sizes() {
 
 #[test]
 fn timers_scale_with_link_delay() {
-    let slow = TimerConfig::paper_default().for_link_delay(fancy::sim::SimDuration::from_millis(10));
+    let slow =
+        TimerConfig::paper_default().for_link_delay(fancy::sim::SimDuration::from_millis(10));
     let fast = TimerConfig::paper_default().for_link_delay(fancy::sim::SimDuration::from_millis(1));
     assert!(slow.trtx > fast.trtx);
     // T_rtx must exceed one RTT or every session would retransmit.

@@ -78,10 +78,9 @@ fn run_fsm_pair(drop_pattern: &[bool], rounds: usize) -> (u64, u64) {
         // Execute pending sender actions.
         for a in std::mem::take(&mut pending_sender) {
             match a {
-                SenderAction::Send(body)
-                    if !*drop_iter.next().unwrap() => {
-                        to_receiver.push((sender.session_id, body));
-                    }
+                SenderAction::Send(body) if !*drop_iter.next().unwrap() => {
+                    to_receiver.push((sender.session_id, body));
+                }
                 SenderAction::ArmTimer { epoch, .. } => sender_timer = Some(epoch),
                 _ => {}
             }
@@ -113,9 +112,7 @@ fn run_fsm_pair(drop_pattern: &[bool], rounds: usize) -> (u64, u64) {
         // Deliver to sender.
         for (sid, body) in std::mem::take(&mut to_sender) {
             let acts = sender.on_message(sid, &body);
-            let reopened = acts
-                .iter()
-                .any(|a| matches!(a, SenderAction::Deliver(_)));
+            let reopened = acts.iter().any(|a| matches!(a, SenderAction::Deliver(_)));
             pending_sender.extend(acts);
             if reopened {
                 pending_sender.extend(sender.open());

@@ -20,7 +20,11 @@ fn traced_linear(
     fail_at: SimTime,
     until: SimTime,
     n_flows: u64,
-) -> (Vec<TraceEvent>, Vec<fancy::sim::DetectionRecord>, fancy::core::TimerConfig) {
+) -> (
+    Vec<TraceEvent>,
+    Vec<fancy::sim::DetectionRecord>,
+    fancy::core::TimerConfig,
+) {
     let flows: Vec<ScheduledFlow> = (0..n_flows)
         .map(|i| ScheduledFlow {
             start: SimTime(i * 20_000_000),
@@ -104,10 +108,7 @@ fn dedicated_detection_latency_matches_records_and_epoch_bound() {
     );
     // And the closed-form expectation is inside the same bound, so model
     // and measurement describe the same mechanism.
-    let model = speed::dedicated_secs(
-        timers.dedicated_interval.as_nanos() as f64 / 1e9,
-        delay_s,
-    );
+    let model = speed::dedicated_secs(timers.dedicated_interval.as_nanos() as f64 / 1e9, delay_s);
     assert!(model <= 2.0 * epoch_s);
 }
 

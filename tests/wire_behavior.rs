@@ -35,7 +35,12 @@ fn tapped_net() -> (Network, usize, usize, Prefix) {
         fib.default_route(1);
         fib
     };
-    let s1 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout.clone(), vec![1], 1)));
+    let s1 = net.add_node(Box::new(FancySwitch::new(
+        mk_fib(),
+        layout.clone(),
+        vec![1],
+        1,
+    )));
     let tap_mon = net.add_node(Box::new(TraceTap::new()));
     let s2 = net.add_node(Box::new(FancySwitch::new(mk_fib(), layout, Vec::new(), 2)));
     let tap_edge = net.add_node(Box::new(TraceTap::new()));
@@ -102,7 +107,10 @@ fn control_messages_flow_both_ways_on_the_monitored_link() {
 
     // Tree reports are the big frames (5330 B + header); dedicated control
     // is minimum-size.
-    let big = mon.reverse().filter(|c| c.kind == "ctrl" && c.size > 5000).count();
+    let big = mon
+        .reverse()
+        .filter(|c| c.kind == "ctrl" && c.size > 5000)
+        .count();
     assert!(big > 0, "tree reports present");
     let min = mon
         .reverse()

@@ -163,7 +163,10 @@ where
     let mut iters: u64 = 1;
     let warm_start = Instant::now();
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if b.elapsed >= Duration::from_millis(1)
             || warm_start.elapsed() >= cfg.warm_up_time
@@ -178,7 +181,10 @@ where
     let mut best = f64::INFINITY;
     let measure_start = Instant::now();
     for _ in 0..cfg.sample_size {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
         if per_iter < best {

@@ -303,7 +303,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *lhs != *rhs,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($lhs), stringify!($rhs), lhs,
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs,
         );
     }};
 }

@@ -29,7 +29,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, whence, f }
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
     }
 }
 
@@ -94,7 +98,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter '{}' rejected 1000 samples in a row", self.whence);
+        panic!(
+            "prop_filter '{}' rejected 1000 samples in a row",
+            self.whence
+        );
     }
 }
 
