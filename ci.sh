@@ -42,4 +42,13 @@ cargo test -q --release -p fancy-bench --test cache_roundtrip
 echo "== trace-report smoke (JSONL round-trip, fails on schema drift) =="
 cargo run -q --release --example trace_report
 
+echo "== network-wide gate (small ISP backbone, FANcY on every edge) =="
+# Fails a sample of edges on a 12-switch backbone with every edge
+# monitored concurrently: exits non-zero unless coverage is 100%, and
+# unless at least one SPIDER-protected edge's flight-recorder-measured
+# detect+reroute latency lands inside its analytic bound. The netwide
+# determinism test pins 1-thread == 8-thread per-edge outcomes.
+cargo run -q --release --example isp_backbone -- --switches 12 --fail 4
+cargo test -q --release -p fancy-bench --test netwide_determinism
+
 echo "ci.sh: all green"

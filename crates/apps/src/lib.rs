@@ -5,9 +5,13 @@
 //!
 //! * [`reporter`] — operator-facing rendering of detections (the Fig. 1
 //!   output format), with hash-path resolution;
-//! * [`scenarios`] — the reusable experiment topologies: the §5 linear
-//!   `host—S1—S2—host` setup and the §6.1 Tofino case study with a
-//!   transparent link switch and a backup path for fast rerouting;
+//! * [`spec`] — the unified [`ScenarioSpec`] builder: one API for the
+//!   §5 linear setup, the §6.1 Tofino case study and arbitrary
+//!   `fancy-topo` graph topologies with network-wide FANcY and
+//!   SPIDER-style protected edges;
+//! * [`scenarios`] — the legacy per-shape config structs
+//!   (`LinearConfig`, `CaseStudyConfig`), kept as thin deprecated
+//!   wrappers over `ScenarioSpec`;
 //! * [`incident`] — network-wide aggregation of per-switch detections
 //!   into operator-facing incidents with open/clear lifecycle and
 //!   severity escalation.
@@ -19,10 +23,15 @@
 pub mod incident;
 pub mod reporter;
 pub mod scenarios;
+pub mod spec;
 
 pub use incident::{Incident, IncidentConfig, IncidentTracker, Severity};
 pub use reporter::{format_detection, format_report};
 pub use scenarios::{
     case_study, linear, CaseStudy, CaseStudyConfig, LinearConfig, LinearConfigBuilder,
-    LinearScenario, ScenarioError, SENDER_ADDR,
+    LinearScenario,
+};
+pub use spec::{
+    reroute_latency_bound, service_prefix, switch_src_prefix, uniform_pair_flows, EdgeHandle,
+    PairFlow, ProtectedEdge, Scenario, ScenarioError, ScenarioSpec, SENDER_ADDR,
 };

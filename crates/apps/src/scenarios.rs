@@ -1,95 +1,26 @@
-//! Reusable experiment scenarios.
+//! Legacy scenario constructors, kept as thin wrappers.
 //!
-//! Every §5 simulation uses the same linear topology
-//! (`sender host — S1 — S2 — receiver`), and the §6.1 case study adds a
-//! link switch and a backup path. Building these once here keeps the
-//! experiment harness, the examples and the integration tests consistent.
+//! **Deprecated**: new code should use the unified
+//! [`ScenarioSpec`](crate::spec::ScenarioSpec) builder from
+//! [`crate::spec`], which covers the linear §5 topology, the §6.1 case
+//! study *and* arbitrary `fancy-topo` graph topologies with one API.
+//! The types here remain because a long tail of experiments, benches and
+//! tests grew up on them; they now delegate to `ScenarioSpec` and are
+//! guaranteed to assemble bit-identical networks (the golden-trace
+//! equivalence suite pins this).
 
-use core::fmt;
-
-use fancy_core::{
-    ConfigError, FancyInput, FancyLayout, FancySwitch, Reroute, TimerConfig, TreeParams,
-};
+use fancy_core::{FancyLayout, TimerConfig, TreeParams};
 use fancy_net::Prefix;
-use fancy_sim::{Bridge, Fib, LinkConfig, LinkId, Network, NodeId, PortId, SimDuration};
-use fancy_tcp::{ReceiverHost, ScheduledFlow, SenderHost, ThroughputProbe, UdpSource};
+use fancy_sim::{LinkConfig, LinkId, Network, NodeId, PortId, SimDuration};
+use fancy_tcp::{ScheduledFlow, ThroughputProbe};
 
-/// Source address used by the sender host in all scenarios.
-pub const SENDER_ADDR: u32 = 0x01_00_00_01;
-
-/// Why a scenario could not be assembled.
-///
-/// Scenario constructors return this instead of panicking, so experiment
-/// harnesses can surface a configuration problem (e.g. a tree that does not
-/// fit the per-port memory budget) as a normal error.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ScenarioError {
-    /// Translating the FANcY input into a switch layout failed — the
-    /// requested entries/tree exceed the memory budget or are malformed.
-    Layout(ConfigError),
-    /// A link in the topology is misconfigured. Carries the id the link
-    /// holds (or would have held) in the network plus its scenario-level
-    /// name, so a harness sweeping link parameters can point at the exact
-    /// offending cell instead of a bare "bad config".
-    Link {
-        /// Id of the offending link, in connect order.
-        link: LinkId,
-        /// Scenario-level name ("core", "edge sender↔s1", ...).
-        name: &'static str,
-        /// What is wrong with it.
-        reason: &'static str,
-    },
-}
-
-impl fmt::Display for ScenarioError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ScenarioError::Layout(e) => write!(f, "scenario layout does not fit: {e}"),
-            ScenarioError::Link { link, name, reason } => {
-                write!(f, "link {link} ({name}): {reason}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ScenarioError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            ScenarioError::Layout(e) => Some(e),
-            ScenarioError::Link { .. } => None,
-        }
-    }
-}
-
-/// Connect `a ↔ b` after validating the link configuration. On failure the
-/// error names the link by the id it would have been assigned (connect
-/// order), so the caller's message points at the exact topology edge.
-fn checked_connect(
-    net: &mut Network,
-    a: NodeId,
-    b: NodeId,
-    cfg: LinkConfig,
-    name: &'static str,
-) -> Result<LinkId, ScenarioError> {
-    let link = net.kernel.link_count();
-    if cfg.bandwidth_bps == 0 {
-        // Zero bandwidth would divide by zero in transmission-time math.
-        return Err(ScenarioError::Link {
-            link,
-            name,
-            reason: "bandwidth must be > 0",
-        });
-    }
-    Ok(net.connect(a, b, cfg))
-}
-
-impl From<ConfigError> for ScenarioError {
-    fn from(e: ConfigError) -> Self {
-        ScenarioError::Layout(e)
-    }
-}
+use crate::spec::ScenarioSpec;
+pub use crate::spec::{ScenarioError, SENDER_ADDR};
 
 /// Parameters of the linear §5 scenario.
+///
+/// **Deprecated**: use [`ScenarioSpec::linear`] and its chainable knobs
+/// instead; this struct survives for the existing harness surface.
 #[derive(Debug, Clone)]
 pub struct LinearConfig {
     /// RNG seed (also seeds the switches' hash functions).
@@ -121,9 +52,27 @@ impl LinearConfig {
     pub fn builder() -> LinearConfigBuilder {
         LinearConfigBuilder::default()
     }
+
+    /// The equivalent [`ScenarioSpec`] (the canonical representation).
+    pub fn into_spec(self) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::linear()
+            .seed(self.seed)
+            .high_priority(self.high_priority)
+            .tree(self.tree)
+            .timers(self.timers)
+            .core_link(self.core_link)
+            .edge_link(self.edge_link)
+            .flows(self.flows);
+        for p in self.probes {
+            spec = spec.probe(p);
+        }
+        spec
+    }
 }
 
 /// Chainable builder for [`LinearConfig`].
+///
+/// **Deprecated**: use [`ScenarioSpec::linear`] instead.
 ///
 /// Starts from the paper's §5 defaults; every setter overrides one knob.
 /// Unless [`LinearConfigBuilder::timers`] is called, the protocol timers
@@ -235,59 +184,30 @@ pub struct LinearScenario {
     pub layout: FancyLayout,
 }
 
-/// Build the linear scenario. Fails with [`ScenarioError::Layout`] if the
-/// requested entries/tree do not fit the (generous) experiment memory
-/// budget.
+/// Build the linear scenario.
+///
+/// **Deprecated**: use `ScenarioSpec::linear()...build()` — this wrapper
+/// delegates to it and re-shapes the result. Fails with
+/// [`ScenarioError::Layout`] if the requested entries/tree do not fit the
+/// (generous) experiment memory budget.
 pub fn linear(cfg: LinearConfig) -> Result<LinearScenario, ScenarioError> {
-    let input = FancyInput {
-        high_priority: cfg.high_priority.clone(),
-        memory_bytes_per_port: 4 << 20,
-        tree: cfg.tree,
-        timers: cfg.timers,
-    };
-    let layout = input.translate()?;
-
-    let mut net = Network::new(cfg.seed);
-    let sender = net.add_node(Box::new(SenderHost::new(SENDER_ADDR, cfg.flows)));
-    let mut fib1 = Fib::new();
-    fib1.route(Prefix::from_addr(SENDER_ADDR), 0);
-    fib1.default_route(1);
-    let s1 = net.add_node(Box::new(FancySwitch::new(
-        fib1,
-        layout.clone(),
-        vec![1],
-        cfg.seed,
-    )));
-    let mut fib2 = Fib::new();
-    fib2.route(Prefix::from_addr(SENDER_ADDR), 0);
-    fib2.default_route(1);
-    let s2 = net.add_node(Box::new(FancySwitch::new(
-        fib2,
-        layout.clone(),
-        Vec::new(),
-        cfg.seed + 1,
-    )));
-    let mut rx = ReceiverHost::new();
-    rx.probes = cfg.probes;
-    let receiver = net.add_node(Box::new(rx));
-
-    checked_connect(&mut net, sender, s1, cfg.edge_link, "edge sender↔s1")?; // s1 port 0
-    let monitored_link = checked_connect(&mut net, s1, s2, cfg.core_link, "core s1↔s2")?; // s1 port 1, s2 port 0
-    checked_connect(&mut net, s2, receiver, cfg.edge_link, "edge s2↔receiver")?; // s2 port 1
-
+    let sc = cfg.into_spec().build()?;
+    let core = &sc.edges[sc.monitored[0]];
     Ok(LinearScenario {
-        net,
-        sender,
-        s1,
-        s2,
-        receiver,
-        monitored_link,
-        monitored_port: 1,
-        layout,
+        monitored_link: core.link,
+        monitored_port: core.port_a,
+        sender: sc.senders[0],
+        s1: sc.switches[0],
+        s2: sc.switches[1],
+        receiver: sc.receivers[0],
+        net: sc.net,
+        layout: sc.layout,
     })
 }
 
 /// Parameters of the §6.1 Tofino case study.
+///
+/// **Deprecated**: use [`ScenarioSpec::case_study`] instead.
 #[derive(Debug, Clone)]
 pub struct CaseStudyConfig {
     /// RNG seed.
@@ -311,6 +231,24 @@ pub struct CaseStudyConfig {
     pub link_bps: u64,
     /// Probes installed at the receiver.
     pub probes: Vec<ThroughputProbe>,
+}
+
+impl CaseStudyConfig {
+    /// The equivalent [`ScenarioSpec`] (the canonical representation).
+    pub fn into_spec(self) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::case_study()
+            .seed(self.seed)
+            .high_priority(self.high_priority)
+            .tree(self.tree)
+            .timers(self.timers)
+            .flows(self.flows)
+            .core_link(LinkConfig::new(self.link_bps, SimDuration::from_micros(5)))
+            .udp_background(self.udp_bps, self.udp_dst, self.until);
+        for p in self.probes {
+            spec = spec.probe(p);
+        }
+        spec
+    }
 }
 
 /// The assembled case study:
@@ -347,86 +285,37 @@ pub struct CaseStudy {
     pub layout: FancyLayout,
 }
 
-/// Build the case study. Fails with [`ScenarioError::Layout`] if the
-/// requested entries/tree do not fit the experiment memory budget.
+/// Build the case study.
+///
+/// **Deprecated**: use `ScenarioSpec::case_study()...build()` — this
+/// wrapper delegates to it and re-shapes the result. Fails with
+/// [`ScenarioError::Layout`] if the requested entries/tree do not fit the
+/// experiment memory budget.
 pub fn case_study(cfg: CaseStudyConfig) -> Result<CaseStudy, ScenarioError> {
-    let input = FancyInput {
-        high_priority: cfg.high_priority.clone(),
-        memory_bytes_per_port: 4 << 20,
-        tree: cfg.tree,
-        timers: cfg.timers,
-    };
-    let layout = input.translate()?;
-
-    let mut net = Network::new(cfg.seed);
-    let sender = net.add_node(Box::new(SenderHost::new(SENDER_ADDR, cfg.flows)));
-    let udp_until = fancy_sim::SimTime::ZERO + cfg.until;
-    let udp = net.add_node(Box::new(UdpSource::new(
-        0x01_00_00_02,
-        cfg.udp_dst,
-        cfg.udp_bps,
-        1500,
-        udp_until,
-    )));
-
-    // S1 ports: 0 = sender, 1 = primary (monitored), 2 = backup, 3 = udp in.
-    let mut fib1 = Fib::new();
-    fib1.route(Prefix::from_addr(SENDER_ADDR), 0);
-    fib1.default_route(1);
-    let mut s1_node = FancySwitch::new(fib1, layout.clone(), vec![1], cfg.seed);
-    s1_node.reroute = Some(Reroute {
-        backup: [(1usize, 2usize)].into_iter().collect(),
-    });
-    let s1 = net.add_node(Box::new(s1_node));
-
-    // The link switch patches: port 0 (from S1 primary) ↔ port 1 (to S2),
-    // port 2 (from S1 backup) ↔ port 3 (to S2 second port).
-    let link_switch = net.add_node(Box::new(Bridge::with_pairs(vec![1, 0, 3, 2])));
-
-    // S2 ports: 0 = from link switch (primary), 1 = from link switch
-    // (backup), 2 = receiver.
-    let mut fib2 = Fib::new();
-    fib2.route(Prefix::from_addr(SENDER_ADDR), 0);
-    fib2.default_route(2);
-    let s2 = net.add_node(Box::new(FancySwitch::new(
-        fib2,
-        layout.clone(),
-        Vec::new(),
-        cfg.seed + 1,
-    )));
-
-    let mut rx = ReceiverHost::new();
-    rx.probes = cfg.probes;
-    let receiver = net.add_node(Box::new(rx));
-
-    let hw = LinkConfig::new(cfg.link_bps, SimDuration::from_micros(5));
-    checked_connect(&mut net, sender, s1, hw, "sender↔s1")?; // s1 port 0
-    checked_connect(&mut net, s1, link_switch, hw, "primary s1↔ls")?; // s1 port 1 ↔ ls port 0 (primary)
-    let failure_link = checked_connect(&mut net, link_switch, s2, hw, "primary ls↔s2")?; // ls port 1 ↔ s2 port 0
-    checked_connect(&mut net, s1, link_switch, hw, "backup s1↔ls")?; // s1 port 2 ↔ ls port 2 (backup)
-    checked_connect(&mut net, link_switch, s2, hw, "backup ls↔s2")?; // ls port 3 ↔ s2 port 1
-    checked_connect(&mut net, s2, receiver, hw, "s2↔receiver")?; // s2 port 2
-    checked_connect(&mut net, udp, s1, hw, "udp↔s1")?; // s1 port 3
-
+    let sc = cfg.into_spec().build()?;
+    let fault = sc
+        .fault_edge
+        .expect("case study has a canonical fault edge");
     Ok(CaseStudy {
-        net,
-        sender,
-        udp,
-        s1,
-        link_switch,
-        s2,
-        receiver,
-        failure_link,
-        primary_port: 1,
-        layout,
+        failure_link: sc.edges[fault].link,
+        primary_port: sc.edges[sc.monitored[0]].port_a,
+        sender: sc.senders[0],
+        udp: sc.udp_sources[0],
+        s1: sc.switches[0],
+        link_switch: sc.bridges[0],
+        s2: sc.switches[1],
+        receiver: sc.receivers[0],
+        net: sc.net,
+        layout: sc.layout,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fancy_core::ConfigError;
     use fancy_sim::{DetectorKind, GrayFailure, SimTime};
-    use fancy_tcp::FlowConfig;
+    use fancy_tcp::{FlowConfig, ReceiverHost};
 
     fn flows(dst: u32, n: usize) -> Vec<ScheduledFlow> {
         (0..n)

@@ -2,7 +2,7 @@
 //! actually measured on a running simulation.
 
 use fancy_analysis::overhead;
-use fancy_apps::{linear, LinearConfig, ScenarioError};
+use fancy_apps::{ScenarioError, ScenarioSpec};
 use fancy_bench::{env::Scale, fmt};
 use fancy_core::FancySwitch;
 use fancy_net::Prefix;
@@ -42,15 +42,13 @@ fn main() -> Result<(), ScenarioError> {
     };
     let duration = SimDuration::from_secs(10).min(scale.duration);
     let flows = generate(&[entry], size, duration, 0x0BEA).flows;
-    let mut sc = linear(
-        LinearConfig::builder()
-            .seed(0x0BEA)
-            .flows(flows)
-            .high_priority(vec![entry])
-            .build(),
-    )?;
+    let mut sc = ScenarioSpec::linear()
+        .seed(0x0BEA)
+        .flows(flows)
+        .high_priority(vec![entry])
+        .build()?;
     sc.net.run_until(SimTime::ZERO + duration);
-    let sw: &FancySwitch = sc.net.node(sc.s1);
+    let sw: &FancySwitch = sc.net.node(sc.switches[0]);
     let secs = duration.as_secs_f64();
     println!("\nMeasured on a live simulation ({secs:.0} s, 1 dedicated entry + tree):");
     println!(
@@ -66,7 +64,7 @@ fn main() -> Result<(), ScenarioError> {
         sw.stats.tagged_packets as f64 * 2.0 * 100.0
             / (sc.net.kernel.records.wire_bytes as f64).max(1.0)
     );
-    let (ded_sessions, tree_sessions) = sw.sessions_completed(sc.monitored_port);
+    let (ded_sessions, tree_sessions) = sw.sessions_completed(sc.monitored_edge().port_a);
     println!(
         "  sessions completed: {ded_sessions} dedicated ({:.1}/s), {tree_sessions} tree ({:.1}/s)",
         ded_sessions as f64 / secs,

@@ -17,12 +17,14 @@ use std::time::Instant;
 
 use criterion::{black_box, Criterion, Throughput};
 
+use fancy_apps::{uniform_pair_flows, ScenarioSpec};
 use fancy_bench::runner::Sweep;
 use fancy_sim::event::EventQueue;
 use fancy_sim::pool::PacketPool;
 use fancy_sim::{Bridge, LinkConfig, Network, PacketBuilder, PacketKind};
 use fancy_sim::{SimDuration, SimTime, SinkNode};
 use fancy_tcp::UdpSource;
+use fancy_topo::isp_backbone;
 
 /// Counts every allocation so the zero-alloc claim is measured, not
 /// asserted from inspection. Deallocations are not interesting here:
@@ -254,6 +256,35 @@ fn bench_e2e() -> (u64, f64) {
     (events, best)
 }
 
+/// The large-topology row: a 100-switch ISP backbone with FANcY on
+/// every edge (200 links monitored in both directions) and two TCP pair
+/// flows per switch, run for 1 s of sim time — the ISP-scale deployment
+/// workload the topology layer adds. Best of three after one warm-up.
+fn bench_large_topo() -> (u64, f64, usize, usize) {
+    let topo = isp_backbone(100, 0xBE9C).expect("backbone builds");
+    let (switches, edges) = (topo.len(), topo.edges.len());
+    let run = || {
+        let mut sc = ScenarioSpec::topology(topo.clone())
+            .seed(7)
+            .pair_flows(uniform_pair_flows(switches, 2, 2_000_000, 1.0, 7))
+            .build()
+            .expect("scenario builds");
+        sc.net.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        sc.net.kernel.telemetry.events_dispatched
+    };
+    let mut events = run(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        events = run();
+        let secs = start.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+    }
+    (events, best, switches, edges)
+}
+
 fn main() {
     let mut c = Criterion::default().configure_from_args();
     let (near_ns, rto_ns) = bench_scheduler(&mut c);
@@ -270,6 +301,13 @@ fn main() {
     let mevents = events as f64 / e2e_secs / 1e6;
     println!(
         "e2e_forwarding: {events} events in {e2e_secs:.3}s best-of-10 ({mevents:.2} Mevents/s)"
+    );
+
+    let (lt_events, lt_secs, lt_switches, lt_edges) = bench_large_topo();
+    let lt_mevents = lt_events as f64 / lt_secs / 1e6;
+    println!(
+        "large_topo: {lt_switches} switches / {lt_edges} edges, {lt_events} events \
+         in {lt_secs:.3}s best-of-3 ({lt_mevents:.2} Mevents/s)"
     );
     let improvement_pct = (BEFORE_E2E_SECS - e2e_secs) / BEFORE_E2E_SECS * 100.0;
     println!(
@@ -294,7 +332,11 @@ fn main() {
     "scheduler_push_pop_near_ns_per_cycle": {near_ns:.1},
     "scheduler_push_pop_rto_mix_ns_per_cycle": {rto_ns:.1},
     "pool_check_in_out_ns": {pool_ns:.1},
-    "steady_state_allocs_per_event": {allocs_per_event}
+    "steady_state_allocs_per_event": {allocs_per_event},
+    "large_topo": {{
+      "workload": "{lt_switches}-switch ISP backbone ({lt_edges} edges), FANcY on every edge, 2 TCP pair flows per switch, 1 s sim time",
+      "events": {lt_events}, "secs": {lt_secs:.4}, "mevents_per_s": {lt_mevents:.2}
+    }}
   }},
   "improvement": {{
     "e2e_wall_clock_pct": {improvement_pct:.1},

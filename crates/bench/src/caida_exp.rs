@@ -15,7 +15,7 @@ use std::collections::HashSet;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use fancy_apps::{linear, LinearConfig, ScenarioError};
+use fancy_apps::{ScenarioError, ScenarioSpec};
 use fancy_baselines::{BaselineState, BaselineTap, TapSide};
 use fancy_core::{FancySwitch, TimerConfig, TreeParams};
 use fancy_net::{mix64, Prefix};
@@ -100,22 +100,17 @@ pub fn run_trace_failure(
     let dedicated: Vec<Prefix> = trace.top_prefixes(dedicated_count(trace));
     let is_dedicated = dedicated.contains(&failed);
 
-    let mut sc = linear(
-        LinearConfig::builder()
-            .seed(seed)
-            .flows(trace.flows.clone())
-            .high_priority(dedicated)
-            .build(),
-    )?;
+    let mut sc = ScenarioSpec::linear()
+        .seed(seed)
+        .flows(trace.flows.clone())
+        .high_priority(dedicated)
+        .build()?;
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA11);
     let horizon = duration.as_secs_f64();
     let fail_at =
         SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(1.0..(horizon * 0.4).max(1.5)));
-    sc.net.kernel.add_failure(
-        sc.monitored_link,
-        sc.s1,
-        GrayFailure::single_entry(failed, loss_pct / 100.0, fail_at),
-    );
+    sc.fail(GrayFailure::single_entry(failed, loss_pct / 100.0, fail_at));
+    let (s1, monitored_port) = (sc.switches[0], sc.monitored_edge().port_a);
     sc.net.run_until(SimTime::ZERO + duration);
 
     let records = &sc.net.kernel.records;
@@ -124,8 +119,8 @@ pub fn run_trace_failure(
             .first_entry_detection(failed)
             .map(|d| d.time.duration_since(fail_at).as_secs_f64())
     } else {
-        let sw: &FancySwitch = sc.net.node(sc.s1);
-        let path = sw.tree_hasher(sc.monitored_port).hash_path(failed);
+        let sw: &FancySwitch = sc.net.node(s1);
+        let path = sw.tree_hasher(monitored_port).hash_path(failed);
         records
             .detections
             .iter()
@@ -136,8 +131,8 @@ pub fn run_trace_failure(
 
     // Tree false positives: entries (other than the failed one) matching
     // any reported hash path.
-    let sw: &FancySwitch = sc.net.node(sc.s1);
-    let hasher = sw.tree_hasher(sc.monitored_port);
+    let sw: &FancySwitch = sc.net.node(s1);
+    let hasher = sw.tree_hasher(monitored_port);
     let mut fps: HashSet<Prefix> = HashSet::new();
     for d in records.detections_by(DetectorKind::HashTree) {
         if let DetectionScope::HashPath(p) = &d.scope {
@@ -517,33 +512,27 @@ pub fn run_fig11_point(
         }
         let failed: Vec<Prefix> = ranks.iter().map(|&r| trace.prefixes_by_rank[r]).collect();
 
-        let base = LinearConfig::paper_default(s ^ 2, trace.flows.clone());
-        let mut sc = linear(
-            LinearConfig::builder()
-                .seed(s ^ 2)
-                .flows(trace.flows.clone())
-                .tree(TreeParams {
-                    width: config.width,
-                    depth: config.depth,
-                    split: config.split,
-                    pipelined: true,
-                })
-                .timers(TimerConfig {
-                    zooming_interval: SimDuration::from_millis(200),
-                    ..base.timers
-                })
-                .build(),
-        )?;
+        let mut sc = ScenarioSpec::linear()
+            .seed(s ^ 2)
+            .flows(trace.flows.clone())
+            .tree(TreeParams {
+                width: config.width,
+                depth: config.depth,
+                split: config.split,
+                pipelined: true,
+            })
+            .timers(TimerConfig {
+                zooming_interval: SimDuration::from_millis(200),
+                ..TimerConfig::paper_default().for_link_delay(SimDuration::from_millis(10))
+            })
+            .build()?;
         let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(1.0..2.0));
-        sc.net.kernel.add_failure(
-            sc.monitored_link,
-            sc.s1,
-            GrayFailure::multi_entry(failed.clone(), 1.0, fail_at),
-        );
+        sc.fail(GrayFailure::multi_entry(failed.clone(), 1.0, fail_at));
+        let (s1, monitored_port) = (sc.switches[0], sc.monitored_edge().port_a);
         sc.net.run_until(SimTime::ZERO + scale.duration);
 
-        let sw: &FancySwitch = sc.net.node(sc.s1);
-        let hasher = sw.tree_hasher(sc.monitored_port);
+        let sw: &FancySwitch = sc.net.node(s1);
+        let hasher = sw.tree_hasher(monitored_port);
         let mut det_times = Vec::new();
         let mut detected_set: HashSet<Prefix> = HashSet::new();
         let mut fp_set: HashSet<Prefix> = HashSet::new();

@@ -9,7 +9,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use fancy_apps::{linear, LinearConfig, ScenarioError};
+use fancy_apps::{ScenarioError, ScenarioSpec};
 use fancy_core::{FancySwitch, TimerConfig};
 use fancy_net::{mix64, Prefix};
 use fancy_sim::{DetectionScope, DetectorKind, GrayFailure, SimDuration, SimTime};
@@ -76,20 +76,14 @@ pub fn run_dedicated_cell(
         let s = mix64(ctx.seed ^ rep);
         let entry = cell_entries(1, s)[0];
         let flows = generate(&[entry], size, scale.duration, s ^ 1).flows;
-        let mut sc = linear(
-            LinearConfig::builder()
-                .seed(s ^ 2)
-                .flows(flows)
-                .high_priority(vec![entry])
-                .build(),
-        )?;
+        let mut sc = ScenarioSpec::linear()
+            .seed(s ^ 2)
+            .flows(flows)
+            .high_priority(vec![entry])
+            .build()?;
         let mut rng = SmallRng::seed_from_u64(s ^ 3);
         let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(0.5..2.0));
-        sc.net.kernel.add_failure(
-            sc.monitored_link,
-            sc.s1,
-            GrayFailure::single_entry(entry, loss_pct / 100.0, fail_at),
-        );
+        sc.fail(GrayFailure::single_entry(entry, loss_pct / 100.0, fail_at));
         sc.net.run_until(SimTime::ZERO + scale.duration);
         match sc.net.kernel.records.first_entry_detection(entry) {
             Some(d) => {
@@ -124,25 +118,29 @@ pub fn run_tree_cell(
         let s = mix64(ctx.seed ^ rep ^ 0xF00D);
         let entries = cell_entries(n_entries, s);
         let flows = generate(&entries, size, scale.duration, s ^ 1).flows;
-        let base = LinearConfig::builder().seed(s ^ 2).flows(flows).build();
-        let mut sc = linear(LinearConfig {
-            timers: TimerConfig {
-                zooming_interval: zooming,
-                ..base.timers
-            },
-            ..base
-        })?;
+        // The historical default timers (10 ms core link) with only the
+        // zooming interval overridden.
+        let timers = TimerConfig {
+            zooming_interval: zooming,
+            ..TimerConfig::paper_default().for_link_delay(SimDuration::from_millis(10))
+        };
+        let mut sc = ScenarioSpec::linear()
+            .seed(s ^ 2)
+            .flows(flows)
+            .timers(timers)
+            .build()?;
         let mut rng = SmallRng::seed_from_u64(s ^ 3);
         let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(0.5..2.0));
-        sc.net.kernel.add_failure(
-            sc.monitored_link,
-            sc.s1,
-            GrayFailure::multi_entry(entries.clone(), loss_pct / 100.0, fail_at),
-        );
+        sc.fail(GrayFailure::multi_entry(
+            entries.clone(),
+            loss_pct / 100.0,
+            fail_at,
+        ));
         sc.net.run_until(SimTime::ZERO + scale.duration);
 
-        let sw: &FancySwitch = sc.net.node(sc.s1);
-        let hasher = sw.tree_hasher(sc.monitored_port);
+        let (s1, monitored_port) = (sc.switches[0], sc.monitored_edge().port_a);
+        let sw: &FancySwitch = sc.net.node(s1);
+        let hasher = sw.tree_hasher(monitored_port);
         let paths: Vec<Vec<u8>> = entries.iter().map(|&e| hasher.hash_path(e)).collect();
         let mut detected = 0usize;
         for path in &paths {

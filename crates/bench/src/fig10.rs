@@ -12,9 +12,10 @@
 //! hardware; the default harness scales the rates down (keeping their
 //! ratio) so a software run stays fast, and prints the scale used.
 
-use fancy_apps::{case_study, CaseStudyConfig, ScenarioError};
+use fancy_apps::{ScenarioError, ScenarioSpec};
 use fancy_core::{TimerConfig, TreeParams};
 use fancy_net::Prefix;
+use fancy_sim::LinkConfig;
 use fancy_sim::{GrayFailure, SimDuration, SimTime};
 use fancy_tcp::{ReceiverHost, ThroughputProbe};
 use fancy_traffic::{generate, EntrySize};
@@ -81,28 +82,21 @@ pub fn run_case_study(
         zooming_interval: SimDuration::from_millis(200),
         ..TimerConfig::paper_default().for_link_delay(SimDuration::from_micros(5))
     };
-    let cfg = CaseStudyConfig {
-        seed,
-        high_priority,
-        tree: TreeParams::tofino_default(),
-        timers,
-        flows,
-        udp_bps,
-        udp_dst: 0x0B_00_00_01,
-        until: duration,
-        link_bps,
-        probes: vec![ThroughputProbe::for_entries(
+    let mut cs = ScenarioSpec::case_study()
+        .seed(seed)
+        .high_priority(high_priority)
+        .tree(TreeParams::tofino_default())
+        .timers(timers)
+        .flows(flows)
+        .udp_background(udp_bps, 0x0B_00_00_01, duration)
+        .core_link(LinkConfig::new(link_bps, SimDuration::from_micros(5)))
+        .probe(ThroughputProbe::for_entries(
             "monitored entry",
             vec![entry],
             SimDuration::from_millis(100),
-        )],
-    };
-    let mut cs = case_study(cfg)?;
-    cs.net.kernel.add_failure(
-        cs.failure_link,
-        cs.link_switch,
-        GrayFailure::single_entry(entry, loss_pct / 100.0, FAIL_AT),
-    );
+        ))
+        .build()?;
+    cs.fail(GrayFailure::single_entry(entry, loss_pct / 100.0, FAIL_AT));
     cs.net.run_until(SimTime::ZERO + duration);
 
     // Detection: dedicated flag or tree hash path.
@@ -114,8 +108,9 @@ pub fn run_case_study(
             .first_entry_detection(entry)
             .map(|d| d.time.duration_since(FAIL_AT).as_secs_f64()),
         EntryKind::Tree => {
-            let sw: &fancy_core::FancySwitch = cs.net.node(cs.s1);
-            let path = sw.tree_hasher(cs.primary_port).hash_path(entry);
+            let (s1, primary_port) = (cs.switches[0], cs.monitored_edge().port_a);
+            let sw: &fancy_core::FancySwitch = cs.net.node(s1);
+            let path = sw.tree_hasher(primary_port).hash_path(entry);
             cs.net
                 .kernel
                 .records
@@ -127,7 +122,7 @@ pub fn run_case_study(
         }
     };
 
-    let rx: &ReceiverHost = cs.net.node(cs.receiver);
+    let rx: &ReceiverHost = cs.net.node(cs.receivers[0]);
     let gbps_series = rx.probes[0]
         .bps_series()
         .into_iter()

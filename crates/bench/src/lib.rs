@@ -7,6 +7,9 @@
 //!   table fans out through, plus per-cell telemetry aggregation;
 //! * [`cells`] — the Figure 7/8/9 heatmap cells (entry size × loss rate);
 //! * [`uniform`] — §5.1.3 uniform failures;
+//! * [`netwide`] — network-wide FANcY on `fancy-topo` graphs: per-edge
+//!   detection coverage, cross-talk false positives, SPIDER reroute
+//!   convergence;
 //! * [`caida_exp`] — Table 3, the §5.2 baseline comparison, Figure 11;
 //! * [`fig10`] — the Tofino fast-reroute case study;
 //! * [`table1`] — one detection demo per gray-failure class;
@@ -25,6 +28,7 @@ pub mod cells;
 pub mod env;
 pub mod fig10;
 pub mod fmt;
+pub mod netwide;
 pub mod runner;
 pub mod table1;
 pub mod uniform;

@@ -1,0 +1,443 @@
+//! Network-wide FANcY on graph topologies (the ISP-scale deployment).
+//!
+//! The paper deploys FANcY per link; an ISP runs it on *every* link at
+//! once. This module sweeps a `fancy-topo` graph — one cell per failed
+//! edge — where each cell instantiates the whole backbone with FANcY
+//! monitoring every edge in both directions, injects one gray failure on
+//! the cell's edge, and reports:
+//!
+//! * **coverage** — did the switch upstream of the failed edge detect?
+//! * **latency** — failure onset → that detection;
+//! * **cross-talk** — detections anywhere *else* in the network (false
+//!   positives induced by collateral TCP backoff on healthy links);
+//! * **reroute convergence** — on SPIDER-protected edges, the
+//!   flight-recorder-measured onset → first rerouted packet, asserted
+//!   against the analytic [`reroute_latency_bound`].
+//!
+//! Cells are content-addressed: the cache salt folds in the topology and
+//! route fingerprints, so editing the graph (or the route computation)
+//! invalidates exactly the affected sweeps.
+
+use fancy_analysis::timeline::TimelineReport;
+use fancy_apps::{service_prefix, uniform_pair_flows};
+use fancy_apps::{PairFlow, ScenarioError, ScenarioSpec};
+use fancy_net::mix64;
+use std::sync::{Arc, Mutex};
+
+use fancy_sim::trace::DropCause;
+use fancy_sim::{GrayFailure, SimDuration, SimTime, TraceEvent, TraceSink};
+use fancy_tcp::FlowConfig;
+use fancy_topo::{Routes, Topology};
+
+use crate::cache::{CacheCodec, Fingerprint, Record};
+use crate::env::Scale;
+use crate::runner::Sweep;
+
+/// A flight recorder that keeps only the causal chain of a failure
+/// episode — gray drops, detections, reroute decisions — so no amount
+/// of background packet traffic can evict the events the latency
+/// verification needs (a plain ring would).
+#[derive(Debug, Clone, Default)]
+struct FlightFilter(Arc<Mutex<Vec<TraceEvent>>>);
+
+impl FlightFilter {
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        self.0.lock().expect("flight filter poisoned").clone()
+    }
+}
+
+impl TraceSink for FlightFilter {
+    fn record(&mut self, ev: &TraceEvent) {
+        let keep = matches!(
+            ev,
+            TraceEvent::Reroute { .. }
+                | TraceEvent::Detection { .. }
+                | TraceEvent::PacketDrop {
+                    cause: DropCause::Gray,
+                    ..
+                }
+        );
+        if keep {
+            self.0
+                .lock()
+                .expect("flight filter poisoned")
+                .push(ev.clone());
+        }
+    }
+}
+
+/// Knobs of one network-wide sweep.
+#[derive(Debug, Clone)]
+pub struct NetwideConfig {
+    /// Background pair flows per source switch.
+    pub per_switch_flows: usize,
+    /// Rate of each TCP flow (bps).
+    pub rate_bps: u64,
+    /// Gray drop probability on the failed edge's victim entry.
+    pub loss: f64,
+    /// Edges to fail, as topology edge indices (`None` = every edge).
+    pub edges: Option<Vec<usize>>,
+    /// Install SPIDER protection on each failed edge that has a loop-free
+    /// alternate, and verify the reroute chain on the flight recorder.
+    pub protect: bool,
+    /// Sweep worker threads (`0` = the `FANCY_THREADS` / core-count
+    /// default). Results are bit-identical at any value.
+    pub threads: usize,
+}
+
+impl Default for NetwideConfig {
+    fn default() -> Self {
+        NetwideConfig {
+            per_switch_flows: 2,
+            rate_bps: 2_000_000,
+            loss: 0.5,
+            edges: None,
+            protect: true,
+            threads: 0,
+        }
+    }
+}
+
+/// What one failed-edge cell observed.
+#[derive(Debug, Clone)]
+pub struct EdgeOutcome {
+    /// Topology edge index that was failed.
+    pub edge: usize,
+    /// Edge name (for reports).
+    pub name: String,
+    /// The edge carried victim traffic (dark edges can't be detected and
+    /// are excluded from the coverage denominator).
+    pub carries_traffic: bool,
+    /// The upstream switch flagged the failure on its egress port.
+    pub detected: bool,
+    /// Onset → upstream detection, seconds (`-1` when undetected).
+    pub detection_s: f64,
+    /// Detections at any *other* (switch, port) after onset.
+    pub cross_talk: u64,
+    /// SPIDER protection was installed for this edge.
+    pub protected: bool,
+    /// Flight-recorder onset → first rerouted packet, seconds
+    /// (`-1` when not protected or no reroute fired).
+    pub reroute_s: f64,
+    /// Analytic detect+switch bound, seconds (`-1` when not protected).
+    pub bound_s: f64,
+}
+
+impl CacheCodec for EdgeOutcome {
+    fn encode(&self, rec: &mut Record) {
+        rec.put_u64("edge", self.edge as u64);
+        rec.put_str("name", &self.name);
+        rec.put_u64("traffic", self.carries_traffic as u64);
+        rec.put_u64("detected", self.detected as u64);
+        rec.put_f64("det_s", self.detection_s);
+        rec.put_u64("cross_talk", self.cross_talk);
+        rec.put_u64("protected", self.protected as u64);
+        rec.put_f64("reroute_s", self.reroute_s);
+        rec.put_f64("bound_s", self.bound_s);
+    }
+
+    fn decode(rec: &Record) -> Option<Self> {
+        Some(EdgeOutcome {
+            edge: rec.u64("edge")? as usize,
+            name: rec.str("name")?.to_owned(),
+            carries_traffic: rec.u64("traffic")? != 0,
+            detected: rec.u64("detected")? != 0,
+            detection_s: rec.f64("det_s")?,
+            cross_talk: rec.u64("cross_talk")?,
+            protected: rec.u64("protected")? != 0,
+            reroute_s: rec.f64("reroute_s")?,
+            bound_s: rec.f64("bound_s")?,
+        })
+    }
+}
+
+/// The aggregated result of one network-wide sweep.
+#[derive(Debug, Clone)]
+pub struct NetwideReport {
+    /// Per-failed-edge outcomes, in cell order.
+    pub outcomes: Vec<EdgeOutcome>,
+    /// Detected fraction over traffic-carrying edges.
+    pub coverage: f64,
+    /// Mean detection latency over detected edges, seconds.
+    pub mean_detection_s: f64,
+    /// Total cross-talk detections across all cells.
+    pub cross_talk: u64,
+    /// Protected cells whose measured reroute latency met the bound.
+    pub reroutes_within_bound: usize,
+    /// Protected cells where a reroute was measured at all.
+    pub reroutes_measured: usize,
+}
+
+/// Find a deterministic (src, dst) switch pair whose service-prefix
+/// traffic traverses `edge` in the `a → b` direction (the direction
+/// [`fancy_apps::Scenario::fail_edge`] injects). Returns `None` for
+/// edges no per-prefix ECMP choice routes over (dark edges).
+pub fn directed_victim(topo: &Topology, routes: &Routes, edge: usize) -> Option<(usize, usize)> {
+    let n = topo.len();
+    let a = topo.edges[edge].a;
+    // Fast path: destinations reached from `a` straight over the edge.
+    for dst in 0..n {
+        if dst != a && routes.next_edge(a, dst, flow_key(dst)) == edge {
+            return Some((a, dst));
+        }
+    }
+    // Slow path: any pair whose path crosses a → b mid-way.
+    for dst in 0..n {
+        for src in 0..n {
+            if src == dst {
+                continue;
+            }
+            if crosses_directed(topo, routes, src, dst, edge) {
+                return Some((src, dst));
+            }
+        }
+    }
+    None
+}
+
+/// The ECMP flow key the graph scenario pins `dst`'s service prefix to
+/// (mirrors the FIB construction in `fancy_apps::spec`).
+fn flow_key(dst: usize) -> u64 {
+    mix64(u64::from(service_prefix(dst).0))
+}
+
+fn crosses_directed(topo: &Topology, routes: &Routes, src: usize, dst: usize, edge: usize) -> bool {
+    let a = topo.edges[edge].a;
+    let mut at = src;
+    while at != dst {
+        let e = routes.next_edge(at, dst, flow_key(dst));
+        if e == edge {
+            return at == a;
+        }
+        at = topo.other_end(e, at);
+    }
+    false
+}
+
+/// Run the network-wide sweep over `topo`: one cell per failed edge,
+/// every cell monitoring every edge. Thread-count invariant; cells are
+/// cached under a salt including the topology and route fingerprints.
+pub fn run_netwide(
+    topo: &Topology,
+    cfg: &NetwideConfig,
+    scale: &Scale,
+    seed: u64,
+) -> Result<NetwideReport, ScenarioError> {
+    let routes = Routes::compute(topo)?;
+    let cells: Vec<usize> = match &cfg.edges {
+        Some(list) => list.clone(),
+        None => (0..topo.edges.len()).collect(),
+    };
+    let n = topo.len();
+    // Cache invalidation: the graph and its routes are part of the cell
+    // identity — change either and every cell re-runs.
+    let salt = Fingerprint::new()
+        .with("netwide")
+        .with(scale)
+        .with(&topo.fingerprint())
+        .with(&routes.fingerprint())
+        .with(&(cfg.per_switch_flows, cfg.rate_bps))
+        .with(&cfg.loss)
+        .with(&cfg.protect);
+
+    let label = format!("netwide {n}sw {}edges", cells.len());
+    let mut sweep = Sweep::new(label, cells).seed(seed);
+    if cfg.threads > 0 {
+        sweep = sweep.threads(cfg.threads);
+    }
+    let (outcomes, _report) = sweep.cache_from_env(salt).try_run_cached(
+        |&edge, ctx| -> Result<EdgeOutcome, ScenarioError> {
+            run_edge_cell(topo, &routes, cfg, edge, ctx.seed)
+        },
+    )?;
+
+    let carrying: Vec<&EdgeOutcome> = outcomes.iter().filter(|o| o.carries_traffic).collect();
+    let detected: Vec<&&EdgeOutcome> = carrying.iter().filter(|o| o.detected).collect();
+    let coverage = if carrying.is_empty() {
+        1.0
+    } else {
+        detected.len() as f64 / carrying.len() as f64
+    };
+    let mean_detection_s = if detected.is_empty() {
+        0.0
+    } else {
+        detected.iter().map(|o| o.detection_s).sum::<f64>() / detected.len() as f64
+    };
+    let cross_talk = outcomes.iter().map(|o| o.cross_talk).sum();
+    let reroutes_measured = outcomes
+        .iter()
+        .filter(|o| o.protected && o.reroute_s >= 0.0)
+        .count();
+    let reroutes_within_bound = outcomes
+        .iter()
+        .filter(|o| o.protected && o.reroute_s >= 0.0 && o.reroute_s <= o.bound_s)
+        .count();
+    Ok(NetwideReport {
+        outcomes,
+        coverage,
+        mean_detection_s,
+        cross_talk,
+        reroutes_within_bound,
+        reroutes_measured,
+    })
+}
+
+/// One failed-edge cell: build the whole network, fail `edge`, observe.
+fn run_edge_cell(
+    topo: &Topology,
+    routes: &Routes,
+    cfg: &NetwideConfig,
+    edge: usize,
+    seed: u64,
+) -> Result<EdgeOutcome, ScenarioError> {
+    let n = topo.len();
+    let name = topo.edges[edge].name.clone();
+    let Some((src, dst)) = directed_victim(topo, routes, edge) else {
+        return Ok(EdgeOutcome {
+            edge,
+            name,
+            carries_traffic: false,
+            detected: false,
+            detection_s: -1.0,
+            cross_talk: 0,
+            protected: false,
+            reroute_s: -1.0,
+            bound_s: -1.0,
+        });
+    };
+    let victim = service_prefix(dst);
+    let duration = SimDuration::from_secs(4);
+    let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(1.5);
+
+    // Background mesh plus victim flows that keep the failed edge busy
+    // across the onset (1 s flows, back to back).
+    let mut flows = uniform_pair_flows(n, cfg.per_switch_flows, cfg.rate_bps, 1.0, seed);
+    for k in 0..4u64 {
+        for rep in 0..4u64 {
+            flows.push(PairFlow {
+                src,
+                dst,
+                start: SimTime(
+                    rep * 1_000_000_000 + k * 130_000_000 + (mix64(seed ^ k) % 50_000_000),
+                ),
+                cfg: FlowConfig::for_rate(cfg.rate_bps, 1.0),
+            });
+        }
+    }
+
+    let spec = || {
+        ScenarioSpec::topology(topo.clone())
+            .seed(seed)
+            .high_priority(vec![victim])
+            .pair_flows(flows.clone())
+    };
+    // Protect the failed edge when it has a loop-free alternate; sparse
+    // spots of the graph fall back to detection-only (like real IP-FRR).
+    let (mut sc, protected) = if cfg.protect {
+        match spec().protect(&name).build() {
+            Ok(sc) => (sc, true),
+            Err(ScenarioError::PathGroup { .. }) => (spec().build()?, false),
+            Err(e) => return Err(e),
+        }
+    } else {
+        (spec().build()?, false)
+    };
+
+    // Flight recorder for the reroute chain.
+    let recorder = protected.then(|| {
+        let r = FlightFilter::default();
+        sc.net.kernel.set_tracer(Box::new(r.clone()));
+        r
+    });
+
+    sc.fail_edge(edge, GrayFailure::single_entry(victim, cfg.loss, fail_at));
+    sc.net.run_until(SimTime::ZERO + duration);
+
+    let (up_node, up_port) = (sc.edges[edge].a, sc.edges[edge].port_a);
+    let records = &sc.net.kernel.records;
+    let upstream = records
+        .detections
+        .iter()
+        .filter(|d| d.time >= fail_at)
+        .find(|d| d.node == up_node && d.port == up_port);
+    let detection_s = upstream
+        .map(|d| d.time.duration_since(fail_at).as_secs_f64())
+        .unwrap_or(-1.0);
+    let cross_talk = records
+        .detections
+        .iter()
+        .filter(|d| d.time >= fail_at && !(d.node == up_node && d.port == up_port))
+        .count() as u64;
+
+    // Ground-truth onset and the flight recorder's first reroute.
+    let onset = records
+        .gray_drops
+        .get(&victim)
+        .and_then(|d| d.first)
+        .unwrap_or(fail_at);
+    let (reroute_s, bound_s) = match (&recorder, sc.protected.first()) {
+        (Some(r), Some(p)) => {
+            let timeline = TimelineReport::from_events(&r.snapshot());
+            let reroute_s = timeline
+                .first_reroute_ns
+                .map(|t| (t.saturating_sub(onset.0)) as f64 / 1e9)
+                .unwrap_or(-1.0);
+            (reroute_s, p.bound.as_secs_f64())
+        }
+        _ => (-1.0, -1.0),
+    };
+
+    Ok(EdgeOutcome {
+        edge,
+        name,
+        carries_traffic: true,
+        detected: upstream.is_some(),
+        detection_s,
+        cross_talk,
+        protected,
+        reroute_s,
+        bound_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fancy_topo::isp_backbone;
+
+    #[test]
+    fn every_backbone_edge_has_a_directed_victim() {
+        let topo = isp_backbone(10, 0xE55).unwrap();
+        let routes = Routes::compute(&topo).unwrap();
+        let mut carrying = 0;
+        for e in 0..topo.edges.len() {
+            if let Some((src, dst)) = directed_victim(&topo, &routes, e) {
+                carrying += 1;
+                assert!(crosses_directed(&topo, &routes, src, dst, e));
+            }
+        }
+        // The ring part alone guarantees most edges carry traffic.
+        assert!(
+            carrying * 2 >= topo.edges.len(),
+            "{carrying} carrying edges"
+        );
+    }
+
+    #[test]
+    fn netwide_sweep_detects_on_a_small_backbone() {
+        let topo = isp_backbone(6, 0x5EED).unwrap();
+        let cfg = NetwideConfig {
+            edges: Some(vec![0, 1]),
+            ..NetwideConfig::default()
+        };
+        let scale = Scale::from_env();
+        let report = run_netwide(&topo, &cfg, &scale, 0xBEEF).unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        for o in &report.outcomes {
+            assert!(o.carries_traffic);
+            assert!(o.detected, "edge {} undetected", o.name);
+            assert!(o.detection_s >= 0.0 && o.detection_s < 2.0);
+        }
+        assert!(report.coverage == 1.0);
+    }
+}

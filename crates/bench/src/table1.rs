@@ -5,7 +5,7 @@
 //! modelled on the cited Cisco/Juniper bugs — and verifies FANcY detects
 //! it, reporting which mechanism fired and how fast.
 
-use fancy_apps::{linear, LinearConfig, ScenarioError};
+use fancy_apps::{ScenarioError, ScenarioSpec};
 use fancy_net::Prefix;
 use fancy_sim::{DetectorKind, FailureMatcher, GrayFailure, SimDuration, SimTime};
 use fancy_tcp::{FlowConfig, ScheduledFlow};
@@ -68,24 +68,18 @@ struct ClassSpec {
 fn run_class(spec: &ClassSpec, scale: &Scale) -> Result<ClassDemo, ScenarioError> {
     let duration = SimDuration::from_secs(8).min(scale.duration);
     let flows = flows_for(&spec.entries, 2_000_000, duration);
-    let mut sc = linear(
-        LinearConfig::builder()
-            .seed(spec.seed)
-            .flows(flows)
-            .high_priority(spec.high_priority.clone())
-            .build(),
-    )?;
+    let mut sc = ScenarioSpec::linear()
+        .seed(spec.seed)
+        .flows(flows)
+        .high_priority(spec.high_priority.clone())
+        .build()?;
     let fail_at = SimTime(1_000_000_000);
-    sc.net.kernel.add_failure(
-        sc.monitored_link,
-        sc.s1,
-        GrayFailure {
-            matcher: spec.matcher.clone(),
-            drop_prob: spec.drop_prob,
-            start: fail_at,
-            end: SimTime::FAR_FUTURE,
-        },
-    );
+    sc.fail(GrayFailure {
+        matcher: spec.matcher.clone(),
+        drop_prob: spec.drop_prob,
+        start: fail_at,
+        end: SimTime::FAR_FUTURE,
+    });
     sc.net.run_until(SimTime::ZERO + duration);
     let first = sc
         .net

@@ -9,7 +9,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use fancy_apps::{linear, LinearConfig, ScenarioError};
+use fancy_apps::{ScenarioError, ScenarioSpec};
 use fancy_net::{mix64, Prefix};
 use fancy_sim::{DetectorKind, GrayFailure, SimDuration, SimTime};
 use fancy_tcp::{FlowConfig, ScheduledFlow};
@@ -128,14 +128,10 @@ pub fn run_uniform(
                 .collect();
             let duration = SimDuration::from_secs(6).min(scale.duration);
             let flows = zipf_flows(&entries, total_bps, duration, s);
-            let mut sc = linear(LinearConfig::builder().seed(s ^ 1).flows(flows).build())?;
+            let mut sc = ScenarioSpec::linear().seed(s ^ 1).flows(flows).build()?;
             let mut rng = SmallRng::seed_from_u64(s ^ 2);
             let fail_at = SimTime::ZERO + SimDuration::from_secs_f64(rng.gen_range(1.5..2.5));
-            sc.net.kernel.add_failure(
-                sc.monitored_link,
-                sc.s1,
-                GrayFailure::uniform(loss_pct / 100.0, fail_at),
-            );
+            sc.fail(GrayFailure::uniform(loss_pct / 100.0, fail_at));
             sc.net.run_until(SimTime::ZERO + duration);
             ctx.absorb(&sc.net);
 

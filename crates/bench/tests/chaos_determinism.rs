@@ -6,7 +6,7 @@
 //! 8-thread sweep. The chaos RNG lives inside the plan, seeded from the
 //! cell seed — never from scheduling.
 
-use fancy_apps::{linear, LinearConfig, ScenarioError};
+use fancy_apps::{ScenarioError, ScenarioSpec};
 use fancy_bench::runner::{CellCtx, Sweep};
 use fancy_net::Prefix;
 use fancy_sim::{
@@ -40,37 +40,35 @@ fn run_cell(ctx: &CellCtx) -> Result<Signature, ScenarioError> {
             cfg: FlowConfig::for_rate(2_000_000, 1.0),
         })
         .collect();
-    let mut sc = linear(
-        LinearConfig::builder()
-            .seed(ctx.seed)
-            .flows(flows)
-            .high_priority(vec![entry])
-            .build(),
-    )?;
+    let mut sc = ScenarioSpec::linear()
+        .seed(ctx.seed)
+        .flows(flows)
+        .high_priority(vec![entry])
+        .build()?;
     let recorder = SharedRecorder::new(1 << 17);
     sc.net.kernel.set_tracer(Box::new(recorder.clone()));
 
     // Gray failure under test.
     let fail_at = SimTime(700_000_000 + (ctx.seed % 4) * 150_000_000);
-    sc.net.kernel.add_failure(
-        sc.monitored_link,
-        sc.s1,
-        GrayFailure::single_entry(entry, 0.5, fail_at),
-    );
+    sc.fail(GrayFailure::single_entry(entry, 0.5, fail_at));
+    let (core_link, s1, s2) = {
+        let core = sc.monitored_edge();
+        (core.link, core.a, core.b)
+    };
 
     // Chaos on top: bursty data loss + light control loss forward,
     // duplication + reordering on the return path.
     let p_ctl = 0.02 + (ctx.seed % 5) as f64 * 0.01;
     sc.net.kernel.add_fault_plan(
-        sc.monitored_link,
-        sc.s1,
+        core_link,
+        s1,
         FaultPlan::new(ctx.seed ^ 0xF0F0)
             .stage(FaultStage::new(FaultTarget::Data).gilbert_elliott(0.01, 0.3, 0.0, 0.8))
             .stage(FaultStage::new(FaultTarget::Control(None)).bernoulli(p_ctl)),
     );
     sc.net.kernel.add_fault_plan(
-        sc.monitored_link,
-        sc.s2,
+        core_link,
+        s2,
         FaultPlan::new(ctx.seed ^ 0x0F0F).stage(
             FaultStage::new(FaultTarget::All).duplicate(0.05).reorder(
                 0.05,

@@ -19,7 +19,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use fancy_apps::{linear, LinearConfig, ScenarioError};
+use fancy_apps::{ScenarioError, ScenarioSpec};
 use fancy_bench::runner::{CellCtx, Sweep, SweepReport};
 use fancy_net::Prefix;
 use fancy_sim::{GrayFailure, SharedRecorder, SimTime, TelemetryCounters};
@@ -60,22 +60,16 @@ fn run_cell(ctx: &CellCtx) -> Result<CellResult, ScenarioError> {
             cfg: FlowConfig::for_rate(2_000_000, 1.0),
         })
         .collect();
-    let mut sc = linear(
-        LinearConfig::builder()
-            .seed(ctx.seed)
-            .flows(flows)
-            .high_priority(vec![entry])
-            .build(),
-    )?;
+    let mut sc = ScenarioSpec::linear()
+        .seed(ctx.seed)
+        .flows(flows)
+        .high_priority(vec![entry])
+        .build()?;
     let recorder = SharedRecorder::new(1 << 16);
     sc.net.kernel.set_tracer(Box::new(recorder.clone()));
     let fail_at = SimTime(800_000_000 + (ctx.seed % 5) * 100_000_000);
     let loss = 0.3 + (ctx.seed % 7) as f64 * 0.1;
-    sc.net.kernel.add_failure(
-        sc.monitored_link,
-        sc.s1,
-        GrayFailure::single_entry(entry, loss, fail_at),
-    );
+    sc.fail(GrayFailure::single_entry(entry, loss, fail_at));
     sc.net.run_until(SimTime(3_000_000_000));
     ctx.absorb(&sc.net);
     let t = sc.net.kernel.telemetry;

@@ -1,0 +1,40 @@
+//! Network-wide sweeps inherit the engine's determinism guarantee:
+//! per-edge outcomes are bit-identical at any worker-thread count,
+//! because cell seeds key off the edge index, never off scheduling.
+
+use fancy_bench::cache::{CacheCodec, Record};
+use fancy_bench::netwide::{run_netwide, NetwideConfig};
+use fancy_bench::prelude::Scale;
+use fancy_topo::isp_backbone;
+
+/// Encode an outcome through its cache codec: the persisted form covers
+/// every field (floats as exact bit patterns), so comparing the JSONL
+/// lines is a bit-identity check.
+fn signatures(threads: usize) -> Vec<String> {
+    let topo = isp_backbone(8, 0xD17E).expect("backbone builds");
+    let cfg = NetwideConfig {
+        edges: Some(vec![0, 3, 7, 11]),
+        threads,
+        ..NetwideConfig::default()
+    };
+    let report = run_netwide(&topo, &cfg, &Scale::from_env(), 0x7777).expect("sweep runs");
+    report
+        .outcomes
+        .iter()
+        .map(|o| {
+            let mut rec = Record::default();
+            o.encode(&mut rec);
+            rec.to_jsonl()
+        })
+        .collect()
+}
+
+#[test]
+fn netwide_outcomes_are_thread_count_invariant() {
+    let one = signatures(1);
+    let eight = signatures(8);
+    assert_eq!(one, eight, "1-thread and 8-thread sweeps must agree");
+    assert_eq!(one.len(), 4);
+    // The comparison is meaningful: the cells actually detected failures.
+    assert!(one.iter().any(|line| line.contains("\"detected\":1")));
+}

@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fancy_apps::{linear, LinearConfig};
+use fancy_apps::ScenarioSpec;
 use fancy_bench::runner::{CellCtx, CellFailure, Sweep};
 use fancy_net::Prefix;
 use fancy_sim::{GrayFailure, LinkConfig, Network, SimDuration, SimTime, SinkNode};
@@ -22,23 +22,17 @@ const WATCHDOG: Duration = Duration::from_millis(300);
 /// A real (small) simulation cell: gray-drop count of a linear scenario.
 fn simulate(ctx: &CellCtx) -> u64 {
     let entry = Prefix(0x0A_70_00 + (ctx.seed % 32) as u32);
-    let mut sc = linear(
-        LinearConfig::builder()
-            .seed(ctx.seed)
-            .flows(vec![ScheduledFlow {
-                start: SimTime(0),
-                dst: entry.host(1),
-                cfg: FlowConfig::for_rate(2_000_000, 1.0),
-            }])
-            .high_priority(vec![entry])
-            .build(),
-    )
-    .expect("scenario must build");
-    sc.net.kernel.add_failure(
-        sc.monitored_link,
-        sc.s1,
-        GrayFailure::single_entry(entry, 0.4, SimTime(200_000_000)),
-    );
+    let mut sc = ScenarioSpec::linear()
+        .seed(ctx.seed)
+        .flows(vec![ScheduledFlow {
+            start: SimTime(0),
+            dst: entry.host(1),
+            cfg: FlowConfig::for_rate(2_000_000, 1.0),
+        }])
+        .high_priority(vec![entry])
+        .build()
+        .expect("scenario must build");
+    sc.fail(GrayFailure::single_entry(entry, 0.4, SimTime(200_000_000)));
     sc.net.run_until(SimTime(1_000_000_000));
     ctx.absorb(&sc.net);
     sc.net.kernel.records.total_gray_drops()

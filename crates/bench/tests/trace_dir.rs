@@ -5,7 +5,7 @@
 
 use std::path::{Path, PathBuf};
 
-use fancy_apps::{linear, LinearConfig, ScenarioError};
+use fancy_apps::{ScenarioError, ScenarioSpec};
 use fancy_bench::runner::Sweep;
 use fancy_net::Prefix;
 use fancy_sim::{trace::parse_jsonl, GrayFailure, SimTime};
@@ -28,25 +28,19 @@ fn run_sweep(dir: &Path, threads: usize) -> Result<(), ScenarioError> {
         .trace_dir(dir);
     let (_, report) = sweep.try_run(|_, ctx| {
         let entry = Prefix(0x0A_50_00 + (ctx.seed % 16) as u32);
-        let mut sc = linear(
-            LinearConfig::builder()
-                .seed(ctx.seed)
-                .flows(vec![ScheduledFlow {
-                    start: SimTime(0),
-                    dst: entry.host(1),
-                    cfg: FlowConfig::for_rate(2_000_000, 1.0),
-                }])
-                .high_priority(vec![entry])
-                .build(),
-        )?;
+        let mut sc = ScenarioSpec::linear()
+            .seed(ctx.seed)
+            .flows(vec![ScheduledFlow {
+                start: SimTime(0),
+                dst: entry.host(1),
+                cfg: FlowConfig::for_rate(2_000_000, 1.0),
+            }])
+            .high_priority(vec![entry])
+            .build()?;
         if let Some(tracer) = ctx.tracer().expect("trace sink must be creatable") {
             sc.net.kernel.set_tracer(tracer);
         }
-        sc.net.kernel.add_failure(
-            sc.monitored_link,
-            sc.s1,
-            GrayFailure::single_entry(entry, 0.2, SimTime(300_000_000)),
-        );
+        sc.fail(GrayFailure::single_entry(entry, 0.2, SimTime(300_000_000)));
         sc.net.run_until(SimTime(1_500_000_000));
         ctx.absorb(&sc.net);
         Ok::<(), ScenarioError>(())

@@ -103,10 +103,46 @@ fn trace_fsm(
 
 /// Fast-reroute configuration (§6.1): per primary port, the backup port to
 /// use for traffic whose entry/hash path has been flagged.
+///
+/// Two granularities compose, per the SPIDER-style pre-provisioned plans
+/// the topology layer computes:
+///
+/// * [`Reroute::backup`] — one port-level default per protected primary
+///   port (the original §6.1 case-study shape);
+/// * [`Reroute::entry_backup`] — per `(primary port, entry)` overrides,
+///   letting different destinations behind one protected link detour via
+///   different loop-free alternates. Overrides win over the port default.
 #[derive(Debug, Clone, Default)]
 pub struct Reroute {
     /// `primary egress port → backup egress port`.
     pub backup: HashMap<PortId, PortId>,
+    /// `(primary egress port, entry) → backup egress port`, consulted
+    /// before the port-level default.
+    pub entry_backup: HashMap<(PortId, Prefix), PortId>,
+}
+
+impl Reroute {
+    /// A port-level-only table (the §6.1 case-study shape).
+    pub fn port_level(backup: HashMap<PortId, PortId>) -> Self {
+        Reroute {
+            backup,
+            entry_backup: HashMap::new(),
+        }
+    }
+
+    /// Does any backup exist for traffic leaving `primary`?
+    pub fn protects(&self, primary: PortId) -> bool {
+        self.backup.contains_key(&primary) || self.entry_backup.keys().any(|&(p, _)| p == primary)
+    }
+
+    /// The backup port for `entry` on `primary`: the per-entry override if
+    /// installed, else the port-level default.
+    pub fn backup_for(&self, primary: PortId, entry: Prefix) -> Option<PortId> {
+        self.entry_backup
+            .get(&(primary, entry))
+            .or_else(|| self.backup.get(&primary))
+            .copied()
+    }
 }
 
 /// Congestion guard for partial deployments (the paper's footnote 2):
@@ -342,7 +378,7 @@ impl FancySwitch {
         let Some(rr) = &self.reroute else {
             return false;
         };
-        if !rr.backup.contains_key(&primary) {
+        if rr.backup_for(primary, entry).is_none() {
             return false;
         }
         let Some(up) = self.upstream.get(&primary) else {
@@ -903,7 +939,11 @@ impl Node for FancySwitch {
 
         // 3. Fast-reroute consultation (§6.1).
         if self.is_rerouted(out, pkt_entry) {
-            let backup = self.reroute.as_ref().unwrap().backup[&out];
+            let backup = self
+                .reroute
+                .as_ref()
+                .and_then(|rr| rr.backup_for(out, pkt_entry))
+                .expect("is_rerouted implies a backup port");
             if ctx.trace_enabled() && self.traced_reroutes.insert((out, pkt_entry)) {
                 let node = ctx.self_id() as u64;
                 let entry = u64::from(pkt_entry.0);
@@ -1304,9 +1344,7 @@ mod tests {
         fib1.default_route(1);
         fib1.route(Prefix::from_addr(0x01_00_00_01), 0);
         let mut s1_node = FancySwitch::new(fib1, layout.clone(), vec![1], 3);
-        s1_node.reroute = Some(Reroute {
-            backup: [(1, 2)].into_iter().collect(),
-        });
+        s1_node.reroute = Some(Reroute::port_level([(1, 2)].into_iter().collect()));
         let s1 = net.add_node(Box::new(s1_node));
         let mut fib2 = fancy_sim::Fib::new();
         fib2.default_route(2);

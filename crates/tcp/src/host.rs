@@ -338,7 +338,9 @@ impl ThroughputProbe {
 /// byte counts.
 #[derive(Default)]
 pub struct ReceiverHost {
-    recv: HashMap<FlowId, RecvFlow>,
+    /// Keyed by `(source address, flow id)`: flow ids are only unique per
+    /// sender, and a receiver can serve many senders at once.
+    recv: HashMap<(u32, FlowId), RecvFlow>,
     /// Bytes received per entry.
     pub entry_bytes: HashMap<Prefix, u64>,
     /// Packets received per entry.
@@ -380,7 +382,7 @@ impl Node for ReceiverHost {
         match kind {
             PacketKind::TcpData { flow, seq, .. } => {
                 self.note(ctx.now(), entry, size);
-                let st = self.recv.entry(flow).or_default();
+                let st = self.recv.entry((src, flow)).or_default();
                 if seq == st.rcv_next {
                     st.rcv_next += 1;
                     while st.out_of_order.remove(&st.rcv_next) {

@@ -79,24 +79,18 @@ fn main() -> Result<(), ScenarioError> {
             }
         }
         flows.sort_by_key(|f| f.start);
-        let mut sc = fancy::apps::linear(
-            LinearConfig::builder()
-                .seed(100 + i as u64)
-                .flows(flows)
-                .high_priority(entries[..8].to_vec())
-                .build(),
-        )?;
+        let mut sc = ScenarioSpec::linear()
+            .seed(100 + i as u64)
+            .flows(flows)
+            .high_priority(entries[..8].to_vec())
+            .build()?;
         let fail_at = SimTime(1_000_000_000);
-        sc.net.kernel.add_failure(
-            sc.monitored_link,
-            sc.s1,
-            fancy::sim::GrayFailure {
-                matcher: z.matcher.clone(),
-                drop_prob: z.drop_prob,
-                start: fail_at,
-                end: SimTime::FAR_FUTURE,
-            },
-        );
+        sc.fail(fancy::sim::GrayFailure {
+            matcher: z.matcher.clone(),
+            drop_prob: z.drop_prob,
+            start: fail_at,
+            end: SimTime::FAR_FUTURE,
+        });
         sc.net.run_until(SimTime(8_000_000_000));
 
         let first = sc

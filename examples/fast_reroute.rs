@@ -10,8 +10,9 @@
 //! cargo run --release --example fast_reroute
 //! ```
 
-use fancy::apps::{case_study, CaseStudyConfig};
+use fancy::apps::ScenarioSpec;
 use fancy::prelude::*;
+use fancy::sim::LinkConfig;
 use fancy::sim::SimDuration;
 use fancy::tcp::ReceiverHost;
 
@@ -33,37 +34,32 @@ fn main() -> Result<(), ScenarioError> {
     }
     flows.sort_by_key(|f| f.start);
 
-    let cfg = CaseStudyConfig {
-        seed: 7,
-        high_priority: vec![victim, bystander],
-        tree: TreeParams::tofino_default(),
-        timers: TimerConfig {
+    let mut cs = ScenarioSpec::case_study()
+        .seed(7)
+        .high_priority(vec![victim, bystander])
+        .tree(TreeParams::tofino_default())
+        .timers(TimerConfig {
             dedicated_interval: SimDuration::from_millis(250),
             zooming_interval: SimDuration::from_millis(200),
             ..TimerConfig::paper_default().for_link_delay(SimDuration::from_micros(20))
-        },
-        flows,
-        udp_bps: 1_000_000,
-        udp_dst: 0x0B_00_00_01,
-        until: duration,
-        link_bps: 1_000_000_000,
-        probes: vec![
-            ThroughputProbe::for_entries("victim", vec![victim], SimDuration::from_millis(250)),
-            ThroughputProbe::for_entries(
-                "bystander",
-                vec![bystander],
-                SimDuration::from_millis(250),
-            ),
-        ],
-    };
-    let mut cs = case_study(cfg)?;
+        })
+        .flows(flows)
+        .udp_background(1_000_000, 0x0B_00_00_01, duration)
+        .core_link(LinkConfig::new(1_000_000_000, SimDuration::from_micros(5)))
+        .probe(ThroughputProbe::for_entries(
+            "victim",
+            vec![victim],
+            SimDuration::from_millis(250),
+        ))
+        .probe(ThroughputProbe::for_entries(
+            "bystander",
+            vec![bystander],
+            SimDuration::from_millis(250),
+        ))
+        .build()?;
 
     let fail_at = SimTime(2_000_000_000);
-    cs.net.kernel.add_failure(
-        cs.failure_link,
-        cs.link_switch,
-        GrayFailure::single_entry(victim, 0.10, fail_at),
-    );
+    cs.fail(GrayFailure::single_entry(victim, 0.10, fail_at));
     cs.net.run_until(SimTime::ZERO + duration);
 
     let det = cs
@@ -77,21 +73,22 @@ fn main() -> Result<(), ScenarioError> {
         det.time.duration_since(fail_at)
     );
 
-    let sw: &FancySwitch = cs.net.node(cs.s1);
+    let (s1, primary_port) = (cs.switches[0], cs.monitored_edge().port_a);
+    let sw: &FancySwitch = cs.net.node(s1);
     println!(
         "reroute table consult: victim rerouted = {}, bystander rerouted = {}",
-        sw.is_rerouted(cs.primary_port, victim),
-        sw.is_rerouted(cs.primary_port, bystander),
+        sw.is_rerouted(primary_port, victim),
+        sw.is_rerouted(primary_port, bystander),
     );
-    assert!(sw.is_rerouted(cs.primary_port, victim));
+    assert!(sw.is_rerouted(primary_port, victim));
     assert!(
-        !sw.is_rerouted(cs.primary_port, bystander),
+        !sw.is_rerouted(primary_port, bystander),
         "rerouting must be fine-grained: the bystander stays on the primary path"
     );
     println!("rerouted packets so far: {}", sw.stats.rerouted_packets);
 
     // Throughput per 250 ms bucket at the receiver (Mbps).
-    let rx: &ReceiverHost = cs.net.node(cs.receiver);
+    let rx: &ReceiverHost = cs.net.node(cs.receivers[0]);
     println!("\n  t(s)   victim(Mbps)  bystander(Mbps)");
     let v = rx.probes[0].bps_series();
     let b = rx.probes[1].bps_series();

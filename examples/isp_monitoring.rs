@@ -9,7 +9,7 @@
 //! cargo run --release --example isp_monitoring
 //! ```
 
-use fancy::apps::{format_report, linear, LinearConfig, ScenarioError};
+use fancy::apps::{format_report, ScenarioError, ScenarioSpec};
 use fancy::prelude::*;
 use fancy::sim::{PrintSink, SimDuration};
 use fancy::traffic::{paper_traces, synthesize};
@@ -28,13 +28,11 @@ fn main() -> Result<(), ScenarioError> {
     // Allocation based on "historical data": dedicated counters for the
     // top 8 prefixes, best-effort tree for everything else.
     let dedicated = trace.top_prefixes(8);
-    let mut sc = linear(
-        LinearConfig::builder()
-            .seed(7)
-            .flows(trace.flows.clone())
-            .high_priority(dedicated.clone())
-            .build(),
-    )?;
+    let mut sc = ScenarioSpec::linear()
+        .seed(7)
+        .flows(trace.flows.clone())
+        .high_priority(dedicated.clone())
+        .build()?;
     // Print a kernel-telemetry line after each run_until.
     sc.net
         .kernel
@@ -49,22 +47,19 @@ fn main() -> Result<(), ScenarioError> {
     ];
     let fail_at = SimTime(2_000_000_000);
     for (_, p, loss) in victims {
-        sc.net.kernel.add_failure(
-            sc.monitored_link,
-            sc.s1,
-            GrayFailure::single_entry(p, loss, fail_at),
-        );
+        sc.fail(GrayFailure::single_entry(p, loss, fail_at));
     }
     sc.net.run_until(SimTime::ZERO + duration);
 
-    let sw: &FancySwitch = sc.net.node(sc.s1);
-    let hasher = sw.tree_hasher(sc.monitored_port);
+    let (s1, monitored_port) = (sc.switches[0], sc.monitored_edge().port_a);
+    let sw: &FancySwitch = sc.net.node(s1);
+    let hasher = sw.tree_hasher(monitored_port);
     println!();
     for (label, p, _) in victims {
         let detected = if dedicated.contains(&p) {
             sc.net.kernel.records.first_entry_detection(p).is_some()
         } else {
-            sw.tree_flags_entry(sc.monitored_port, p)
+            sw.tree_flags_entry(monitored_port, p)
         };
         let drops = sc
             .net

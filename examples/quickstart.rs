@@ -25,22 +25,16 @@ fn main() -> Result<(), ScenarioError> {
 
     // The §5 linear scenario: sender host — S1 — S2 — receiver, with FANcY
     // monitoring the S1→S2 link. The victim gets a dedicated counter.
-    let mut sc = fancy::apps::linear(
-        LinearConfig::builder()
-            .seed(42)
-            .flows(flows)
-            .high_priority(vec![victim])
-            .build(),
-    )?;
+    let mut sc = ScenarioSpec::linear()
+        .seed(42)
+        .flows(flows)
+        .high_priority(vec![victim])
+        .build()?;
 
     // A gray failure: from t = 1 s, drop 10 % of the victim's packets on
     // the wire — invisible to BFD, NetFlow sampling, or link counters.
     let fail_at = SimTime(1_000_000_000);
-    sc.net.kernel.add_failure(
-        sc.monitored_link,
-        sc.s1,
-        GrayFailure::single_entry(victim, 0.10, fail_at),
-    );
+    sc.fail(GrayFailure::single_entry(victim, 0.10, fail_at));
 
     // Run five simulated seconds.
     sc.net.run_until(SimTime(5_000_000_000));
@@ -59,11 +53,12 @@ fn main() -> Result<(), ScenarioError> {
     );
 
     // The switch's own output interface agrees (Fig. 1 of the paper):
-    let sw: &FancySwitch = sc.net.node(sc.s1);
+    let sw: &FancySwitch = sc.net.node(sc.switches[0]);
+    let monitored_port = sc.monitored_edge().port_a;
     println!(
         "switch output: flagged entries on port {} = {:?}",
-        sc.monitored_port,
-        sw.flagged_entries(sc.monitored_port)
+        monitored_port,
+        sw.flagged_entries(monitored_port)
     );
 
     // Full operator-facing report, with ground truth from the simulator.

@@ -64,13 +64,12 @@ fn selftest() -> ExitCode {
             cfg: FlowConfig::for_rate(2_000_000, 1.0),
         })
         .collect();
-    let mut sc = match fancy::apps::linear(
-        LinearConfig::builder()
-            .seed(7)
-            .flows(flows)
-            .high_priority(vec![victim])
-            .build(),
-    ) {
+    let mut sc = match ScenarioSpec::linear()
+        .seed(7)
+        .flows(flows)
+        .high_priority(vec![victim])
+        .build()
+    {
         Ok(sc) => sc,
         Err(e) => {
             eprintln!("trace-report: scenario: {e}");
@@ -79,11 +78,11 @@ fn selftest() -> ExitCode {
     };
     let recorder = SharedRecorder::new(1 << 16);
     sc.net.kernel.set_tracer(Box::new(recorder.clone()));
-    sc.net.kernel.add_failure(
-        sc.monitored_link,
-        sc.s1,
-        GrayFailure::single_entry(victim, 0.10, SimTime(300_000_000)),
-    );
+    sc.fail(GrayFailure::single_entry(
+        victim,
+        0.10,
+        SimTime(300_000_000),
+    ));
     profiler.time("simulate", || sc.net.run_until(SimTime(1_200_000_000)));
 
     let events = recorder.snapshot();

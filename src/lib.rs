@@ -19,7 +19,8 @@
 //! | [`fancy_baselines`] | LossRadar (IBFs), NetSeer, Blink, simple designs |
 //! | [`fancy_hw`] | Tofino-class resource model (Table 4, Appendix B) |
 //! | [`fancy_analysis`] | closed-form models (Appendix A, Table 2, Figure 2, §5.3) |
-//! | [`fancy_apps`] | fast-reroute scenarios and operator reporting |
+//! | [`fancy_topo`] | ISP-scale topology layer: builders, generators, deterministic ECMP routes, SPIDER backup plans |
+//! | [`fancy_apps`] | the unified `ScenarioSpec` builder, fast-reroute scenarios and operator reporting |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and the `bench`
 //! crate for the harnesses that regenerate every table and figure of the
@@ -33,16 +34,21 @@ pub use fancy_hw as hw;
 pub use fancy_net as net;
 pub use fancy_sim as sim;
 pub use fancy_tcp as tcp;
+pub use fancy_topo as topo;
 pub use fancy_traffic as traffic;
 
 /// Commonly used items across the workspace, in one import.
 pub mod prelude {
     pub use fancy_apps::{
-        case_study, linear, CaseStudyConfig, LinearConfig, LinearConfigBuilder, ScenarioError,
+        case_study, linear, service_prefix, switch_src_prefix, uniform_pair_flows, CaseStudyConfig,
+        LinearConfig, LinearConfigBuilder, PairFlow, Scenario, ScenarioError, ScenarioSpec,
     };
     pub use fancy_core::prelude::*;
     pub use fancy_net::{ControlMessage, FancyTag, Prefix};
     pub use fancy_sim::prelude::*;
     pub use fancy_tcp::{FlowConfig, ReceiverHost, ScheduledFlow, SenderHost, ThroughputProbe};
+    pub use fancy_topo::{
+        fat_tree, isp_backbone, BackupPlan, LinkSpec, Routes, Topology, TopologyBuilder,
+    };
     pub use fancy_traffic::{paper_grid, paper_loss_rates, EntrySize};
 }

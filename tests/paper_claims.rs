@@ -5,7 +5,7 @@
 //! detection, one-interval uniform classification, congestion immunity,
 //! zero dedicated-counter false positives.
 
-use fancy::apps::{linear, LinearConfig, ScenarioError};
+use fancy::apps::{ScenarioError, ScenarioSpec};
 use fancy::prelude::*;
 use fancy::sim::SimDuration;
 
@@ -27,19 +27,13 @@ fn dedicated_detection_is_about_70ms_at_50ms_exchanges() -> Result<(), ScenarioE
     let entry = Prefix::from_addr(0x0A_00_01_00);
     let mut latencies = Vec::new();
     for seed in 0..5u64 {
-        let mut sc = linear(
-            LinearConfig::builder()
-                .seed(seed)
-                .flows(steady_flows(entry, 5_000_000, 40, 100))
-                .high_priority(vec![entry])
-                .build(),
-        )?;
+        let mut sc = ScenarioSpec::linear()
+            .seed(seed)
+            .flows(steady_flows(entry, 5_000_000, 40, 100))
+            .high_priority(vec![entry])
+            .build()?;
         let fail_at = SimTime(1_000_000_000 + seed * 17_000_000);
-        sc.net.kernel.add_failure(
-            sc.monitored_link,
-            sc.s1,
-            GrayFailure::single_entry(entry, 1.0, fail_at),
-        );
+        sc.fail(GrayFailure::single_entry(entry, 1.0, fail_at));
         sc.net.run_until(SimTime(4_000_000_000));
         let det = sc.net.kernel.records.first_entry_detection(entry).unwrap();
         latencies.push(det.time.duration_since(fail_at).as_secs_f64());
@@ -59,14 +53,12 @@ fn tree_detection_is_about_three_zooming_intervals() -> Result<(), ScenarioError
     // Figure 9a: "single-entry failures are typically detected in 680 ms
     // ... three times the selected zooming speed (200 ms)".
     let entry = Prefix::from_addr(0x0A_00_02_00);
-    let cfg = LinearConfig::paper_default(3, steady_flows(entry, 5_000_000, 40, 100));
-    let mut sc = linear(cfg)?;
+    let mut sc = ScenarioSpec::linear()
+        .seed(3)
+        .flows(steady_flows(entry, 5_000_000, 40, 100))
+        .build()?;
     let fail_at = SimTime(1_000_000_000);
-    sc.net.kernel.add_failure(
-        sc.monitored_link,
-        sc.s1,
-        GrayFailure::single_entry(entry, 1.0, fail_at),
-    );
+    sc.fail(GrayFailure::single_entry(entry, 1.0, fail_at));
     sc.net.run_until(SimTime(5_000_000_000));
     let det = sc
         .net
@@ -81,8 +73,8 @@ fn tree_detection_is_about_three_zooming_intervals() -> Result<(), ScenarioError
         "tree latency {lat}s, expected ≈0.68 s + waiting"
     );
     // And the reported path resolves to the failed entry.
-    let sw: &FancySwitch = sc.net.node(sc.s1);
-    assert!(sw.tree_flags_entry(sc.monitored_port, entry));
+    let sw: &FancySwitch = sc.net.node(sc.switches[0]);
+    assert!(sw.tree_flags_entry(sc.monitored_edge().port_a, entry));
     Ok(())
 }
 
@@ -98,17 +90,15 @@ fn dedicated_counters_have_zero_false_positives() -> Result<(), ScenarioError> {
     }
     flows.sort_by_key(|f| f.start);
     // Narrow the monitored link to force congestion drops at the TM.
-    let mut sc = linear(
-        LinearConfig::builder()
-            .seed(9)
-            .flows(flows)
-            .high_priority(entries)
-            .core_link(
-                fancy::sim::LinkConfig::new(20_000_000, SimDuration::from_millis(10))
-                    .with_tm_capacity(40_000),
-            )
-            .build(),
-    )?;
+    let mut sc = ScenarioSpec::linear()
+        .seed(9)
+        .flows(flows)
+        .high_priority(entries)
+        .core_link(
+            fancy::sim::LinkConfig::new(20_000_000, SimDuration::from_millis(10))
+                .with_tm_capacity(40_000),
+        )
+        .build()?;
     sc.net.run_until(SimTime(6_000_000_000));
     assert!(
         sc.net.kernel.records.congestion_drops > 100,
@@ -131,14 +121,12 @@ fn blackholed_tcp_reduces_to_backoff_retransmissions() -> Result<(), ScenarioErr
     // at exponentially increasing intervals. Verify the post-failure
     // packet rate collapses by orders of magnitude.
     let entry = Prefix::from_addr(0x0A_00_03_00);
-    let cfg = LinearConfig::paper_default(4, steady_flows(entry, 10_000_000, 10, 100));
-    let mut sc = linear(cfg)?;
+    let mut sc = ScenarioSpec::linear()
+        .seed(4)
+        .flows(steady_flows(entry, 10_000_000, 10, 100))
+        .build()?;
     let fail_at = SimTime(1_000_000_000);
-    sc.net.kernel.add_failure(
-        sc.monitored_link,
-        sc.s1,
-        GrayFailure::single_entry(entry, 1.0, fail_at),
-    );
+    sc.fail(GrayFailure::single_entry(entry, 1.0, fail_at));
     sc.net.run_until(SimTime(9_000_000_000));
     let drops = &sc.net.kernel.records.gray_drops[&entry];
     // All traffic after the failure is dropped on the wire. The first
@@ -166,24 +154,21 @@ fn detection_survives_failures_in_both_directions() -> Result<(), ScenarioError>
     // The counting protocol must keep working when the *reverse* path also
     // drops control traffic (the strawman §4.1 fails exactly here).
     let entry = Prefix::from_addr(0x0A_00_04_00);
-    let mut sc = linear(
-        LinearConfig::builder()
-            .seed(5)
-            .flows(steady_flows(entry, 2_000_000, 40, 100))
-            .high_priority(vec![entry])
-            .build(),
-    )?;
-    sc.net.kernel.add_failure(
-        sc.monitored_link,
-        sc.s2,
-        GrayFailure::uniform(0.4, SimTime::ZERO),
-    );
+    let mut sc = ScenarioSpec::linear()
+        .seed(5)
+        .flows(steady_flows(entry, 2_000_000, 40, 100))
+        .high_priority(vec![entry])
+        .build()?;
+    // Reverse-direction failure: inject from the far switch (s2).
+    let (core_link, s2) = {
+        let core = sc.monitored_edge();
+        (core.link, core.b)
+    };
+    sc.net
+        .kernel
+        .add_failure(core_link, s2, GrayFailure::uniform(0.4, SimTime::ZERO));
     let fail_at = SimTime(1_500_000_000);
-    sc.net.kernel.add_failure(
-        sc.monitored_link,
-        sc.s1,
-        GrayFailure::single_entry(entry, 0.5, fail_at),
-    );
+    sc.fail(GrayFailure::single_entry(entry, 0.5, fail_at));
     sc.net.run_until(SimTime(6_000_000_000));
     let det = sc
         .net
@@ -199,19 +184,17 @@ fn detection_survives_failures_in_both_directions() -> Result<(), ScenarioError>
 fn whole_system_is_deterministic() {
     let run = |seed: u64| {
         let entry = Prefix::from_addr(0x0A_00_05_00);
-        let mut sc = linear(
-            LinearConfig::builder()
-                .seed(seed)
-                .flows(steady_flows(entry, 1_000_000, 20, 200))
-                .high_priority(vec![entry])
-                .build(),
-        )
-        .expect("paper-default layout always fits");
-        sc.net.kernel.add_failure(
-            sc.monitored_link,
-            sc.s1,
-            GrayFailure::single_entry(entry, 0.3, SimTime(1_000_000_000)),
-        );
+        let mut sc = ScenarioSpec::linear()
+            .seed(seed)
+            .flows(steady_flows(entry, 1_000_000, 20, 200))
+            .high_priority(vec![entry])
+            .build()
+            .expect("paper-default layout always fits");
+        sc.fail(GrayFailure::single_entry(
+            entry,
+            0.3,
+            SimTime(1_000_000_000),
+        ));
         sc.net.run_until(SimTime(5_000_000_000));
         (
             sc.net.kernel.records.total_gray_drops(),

@@ -33,22 +33,16 @@ fn traced_linear(
         })
         .collect();
     let high_priority = if dedicated { vec![victim] } else { Vec::new() };
-    let mut sc = fancy::apps::linear(
-        LinearConfig::builder()
-            .seed(11)
-            .flows(flows)
-            .high_priority(high_priority)
-            .build(),
-    )
-    .expect("linear scenario builds");
+    let mut sc = ScenarioSpec::linear()
+        .seed(11)
+        .flows(flows)
+        .high_priority(high_priority)
+        .build()
+        .expect("linear scenario builds");
     let timers = sc.layout.timers;
     let recorder = SharedRecorder::new(1 << 20);
     sc.net.kernel.set_tracer(Box::new(recorder.clone()));
-    sc.net.kernel.add_failure(
-        sc.monitored_link,
-        sc.s1,
-        GrayFailure::single_entry(victim, loss, fail_at),
-    );
+    sc.fail(GrayFailure::single_entry(victim, loss, fail_at));
     sc.net.run_until(until);
     assert_eq!(recorder.dropped(), 0, "ring sized for the whole trace");
     (
