@@ -42,6 +42,15 @@ cargo test -q --release -p fancy-bench --test cache_roundtrip
 echo "== trace-report smoke (JSONL round-trip, fails on schema drift) =="
 cargo run -q --release --example trace_report
 
+echo "== metrics gate (golden Prometheus diff + merge determinism) =="
+# The metrics plane is sim-time-only, so the Prometheus text exposition
+# of the metrics_report scenario is byte-identical on any machine at any
+# thread count; diffing against the committed golden catches schema or
+# semantics drift. The determinism test pins the sweep-level snapshot
+# merge: 1-thread == 8-thread, byte-for-byte.
+cargo run -q --release --example metrics_report -- --golden tests/golden/metrics_report.prom >/dev/null
+cargo test -q --release -p fancy-bench --test metrics_determinism
+
 echo "== network-wide gate (small ISP backbone, FANcY on every edge) =="
 # Fails a sample of edges on a 12-switch backbone with every edge
 # monitored concurrently: exits non-zero unless coverage is 100%, and

@@ -432,6 +432,9 @@ pub fn describe(ev: &TraceEvent) -> String {
                 "cached cell {cell:04} key {key_hi:016x}{key_lo:016x} ({saved_events} events reused)"
             )
         }
+        TraceEvent::Scrape { seq, samples, .. } => {
+            format!("scrape #{seq} ({samples} metric samples)")
+        }
     }
 }
 
@@ -534,6 +537,79 @@ mod tests {
         assert_eq!(r.loss_episodes[0].end_ns, 2_000);
         assert_eq!(r.loss_episodes[1].drops, 1);
         assert_eq!(r.flow_gray_drops(), 3);
+    }
+
+    #[test]
+    fn empty_trace_yields_an_empty_report() {
+        let r = TimelineReport::from_events(&[]);
+        assert_eq!(r.total_events, 0);
+        assert_eq!(r.onset_ns, None);
+        assert_eq!(r.first_suspicion_ns, None);
+        assert_eq!(r.first_detection_ns(), None);
+        assert_eq!(r.first_reroute_ns, None);
+        assert!(r.loss_episodes.is_empty());
+        assert!(r.drops_by_cause.is_empty());
+        assert!(r.event_counts.is_empty());
+        assert_eq!(r.detection_latency_secs(), None);
+        assert!(r.render().contains("(no gray drops)"));
+        assert_eq!(render_timeline(&[], false), "");
+    }
+
+    #[test]
+    fn single_drop_makes_a_zero_length_episode() {
+        // One gray drop is a complete episode: start == end, one packet.
+        let r = TimelineReport::from_events(&[gray_drop(5_000, Some(9))]);
+        assert_eq!(
+            r.loss_episodes,
+            vec![LossEpisode {
+                flow: 9,
+                start_ns: 5_000,
+                end_ns: 5_000,
+                drops: 1,
+            }]
+        );
+        assert_eq!(r.flow_gray_drops(), 1);
+    }
+
+    #[test]
+    fn gap_boundary_is_exclusive() {
+        // Two drops exactly EPISODE_GAP_NS apart coalesce (the split
+        // condition is strictly-greater); one more nanosecond splits.
+        let t0 = 1_000;
+        let abut = TimelineReport::from_events(&[
+            gray_drop(t0, Some(1)),
+            gray_drop(t0 + EPISODE_GAP_NS, Some(1)),
+        ]);
+        assert_eq!(abut.loss_episodes.len(), 1);
+        assert_eq!(abut.loss_episodes[0].start_ns, t0);
+        assert_eq!(abut.loss_episodes[0].end_ns, t0 + EPISODE_GAP_NS);
+        assert_eq!(abut.loss_episodes[0].drops, 2);
+
+        let split = TimelineReport::from_events(&[
+            gray_drop(t0, Some(1)),
+            gray_drop(t0 + EPISODE_GAP_NS + 1, Some(1)),
+        ]);
+        assert_eq!(split.loss_episodes.len(), 2);
+        assert_eq!(split.loss_episodes[0].drops, 1);
+        assert_eq!(
+            split.loss_episodes[0].start_ns,
+            split.loss_episodes[0].end_ns
+        );
+        assert_eq!(split.loss_episodes[1].start_ns, t0 + EPISODE_GAP_NS + 1);
+    }
+
+    #[test]
+    fn gap_is_measured_per_flow() {
+        // Interleaved flows each keep their own episode clock: flow 2's
+        // drop between flow 1's drops must not reset flow 1's gap.
+        let r = TimelineReport::from_events(&[
+            gray_drop(0, Some(1)),
+            gray_drop(500_000_000, Some(2)),
+            gray_drop(2_000_000_000, Some(1)),
+        ]);
+        assert_eq!(r.loss_episodes.len(), 3);
+        let flow1: Vec<_> = r.loss_episodes.iter().filter(|e| e.flow == 1).collect();
+        assert_eq!(flow1.len(), 2, "flow 1 split despite flow 2's drop");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use fancy_net::Prefix;
+use fancy_sim::metrics::{Labels, MetricsHub};
 use fancy_sim::{
     DetectionRecord, DetectionScope, DetectorKind, NodeId, PortId, SimDuration, SimTime,
     TraceEvent, TraceSink,
@@ -218,6 +219,40 @@ impl IncidentTracker {
         sink: &mut dyn TraceSink,
     ) -> Vec<Incident> {
         self.ingest_inner(records, end, Some(sink))
+    }
+
+    /// [`IncidentTracker::ingest_all`], additionally folding the incident
+    /// lifecycle into `hub`'s registry: `fancy_incidents_total{severity}`
+    /// counts incidents, `fancy_incident_detections_total` sums the
+    /// detections they absorbed, and `fancy_incident_duration_ns{severity}`
+    /// histograms open→clear dwell times. Incidents are walked in opened
+    /// order, so the resulting snapshot is deterministic.
+    pub fn ingest_all_metered(
+        &mut self,
+        records: &[DetectionRecord],
+        end: SimTime,
+        hub: &MetricsHub,
+    ) -> Vec<Incident> {
+        let out = self.ingest_inner(records, end, None);
+        hub.with(|r| {
+            for inc in &out {
+                let sev = Labels::new().with("severity", inc.severity.name());
+                r.inc("fancy_incidents_total", sev.clone());
+                r.add(
+                    "fancy_incident_detections_total",
+                    Labels::new(),
+                    inc.detections as u64,
+                );
+                if let Some(cleared) = inc.cleared_at {
+                    r.observe(
+                        "fancy_incident_duration_ns",
+                        sev,
+                        cleared.duration_since(inc.opened).as_nanos(),
+                    );
+                }
+            }
+        });
+        out
     }
 
     fn ingest_inner(
@@ -452,6 +487,65 @@ mod tests {
             }
             other => panic!("expected incident_clear, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn metered_ingest_counts_incidents_by_severity() {
+        let mut t = IncidentTracker::new(IncidentConfig::default());
+        let recs = vec![
+            rec(
+                1000,
+                1,
+                2,
+                DetectionScope::Entry(Prefix(7)),
+                DetectorKind::DedicatedCounter,
+            ),
+            rec(
+                1200,
+                1,
+                2,
+                DetectionScope::Entry(Prefix(8)),
+                DetectorKind::DedicatedCounter,
+            ),
+            rec(
+                1000,
+                3,
+                0,
+                DetectionScope::LinkDown,
+                DetectorKind::ProtocolTimeout,
+            ),
+        ];
+        let hub = MetricsHub::new();
+        let incidents = t.ingest_all_metered(&recs, SimTime(60_000_000_000), &hub);
+        assert_eq!(incidents.len(), 2);
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.counter(
+                "fancy_incidents_total",
+                &Labels::new().with("severity", "entry_loss")
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(
+                "fancy_incidents_total",
+                &Labels::new().with("severity", "link_down")
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("fancy_incident_detections_total", &Labels::new()),
+            Some(3)
+        );
+        let h = snap
+            .histogram(
+                "fancy_incident_duration_ns",
+                &Labels::new().with("severity", "entry_loss"),
+            )
+            .expect("duration histogram recorded");
+        // opened 1.0 s, last_seen 1.2 s, cleared 31.2 s → 30.2 s dwell.
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 30_200_000_000);
     }
 
     #[test]

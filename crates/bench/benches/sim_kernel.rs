@@ -56,6 +56,13 @@ const BEFORE_E2E_EVENTS: u64 = 2_133_392;
 const BEFORE_E2E_SECS: f64 = 0.123;
 const BEFORE_QUEUE_MICRO_NS: f64 = 28.4;
 
+/// Large-topology baseline, recorded on this machine at commit
+/// `81e690d` when the ISP-scale topology layer (and this workload)
+/// landed. Tracks regressions of the protocol-heavy path the same way
+/// the e2e row tracks the pure-forwarding path.
+const BEFORE_LT_EVENTS: u64 = 427_081;
+const BEFORE_LT_SECS: f64 = 0.1073;
+
 /// A stamped packet for direct pool use (outside the kernel, which
 /// normally stamps uids at check-in).
 fn stamped_packet(uid: u64) -> fancy_sim::Packet {
@@ -340,12 +347,20 @@ fn main() {
   }},
   "improvement": {{
     "e2e_wall_clock_pct": {improvement_pct:.1},
-    "e2e_speedup": {speedup:.2}
+    "e2e_speedup": {speedup:.2},
+    "large_topo": {{
+      "baseline_commit": "81e690d",
+      "baseline_mevents_per_s": {lt_before_rate:.2},
+      "mevents_per_s": {lt_mevents:.2},
+      "speedup": {lt_speedup:.2}
+    }}
   }}
 }}
 "#,
         before_rate = BEFORE_E2E_EVENTS as f64 / BEFORE_E2E_SECS / 1e6,
         speedup = BEFORE_E2E_SECS / e2e_secs,
+        lt_before_rate = BEFORE_LT_EVENTS as f64 / BEFORE_LT_SECS / 1e6,
+        lt_speedup = (lt_mevents * 1e6) / (BEFORE_LT_EVENTS as f64 / BEFORE_LT_SECS),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

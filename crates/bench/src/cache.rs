@@ -39,7 +39,7 @@ use crate::env::Scale;
 /// Bumped whenever the meaning of a stored result changes (cell
 /// semantics, record fields, counter definitions). Part of every
 /// fingerprint, so old records simply stop matching.
-pub const CACHE_SCHEMA_VERSION: u64 = 1;
+pub const CACHE_SCHEMA_VERSION: u64 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
@@ -393,6 +393,10 @@ pub struct CachedCell {
     pub sim_nanos: u64,
     /// Networks the cell absorbed (repetitions).
     pub networks: u64,
+    /// The cell's merged metrics snapshot in `fancy-metrics` JSONL form
+    /// (empty string when the cell recorded none), so a warm sweep's
+    /// merged snapshot is byte-identical to a cold one.
+    pub metrics: String,
     /// The encoded cell result.
     pub result: Record,
 }
@@ -477,6 +481,7 @@ impl CellCache {
             telemetry: TelemetryCounters::from_pairs(|name| meta.u64(name))?,
             sim_nanos: meta.u64("sim_nanos")?,
             networks: meta.u64("networks")?,
+            metrics: meta.str("metrics")?.to_owned(),
             result,
         })
     }
@@ -491,6 +496,7 @@ impl CellCache {
         meta.put_u64("key_lo", key.lo);
         meta.put_u64("sim_nanos", cell.sim_nanos);
         meta.put_u64("networks", cell.networks);
+        meta.put_str("metrics", &cell.metrics);
         for (name, v) in cell.telemetry.to_pairs() {
             meta.put_u64(name, v);
         }
@@ -557,6 +563,8 @@ mod tests {
             },
             sim_nanos: 36_000_000_000,
             networks: 3,
+            metrics: "{\"kind\":\"counter\",\"name\":\"fancy_reroutes_total\",\"labels\":{},\"value\":2}\n"
+                .to_owned(),
             result,
         }
     }

@@ -24,6 +24,7 @@ use fancy_apps::{PairFlow, ScenarioError, ScenarioSpec};
 use fancy_net::mix64;
 use std::sync::{Arc, Mutex};
 
+use fancy_sim::metrics::{Histogram, Labels, MetricsHub, Snapshot};
 use fancy_sim::trace::DropCause;
 use fancy_sim::{GrayFailure, SimDuration, SimTime, TraceEvent, TraceSink};
 use fancy_tcp::FlowConfig;
@@ -121,6 +122,11 @@ pub struct EdgeOutcome {
     pub reroute_s: f64,
     /// Analytic detect+switch bound, seconds (`-1` when not protected).
     pub bound_s: f64,
+    /// The cell's metrics snapshot (`fancy-metrics` JSONL): per-edge
+    /// detection-latency histogram plus everything the instrumented
+    /// stack recorded. Travels through the cell cache so warm sweeps
+    /// rebuild the same merged [`NetwideReport::metrics`].
+    pub metrics_jsonl: String,
 }
 
 impl CacheCodec for EdgeOutcome {
@@ -134,6 +140,7 @@ impl CacheCodec for EdgeOutcome {
         rec.put_u64("protected", self.protected as u64);
         rec.put_f64("reroute_s", self.reroute_s);
         rec.put_f64("bound_s", self.bound_s);
+        rec.put_str("metrics", &self.metrics_jsonl);
     }
 
     fn decode(rec: &Record) -> Option<Self> {
@@ -147,6 +154,7 @@ impl CacheCodec for EdgeOutcome {
             protected: rec.u64("protected")? != 0,
             reroute_s: rec.f64("reroute_s")?,
             bound_s: rec.f64("bound_s")?,
+            metrics_jsonl: rec.str("metrics")?.to_owned(),
         })
     }
 }
@@ -166,6 +174,23 @@ pub struct NetwideReport {
     pub reroutes_within_bound: usize,
     /// Protected cells where a reroute was measured at all.
     pub reroutes_measured: usize,
+    /// Per-cell metrics snapshots merged in edge order — query per-edge
+    /// quantiles with [`NetwideReport::edge_detection_latency`].
+    pub metrics: Snapshot,
+}
+
+/// The metric name the netwide sweep records one histogram per failed
+/// edge under (`edge="<name>"` label, nanosecond values).
+pub const EDGE_DETECTION_METRIC: &str = "fancy_edge_detection_latency_ns";
+
+impl NetwideReport {
+    /// Detection-latency histogram per failed edge, in label order:
+    /// `(edge name, histogram of onset → detection nanoseconds)`.
+    pub fn edge_detection_latency(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.metrics
+            .histograms_of(EDGE_DETECTION_METRIC)
+            .map(|(labels, h)| (labels.get("edge").unwrap_or("?"), h))
+    }
 }
 
 /// Find a deterministic (src, dst) switch pair whose service-prefix
@@ -272,6 +297,19 @@ pub fn run_netwide(
         .iter()
         .filter(|o| o.protected && o.reroute_s >= 0.0 && o.reroute_s <= o.bound_s)
         .count();
+    // Merge per-cell snapshots in edge order. The merge is associative
+    // and commutative and outcomes are in input order, so the result is
+    // identical at any thread count and on warm cache replays.
+    let mut metrics = Snapshot::default();
+    for o in &outcomes {
+        if !o.metrics_jsonl.is_empty() {
+            // Cold cells serialize the snapshot themselves and warm ones
+            // are checksum-guarded, so a parse failure is a codec bug.
+            let s = Snapshot::parse_jsonl(&o.metrics_jsonl)
+                .unwrap_or_else(|e| panic!("edge {} stored a bad snapshot: {e}", o.name));
+            metrics.merge(&s);
+        }
+    }
     Ok(NetwideReport {
         outcomes,
         coverage,
@@ -279,6 +317,7 @@ pub fn run_netwide(
         cross_talk,
         reroutes_within_bound,
         reroutes_measured,
+        metrics,
     })
 }
 
@@ -303,6 +342,7 @@ fn run_edge_cell(
             protected: false,
             reroute_s: -1.0,
             bound_s: -1.0,
+            metrics_jsonl: String::new(),
         });
     };
     let victim = service_prefix(dst);
@@ -349,6 +389,11 @@ fn run_edge_cell(
         sc.net.kernel.set_tracer(Box::new(r.clone()));
         r
     });
+    // Metrics plane: the instrumented stack (detections, FSM, zoom,
+    // reroutes, TCP) records into this hub during the run; the per-edge
+    // latency histogram is added post-run below.
+    let hub = MetricsHub::new();
+    sc.net.kernel.set_metrics(hub.clone());
 
     sc.fail_edge(edge, GrayFailure::single_entry(victim, cfg.loss, fail_at));
     sc.net.run_until(SimTime::ZERO + duration);
@@ -387,6 +432,18 @@ fn run_edge_cell(
         _ => (-1.0, -1.0),
     };
 
+    // The per-edge series the netwide report aggregates: onset →
+    // upstream detection, keyed by edge name.
+    if let Some(d) = upstream {
+        hub.with(|r| {
+            r.observe(
+                EDGE_DETECTION_METRIC,
+                Labels::new().with("edge", name.as_str()),
+                d.time.duration_since(fail_at).as_nanos(),
+            );
+        });
+    }
+
     Ok(EdgeOutcome {
         edge,
         name,
@@ -397,6 +454,7 @@ fn run_edge_cell(
         protected,
         reroute_s,
         bound_s,
+        metrics_jsonl: hub.snapshot().to_jsonl(),
     })
 }
 

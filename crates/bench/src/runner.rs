@@ -41,6 +41,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use fancy_net::mix64;
+use fancy_sim::metrics::Snapshot;
 use fancy_sim::{trace::Profiler, JsonlWriter, Network, TelemetryCounters, TraceSink};
 use fancy_trace::TraceEvent;
 
@@ -165,6 +166,13 @@ impl CellCtx {
         p.sim_nanos += snap.sim_elapsed.as_nanos();
         p.wall_nanos += snap.wall_elapsed.as_nanos() as u64;
         p.networks += 1;
+        // A metrics hub on the kernel rides along: its registry snapshot
+        // merges into the attempt buffer and ultimately into
+        // [`SweepReport::metrics`]. Attach a fresh hub per network —
+        // absorbing the same hub twice double-counts its counters.
+        if let Some(hub) = net.kernel.metrics_hub() {
+            p.metrics.merge(&hub.snapshot());
+        }
     }
 
     /// Wall-clock a span of cell work under `label`; spans merge by
@@ -256,6 +264,7 @@ struct PendingStats {
     cache_hits: u64,
     cache_misses: u64,
     phases: Vec<(String, Duration)>,
+    metrics: Snapshot,
 }
 
 /// Lock-free aggregate the workers commit completed attempts into (the
@@ -285,6 +294,9 @@ struct SharedStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     phases: Mutex<Profiler>,
+    // Snapshot::merge is associative and commutative, so commit order
+    // (i.e. thread scheduling) cannot affect the merged result.
+    metrics: Mutex<Snapshot>,
 }
 
 impl SharedStats {
@@ -338,6 +350,12 @@ impl SharedStats {
                 prof.add(label, *d);
             }
         }
+        if !p.metrics.is_empty() {
+            self.metrics
+                .lock()
+                .expect("metrics snapshot poisoned")
+                .merge(&p.metrics);
+        }
     }
 
     fn counters(&self) -> TelemetryCounters {
@@ -371,6 +389,7 @@ impl SharedStats {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             phases: std::mem::take(&mut *self.phases.lock().expect("profiler poisoned"))
                 .into_spans(),
+            metrics: std::mem::take(&mut *self.metrics.lock().expect("metrics snapshot poisoned")),
         }
     }
 }
@@ -384,6 +403,7 @@ struct Aggregated {
     cache_hits: u64,
     cache_misses: u64,
     phases: Vec<(String, Duration)>,
+    metrics: Snapshot,
 }
 
 /// Aggregate progress/throughput report of one sweep.
@@ -420,6 +440,12 @@ pub struct SweepReport {
     /// Wall-clock spans recorded via [`CellCtx::time`], merged by label
     /// in first-seen order. Empty when cells never time anything.
     pub phases: Vec<(String, Duration)>,
+    /// Metrics snapshots merged over every absorbed network (counters
+    /// add, gauges max, histograms merge exactly). Because the merge is
+    /// associative and commutative, this is bit-identical at any thread
+    /// count and on warm cache replays. Empty when cells attach no
+    /// [`fancy_sim::metrics::MetricsHub`].
+    pub metrics: Snapshot,
     /// Cells that produced no result despite the one-retry policy,
     /// sorted by index. Always empty for a report returned by
     /// [`Sweep::run`] (which panics instead); [`Sweep::run_partial`]
@@ -447,6 +473,14 @@ impl SweepReport {
             self.threads,
             self.wall.as_secs_f64(),
         );
+        // Throughput on the headline so every sweep doubles as a perf
+        // canary (events ÷ sweep wall clock, all workers combined).
+        if self.telemetry.events_dispatched > 0 {
+            s.push_str(&format!(
+                " ({:.2} Mevents/s)",
+                self.events_per_wall_sec() / 1e6
+            ));
+        }
         if self.networks > 0 {
             s.push_str(&format!(
                 "\n  {} networks, {:.1} sim-s, {} events ({:.0} events/wall-s), queue high-water {} (timers {})\
@@ -484,6 +518,19 @@ impl SweepReport {
             s.push_str("\n  phases:");
             for (label, d) in &self.phases {
                 s.push_str(&format!(" {label} {:.2}s", d.as_secs_f64()));
+            }
+        }
+        // One quantile line per histogram metric, merged across every
+        // label set (values are nanoseconds for *_ns metrics).
+        for name in self.metrics.names().collect::<Vec<_>>() {
+            if let Some(h) = self.metrics.merged_histogram(name) {
+                s.push_str(&format!(
+                    "\n  {name}: n={} p50={} p99={} max={}",
+                    h.count(),
+                    h.quantile(0.5).unwrap_or(0),
+                    h.quantile(0.99).unwrap_or(0),
+                    h.max().unwrap_or(0),
+                ));
             }
         }
         for c in &self.failed_cells {
@@ -885,6 +932,7 @@ impl<C: Sync> Sweep<C> {
             cache_hits: agg.cache_hits,
             cache_misses: agg.cache_misses,
             phases: agg.phases,
+            metrics: agg.metrics,
             failed_cells: Vec::new(),
         };
         let results = results
@@ -974,14 +1022,20 @@ where
     };
     let key = cache::cell_key(&cache.salt, cell, ctx.seed);
     if let Some(hit) = cache.store.load(key) {
-        // A record whose result no longer decodes as `R` degrades to a
-        // miss, exactly like a corrupt record.
-        if let Some(r) = R::decode(&hit.result) {
+        // A record whose result (or stored metrics snapshot) no longer
+        // decodes degrades to a miss, exactly like a corrupt record.
+        let snap = if hit.metrics.is_empty() {
+            Some(Snapshot::default())
+        } else {
+            Snapshot::parse_jsonl(&hit.metrics).ok()
+        };
+        if let (Some(r), Some(snap)) = (R::decode(&hit.result), snap) {
             {
                 let mut p = pending.lock().expect("pending stats poisoned");
                 p.telemetry.absorb(&hit.telemetry);
                 p.sim_nanos += hit.sim_nanos;
                 p.networks += hit.networks;
+                p.metrics.merge(&snap);
                 p.cache_hits += 1;
             }
             ctx.write_cache_hit_stub(key, &hit);
@@ -993,9 +1047,9 @@ where
     // The attempt buffer holds exactly this attempt's absorbs, so it
     // doubles as the per-cell record. Kernel wall-clock is deliberately
     // not stored: a warm run honestly reports its own (near-zero) wall.
-    let (telemetry, sim_nanos, networks) = {
+    let (telemetry, sim_nanos, networks, metrics) = {
         let p = pending.lock().expect("pending stats poisoned");
-        (p.telemetry, p.sim_nanos, p.networks)
+        (p.telemetry, p.sim_nanos, p.networks, p.metrics.to_jsonl())
     };
     let mut result = Record::default();
     r.encode(&mut result);
@@ -1005,6 +1059,7 @@ where
             telemetry,
             sim_nanos,
             networks,
+            metrics,
             result,
         },
     );
@@ -1199,6 +1254,7 @@ impl<C: Send + Sync + 'static> Sweep<C> {
             cache_hits: agg.cache_hits,
             cache_misses: agg.cache_misses,
             phases: agg.phases,
+            metrics: agg.metrics,
             failed_cells: failed,
         };
         (results, report)
@@ -1292,6 +1348,15 @@ mod tests {
         assert_eq!(report.telemetry.events_dispatched, 5);
         assert_eq!(report.sim_seconds, 5.0);
         assert!(report.summary().contains("5 cells"));
+        // The headline doubles as a perf canary: absorbing sweeps print
+        // their event throughput, non-absorbing ones stay quiet.
+        assert!(
+            report.summary().contains("Mevents/s"),
+            "{}",
+            report.summary()
+        );
+        let (_, quiet) = Sweep::new("quiet", vec![(); 2]).threads(1).run(|_, _| {});
+        assert!(!quiet.summary().contains("Mevents/s"));
     }
 
     #[test]

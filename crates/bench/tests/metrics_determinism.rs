@@ -1,0 +1,62 @@
+//! The sweep engine's merged metrics snapshot is bit-identical at any
+//! worker-thread count: per-cell snapshots merge through an associative
+//! and commutative fold (counters add, gauges max, histograms merge
+//! exactly), so commit order — the only thing threading changes — can
+//! never show through in [`SweepReport::metrics`].
+//!
+//! [`SweepReport::metrics`]: fancy_bench::runner::SweepReport
+
+use fancy_bench::runner::Sweep;
+use fancy_sim::metrics::{Labels, MetricsHub};
+use fancy_sim::{
+    LinkConfig, Network, PacketBuilder, PacketKind, ScrapeNode, SimDuration, SimTime, SinkNode,
+};
+
+/// Cold sweep (no cache attached): each cell runs a tiny scraped
+/// network and records cell-keyed counters and histogram observations.
+/// Returns the merged snapshot serialized to JSONL.
+fn merged_snapshot(threads: usize) -> String {
+    let (_, report) = Sweep::new("metrics-det", (0..12u64).collect::<Vec<_>>())
+        .seed(0x1234)
+        .threads(threads)
+        .run(|&cell, ctx| {
+            let hub = MetricsHub::new();
+            let mut net = Network::new(ctx.seed);
+            net.kernel.set_metrics(hub.clone());
+            let a = net.add_node(Box::new(SinkNode::default()));
+            let b = net.add_node(Box::new(SinkNode::default()));
+            net.connect(a, b, LinkConfig::default());
+            net.add_node(Box::new(ScrapeNode::new(SimDuration::from_millis(25))));
+            for i in 0..cell % 5 + 1 {
+                let pkt =
+                    PacketBuilder::new(1, 2, 100, PacketKind::Udp { flow: i, seq: 0 }).build();
+                net.kernel.inject(a, 0, pkt, SimTime(i * 10_000_000));
+            }
+            net.run_until(SimTime(200_000_000));
+            hub.with(|r| {
+                r.inc(
+                    "det_cells_total",
+                    Labels::new().with("cell", format!("{:02}", ctx.index)),
+                );
+                r.observe("det_latency_ns", Labels::new(), ctx.seed % 1_000_000);
+            });
+            ctx.absorb(&net);
+        });
+    assert_eq!(report.networks, 12);
+    assert!(!report.metrics.is_empty(), "cells recorded metrics");
+    report.metrics.to_jsonl()
+}
+
+#[test]
+fn merged_snapshots_are_thread_count_invariant() {
+    let one = merged_snapshot(1);
+    let eight = merged_snapshot(8);
+    assert_eq!(
+        one, eight,
+        "1-thread and 8-thread merged snapshots must be byte-identical"
+    );
+    // The counters really merged: every cell contributed its label.
+    assert!(one.contains("\"cell\":\"00\"") && one.contains("\"cell\":\"11\""));
+    // And the histogram aggregated all 12 observations.
+    assert!(one.contains("\"name\":\"det_latency_ns\""));
+}

@@ -8,9 +8,10 @@ use fancy_bench::prelude::Scale;
 use fancy_topo::isp_backbone;
 
 /// Encode an outcome through its cache codec: the persisted form covers
-/// every field (floats as exact bit patterns), so comparing the JSONL
-/// lines is a bit-identity check.
-fn signatures(threads: usize) -> Vec<String> {
+/// every field (floats as exact bit patterns, per-cell metrics snapshot
+/// included), so comparing the JSONL lines is a bit-identity check. The
+/// second element is the report's *merged* metrics snapshot serialized.
+fn signatures(threads: usize) -> (Vec<String>, String) {
     let topo = isp_backbone(8, 0xD17E).expect("backbone builds");
     let cfg = NetwideConfig {
         edges: Some(vec![0, 3, 7, 11]),
@@ -18,7 +19,7 @@ fn signatures(threads: usize) -> Vec<String> {
         ..NetwideConfig::default()
     };
     let report = run_netwide(&topo, &cfg, &Scale::from_env(), 0x7777).expect("sweep runs");
-    report
+    let outcomes = report
         .outcomes
         .iter()
         .map(|o| {
@@ -26,15 +27,23 @@ fn signatures(threads: usize) -> Vec<String> {
             o.encode(&mut rec);
             rec.to_jsonl()
         })
-        .collect()
+        .collect();
+    (outcomes, report.metrics.to_jsonl())
 }
 
 #[test]
 fn netwide_outcomes_are_thread_count_invariant() {
-    let one = signatures(1);
-    let eight = signatures(8);
+    let (one, one_metrics) = signatures(1);
+    let (eight, eight_metrics) = signatures(8);
     assert_eq!(one, eight, "1-thread and 8-thread sweeps must agree");
     assert_eq!(one.len(), 4);
     // The comparison is meaningful: the cells actually detected failures.
     assert!(one.iter().any(|line| line.contains("\"detected\":1")));
+    // The merged metrics snapshot is byte-identical too, and carries the
+    // per-edge detection-latency histograms the report renders.
+    assert_eq!(
+        one_metrics, eight_metrics,
+        "merged snapshots must be byte-identical"
+    );
+    assert!(one_metrics.contains("fancy_edge_detection_latency_ns"));
 }

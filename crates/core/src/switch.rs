@@ -18,6 +18,7 @@ use std::any::Any;
 use std::collections::{HashMap, HashSet};
 
 use fancy_net::{ControlBody, ControlMessage, FancyTag, Prefix, SessionKind};
+use fancy_sim::metrics::Labels;
 use fancy_sim::{
     DetectionScope, DetectorKind, DropCause, Kernel, Node, PacketKind, PacketRef, PortId,
     TimerToken, TraceEvent, UNIT_TREE,
@@ -76,9 +77,10 @@ fn body_label(body: &ControlBody) -> &'static str {
     }
 }
 
-/// Emit an FSM-transition trace event if the state actually changed.
-/// Cheap enough to call unconditionally: the names are static strings and
-/// the kernel's trace guard is a single branch.
+/// Emit an FSM-transition trace event (and bump the transition counter)
+/// if the state actually changed. Cheap enough to call unconditionally:
+/// the names are static strings and the kernel's trace and metrics
+/// guards are each a single branch.
 fn trace_fsm(
     ctx: &mut Kernel,
     port: PortId,
@@ -87,7 +89,21 @@ fn trace_fsm(
     from: &'static str,
     to: &'static str,
 ) {
-    if from != to && ctx.trace_enabled() {
+    if from == to {
+        return;
+    }
+    if ctx.metrics_enabled() {
+        ctx.metrics(|r| {
+            r.inc(
+                "fancy_fsm_transitions_total",
+                Labels::new()
+                    .with("subsystem", "fsm")
+                    .with("role", role)
+                    .with("to", to),
+            );
+        });
+    }
+    if ctx.trace_enabled() {
         let node = ctx.self_id() as u64;
         ctx.trace(|t| TraceEvent::FsmTransition {
             t,
@@ -563,7 +579,7 @@ impl FancySwitch {
                 }
                 up.zoom.end_session(counters)
             };
-            if ctx.trace_enabled() {
+            if ctx.trace_enabled() || ctx.metrics_enabled() {
                 // Drain the zooming steps before emitting detections so a
                 // timeline reader sees first-suspicion before detect at
                 // equal timestamps.
@@ -582,16 +598,24 @@ impl FancySwitch {
                         ZoomStep::Leaf { path, lost } => ("leaf", path, *lost),
                         ZoomStep::Uniform => ("uniform", &[], 0),
                     };
-                    let path: Vec<u64> = path.iter().map(|&b| u64::from(b)).collect();
-                    let step = label.to_owned();
-                    ctx.trace(|t| TraceEvent::ZoomStep {
-                        t,
-                        node,
-                        port: port as u64,
-                        step,
-                        path,
-                        lost: u64::from(lost),
-                    });
+                    if ctx.metrics_enabled() && !matches!(step, ZoomStep::Uniform) {
+                        let depth = path.len() as u64;
+                        ctx.metrics(|r| {
+                            r.observe("fancy_zoom_depth", Labels::new().with("step", label), depth);
+                        });
+                    }
+                    if ctx.trace_enabled() {
+                        let path: Vec<u64> = path.iter().map(|&b| u64::from(b)).collect();
+                        let step = label.to_owned();
+                        ctx.trace(|t| TraceEvent::ZoomStep {
+                            t,
+                            node,
+                            port: port as u64,
+                            step,
+                            path,
+                            lost: u64::from(lost),
+                        });
+                    }
                 }
             }
             for outcome in outcomes {
@@ -944,16 +968,37 @@ impl Node for FancySwitch {
                 .as_ref()
                 .and_then(|rr| rr.backup_for(out, pkt_entry))
                 .expect("is_rerouted implies a backup port");
-            if ctx.trace_enabled() && self.traced_reroutes.insert((out, pkt_entry)) {
+            if (ctx.trace_enabled() || ctx.metrics_enabled())
+                && self.traced_reroutes.insert((out, pkt_entry))
+            {
                 let node = ctx.self_id() as u64;
                 let entry = u64::from(pkt_entry.0);
-                ctx.trace(|t| TraceEvent::Reroute {
-                    t,
-                    node,
-                    entry,
-                    primary: out as u64,
-                    backup: backup as u64,
-                });
+                if ctx.metrics_enabled() {
+                    // Rising-edge reroute latency against ground truth:
+                    // from this entry's first gray drop to the first
+                    // packet actually taking the backup port.
+                    let now = ctx.now();
+                    let onset = ctx.records.first_drop(pkt_entry);
+                    ctx.metrics(|r| {
+                        r.inc("fancy_reroutes_total", Labels::new());
+                        if let Some(first) = onset.filter(|&f| f <= now) {
+                            r.observe(
+                                "fancy_reroute_latency_ns",
+                                Labels::new(),
+                                now.duration_since(first).as_nanos(),
+                            );
+                        }
+                    });
+                }
+                if ctx.trace_enabled() {
+                    ctx.trace(|t| TraceEvent::Reroute {
+                        t,
+                        node,
+                        entry,
+                        primary: out as u64,
+                        backup: backup as u64,
+                    });
+                }
             }
             out = backup;
             self.stats.rerouted_packets += 1;

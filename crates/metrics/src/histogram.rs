@@ -1,0 +1,274 @@
+//! Fixed-bucket log2 histogram over the `u64` domain.
+//!
+//! The bucket layout is *fixed by construction* — bucket `i` holds every
+//! value whose bit length is `i` (bucket 0 holds exactly the value 0), so
+//! two histograms built from the same observations in any order, on any
+//! thread count, are bit-identical, and merging is plain bucket-wise
+//! addition. That exactness is the whole point: cross-cell aggregation in
+//! a parallel sweep must not depend on observation interleaving, unlike
+//! streaming quantile sketches (t-digest, DDSketch) whose state depends
+//! on insertion order.
+//!
+//! The intended domain is nanosecond latencies (so the relative bucket
+//! error is a factor of 2 — plenty for "is p99 detection latency within
+//! its bound"), but any `u64` works: zoom depths, queue lengths, sizes.
+
+/// Number of buckets: one per possible bit length of a `u64` (0..=64).
+pub const BUCKET_COUNT: usize = 65;
+
+/// The bucket a value lands in: its bit length (0 for the value 0).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (the Prometheus `le` value):
+/// `2^i - 1`, saturating at `u64::MAX` for the last bucket.
+#[inline]
+pub fn bucket_le(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// An exact-merge log2 histogram.
+///
+/// Tracks per-bucket counts plus exact `count`/`sum`/`min`/`max`, all in
+/// integer arithmetic (`sum` is `u128` so nanosecond totals cannot
+/// overflow). Two histograms merge by adding buckets and combining the
+/// scalars — associative and commutative, so a sweep can merge per-cell
+/// histograms in any grouping and still produce identical bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Fold another histogram into this one (exact: the result equals a
+    /// histogram built from the union of both observation streams).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations.
+    #[inline]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The quantile estimate for `q ∈ [0, 1]`: the upper bound of the
+    /// bucket holding the observation of rank `ceil(q · count)`, clamped
+    /// into `[min, max]` (so `quantile(1.0)` is the exact maximum and no
+    /// estimate escapes the observed range). Deterministic — pure
+    /// integer bucket walk, the float only picks the target rank.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(bucket_le(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets, as `(bucket index, count)` in index order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Rebuild from the wire form: `(bucket, count)` pairs plus scalars.
+    /// Returns `None` if a bucket index is out of range or the bucket
+    /// counts do not add up to `count` (a corrupt or truncated record).
+    pub fn from_parts(
+        pairs: &[(usize, u64)],
+        count: u64,
+        sum: u128,
+        min: u64,
+        max: u64,
+    ) -> Option<Self> {
+        let mut h = Histogram {
+            buckets: [0; BUCKET_COUNT],
+            count,
+            sum,
+            min,
+            max,
+        };
+        let mut total = 0u64;
+        for &(i, c) in pairs {
+            if i >= BUCKET_COUNT {
+                return None;
+            }
+            h.buckets[i] = h.buckets[i].checked_add(c)?;
+            total = total.checked_add(c)?;
+        }
+        (total == count).then_some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // le bounds are inclusive: the largest value of bucket i is le(i).
+        for i in 0..BUCKET_COUNT {
+            let le = bucket_le(i);
+            assert_eq!(bucket_index(le), i.min(64), "le({i}) in wrong bucket");
+            if i > 0 && i < 64 {
+                assert_eq!(bucket_index(le + 1), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_union_build() {
+        let obs_a = [0u64, 1, 7, 1_000_000, u64::MAX];
+        let obs_b = [3u64, 3, 42, 1 << 40];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut u = Histogram::new();
+        for &v in &obs_a {
+            a.observe(v);
+            u.observe(v);
+        }
+        for &v in &obs_b {
+            b.observe(v);
+            u.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, u);
+        assert_eq!(a.count(), 9);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut parts: Vec<Histogram> = (0..8)
+            .map(|i| {
+                let mut h = Histogram::new();
+                for k in 0..50u64 {
+                    h.observe(i * 1000 + k * k);
+                }
+                h
+            })
+            .collect();
+        let mut fwd = Histogram::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        parts.reverse();
+        let mut rev = Histogram::new();
+        for p in &parts {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn quantiles_are_clamped_and_monotone() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(15)); // le of bucket(10), ≥ min
+        assert_eq!(h.quantile(1.0), Some(1000)); // clamped to max
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        // Rank 5 (value 50) lives in bucket 6 (le = 63).
+        assert_eq!(p50, 63);
+        assert!(Histogram::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn wire_roundtrip_and_corruption() {
+        let mut h = Histogram::new();
+        for v in [0u64, 5, 5, 300, 1 << 33] {
+            h.observe(v);
+        }
+        let pairs: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        let back = Histogram::from_parts(&pairs, h.count(), h.sum(), h.min, h.max).unwrap();
+        assert_eq!(back, h);
+        // Count mismatch and out-of-range bucket are both rejected.
+        assert!(Histogram::from_parts(&pairs, h.count() + 1, h.sum(), h.min, h.max).is_none());
+        assert!(Histogram::from_parts(&[(65, 1)], 1, 0, 0, 0).is_none());
+    }
+}

@@ -1,0 +1,311 @@
+//! # fancy-metrics — the deterministic metrics plane
+//!
+//! A zero-dependency, label-aware metrics registry for the FANcY
+//! reproduction: [`Counter`](snapshot::Value::Counter)s,
+//! [`Gauge`](snapshot::Value::Gauge)s and exact-merge log2
+//! [`Histogram`]s keyed by `(name, labels)`, snapshotted into a sorted
+//! [`Snapshot`] and exported as Prometheus text or hand-rolled JSONL.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Everything is integer arithmetic over sorted
+//!    containers; a [`Snapshot`] of equal state serializes to equal
+//!    bytes. Histograms use a fixed log2 bucket layout so merging
+//!    per-cell state across a parallel sweep is bit-identical at any
+//!    `FANCY_THREADS` (see [`histogram`]).
+//! 2. **Observational only.** Like `fancy-trace`, nothing in this crate
+//!    can influence a simulation schedule: the kernel exposes a
+//!    one-branch-when-off handle and instrumentation sites only *read*
+//!    simulation state.
+//! 3. **Zero deps.** The crate carries its own ~100-line JSON writer and
+//!    parser rather than pulling in serde or even `fancy-trace`.
+//!
+//! The simulation-facing pieces (the kernel handle, the in-sim scrape
+//! timer) live in `fancy-sim`, which re-exports this crate as
+//! `fancy_sim::metrics`.
+
+pub mod histogram;
+pub mod snapshot;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+pub use histogram::{bucket_index, bucket_le, Histogram, BUCKET_COUNT};
+pub use snapshot::{ParseError, Sample, Snapshot, Value};
+
+/// A sorted label set (`edge="s3↔s7"`, `switch="s3"`, …).
+///
+/// Kept deliberately simple: a small sorted `Vec` of owned pairs.
+/// Construction allocates, so hot sites build labels once per *event of
+/// interest* (detections, reroutes, incidents), not per packet — and
+/// every site is behind the kernel's `metrics_enabled()` branch anyway.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Labels {
+    pairs: Vec<(String, String)>,
+}
+
+impl Labels {
+    /// The empty label set.
+    pub fn new() -> Self {
+        Labels::default()
+    }
+
+    /// Add (or replace) one label, keeping the set sorted by key.
+    pub fn with(mut self, key: &str, value: impl Into<String>) -> Self {
+        let value = value.into();
+        match self.pairs.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.pairs[i].1 = value,
+            Err(i) => self.pairs.insert(i, (key.to_owned(), value)),
+        }
+        self
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.pairs[i].1.as_str())
+    }
+
+    /// Iterate `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pairs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+impl fmt::Display for Labels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pairs.is_empty() {
+            return Ok(());
+        }
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{k}={v:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The mutable metric store: `(name, labels) → value`, sorted by key so
+/// snapshots come out in deterministic order.
+///
+/// A metric's kind is fixed by its first touch; using the same
+/// `(name, labels)` with a different kind panics (an instrumentation
+/// bug, never a data condition).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    metrics: BTreeMap<(String, Labels), Value>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    fn slot(&mut self, name: &str, labels: Labels, fresh: Value) -> &mut Value {
+        self.metrics
+            .entry((name.to_owned(), labels))
+            .or_insert(fresh)
+    }
+
+    /// Increment a counter by 1.
+    pub fn inc(&mut self, name: &str, labels: Labels) {
+        self.add(name, labels, 1);
+    }
+
+    /// Increment a counter by `delta`.
+    pub fn add(&mut self, name: &str, labels: Labels, delta: u64) {
+        match self.slot(name, labels, Value::Counter(0)) {
+            Value::Counter(v) => *v += delta,
+            other => panic!("metric {name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Set a gauge to `v`.
+    pub fn gauge_set(&mut self, name: &str, labels: Labels, v: u64) {
+        match self.slot(name, labels, Value::Gauge(0)) {
+            Value::Gauge(g) => *g = v,
+            other => panic!("metric {name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Raise a gauge to `v` if `v` is higher (high-water semantics, the
+    /// same merge rule gauges use across cells).
+    pub fn gauge_max(&mut self, name: &str, labels: Labels, v: u64) {
+        match self.slot(name, labels, Value::Gauge(0)) {
+            Value::Gauge(g) => *g = (*g).max(v),
+            other => panic!("metric {name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Record one histogram observation.
+    pub fn observe(&mut self, name: &str, labels: Labels, v: u64) {
+        match self.slot(name, labels, Value::Histogram(Box::new(Histogram::new()))) {
+            Value::Histogram(h) => h.observe(v),
+            other => panic!("metric {name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// A sorted point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            samples: self
+                .metrics
+                .iter()
+                .map(|((name, labels), value)| Sample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: value.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A cloneable handle to one shared registry plus its scrape series.
+///
+/// The kernel holds one of these (when metrics are enabled), every
+/// instrumentation site reaches it through `&mut Kernel`, and the
+/// experiment harness keeps a clone to read results after the run — the
+/// same ownership shape as `fancy-trace`'s `SharedRecorder`.
+///
+/// The scrape *series* is the deterministic time series: the in-sim
+/// scrape timer calls [`MetricsHub::record_scrape`] at a fixed sim-time
+/// cadence, appending `(sim nanos, Snapshot)` rows.
+#[derive(Clone, Default)]
+pub struct MetricsHub {
+    inner: Arc<Mutex<HubInner>>,
+}
+
+#[derive(Default)]
+struct HubInner {
+    registry: Registry,
+    series: Vec<(u64, Snapshot)>,
+}
+
+impl MetricsHub {
+    /// A hub with an empty registry and no scrape series.
+    pub fn new() -> Self {
+        MetricsHub::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HubInner> {
+        // A cell that panicked mid-update (crash-isolated sweeps) poisons
+        // the mutex; metric state is merely observational, so recover the
+        // guard rather than propagating the poison.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Run `f` against the registry.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Registry) -> R) -> R {
+        f(&mut self.lock().registry)
+    }
+
+    /// Snapshot the registry now.
+    pub fn snapshot(&self) -> Snapshot {
+        self.lock().registry.snapshot()
+    }
+
+    /// Snapshot the registry and append the result to the scrape series
+    /// at sim time `t_ns`. Returns the number of samples captured.
+    pub fn record_scrape(&self, t_ns: u64) -> usize {
+        let mut inner = self.lock();
+        let snap = inner.registry.snapshot();
+        let n = snap.len();
+        inner.series.push((t_ns, snap));
+        n
+    }
+
+    /// The scrape series so far (cloned).
+    pub fn series(&self) -> Vec<(u64, Snapshot)> {
+        self.lock().series.clone()
+    }
+
+    /// Number of scrapes recorded.
+    pub fn series_len(&self) -> usize {
+        self.lock().series.len()
+    }
+}
+
+impl fmt::Debug for MetricsHub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("MetricsHub")
+            .field("metrics", &inner.registry.len())
+            .field("scrapes", &inner.series.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_sort_and_replace() {
+        let l = Labels::new().with("b", "2").with("a", "1").with("b", "3");
+        let pairs: Vec<(&str, &str)> = l.iter().collect();
+        assert_eq!(pairs, vec![("a", "1"), ("b", "3")]);
+        assert_eq!(l.get("b"), Some("3"));
+        assert_eq!(l.get("z"), None);
+        assert_eq!(l.to_string(), "{a=\"1\",b=\"3\"}");
+        // Insertion order does not matter for equality or ordering.
+        assert_eq!(l, Labels::new().with("a", "1").with("b", "3"));
+    }
+
+    #[test]
+    fn registry_kinds_are_sticky() {
+        let mut r = Registry::new();
+        r.inc("x", Labels::new());
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.observe("x", Labels::new(), 5)
+        }));
+        assert!(res.is_err(), "kind mismatch must panic");
+    }
+
+    #[test]
+    fn hub_scrape_series_accumulates() {
+        let hub = MetricsHub::new();
+        hub.with(|r| r.inc("ticks", Labels::new()));
+        assert_eq!(hub.record_scrape(1_000), 1);
+        hub.with(|r| r.inc("ticks", Labels::new()));
+        assert_eq!(hub.record_scrape(2_000), 1);
+        let series = hub.series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, 1_000);
+        assert_eq!(series[0].1.counter("ticks", &Labels::new()), Some(1));
+        assert_eq!(series[1].1.counter("ticks", &Labels::new()), Some(2));
+        // Clones share state.
+        let other = hub.clone();
+        assert_eq!(other.series_len(), 2);
+    }
+}

@@ -1,0 +1,728 @@
+//! Point-in-time snapshots and the two exporters.
+//!
+//! A [`Snapshot`] is the *only* way metric state leaves a registry: a
+//! sorted, owned copy of every metric. Sorting is by `(name, labels)`
+//! with labels compared key-then-value, so two snapshots of equal state
+//! serialize to identical bytes — the property the determinism tests and
+//! the ci golden-file gate assert.
+//!
+//! Exporters:
+//!
+//! * [`Snapshot::to_jsonl`] / [`Snapshot::parse_jsonl`] — one hand-rolled
+//!   JSON object per line, byte-exact round trip, same style as
+//!   `fancy-trace` (this crate is zero-dep, so it carries its own ~100
+//!   line writer/parser instead of depending on `fancy-trace`'s).
+//! * [`Snapshot::to_prometheus`] — Prometheus text exposition: counters
+//!   and gauges as single samples, histograms as cumulative
+//!   `_bucket{le="…"}` series with integer bounds (`2^i − 1`) plus
+//!   `_sum`/`_count`.
+
+use std::fmt;
+
+use crate::histogram::{bucket_le, Histogram};
+use crate::Labels;
+
+/// The value of one metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Monotonic count. Merges by addition.
+    Counter(u64),
+    /// Last-written level. Merges by `max` (the only commutative choice
+    /// that keeps high-water semantics across cells).
+    Gauge(u64),
+    /// Exact-merge log2 histogram. Boxed: the fixed bucket array is
+    /// ~70× the scalar variants, and most samples are scalars.
+    Histogram(Box<Histogram>),
+}
+
+impl Value {
+    /// The kind tag used in JSONL and error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Counter(_) => "counter",
+            Value::Gauge(_) => "gauge",
+            Value::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One metric of a snapshot: name, labels, value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Metric name (`fancy_detection_latency_ns`, …).
+    pub name: String,
+    /// Label set (possibly empty).
+    pub labels: Labels,
+    /// The value at snapshot time.
+    pub value: Value,
+}
+
+/// A sorted point-in-time copy of a registry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Samples in `(name, labels)` order.
+    pub samples: Vec<Sample>,
+}
+
+/// Where a snapshot parse failed: line number (1-based) and reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number within the JSONL text.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Snapshot {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Look one metric up.
+    pub fn get(&self, name: &str, labels: &Labels) -> Option<&Value> {
+        self.samples
+            .binary_search_by(|s| (s.name.as_str(), &s.labels).cmp(&(name, labels)))
+            .ok()
+            .map(|i| &self.samples[i].value)
+    }
+
+    /// Counter value, if `name`+`labels` is a counter.
+    pub fn counter(&self, name: &str, labels: &Labels) -> Option<u64> {
+        match self.get(name, labels) {
+            Some(Value::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value, if `name`+`labels` is a gauge.
+    pub fn gauge(&self, name: &str, labels: &Labels) -> Option<u64> {
+        match self.get(name, labels) {
+            Some(Value::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram, if `name`+`labels` is a histogram.
+    pub fn histogram(&self, name: &str, labels: &Labels) -> Option<&Histogram> {
+        match self.get(name, labels) {
+            Some(Value::Histogram(h)) => Some(&**h),
+            _ => None,
+        }
+    }
+
+    /// Every label set of `name` that is a histogram, in label order —
+    /// the per-edge quantile walk of the netwide report.
+    pub fn histograms_of<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = (&'a Labels, &'a Histogram)> + 'a {
+        self.samples.iter().filter_map(move |s| match &s.value {
+            Value::Histogram(h) if s.name == name => Some((&s.labels, &**h)),
+            _ => None,
+        })
+    }
+
+    /// All label sets of `name` merged into one histogram (for summary
+    /// lines that want "detection latency across every edge").
+    pub fn merged_histogram(&self, name: &str) -> Option<Histogram> {
+        let mut out: Option<Histogram> = None;
+        for (_, h) in self.histograms_of(name) {
+            out.get_or_insert_with(Histogram::new).merge(h);
+        }
+        out
+    }
+
+    /// Distinct metric names in order (each yielded once).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        let mut last: Option<&str> = None;
+        self.samples.iter().filter_map(move |s| {
+            if last == Some(s.name.as_str()) {
+                None
+            } else {
+                last = Some(s.name.as_str());
+                Some(s.name.as_str())
+            }
+        })
+    }
+
+    /// Fold `other` into `self`: counters add, gauges take the max,
+    /// histograms merge exactly; metrics present in only one side are
+    /// kept. Associative and commutative, so per-cell snapshots can merge
+    /// in any grouping (thread count, cache warm/cold) with bit-identical
+    /// results.
+    ///
+    /// # Panics
+    /// Panics if the same `(name, labels)` has different kinds on the two
+    /// sides — that is a programming error at an instrumentation site,
+    /// not a data condition.
+    pub fn merge(&mut self, other: &Snapshot) {
+        let mut merged = Vec::with_capacity(self.samples.len() + other.samples.len());
+        let mut a = std::mem::take(&mut self.samples).into_iter().peekable();
+        let mut b = other.samples.iter().peekable();
+        loop {
+            let ord = match (a.peek(), b.peek()) {
+                (None, None) => break,
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (Some(x), Some(y)) => (&x.name, &x.labels).cmp(&(&y.name, &y.labels)),
+            };
+            match ord {
+                std::cmp::Ordering::Less => merged.push(a.next().expect("peeked")),
+                std::cmp::Ordering::Greater => merged.push(b.next().expect("peeked").clone()),
+                std::cmp::Ordering::Equal => {
+                    let mut x = a.next().expect("peeked");
+                    let y = b.next().expect("peeked");
+                    match (&mut x.value, &y.value) {
+                        (Value::Counter(c), Value::Counter(o)) => *c += o,
+                        (Value::Gauge(g), Value::Gauge(o)) => *g = (*g).max(*o),
+                        (Value::Histogram(h), Value::Histogram(o)) => h.merge(o),
+                        (mine, theirs) => panic!(
+                            "metric {}{} is a {} on one side and a {} on the other",
+                            x.name,
+                            x.labels,
+                            mine.kind(),
+                            theirs.kind()
+                        ),
+                    }
+                    merged.push(x);
+                }
+            }
+        }
+        self.samples = merged;
+    }
+
+    /// Serialize: one JSON object per line, `(name, labels)` order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.samples.len() * 64);
+        for s in &self.samples {
+            out.push_str("{\"kind\":\"");
+            out.push_str(s.value.kind());
+            out.push_str("\",\"name\":");
+            write_json_str(&mut out, &s.name);
+            out.push_str(",\"labels\":{");
+            for (i, (k, v)) in s.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_str(&mut out, k);
+                out.push(':');
+                write_json_str(&mut out, v);
+            }
+            out.push('}');
+            match &s.value {
+                Value::Counter(v) | Value::Gauge(v) => {
+                    out.push_str(",\"value\":");
+                    out.push_str(&v.to_string());
+                }
+                Value::Histogram(h) => {
+                    out.push_str(",\"count\":");
+                    out.push_str(&h.count().to_string());
+                    out.push_str(",\"sum\":");
+                    out.push_str(&h.sum().to_string());
+                    out.push_str(",\"min\":");
+                    out.push_str(&h.min().unwrap_or(u64::MAX).to_string());
+                    out.push_str(",\"max\":");
+                    out.push_str(&h.max().unwrap_or(0).to_string());
+                    out.push_str(",\"buckets\":[");
+                    for (i, (idx, c)) in h.nonzero_buckets().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('[');
+                        out.push_str(&idx.to_string());
+                        out.push(',');
+                        out.push_str(&c.to_string());
+                        out.push(']');
+                    }
+                    out.push(']');
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Parse what [`Snapshot::to_jsonl`] wrote. Strict: unknown kinds,
+    /// malformed JSON, out-of-order samples and inconsistent histogram
+    /// scalars are all errors (a snapshot is a checksum-grade artifact,
+    /// not a lenient config file).
+    pub fn parse_jsonl(text: &str) -> Result<Snapshot, ParseError> {
+        let mut samples = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |reason: String| ParseError {
+                line: lineno + 1,
+                reason,
+            };
+            let sample = parse_sample(line).map_err(err)?;
+            if let Some(prev) = samples.last() {
+                let prev: &Sample = prev;
+                if (&prev.name, &prev.labels) >= (&sample.name, &sample.labels) {
+                    return Err(ParseError {
+                        line: lineno + 1,
+                        reason: format!(
+                            "samples out of order: {}{} after {}{}",
+                            sample.name, sample.labels, prev.name, prev.labels
+                        ),
+                    });
+                }
+            }
+            samples.push(sample);
+        }
+        Ok(Snapshot { samples })
+    }
+
+    /// Prometheus text exposition. Histograms render their non-empty
+    /// buckets cumulatively with integer `le` bounds plus the `+Inf`
+    /// catch-all; a `# TYPE` header precedes each distinct metric name.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(self.samples.len() * 48);
+        let mut last_name: Option<&str> = None;
+        for s in &self.samples {
+            if last_name != Some(s.name.as_str()) {
+                out.push_str("# TYPE ");
+                out.push_str(&s.name);
+                out.push(' ');
+                out.push_str(s.value.kind());
+                out.push('\n');
+                last_name = Some(s.name.as_str());
+            }
+            match &s.value {
+                Value::Counter(v) | Value::Gauge(v) => {
+                    out.push_str(&s.name);
+                    write_prom_labels(&mut out, &s.labels, None);
+                    out.push(' ');
+                    out.push_str(&v.to_string());
+                    out.push('\n');
+                }
+                Value::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (idx, c) in h.nonzero_buckets() {
+                        cum += c;
+                        out.push_str(&s.name);
+                        out.push_str("_bucket");
+                        write_prom_labels(&mut out, &s.labels, Some(&bucket_le(idx).to_string()));
+                        out.push(' ');
+                        out.push_str(&cum.to_string());
+                        out.push('\n');
+                    }
+                    out.push_str(&s.name);
+                    out.push_str("_bucket");
+                    write_prom_labels(&mut out, &s.labels, Some("+Inf"));
+                    out.push(' ');
+                    out.push_str(&h.count().to_string());
+                    out.push('\n');
+                    out.push_str(&s.name);
+                    out.push_str("_sum");
+                    write_prom_labels(&mut out, &s.labels, None);
+                    out.push(' ');
+                    out.push_str(&h.sum().to_string());
+                    out.push('\n');
+                    out.push_str(&s.name);
+                    out.push_str("_count");
+                    write_prom_labels(&mut out, &s.labels, None);
+                    out.push(' ');
+                    out.push_str(&h.count().to_string());
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Write a JSON string literal (quotes, backslash and control characters
+/// escaped; everything else — including the topology's `↔` edge names —
+/// passes through as UTF-8, which JSON permits).
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a Prometheus label block: `{k="v",…}` (with `le` appended last
+/// when rendering a histogram bucket); nothing at all for an empty set
+/// with no `le`.
+fn write_prom_labels(out: &mut String, labels: &Labels, le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+// ---------------------------------------------------------------------
+// JSONL parsing: a tiny cursor over the restricted grammar the writer
+// emits (objects, string keys, string/integer values, arrays of integer
+// pairs). No floats, no booleans, no null — a snapshot never contains
+// them.
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Cursor {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_owned());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("dangling escape".to_owned());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => return Err(format!("unknown escape \\{}", char::from(other))),
+                    }
+                }
+                _ => {
+                    // Re-borrow the full UTF-8 character starting here.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let ch = s.chars().next().ok_or("empty char")?;
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn u128(&mut self) -> Result<u128, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let v = self.u128()?;
+        u64::try_from(v).map_err(|_| format!("{v} overflows u64"))
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.bytes.len()
+    }
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let mut c = Cursor::new(line);
+    c.eat(b'{')?;
+
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut labels = Labels::new();
+    let mut value: Option<u64> = None;
+    let mut count: Option<u64> = None;
+    let mut sum: Option<u128> = None;
+    let mut min: Option<u64> = None;
+    let mut max: Option<u64> = None;
+    let mut buckets: Option<Vec<(usize, u64)>> = None;
+
+    loop {
+        let key = c.string()?;
+        c.eat(b':')?;
+        match key.as_str() {
+            "kind" => kind = Some(c.string()?),
+            "name" => name = Some(c.string()?),
+            "labels" => {
+                c.eat(b'{')?;
+                if c.peek() != Some(b'}') {
+                    loop {
+                        let k = c.string()?;
+                        c.eat(b':')?;
+                        let v = c.string()?;
+                        labels = labels.with(&k, v);
+                        if c.peek() == Some(b',') {
+                            c.eat(b',')?;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                c.eat(b'}')?;
+            }
+            "value" => value = Some(c.u64()?),
+            "count" => count = Some(c.u64()?),
+            "sum" => sum = Some(c.u128()?),
+            "min" => min = Some(c.u64()?),
+            "max" => max = Some(c.u64()?),
+            "buckets" => {
+                let mut pairs = Vec::new();
+                c.eat(b'[')?;
+                if c.peek() != Some(b']') {
+                    loop {
+                        c.eat(b'[')?;
+                        let idx = c.u64()? as usize;
+                        c.eat(b',')?;
+                        let cnt = c.u64()?;
+                        c.eat(b']')?;
+                        pairs.push((idx, cnt));
+                        if c.peek() == Some(b',') {
+                            c.eat(b',')?;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                c.eat(b']')?;
+                buckets = Some(pairs);
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        if c.peek() == Some(b',') {
+            c.eat(b',')?;
+        } else {
+            break;
+        }
+    }
+    c.eat(b'}')?;
+    if !c.at_end() {
+        return Err("trailing bytes after the object".to_owned());
+    }
+
+    let name = name.ok_or("missing \"name\"")?;
+    let value = match kind.as_deref() {
+        Some("counter") => Value::Counter(value.ok_or("counter without \"value\"")?),
+        Some("gauge") => Value::Gauge(value.ok_or("gauge without \"value\"")?),
+        Some("histogram") => {
+            let pairs = buckets.ok_or("histogram without \"buckets\"")?;
+            let h = Histogram::from_parts(
+                &pairs,
+                count.ok_or("histogram without \"count\"")?,
+                sum.ok_or("histogram without \"sum\"")?,
+                min.ok_or("histogram without \"min\"")?,
+                max.ok_or("histogram without \"max\"")?,
+            )
+            .ok_or("histogram buckets do not add up to count")?;
+            Value::Histogram(Box::new(h))
+        }
+        Some(other) => return Err(format!("unknown kind {other:?}")),
+        None => return Err("missing \"kind\"".to_owned()),
+    };
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        r.add(
+            "fancy_detections_total",
+            Labels::new().with("detector", "dedicated"),
+            3,
+        );
+        r.inc(
+            "fancy_detections_total",
+            Labels::new().with("detector", "tree"),
+        );
+        r.gauge_max("fancy_kernel_queue_high_water", Labels::new(), 42);
+        for v in [120u64, 950, 33_000, 1_000_000] {
+            r.observe(
+                "fancy_detection_latency_ns",
+                Labels::new().with("edge", "s3↔s7"),
+                v,
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_byte_exact() {
+        let snap = sample_registry().snapshot();
+        let text = snap.to_jsonl();
+        let back = Snapshot::parse_jsonl(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let mut r = Registry::new();
+        r.inc(
+            "fancy_odd_total",
+            Labels::new().with("edge", "a\"b\\c\nd\te\u{1}↔"),
+        );
+        let snap = r.snapshot();
+        let back = Snapshot::parse_jsonl(&snap.to_jsonl()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_is_grouping_independent() {
+        // Build three per-cell registries, merge 1+(2+3) and (1+2)+3,
+        // demand identical bytes — the sweep-aggregation property.
+        let cells: Vec<Snapshot> = (0..3u64)
+            .map(|i| {
+                let mut r = Registry::new();
+                r.add("c", Labels::new(), i + 1);
+                r.gauge_max("g", Labels::new(), 10 * i);
+                r.observe("h", Labels::new().with("cell", i.to_string()), i * 7);
+                r.observe("h", Labels::new(), 100 + i);
+                r.snapshot()
+            })
+            .collect();
+        let mut left = cells[0].clone();
+        left.merge(&cells[1]);
+        left.merge(&cells[2]);
+        let mut right_tail = cells[1].clone();
+        right_tail.merge(&cells[2]);
+        let mut right = cells[0].clone();
+        right.merge(&right_tail);
+        assert_eq!(left.to_jsonl(), right.to_jsonl());
+        assert_eq!(left.counter("c", &Labels::new()), Some(6));
+        assert_eq!(left.gauge("g", &Labels::new()), Some(20));
+        assert_eq!(left.histogram("h", &Labels::new()).unwrap().count(), 3);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample_registry().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE fancy_detections_total counter"));
+        assert!(text.contains("fancy_detections_total{detector=\"dedicated\"} 3"));
+        assert!(text.contains("# TYPE fancy_detection_latency_ns histogram"));
+        assert!(text.contains("fancy_detection_latency_ns_bucket{edge=\"s3↔s7\",le=\"127\"} 1"));
+        assert!(text.contains("fancy_detection_latency_ns_bucket{edge=\"s3↔s7\",le=\"+Inf\"} 4"));
+        assert!(text.contains("fancy_detection_latency_ns_count{edge=\"s3↔s7\"} 4"));
+        assert!(text.contains("fancy_kernel_queue_high_water 42"));
+        // Stable: rendering twice is byte-identical.
+        assert_eq!(text, sample_registry().snapshot().to_prometheus());
+    }
+
+    #[test]
+    fn strict_parser_rejects_drift() {
+        let bad = "{\"kind\":\"counter\",\"name\":\"x\",\"labels\":{},\"value\":1,\"extra\":2}\n";
+        assert!(Snapshot::parse_jsonl(bad).is_err());
+        let unordered = concat!(
+            "{\"kind\":\"counter\",\"name\":\"b\",\"labels\":{},\"value\":1}\n",
+            "{\"kind\":\"counter\",\"name\":\"a\",\"labels\":{},\"value\":1}\n",
+        );
+        assert!(Snapshot::parse_jsonl(unordered).is_err());
+        let short_hist =
+            "{\"kind\":\"histogram\",\"name\":\"h\",\"labels\":{},\"count\":5,\"sum\":9,\"min\":1,\"max\":4,\"buckets\":[[1,2]]}\n";
+        assert!(Snapshot::parse_jsonl(short_hist).is_err());
+    }
+}

@@ -3,6 +3,7 @@
 //! Nodes interact with the world exclusively through `&mut Kernel` — it is
 //! the `ctx` handle passed to every [`crate::node::Node`] callback.
 
+use fancy_metrics::{Labels, MetricsHub, Registry};
 use fancy_trace::{DropCause, TraceEvent, TraceSink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -48,6 +49,10 @@ pub struct Kernel {
     /// Flight recorder. `None` (the default) keeps every emission site a
     /// single branch; see [`Kernel::trace`].
     pub(crate) tracer: Option<Box<dyn TraceSink>>,
+    /// Metrics plane. Same contract as the tracer: `None` (the default)
+    /// keeps every instrumentation site a single branch, and nothing
+    /// recorded here can influence the schedule; see [`Kernel::metrics`].
+    pub(crate) metrics: Option<MetricsHub>,
 }
 
 impl Kernel {
@@ -67,6 +72,7 @@ impl Kernel {
             wall_elapsed: std::time::Duration::ZERO,
             sink: None,
             tracer: None,
+            metrics: None,
         }
     }
 
@@ -99,6 +105,42 @@ impl Kernel {
         let t = self.now.as_nanos();
         if let Some(tr) = self.tracer.as_deref_mut() {
             tr.record(&make(t));
+        }
+    }
+
+    /// Attach a [`MetricsHub`]; every subsequent kernel- and node-level
+    /// metric update lands in it. Replaces any previous hub. The caller
+    /// keeps a clone to read snapshots after (or during) the run.
+    pub fn set_metrics(&mut self, hub: MetricsHub) {
+        self.metrics = Some(hub);
+    }
+
+    /// Detach and return the current metrics hub, if any.
+    pub fn take_metrics(&mut self) -> Option<MetricsHub> {
+        self.metrics.take()
+    }
+
+    /// Borrow the attached metrics hub, if any (the scrape node reads
+    /// through this without detaching).
+    pub fn metrics_hub(&self) -> Option<&MetricsHub> {
+        self.metrics.as_ref()
+    }
+
+    /// Is a metrics hub attached? Instrumentation sites with non-trivial
+    /// preparation (label building, latency lookups) check this first so
+    /// the disabled path stays a single branch — the `trace_enabled`
+    /// contract, applied to metrics.
+    #[inline]
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Update metrics. The closure only runs when a hub is attached, so
+    /// the disabled cost is one `Option` discriminant check.
+    #[inline]
+    pub fn metrics(&mut self, f: impl FnOnce(&mut Registry)) {
+        if let Some(hub) = self.metrics.as_ref() {
+            hub.with(f);
         }
     }
 
@@ -524,6 +566,39 @@ impl Kernel {
 
     /// Report a detection from the current node.
     pub fn report(&mut self, port: PortId, scope: DetectionScope, detector: DetectorKind) {
+        if self.metrics_enabled() {
+            let detector_name = detector.metric_name();
+            let scope_name = scope.metric_name();
+            // Detection latency against ground truth: an entry-scoped
+            // detection measures from that entry's first gray drop; wider
+            // scopes measure from the earliest drop of the run (a `min`
+            // over the map's values, so hash iteration order is moot).
+            let onset = match &scope {
+                DetectionScope::Entry(p) => self.records.gray_drops.get(p).and_then(|s| s.first),
+                _ => self
+                    .records
+                    .gray_drops
+                    .values()
+                    .filter_map(|s| s.first)
+                    .min(),
+            };
+            let now = self.now;
+            self.metrics(|r| {
+                r.inc(
+                    "fancy_detections_total",
+                    Labels::new()
+                        .with("detector", detector_name)
+                        .with("scope", scope_name),
+                );
+                if let Some(first) = onset.filter(|&first| first <= now) {
+                    r.observe(
+                        "fancy_detection_latency_ns",
+                        Labels::new().with("detector", detector_name),
+                        now.duration_since(first).as_nanos(),
+                    );
+                }
+            });
+        }
         if self.trace_enabled() {
             let node = self.current as u64;
             let (scope_name, entry, path) = match &scope {

@@ -60,6 +60,7 @@ pub mod node;
 pub mod packet;
 pub mod pool;
 pub mod record;
+pub mod scrape;
 pub mod switch;
 pub mod tap;
 pub mod telemetry;
@@ -68,6 +69,10 @@ pub mod time;
 /// The flight-recorder crate, re-exported so instrumented downstream
 /// crates (core, tcp, apps) need no direct `fancy-trace` dependency.
 pub use fancy_trace as trace;
+
+/// The metrics-plane crate, re-exported for the same reason: downstream
+/// instrumentation reaches `Labels`/`MetricsHub` through `fancy_sim`.
+pub use fancy_metrics as metrics;
 
 /// Convenient re-exports for building simulations.
 pub mod prelude {
@@ -82,12 +87,14 @@ pub mod prelude {
     pub use crate::packet::{FlowId, Packet, PacketBuilder, PacketKind};
     pub use crate::pool::{PacketPool, PacketRef};
     pub use crate::record::{DetectionRecord, DetectionScope, DetectorKind, Records};
+    pub use crate::scrape::ScrapeNode;
     pub use crate::switch::{Bridge, Fib, PlainSwitch};
     pub use crate::tap::{Capture, TraceTap};
     pub use crate::telemetry::{
         MemorySink, NullSink, PrintSink, TelemetryCounters, TelemetrySink, TelemetrySnapshot,
     };
     pub use crate::time::{transmission_time, SimDuration, SimTime};
+    pub use fancy_metrics::{Labels, MetricsHub, Snapshot};
     pub use fancy_trace::{
         DropCause, JsonlWriter, RingRecorder, SharedRecorder, TraceEvent, TraceSink, UNIT_TREE,
     };

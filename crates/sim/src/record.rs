@@ -32,6 +32,19 @@ pub enum DetectionScope {
     LinkDown,
 }
 
+impl DetectionScope {
+    /// Short stable name used as a metric label value (matches the
+    /// flight recorder's scope names).
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            DetectionScope::Entry(_) => "entry",
+            DetectionScope::HashPath(_) => "path",
+            DetectionScope::Uniform => "uniform",
+            DetectionScope::LinkDown => "link_down",
+        }
+    }
+}
+
 /// Which mechanism produced a detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DetectorKind {
@@ -45,6 +58,21 @@ pub enum DetectorKind {
     ProtocolTimeout,
     /// A baseline detector, identified by name.
     Baseline(&'static str),
+}
+
+impl DetectorKind {
+    /// Short stable name used as a metric label value. Baselines use
+    /// their bare name (the flight recorder's `baseline:` prefix is a
+    /// trace-format concern, not a label).
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            DetectorKind::DedicatedCounter => "dedicated",
+            DetectorKind::HashTree => "tree",
+            DetectorKind::UniformCheck => "uniform",
+            DetectorKind::ProtocolTimeout => "timeout",
+            DetectorKind::Baseline(name) => name,
+        }
+    }
 }
 
 /// One detection event reported by an in-switch detector.

@@ -11,6 +11,7 @@ use std::any::Any;
 use std::collections::{BTreeSet, HashMap};
 
 use fancy_net::Prefix;
+use fancy_sim::metrics::Labels;
 use fancy_sim::{
     FlowId, Kernel, Node, PacketBuilder, PacketKind, PacketRef, PortId, SimDuration, SimTime,
     TimerToken, TraceEvent,
@@ -186,6 +187,9 @@ impl Node for SenderHost {
         let action = f.on_ack(ack, ctx.now());
         let cwnd_after = f.cwnd;
         if let FlowAction::Send { seq, retx } = action {
+            if retx {
+                ctx.metrics(|r| r.inc("fancy_tcp_fast_retx_total", Labels::new()));
+            }
             if retx && ctx.trace_enabled() {
                 let node = ctx.self_id() as u64;
                 ctx.trace(|t| TraceEvent::TcpFastRetx { t, node, flow, seq });
@@ -236,6 +240,7 @@ impl Node for SenderHost {
                 let action = f.on_rto(ctx.now());
                 let (cwnd_after, rto_ns) = (f.cwnd, f.rto.as_nanos());
                 if let FlowAction::Send { seq, retx } = action {
+                    ctx.metrics(|r| r.inc("fancy_tcp_rto_total", Labels::new()));
                     if ctx.trace_enabled() {
                         let node = ctx.self_id() as u64;
                         ctx.trace(|t| TraceEvent::TcpRto {

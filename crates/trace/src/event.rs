@@ -285,6 +285,16 @@ pub enum TraceEvent {
         /// — the work the hit avoided.
         saved_events: u64,
     },
+    /// The in-sim metrics scraper (`fancy-sim`'s `ScrapeNode`) captured
+    /// a registry snapshot into the scrape series.
+    Scrape {
+        /// Stamp time.
+        t: u64,
+        /// Scrape sequence number (0-based).
+        seq: u64,
+        /// Number of metric samples in the captured snapshot.
+        samples: u64,
+    },
 }
 
 /// The `unit` value marking the shared hash-tree (vs a dedicated counter).
@@ -379,6 +389,7 @@ impl TraceEvent {
             TraceEvent::ChaosInject { .. } => "chaos",
             TraceEvent::DegradedMode { .. } => "degraded",
             TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::Scrape { .. } => "scrape",
         }
     }
 
@@ -399,7 +410,8 @@ impl TraceEvent {
             | TraceEvent::IncidentClear { t, .. }
             | TraceEvent::ChaosInject { t, .. }
             | TraceEvent::DegradedMode { t, .. }
-            | TraceEvent::CacheHit { t, .. } => *t,
+            | TraceEvent::CacheHit { t, .. }
+            | TraceEvent::Scrape { t, .. } => *t,
         }
     }
 
@@ -582,6 +594,9 @@ impl TraceEvent {
                 w.u64("cell", *cell).u64("key_hi", *key_hi);
                 w.u64("key_lo", *key_lo).u64("saved_events", *saved_events);
             }
+            TraceEvent::Scrape { seq, samples, .. } => {
+                w.u64("seq", *seq).u64("samples", *samples);
+            }
         }
         w.finish()
     }
@@ -611,6 +626,7 @@ impl TraceEvent {
             "chaos" => "chaos",
             "degraded" => "degraded",
             "cache_hit" => "cache_hit",
+            "scrape" => "scrape",
             _ => return Err(ParseError::UnknownEvent(ev_name)),
         };
         let f = Fields {
@@ -739,6 +755,11 @@ impl TraceEvent {
                 key_hi: f.u64("key_hi")?,
                 key_lo: f.u64("key_lo")?,
                 saved_events: f.u64("saved_events")?,
+            },
+            "scrape" => TraceEvent::Scrape {
+                t,
+                seq: f.u64("seq")?,
+                samples: f.u64("samples")?,
             },
             _ => unreachable!("kind validated above"),
         })
@@ -910,6 +931,11 @@ mod tests {
                 key_hi: 0xDEAD_BEEF_0BAD_F00D,
                 key_lo: 0x0123_4567_89AB_CDEF,
                 saved_events: 42_000,
+            },
+            TraceEvent::Scrape {
+                t: 19,
+                seq: 3,
+                samples: 27,
             },
         ]
     }

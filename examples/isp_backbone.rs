@@ -99,6 +99,24 @@ fn main() -> ExitCode {
             ms(o.bound_s),
         );
     }
+    // Per-edge detection-latency quantiles out of the merged metrics
+    // snapshots (log2 histograms: quantiles are bucket upper bounds).
+    println!("\nper-edge detection latency (merged histograms):");
+    let q_ms = |q: Option<u64>| match q {
+        Some(ns) => format!("{:.1}", ns as f64 / 1e6),
+        None => "-".to_owned(),
+    };
+    for (edge, h) in report.edge_detection_latency() {
+        println!(
+            "  {:<16} n={} p50={} ms  p99={} ms  max={} ms",
+            edge,
+            h.count(),
+            q_ms(h.quantile(0.5)),
+            q_ms(h.quantile(0.99)),
+            q_ms(h.max()),
+        );
+    }
+
     println!(
         "\ncoverage {:.0}% over {} traffic-carrying edges; mean detection {:.1} ms; \
          cross-talk {}; reroutes within bound {}/{}",

@@ -153,6 +153,26 @@ fn selftest() -> ExitCode {
         }
     }
 
+    // Same for `scrape` markers: they come from a ScrapeNode, which this
+    // scenario does not install — round-trip a synthetic one so the new
+    // metrics-plane variant stays inside the schema gate.
+    let scrape = TraceEvent::Scrape {
+        t: 100_000_000,
+        seq: 41,
+        samples: 28,
+    };
+    match parse_jsonl(&format!("{}\n", scrape.to_jsonl())) {
+        Ok(evs) if evs == [scrape.clone()] => {}
+        Ok(evs) => {
+            eprintln!("trace-report: scrape changed in flight: {evs:?}");
+            return ExitCode::FAILURE;
+        }
+        Err((_, e)) => {
+            eprintln!("trace-report: synthetic scrape failed to parse: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     // A gray failure on a dedicated entry must leave a complete causal
     // chain in the trace.
     let report = TimelineReport::from_events(&events);
